@@ -1,0 +1,58 @@
+//! E5 (kernel) — full-search wall time of the NS-GA vs the fitness GA on
+//! a deceptive benchmark at an equal evaluation budget: quantifies the
+//! price of the novelty bookkeeping when the objective itself is cheap
+//! (on the fire problem the simulations dominate and this overhead
+//! disappears — compare with the `eval_backends` group).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ess_ns::{NoveltyGa, NoveltyGaConfig};
+use evoalg::benchmarks::deceptive_trap;
+use evoalg::{GaConfig, GaEngine};
+use std::hint::black_box;
+
+const DIMS: usize = 16;
+const GENS: u32 = 30;
+
+fn bench_deceptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deceptive_trap_search");
+    group.sample_size(10);
+
+    group.bench_function("ns_ga", |b| {
+        b.iter(|| {
+            let cfg = NoveltyGaConfig {
+                population_size: 24,
+                offspring: 24,
+                max_generations: GENS,
+                fitness_threshold: 2.0,
+                seed: 5,
+                ..NoveltyGaConfig::default()
+            };
+            let mut eval = |gs: &[Vec<f64>]| -> Vec<f64> {
+                gs.iter().map(|g| deceptive_trap(g, 4)).collect()
+            };
+            black_box(NoveltyGa::new(DIMS, cfg).run(&mut eval).best_set.max_fitness())
+        })
+    });
+
+    group.bench_function("fitness_ga", |b| {
+        b.iter(|| {
+            let mut engine = GaEngine::new(
+                DIMS,
+                GaConfig { population_size: 24, offspring: 24, seed: 5, ..GaConfig::default() },
+            );
+            let mut eval = |gs: &[Vec<f64>]| -> Vec<f64> {
+                gs.iter().map(|g| deceptive_trap(g, 4)).collect()
+            };
+            engine.evaluate_initial(&mut eval);
+            for _ in 0..GENS {
+                engine.step(&mut eval);
+            }
+            black_box(engine.stats().best_fitness)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_deceptive);
+criterion_main!(benches);

@@ -1,0 +1,228 @@
+//! The report harness: regenerates every table and figure of the
+//! reproduction (DESIGN.md §4) as aligned text on stdout plus CSV files in
+//! `reports/`.
+//!
+//! ```text
+//! harness <experiment|all> [--seeds N] [--scale F] [--cases a,b] [--out DIR]
+//!
+//! experiments:
+//!   table1      Table I   — fireLib parameter space
+//!   fig1-trace  Fig. 1    — ESS dataflow trace
+//!   fig2-kign   Fig. 2    — SKign calibration curve
+//!   fig3-trace  Fig. 3    — ESS-NS dataflow trace (NS blocks visible)
+//!   e1-quality  E1        — quality per step, per case, per method
+//!   e2-diversity E2       — result-set diversity per method
+//!   e3-speedup  E3        — Master/Worker + rayon scaling
+//!   e4-throughput E4      — simulator throughput
+//!   e5-deceptive E5       — NS vs fitness GA on deceptive functions
+//!   e6-tuning   E6        — ESSIM-DE tuning operators
+//!   e7-hybrid   E7        — weighted fitness/novelty ablation
+//!   e8-ablation E8        — k / archive / bestSet / behaviour ablation
+//!   e9-inclusion E9       — result-set composition under drift
+//!   e10-noise   E10       — robustness to observation noise
+//! ```
+//!
+//! `--scale` shrinks every per-step evaluation budget proportionally
+//! (default 1.0); `--seeds` sets the replicate count (default 3).
+
+use ess::report::TextTable;
+use ess_benches::experiments as exp;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    seeds: usize,
+    scale: f64,
+    cases: Vec<String>,
+    out: PathBuf,
+    workers: Vec<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let experiment = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        experiment,
+        seeds: 3,
+        scale: 1.0,
+        cases: vec![
+            "grass_uniform".into(),
+            "chaparral_slope".into(),
+            "shifting_wind".into(),
+            "moisture_front".into(),
+            "two_ridge".into(),
+        ],
+        out: PathBuf::from("reports"),
+        workers: vec![2, 4],
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = value()?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--scale" => args.scale = value()?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--cases" => args.cases = value()?.split(',').map(str::to_string).collect(),
+            "--out" => args.out = PathBuf::from(value()?),
+            "--workers" => {
+                args.workers = value()?
+                    .split(',')
+                    .map(|w| w.parse().map_err(|e| format!("--workers: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if args.seeds == 0 {
+        return Err("--seeds must be positive".into());
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--out DIR]".to_string()
+}
+
+fn emit(args: &Args, id: &str, title: &str, table: &TextTable) {
+    println!("== {id}: {title} ==\n");
+    println!("{}", table.render());
+    let path = args.out.join(format!("{id}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("[written {}]\n", path.display()),
+        Err(e) => eprintln!("[warn] could not write {}: {e}\n", path.display()),
+    }
+}
+
+fn emit_text(args: &Args, id: &str, text: &str) {
+    println!("{text}");
+    let path = args.out.join(format!("{id}.txt"));
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("[written {}]\n", path.display()),
+        Err(e) => eprintln!("[warn] could not write {}: {e}\n", path.display()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seeds: Vec<u64> = (0..args.seeds as u64).map(|i| 1000 + i).collect();
+    let case_refs: Vec<&str> = args.cases.iter().map(String::as_str).collect();
+
+    let mut ran = false;
+    let want = |id: &str| args.experiment == id || args.experiment == "all";
+
+    if want("table1") {
+        emit(&args, "table1", "Table I — fireLib scenario parameters", &exp::table1());
+        ran = true;
+    }
+    if want("fig1-trace") {
+        emit_text(&args, "fig1-trace", &exp::fig1_trace());
+        ran = true;
+    }
+    if want("fig2-kign") {
+        emit(&args, "fig2-kign", "Fig. 2 — SKign calibration curve", &exp::fig2_kign());
+        ran = true;
+    }
+    if want("fig3-trace") {
+        emit_text(&args, "fig3-trace", &exp::fig3_trace());
+        ran = true;
+    }
+    if want("e1-quality") {
+        emit(
+            &args,
+            "e1-quality",
+            "E1 — prediction quality per step (Jaccard), per case and method",
+            &exp::e1_quality(&seeds, args.scale, &case_refs),
+        );
+        ran = true;
+    }
+    if want("e2-diversity") {
+        emit(
+            &args,
+            "e2-diversity",
+            "E2 — diversity of the result set fed to the Statistical Stage",
+            &exp::e2_diversity(&seeds, args.scale, &case_refs),
+        );
+        ran = true;
+    }
+    if want("e3-speedup") {
+        emit(
+            &args,
+            "e3-speedup",
+            "E3 — Optimization Stage scaling by backend and worker count",
+            &exp::e3_speedup(&args.workers),
+        );
+        ran = true;
+    }
+    if want("e4-throughput") {
+        emit(&args, "e4-throughput", "E4 — fire simulator throughput", &exp::e4_throughput());
+        ran = true;
+    }
+    if want("e5-deceptive") {
+        emit(
+            &args,
+            "e5-deceptive",
+            "E5 — NS-GA vs fitness GA on deceptive landscapes",
+            &exp::e5_deceptive(&seeds),
+        );
+        ran = true;
+    }
+    if want("e6-tuning") {
+        emit(
+            &args,
+            "e6-tuning",
+            "E6 — effect of the ESSIM-DE tuning operators",
+            &exp::e6_tuning(&seeds, args.scale),
+        );
+        ran = true;
+    }
+    if want("e7-hybrid") {
+        emit(
+            &args,
+            "e7-hybrid",
+            "E7 — weighted fitness/novelty scoring ablation",
+            &exp::e7_hybrid(&seeds, args.scale),
+        );
+        ran = true;
+    }
+    if want("e8-ablation") {
+        emit(
+            &args,
+            "e8-ablation",
+            "E8 — NS hyper-parameter ablation (k, archive, bestSet, behaviour)",
+            &exp::e8_ablation(&seeds, args.scale),
+        );
+        ran = true;
+    }
+    if want("e9-inclusion") {
+        emit(
+            &args,
+            "e9-inclusion",
+            "E9 — result-set composition under a drifting truth",
+            &exp::e9_inclusion(&seeds, args.scale),
+        );
+        ran = true;
+    }
+    if want("e10-noise") {
+        emit(
+            &args,
+            "e10-noise",
+            "E10 — robustness to observation noise on the fire lines",
+            &exp::e10_noise(&seeds, args.scale),
+        );
+        ran = true;
+    }
+
+    if !ran {
+        eprintln!("unknown experiment '{}'\n{}", args.experiment, usage());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

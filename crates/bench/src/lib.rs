@@ -1,0 +1,13 @@
+//! `ess-benches` — shared experiment machinery behind the `harness` binary
+//! and the criterion benches.
+//!
+//! Every experiment in DESIGN.md §4 is a function here returning a
+//! [`ess::report::TextTable`], so the harness can print it and write the
+//! CSV, the criterion benches can reuse the same workloads, and the
+//! integration tests can assert on the *shape* of the results without
+//! duplicating setup.
+
+pub mod experiments;
+pub mod methods;
+
+pub use methods::{comparable_methods, Method};

@@ -1,0 +1,116 @@
+//! The four systems under comparison, configured to comparable
+//! per-step evaluation budgets so quality comparisons are fair.
+
+use ess::ess_classic::{EssClassic, EssConfig};
+use ess::essim_de::{EssimDe, EssimDeConfig, TuningConfig};
+use ess::essim_ea::{EssimEa, EssimEaConfig};
+use ess::pipeline::StepOptimizer;
+use ess_ns::{EssNs, EssNsConfig, InclusionPolicy, NoveltyGaConfig};
+
+/// The systems of experiment E1/E2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// ESS — fitness GA, final population (Fig. 1).
+    Ess,
+    /// ESSIM-EA — island GA + Monitor.
+    EssimEa,
+    /// ESSIM-DE — island DE + diversity injection + tuning.
+    EssimDe,
+    /// ESS-NS — the paper's contribution (Fig. 3).
+    EssNs,
+}
+
+impl Method {
+    /// All four systems, baseline order.
+    pub const ALL: [Method; 4] = [Method::Ess, Method::EssimEa, Method::EssimDe, Method::EssNs];
+
+    /// Report key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Ess => "ESS",
+            Method::EssimEa => "ESSIM-EA",
+            Method::EssimDe => "ESSIM-DE",
+            Method::EssNs => "ESS-NS",
+        }
+    }
+
+    /// Builds the optimizer with a per-step budget of roughly
+    /// `scale × 400` scenario evaluations (the budgets are matched within
+    /// ~10 % so the quality comparison is budget-fair; exact counts are
+    /// reported in the E1 table).
+    pub fn make(&self, scale: f64) -> Box<dyn StepOptimizer> {
+        let s = |v: usize| ((v as f64) * scale).round().max(4.0) as usize;
+        match self {
+            Method::Ess => Box::new(EssClassic::new(EssConfig {
+                population_size: s(32),
+                offspring: s(32),
+                mutation_rate: 0.1,
+                crossover_rate: 0.9,
+                max_generations: 12,
+                fitness_threshold: 0.95,
+            })),
+            Method::EssimEa => Box::new(EssimEa::new(EssimEaConfig {
+                islands: 3,
+                island_population: s(12),
+                offspring: s(12),
+                mutation_rate: 0.1,
+                crossover_rate: 0.9,
+                migration_interval: 3,
+                migrants: 2.min(s(12) - 1),
+                max_generations: 11,
+                fitness_threshold: 0.95,
+            })),
+            Method::EssimDe => Box::new(EssimDe::new(EssimDeConfig {
+                islands: 3,
+                island_population: s(12),
+                differential_weight: 0.8,
+                crossover_rate: 0.9,
+                migration_interval: 3,
+                migrants: 2.min(s(12) - 1),
+                max_generations: 11,
+                fitness_threshold: 0.95,
+                elite_fraction: 0.5,
+                result_set_size: s(24),
+                tuning: TuningConfig::enabled(),
+            })),
+            Method::EssNs => Box::new(EssNs::new(EssNsConfig {
+                algorithm: NoveltyGaConfig {
+                    population_size: s(32),
+                    offspring: s(32),
+                    max_generations: 12,
+                    fitness_threshold: 0.95,
+                    novelty_neighbours: 5,
+                    archive_capacity: 2 * s(32),
+                    best_set_capacity: s(24),
+                    ..NoveltyGaConfig::default()
+                },
+                inclusion: InclusionPolicy::BestOnly,
+            })),
+        }
+    }
+}
+
+/// The standard comparison set at unit scale.
+pub fn comparable_methods() -> Vec<(Method, Box<dyn StepOptimizer>)> {
+    Method::ALL.iter().map(|&m| (m, m.make(1.0))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_methods_construct() {
+        for m in Method::ALL {
+            let opt = m.make(1.0);
+            assert_eq!(opt.name(), m.name());
+        }
+    }
+
+    #[test]
+    fn scaling_down_produces_small_configs() {
+        for m in Method::ALL {
+            let _ = m.make(0.25); // must not panic on small budgets
+        }
+    }
+}

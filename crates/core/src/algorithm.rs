@@ -1,0 +1,659 @@
+//! Algorithm 1 — the Novelty-based Genetic Algorithm with Multiple
+//! Solutions, implemented line for line.
+//!
+//! ```text
+//! Input: N, m, mR, cR, k, maxGen, fThreshold
+//! Output: bestSet
+//!  1: population ← initializePopulation(N)
+//!  2: archive ← ∅
+//!  3: bestSet ← ∅
+//!  4: generations ← 0
+//!  5: maxFitness ← 0
+//!  6: while generations < maxGen and maxFitness < fThreshold do
+//!  7:   offspring ← generateOffspring(population, m, mR, cR)
+//!  8:   for each ind ∈ (population ∪ offspring): ind.fitness ← evaluateFitness(ind)
+//! 11:   noveltySet ← (population ∪ offspring ∪ archive)
+//! 12:   for each ind ∈ (population ∪ offspring): ind.novelty ← evaluateNovelty(ind, noveltySet, k)
+//! 15:   archive ← updateArchive(archive, offspring)
+//! 16:   population ← replaceByNovelty(population, offspring, N)
+//! 17:   bestSet ← updateBest(bestSet, offspring)
+//! 18:   maxFitness ← getMaxFitness(bestSet)
+//! 19:   generations ← generations + 1
+//! 20: end while
+//! 21: return bestSet
+//! ```
+//!
+//! Two deliberate implementation notes, both documented against the paper:
+//!
+//! * **Fitness caching** (lines 8–10): scenario fitness is deterministic
+//!   within a prediction step, so already-evaluated population members are
+//!   not re-simulated; the loop's semantics are unchanged and the
+//!   evaluation counter reflects real simulations only.
+//! * **`updateBest` coverage** (line 17): the pseudocode offers only
+//!   `offspring`, but the output contract is "the set of individuals of
+//!   highest fitness found **during the search**"; offering the evaluated
+//!   initial population as well (its members would otherwise be the only
+//!   evaluated individuals that can never be recorded) is a strict
+//!   superset that matches the stated contract. `BestSet` dedupes, so this
+//!   costs nothing.
+
+use crate::hybrid::{BehaviourSpace, ScoringPolicy};
+use evoalg::individual::{Individual, Population};
+use evoalg::novelty::novelty_score;
+use evoalg::operators::{one_point_crossover, uniform_mutation};
+use evoalg::selection::{elitist_merge_indices, roulette};
+use evoalg::{BatchEvaluator, BestSet, NoveltyArchive};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Input parameters of Algorithm 1 (its `Input:` line plus the fixed sizes
+/// §III-B declares: "for the first version, we are considering a fixed size
+/// archive and solution set").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoveltyGaConfig {
+    /// Population size `N`.
+    pub population_size: usize,
+    /// Offspring per generation `m`.
+    pub offspring: usize,
+    /// Per-gene mutation probability `mR`.
+    pub mutation_rate: f64,
+    /// Crossover probability `cR`.
+    pub crossover_rate: f64,
+    /// Neighbours `k` for the novelty score of Eq. (1).
+    pub novelty_neighbours: usize,
+    /// Stopping condition: maximum generations `maxGen`.
+    pub max_generations: u32,
+    /// Stopping condition: fitness threshold `fThreshold`.
+    pub fitness_threshold: f64,
+    /// Fixed archive capacity.
+    pub archive_capacity: usize,
+    /// Fixed `bestSet` capacity.
+    pub best_set_capacity: usize,
+    /// Optional archive admission threshold (§IV variant; `None` = the
+    /// baseline's pure novelty-replacement archive).
+    pub archive_threshold: Option<f64>,
+    /// Search-score policy (pure novelty for the baseline, weighted for
+    /// the E7 hybrid ablation).
+    pub scoring: ScoringPolicy,
+    /// Behaviour space for Eq. (1)/(2) (fitness for the baseline).
+    pub behaviour: BehaviourSpace,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NoveltyGaConfig {
+    fn default() -> Self {
+        Self {
+            population_size: 32,
+            offspring: 32,
+            mutation_rate: 0.1,
+            crossover_rate: 0.9,
+            novelty_neighbours: 5,
+            max_generations: 12,
+            fitness_threshold: 0.95,
+            archive_capacity: 64,
+            best_set_capacity: 24,
+            archive_threshold: None,
+            scoring: ScoringPolicy::PureNovelty,
+            behaviour: BehaviourSpace::Fitness,
+            seed: 0,
+        }
+    }
+}
+
+/// Why the main loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// `generations` reached `maxGen`.
+    GenerationBudget,
+    /// `maxFitness` reached `fThreshold`.
+    FitnessThreshold,
+}
+
+/// Per-generation trace (the F3 harness prints these).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NsGenStats {
+    /// Generation index (1-based; after the generation completed).
+    pub generation: u32,
+    /// `getMaxFitness(bestSet)` — the running maximum.
+    pub max_fitness: f64,
+    /// Mean novelty of the surviving population.
+    pub mean_novelty: f64,
+    /// Mean fitness of the surviving population (diagnostic: NS populations
+    /// need *not* improve here — that is the point).
+    pub mean_fitness: f64,
+    /// Archive occupancy.
+    pub archive_len: usize,
+    /// `bestSet` occupancy.
+    pub best_set_len: usize,
+    /// Cumulative evaluations (simulations).
+    pub evaluations: u64,
+}
+
+/// The outcome of one Algorithm 1 run.
+#[derive(Debug, Clone)]
+pub struct NoveltyGaOutcome {
+    /// Line 21: the returned `bestSet`.
+    pub best_set: BestSet,
+    /// The final archive (exposed for the §IV inclusion variants and for
+    /// diagnostics).
+    pub archive: NoveltyArchive,
+    /// The final (non-converged) population.
+    pub final_population: Population,
+    /// Generations executed.
+    pub generations: u32,
+    /// Scenario evaluations performed.
+    pub evaluations: u64,
+    /// Which stopping condition fired.
+    pub stop_reason: StopReason,
+    /// Per-generation trace.
+    pub history: Vec<NsGenStats>,
+}
+
+/// The Algorithm 1 engine.
+#[derive(Debug)]
+pub struct NoveltyGa {
+    config: NoveltyGaConfig,
+    dims: usize,
+}
+
+impl NoveltyGa {
+    /// Creates the engine for `dims`-gene genomes.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters.
+    pub fn new(dims: usize, config: NoveltyGaConfig) -> Self {
+        assert!(dims >= 2, "genome needs at least two genes");
+        assert!(config.population_size >= 2, "N must be at least 2");
+        assert!(config.offspring >= 2, "m must be at least 2");
+        assert!((0.0..=1.0).contains(&config.mutation_rate), "mR is a probability");
+        assert!((0.0..=1.0).contains(&config.crossover_rate), "cR is a probability");
+        assert!(config.novelty_neighbours >= 1, "k must be at least 1");
+        Self { config, dims }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NoveltyGaConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 to completion against `evaluator`.
+    pub fn run<E: BatchEvaluator>(&self, evaluator: &mut E) -> NoveltyGaOutcome {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Line 1: initializePopulation(N).
+        let mut population = Population::random(cfg.population_size, self.dims, &mut rng);
+        // Lines 2–5.
+        let mut archive = match cfg.archive_threshold {
+            Some(t) => NoveltyArchive::new(cfg.archive_capacity).with_threshold(t),
+            None => NoveltyArchive::new(cfg.archive_capacity),
+        };
+        let mut best_set = BestSet::new(cfg.best_set_capacity);
+        let mut generations = 0u32;
+        let mut max_fitness = 0.0f64;
+        let mut evaluations = 0u64;
+        let mut history = Vec::new();
+        let mut stop_reason = StopReason::GenerationBudget;
+
+        // Line 6: the two stopping conditions.
+        while generations < cfg.max_generations {
+            if max_fitness >= cfg.fitness_threshold {
+                stop_reason = StopReason::FitnessThreshold;
+                break;
+            }
+
+            // Line 7: generateOffspring(population, m, mR, cR).
+            let mut offspring = self.generate_offspring(&population, &mut rng);
+
+            // Lines 8–10: evaluate fitness of (population ∪ offspring).
+            // Population members keep their cached deterministic fitness.
+            evaluations += Self::evaluate_missing(&mut population, evaluator);
+            evaluations += Self::evaluate_missing(&mut offspring, evaluator);
+
+            // Line 11: noveltySet ← population ∪ offspring ∪ archive.
+            let mut behaviours: Vec<Vec<f64>> =
+                Vec::with_capacity(population.len() + offspring.len() + archive.len());
+            for ind in population.members().iter().chain(offspring.members()) {
+                behaviours.push(cfg.behaviour.describe(&ind.genes, ind.fitness));
+            }
+            behaviours.extend(archive.behaviours());
+
+            // Lines 12–14: novelty of each ind ∈ population ∪ offspring.
+            let subjects = population.len() + offspring.len();
+            for idx in 0..subjects {
+                let rho = novelty_score(idx, &behaviours, cfg.novelty_neighbours);
+                // The sentinel for an empty reference cannot occur here
+                // (the reference always holds ≥ N+m−1 ≥ 3 entries), but
+                // clamp defensively for custom behaviour spaces.
+                let rho = if rho.is_finite() { rho } else { 1.0 };
+                if idx < population.len() {
+                    population.members_mut()[idx].novelty = rho;
+                } else {
+                    offspring.members_mut()[idx - population.len()].novelty = rho;
+                }
+            }
+
+            // NSLC extension: when the scoring policy competes locally,
+            // compute each subject's local-competition term over the same
+            // noveltySet (archived entries compete with their recorded
+            // fitness).
+            if cfg.scoring.uses_local_competition() {
+                let mut all_fitness: Vec<f64> = population
+                    .members()
+                    .iter()
+                    .chain(offspring.members())
+                    .map(|m| m.fitness)
+                    .collect();
+                all_fitness.extend(archive.entries().iter().map(|e| e.fitness));
+                for idx in 0..subjects {
+                    let lc = evoalg::novelty::local_competition_score(
+                        idx,
+                        &behaviours,
+                        &all_fitness,
+                        cfg.novelty_neighbours,
+                    );
+                    if idx < population.len() {
+                        population.members_mut()[idx].local_comp = lc;
+                    } else {
+                        offspring.members_mut()[idx - population.len()].local_comp = lc;
+                    }
+                }
+            }
+
+            // Line 15: updateArchive(archive, offspring) — offspring enter
+            // by novelty; replacement inside the archive is novelty-only.
+            for ind in offspring.members() {
+                archive.offer(
+                    &ind.genes,
+                    &cfg.behaviour.describe(&ind.genes, ind.fitness),
+                    ind.novelty,
+                    ind.fitness,
+                );
+            }
+
+            // Line 16: replaceByNovelty(population, offspring, N) — elitist
+            // over the union by the search score (novelty for the
+            // baseline; the hybrid/NSLC policies for E7).
+            let score = |ind: &Individual| {
+                let lc = if ind.local_comp.is_finite() { ind.local_comp } else { 0.0 };
+                cfg.scoring.score_with_lc(ind.fitness, ind.novelty, lc)
+            };
+            let pop_scores: Vec<f64> = population.members().iter().map(score).collect();
+            let off_scores: Vec<f64> = offspring.members().iter().map(score).collect();
+            let keep = elitist_merge_indices(&pop_scores, &off_scores, cfg.population_size);
+            let parents = std::mem::take(&mut population).into_members();
+            let off_members = offspring.members().to_vec();
+            let mut next = Vec::with_capacity(cfg.population_size);
+            for i in keep {
+                if i < parents.len() {
+                    next.push(parents[i].clone());
+                } else {
+                    next.push(off_members[i - parents.len()].clone());
+                }
+            }
+            population = Population::from_members(next);
+
+            // Line 17: updateBest — all evaluated individuals this
+            // generation (see the module docs for why this supersets the
+            // pseudocode's `offspring`).
+            for ind in off_members.iter().chain(parents.iter()) {
+                if ind.is_evaluated() {
+                    best_set.offer(&ind.genes, ind.fitness);
+                }
+            }
+
+            // Lines 18–19.
+            max_fitness = best_set.max_fitness();
+            generations += 1;
+
+            let novelties: Vec<f64> =
+                population.members().iter().map(|m| m.novelty).collect();
+            let fitnesses: Vec<f64> =
+                population.members().iter().map(|m| m.fitness).collect();
+            history.push(NsGenStats {
+                generation: generations,
+                max_fitness,
+                mean_novelty: mean(&novelties),
+                mean_fitness: mean(&fitnesses),
+                archive_len: archive.len(),
+                best_set_len: best_set.len(),
+                evaluations,
+            });
+        }
+        NoveltyGaOutcome {
+            best_set,
+            archive,
+            final_population: population,
+            generations,
+            evaluations,
+            stop_reason,
+            history,
+        }
+    }
+
+    /// Line 7: roulette selection on the previous generation's search
+    /// score, one-point crossover with probability `cR`, per-gene uniform
+    /// mutation `mR`. In the first generation no novelty exists yet, so
+    /// selection is uniform (roulette over all-zero scores).
+    fn generate_offspring(&self, population: &Population, rng: &mut StdRng) -> Population {
+        let cfg = &self.config;
+        let scores: Vec<f64> = population
+            .members()
+            .iter()
+            .map(|m| {
+                if m.novelty.is_finite() && m.fitness.is_finite() {
+                    let lc = if m.local_comp.is_finite() { m.local_comp } else { 0.0 };
+                    cfg.scoring.score_with_lc(m.fitness, m.novelty, lc)
+                } else {
+                    0.0 // first generation: uniform selection
+                }
+            })
+            .collect();
+        let mut out = Vec::with_capacity(cfg.offspring);
+        while out.len() < cfg.offspring {
+            let pa = roulette(&scores, rng);
+            let pb = roulette(&scores, rng);
+            let (mut c1, mut c2) = if rng.random::<f64>() < cfg.crossover_rate {
+                one_point_crossover(
+                    &population.members()[pa].genes,
+                    &population.members()[pb].genes,
+                    rng,
+                )
+            } else {
+                (population.members()[pa].genes.clone(), population.members()[pb].genes.clone())
+            };
+            uniform_mutation(&mut c1, cfg.mutation_rate, rng);
+            uniform_mutation(&mut c2, cfg.mutation_rate, rng);
+            out.push(Individual::new(c1));
+            if out.len() < cfg.offspring {
+                out.push(Individual::new(c2));
+            }
+        }
+        Population::from_members(out)
+    }
+
+    /// Evaluates exactly the members without a cached fitness; returns how
+    /// many evaluations were spent.
+    fn evaluate_missing<E: BatchEvaluator>(pop: &mut Population, evaluator: &mut E) -> u64 {
+        let missing: Vec<usize> = pop
+            .members()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_evaluated())
+            .map(|(i, _)| i)
+            .collect();
+        if missing.is_empty() {
+            return 0;
+        }
+        let genomes: Vec<Vec<f64>> =
+            missing.iter().map(|&i| pop.members()[i].genes.clone()).collect();
+        let fitness = evaluator.evaluate(&genomes);
+        assert_eq!(fitness.len(), genomes.len(), "evaluator returned wrong batch size");
+        for (&i, f) in missing.iter().zip(&fitness) {
+            assert!(f.is_finite(), "fitness must be finite");
+            pop.members_mut()[i].fitness = *f;
+        }
+        missing.len() as u64
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evoalg::benchmarks::{deceptive_trap, sphere, two_peaks};
+
+    fn run_on<F: Fn(&[f64]) -> f64>(
+        f: F,
+        cfg: NoveltyGaConfig,
+        dims: usize,
+    ) -> (NoveltyGaOutcome, u64) {
+        let mut calls = 0u64;
+        let mut eval = |gs: &[Vec<f64>]| -> Vec<f64> {
+            calls += gs.len() as u64;
+            gs.iter().map(|g| f(g)).collect()
+        };
+        let out = NoveltyGa::new(dims, cfg).run(&mut eval);
+        (out, calls)
+    }
+
+    #[test]
+    fn returns_nonempty_sorted_best_set() {
+        let (out, _) = run_on(sphere, NoveltyGaConfig::default(), 6);
+        assert!(!out.best_set.is_empty());
+        let f = out.best_set.fitness_values();
+        assert!(f.windows(2).all(|w| w[0] >= w[1]), "bestSet not sorted: {f:?}");
+        assert_eq!(out.best_set.max_fitness(), f[0]);
+    }
+
+    #[test]
+    fn stopping_condition_generation_budget() {
+        let cfg = NoveltyGaConfig {
+            max_generations: 5,
+            fitness_threshold: 2.0, // unreachable
+            ..NoveltyGaConfig::default()
+        };
+        let (out, _) = run_on(sphere, cfg, 4);
+        assert_eq!(out.generations, 5);
+        assert_eq!(out.stop_reason, StopReason::GenerationBudget);
+        assert_eq!(out.history.len(), 5);
+    }
+
+    #[test]
+    fn stopping_condition_fitness_threshold() {
+        let cfg = NoveltyGaConfig {
+            max_generations: 500,
+            fitness_threshold: 0.2, // easily reached on sphere
+            ..NoveltyGaConfig::default()
+        };
+        let (out, _) = run_on(sphere, cfg, 4);
+        assert_eq!(out.stop_reason, StopReason::FitnessThreshold);
+        assert!(out.generations < 500);
+        assert!(out.best_set.max_fitness() >= 0.2);
+    }
+
+    #[test]
+    fn evaluation_caching_never_resimulates() {
+        // Per generation: exactly m new evaluations after the initial N.
+        let cfg = NoveltyGaConfig {
+            population_size: 10,
+            offspring: 14,
+            max_generations: 4,
+            fitness_threshold: 2.0,
+            ..NoveltyGaConfig::default()
+        };
+        let (out, calls) = run_on(sphere, cfg, 4);
+        assert_eq!(calls, 10 + 4 * 14);
+        assert_eq!(out.evaluations, calls);
+    }
+
+    #[test]
+    fn max_fitness_is_monotone_in_history() {
+        let (out, _) = run_on(sphere, NoveltyGaConfig::default(), 6);
+        let mf: Vec<f64> = out.history.iter().map(|h| h.max_fitness).collect();
+        assert!(mf.windows(2).all(|w| w[1] >= w[0]), "maxFitness must never decrease: {mf:?}");
+    }
+
+    #[test]
+    fn archive_and_best_set_bounded() {
+        let cfg = NoveltyGaConfig {
+            archive_capacity: 16,
+            best_set_capacity: 8,
+            max_generations: 10,
+            fitness_threshold: 2.0,
+            ..NoveltyGaConfig::default()
+        };
+        let (out, _) = run_on(sphere, cfg, 4);
+        assert!(out.archive.len() <= 16);
+        assert!(out.best_set.len() <= 8);
+        for h in &out.history {
+            assert!(h.archive_len <= 16 && h.best_set_len <= 8);
+        }
+    }
+
+    #[test]
+    fn population_does_not_converge_genotypically() {
+        // The defining NS property: final population diversity stays high
+        // relative to a fitness GA's converged population on the same
+        // budget.
+        let cfg = NoveltyGaConfig {
+            max_generations: 25,
+            fitness_threshold: 2.0,
+            ..NoveltyGaConfig::default()
+        };
+        let (out, _) = run_on(sphere, cfg, 6);
+        let ns_div =
+            evoalg::diversity::mean_pairwise_distance(&out.final_population.genomes());
+
+        let mut ga = evoalg::GaEngine::new(
+            6,
+            evoalg::GaConfig { population_size: 32, offspring: 32, seed: 0, ..Default::default() },
+        );
+        let mut eval = |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| sphere(g)).collect() };
+        ga.evaluate_initial(&mut eval);
+        for _ in 0..25 {
+            ga.step(&mut eval);
+        }
+        let ga_div = evoalg::diversity::mean_pairwise_distance(&ga.population().genomes());
+        assert!(
+            ns_div > 2.0 * ga_div,
+            "NS population should stay diverse (NS {ns_div} vs GA {ga_div})"
+        );
+    }
+
+    #[test]
+    fn solves_deceptive_trap_better_than_fitness_ga() {
+        // E5 in miniature: on the fully deceptive trap the fitness GA rides
+        // the gradient into the all-zeros attractor; NS keeps exploring and
+        // its bestSet should reach a higher trap score.
+        let dims = 8;
+        let trap = |g: &[f64]| deceptive_trap(g, 4);
+        let budget_gens = 40;
+
+        let cfg = NoveltyGaConfig {
+            population_size: 24,
+            offspring: 24,
+            max_generations: budget_gens,
+            fitness_threshold: 0.999,
+            seed: 3,
+            ..NoveltyGaConfig::default()
+        };
+        let (ns_out, _) = run_on(trap, cfg, dims);
+
+        let mut ga = evoalg::GaEngine::new(
+            dims,
+            evoalg::GaConfig { population_size: 24, offspring: 24, seed: 3, ..Default::default() },
+        );
+        let mut eval = |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| trap(g)).collect() };
+        let mut ga_best = ga.evaluate_initial(&mut eval).best_fitness;
+        for _ in 0..budget_gens {
+            ga_best = ga_best.max(ga.step(&mut eval).best_fitness);
+        }
+        assert!(
+            ns_out.best_set.max_fitness() >= ga_best,
+            "NS ({}) should not lose to the fitness GA ({ga_best}) on a deceptive trap",
+            ns_out.best_set.max_fitness()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let cfg = NoveltyGaConfig { seed, max_generations: 6, ..NoveltyGaConfig::default() };
+            let (out, _) = run_on(|g| two_peaks(g, 0.6), cfg, 4);
+            out.best_set.genomes()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn hybrid_scoring_with_zero_weight_behaves_greedily() {
+        // w = 0 reduces the search score to fitness: mean population
+        // fitness should then improve like a fitness GA's.
+        let mk = |scoring| NoveltyGaConfig {
+            scoring,
+            max_generations: 15,
+            fitness_threshold: 2.0,
+            seed: 8,
+            ..NoveltyGaConfig::default()
+        };
+        let (fit_out, _) =
+            run_on(sphere, mk(ScoringPolicy::Weighted { novelty_weight: 0.0 }), 6);
+        let (ns_out, _) = run_on(sphere, mk(ScoringPolicy::PureNovelty), 6);
+        let fit_mean = fit_out.history.last().unwrap().mean_fitness;
+        let ns_mean = ns_out.history.last().unwrap().mean_fitness;
+        assert!(
+            fit_mean > ns_mean,
+            "fitness-scored population ({fit_mean}) should out-converge NS ({ns_mean})"
+        );
+    }
+
+    #[test]
+    fn nslc_policy_runs_and_differs_from_pure_novelty() {
+        let mk = |scoring| NoveltyGaConfig {
+            scoring,
+            max_generations: 12,
+            fitness_threshold: 2.0,
+            seed: 13,
+            ..NoveltyGaConfig::default()
+        };
+        let (nslc, _) = run_on(
+            |g| two_peaks(g, 0.6),
+            mk(ScoringPolicy::NoveltyLocalCompetition { novelty_weight: 0.5 }),
+            4,
+        );
+        let (pure, _) = run_on(|g| two_peaks(g, 0.6), mk(ScoringPolicy::PureNovelty), 4);
+        assert!(!nslc.best_set.is_empty());
+        assert!(nslc.archive.len() <= nslc.archive.capacity());
+        // The local-competition pressure must actually change the search
+        // trajectory for the same seed.
+        assert_ne!(nslc.final_population.genomes(), pure.final_population.genomes());
+        // Every surviving member carries a computed local-competition score.
+        for m in nslc.final_population.members() {
+            assert!(
+                m.local_comp.is_finite() && (0.0..=1.0).contains(&m.local_comp),
+                "missing/invalid local competition score {}",
+                m.local_comp
+            );
+        }
+        // Pure NS must never compute it.
+        assert!(pure.final_population.members().iter().all(|m| m.local_comp.is_nan()));
+    }
+
+    #[test]
+    fn archive_threshold_variant_restricts_admissions() {
+        let base = NoveltyGaConfig {
+            max_generations: 10,
+            fitness_threshold: 2.0,
+            seed: 4,
+            ..NoveltyGaConfig::default()
+        };
+        let (open, _) = run_on(sphere, base, 4);
+        let strict = NoveltyGaConfig { archive_threshold: Some(0.9), ..base };
+        let (gated, _) = run_on(sphere, strict, 4);
+        assert!(
+            gated.archive.len() < open.archive.len(),
+            "a 0.9 novelty gate should admit fewer entries ({} vs {})",
+            gated.archive.len(),
+            open.archive.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let _ = NoveltyGa::new(
+            4,
+            NoveltyGaConfig { novelty_neighbours: 0, ..NoveltyGaConfig::default() },
+        );
+    }
+}

@@ -1,0 +1,507 @@
+//! Synthetic controlled burn cases.
+//!
+//! The original ESS evaluations replay maps from instrumented field burns.
+//! Those maps are not publicly available, so each case here generates its
+//! real fire lines `RFL_0..RFL_T` by simulating a **hidden true scenario**
+//! (optionally drifting between steps — wind shifts, fuel drying) on a
+//! terrain. The prediction systems only ever see the fire lines, exactly
+//! like the originals; the hidden truth additionally lets tests verify
+//! that a perfect optimizer could reach fitness 1 (see DESIGN.md §1 for
+//! the substitution argument).
+
+use firelib::sim::centre_ignition;
+use firelib::{FireSim, Scenario, Terrain};
+use landscape::{FireLine, Grid};
+use std::sync::Arc;
+
+/// A controlled burn: terrain plus the observed fire-line sequence.
+#[derive(Debug, Clone)]
+pub struct BurnCase {
+    /// Case identifier (report keys).
+    pub name: &'static str,
+    /// Human description.
+    pub description: &'static str,
+    /// The shared simulator over the case terrain.
+    pub sim: Arc<FireSim>,
+    /// Observation instants `t_0 < t_1 < …` (minutes).
+    pub times: Vec<f64>,
+    /// Real fire lines, one per instant (`fire_lines[i]` at `times[i]`).
+    pub fire_lines: Vec<FireLine>,
+    /// The hidden truth per interval: `truth[i]` generated
+    /// `fire_lines[i+1]` from `fire_lines[i]`. Hidden from optimizers;
+    /// exposed for validation and oracle experiments.
+    pub truth: Vec<Scenario>,
+}
+
+impl BurnCase {
+    /// Number of prediction intervals (`times.len() − 1`).
+    pub fn intervals(&self) -> usize {
+        self.times.len() - 1
+    }
+
+    /// Generates a case by simulating `truth[i]` over each interval.
+    ///
+    /// # Panics
+    /// Panics when fewer than 3 instants are given (prediction needs one
+    /// calibration step plus one predicted step) or the truth list does not
+    /// match the interval count.
+    pub fn generate(
+        name: &'static str,
+        description: &'static str,
+        terrain: Terrain,
+        ignition: FireLine,
+        times: Vec<f64>,
+        truth: Vec<Scenario>,
+    ) -> Self {
+        assert!(times.len() >= 3, "a burn case needs at least 3 instants (got {})", times.len());
+        assert!(
+            times.windows(2).all(|w| w[1] > w[0]),
+            "observation instants must be strictly increasing"
+        );
+        assert_eq!(truth.len(), times.len() - 1, "one true scenario per interval");
+        let sim = Arc::new(FireSim::new(terrain));
+        let mut fire_lines = vec![ignition];
+        for (i, scenario) in truth.iter().enumerate() {
+            let from = fire_lines.last().expect("non-empty");
+            let map = sim.simulate(scenario, from, times[i], times[i + 1] - times[i]);
+            // The fire state accumulates: everything burned before stays
+            // burned (the map only covers this interval's growth).
+            let grown = map.fire_line_at(times[i + 1]);
+            fire_lines.push(from.union(&grown));
+        }
+        Self { name, description, sim, times, fire_lines, truth }
+    }
+
+    /// Total burned area at the final instant.
+    pub fn final_area(&self) -> usize {
+        self.fire_lines.last().expect("non-empty").burned_area()
+    }
+}
+
+/// Standard case dimensions: 64×64 cells of 100 ft.
+const N: usize = 64;
+const CELL_FT: f64 = 100.0;
+
+fn steps(count: usize, dt: f64) -> Vec<f64> {
+    (0..=count).map(|i| i as f64 * dt).collect()
+}
+
+/// Easy sanity case: flat short grass, static mild truth.
+pub fn grass_uniform() -> BurnCase {
+    let truth = Scenario {
+        model: 1,
+        wind_speed_mph: 6.0,
+        wind_dir_deg: 90.0,
+        m1_pct: 5.0,
+        m10_pct: 7.0,
+        m100_pct: 9.0,
+        mherb_pct: 100.0,
+        slope_deg: 0.0,
+        aspect_deg: 0.0,
+    };
+    BurnCase::generate(
+        "grass_uniform",
+        "64x64 flat short grass (NFFL 1), static 6 mph easterly truth",
+        Terrain::uniform(N, N, CELL_FT),
+        centre_ignition(N, N),
+        steps(6, 20.0),
+        vec![truth; 6],
+    )
+}
+
+/// Anisotropic case: chaparral on a uniform slope with strong wind.
+pub fn chaparral_slope() -> BurnCase {
+    let truth = Scenario {
+        model: 4,
+        wind_speed_mph: 12.0,
+        wind_dir_deg: 30.0,
+        m1_pct: 4.0,
+        m10_pct: 5.0,
+        m100_pct: 7.0,
+        mherb_pct: 80.0,
+        slope_deg: 25.0,
+        aspect_deg: 200.0,
+    };
+    BurnCase::generate(
+        "chaparral_slope",
+        "64x64 chaparral (NFFL 4) on a 25-degree slope, 12 mph wind",
+        Terrain::uniform(N, N, CELL_FT),
+        FireLine::from_cells(N, N, &[(N - 8, 8)]),
+        steps(5, 8.0),
+        vec![truth; 5],
+    )
+}
+
+/// The paper's §IV motivating stress: the truth drifts, so a scenario that
+/// described one step well degrades on the next ("rapidly changing
+/// conditions may entail that a scenario that was a good descriptor at one
+/// time step can become worse at the next step").
+pub fn shifting_wind() -> BurnCase {
+    let base = Scenario {
+        model: 1,
+        wind_speed_mph: 5.0,
+        wind_dir_deg: 0.0,
+        m1_pct: 6.0,
+        m10_pct: 8.0,
+        m100_pct: 10.0,
+        mherb_pct: 110.0,
+        slope_deg: 0.0,
+        aspect_deg: 0.0,
+    };
+    let truth: Vec<Scenario> = (0..6)
+        .map(|i| Scenario {
+            wind_dir_deg: 15.0 * i as f64 * 1.5, // 0° → 112.5° over the burn
+            wind_speed_mph: 5.0 + 1.5 * i as f64, // 5 → 12.5 mph ramp
+            ..base
+        })
+        .collect();
+    BurnCase::generate(
+        "shifting_wind",
+        "64x64 grass; the true wind veers ~112 degrees and strengthens during the burn",
+        Terrain::uniform(N, N, CELL_FT),
+        centre_ignition(N, N),
+        steps(6, 20.0),
+        truth,
+    )
+}
+
+/// Weak-gradient case: timber litter drying out step by step.
+pub fn moisture_front() -> BurnCase {
+    let base = Scenario {
+        model: 10,
+        wind_speed_mph: 7.0,
+        wind_dir_deg: 135.0,
+        m1_pct: 14.0,
+        m10_pct: 15.0,
+        m100_pct: 17.0,
+        mherb_pct: 120.0,
+        slope_deg: 5.0,
+        aspect_deg: 270.0,
+    };
+    let truth: Vec<Scenario> = (0..5)
+        .map(|i| Scenario {
+            m1_pct: (14.0 - 2.0 * i as f64).max(4.0), // drying: 14 % → 6 %
+            m10_pct: (15.0 - 1.5 * i as f64).max(5.0),
+            ..base
+        })
+        .collect();
+    BurnCase::generate(
+        "moisture_front",
+        "64x64 timber litter (NFFL 10); dead fuel dries out over the burn",
+        Terrain::uniform(N, N, CELL_FT),
+        centre_ignition(N, N),
+        steps(5, 45.0),
+        truth,
+    )
+}
+
+/// Heterogeneous-terrain case: two ridges with opposite aspects split the
+/// map, making the fitness landscape multimodal in slope/aspect.
+pub fn two_ridge() -> BurnCase {
+    let n = 96usize;
+    let mut slope = Grid::filled(n, n, 0.0f64);
+    let mut aspect = Grid::filled(n, n, 0.0f64);
+    for r in 0..n {
+        for c in 0..n {
+            // Two parallel ridges along columns n/3 and 2n/3.
+            let d1 = (c as f64 - n as f64 / 3.0).abs();
+            let d2 = (c as f64 - 2.0 * n as f64 / 3.0).abs();
+            let (d, facing_east) = if d1 <= d2 { (d1, c < n / 3) } else { (d2, c < 2 * n / 3) };
+            let s = (20.0 - d).max(0.0);
+            slope.set(r, c, s);
+            aspect.set(r, c, if facing_east { 90.0 } else { 270.0 });
+        }
+    }
+    let truth = Scenario {
+        model: 2,
+        wind_speed_mph: 8.0,
+        wind_dir_deg: 90.0,
+        m1_pct: 6.0,
+        m10_pct: 8.0,
+        m100_pct: 10.0,
+        mherb_pct: 90.0,
+        slope_deg: 0.0,  // overridden per cell
+        aspect_deg: 0.0, // overridden per cell
+    };
+    BurnCase::generate(
+        "two_ridge",
+        "96x96 timber-grass (NFFL 2) with two opposite-aspect ridges",
+        Terrain::uniform(n, n, CELL_FT).with_slope(slope).with_aspect(aspect),
+        FireLine::from_cells(n, n, &[(n / 2, 6)]),
+        steps(5, 25.0),
+        vec![truth; 5],
+    )
+}
+
+/// Derives a case whose *observed* fire lines carry sensor noise: cells on
+/// the advancing front flip state with probability `flip_prob` (burned
+/// front cells may read unburned, unburned cells touching the front may
+/// read burned). This models the paper's core motivation — "their
+/// measurement may be imprecise, erroneous, or impossible to perform in
+/// real time" (§Abstract) — while keeping the hidden truth untouched.
+///
+/// Physical consistency is preserved: each noisy line is unioned with its
+/// noisy predecessor so observations never "unburn" over time, and the
+/// initial ignition (line 0) is left exact.
+///
+/// # Panics
+/// Panics when `flip_prob` is not a probability.
+pub fn with_observation_noise(case: &BurnCase, flip_prob: f64, seed: u64) -> BurnCase {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!((0.0..=1.0).contains(&flip_prob), "flip probability must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6A09E667F3BCC909);
+    let mut noisy: Vec<FireLine> = Vec::with_capacity(case.fire_lines.len());
+    noisy.push(case.fire_lines[0].clone());
+    for line in &case.fire_lines[1..] {
+        let mut observed = line.clone();
+        let front = landscape::perimeter_cells(line);
+        for &(r, c) in &front {
+            // Burned front cell misread as unburned.
+            if rng.random::<f64>() < flip_prob {
+                observed.set_burned(r, c, false);
+            }
+            // Unburned neighbours of the front misread as burned.
+            let neighbours: Vec<(usize, usize)> =
+                line.mask().neighbours8(r, c).map(|(nr, nc, _)| (nr, nc)).collect();
+            for (nr, nc) in neighbours {
+                if !line.is_burned(nr, nc) && rng.random::<f64>() < flip_prob {
+                    observed.set_burned(nr, nc, true);
+                }
+            }
+        }
+        // Observations never regress behind the previous observation.
+        let merged = observed.union(noisy.last().expect("non-empty"));
+        noisy.push(merged);
+    }
+    BurnCase {
+        name: case.name,
+        description: case.description,
+        sim: Arc::clone(&case.sim),
+        times: case.times.clone(),
+        fire_lines: noisy,
+        truth: case.truth.clone(),
+    }
+}
+
+/// The full standard case library.
+pub fn standard_cases() -> Vec<BurnCase> {
+    vec![grass_uniform(), chaparral_slope(), shifting_wind(), moisture_front(), two_ridge()]
+}
+
+/// Fetches one case by name.
+pub fn by_name(name: &str) -> Option<BurnCase> {
+    match name {
+        "grass_uniform" => Some(grass_uniform()),
+        "chaparral_slope" => Some(chaparral_slope()),
+        "shifting_wind" => Some(shifting_wind()),
+        "moisture_front" => Some(moisture_front()),
+        "two_ridge" => Some(two_ridge()),
+        _ => None,
+    }
+}
+
+/// A tiny *drifting-truth* case for fast tests of the §IV drift argument:
+/// the wind veers 90° and strengthens over four short intervals on a small
+/// grid.
+pub fn tiny_drift_case() -> BurnCase {
+    let base = Scenario {
+        model: 1,
+        wind_speed_mph: 6.0,
+        wind_dir_deg: 0.0,
+        m1_pct: 5.0,
+        m10_pct: 7.0,
+        m100_pct: 9.0,
+        mherb_pct: 100.0,
+        slope_deg: 0.0,
+        aspect_deg: 0.0,
+    };
+    let truth: Vec<Scenario> = (0..5)
+        .map(|i| Scenario {
+            wind_dir_deg: 22.5 * i as f64,
+            wind_speed_mph: 6.0 + 1.2 * i as f64,
+            ..base
+        })
+        .collect();
+    BurnCase::generate(
+        "tiny_drift_case",
+        "25x25 grass micro-case with veering, strengthening wind",
+        Terrain::uniform(25, 25, CELL_FT),
+        centre_ignition(25, 25),
+        steps(5, 12.0),
+        truth,
+    )
+}
+
+/// A deliberately tiny case for fast unit/integration tests.
+pub fn tiny_test_case() -> BurnCase {
+    let truth = Scenario {
+        model: 1,
+        wind_speed_mph: 8.0,
+        wind_dir_deg: 90.0,
+        m1_pct: 5.0,
+        m10_pct: 7.0,
+        m100_pct: 9.0,
+        mherb_pct: 100.0,
+        slope_deg: 0.0,
+        aspect_deg: 0.0,
+    };
+    BurnCase::generate(
+        "tiny_test_case",
+        "21x21 grass micro-case for tests",
+        Terrain::uniform(21, 21, CELL_FT),
+        centre_ignition(21, 21),
+        steps(4, 10.0),
+        vec![truth; 4],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_lines_are_nested_and_growing() {
+        for case in [grass_uniform(), shifting_wind(), tiny_test_case()] {
+            for w in case.fire_lines.windows(2) {
+                assert!(
+                    w[0].is_subset_of(&w[1]),
+                    "{}: fire must only grow over time",
+                    case.name
+                );
+            }
+            assert!(
+                case.final_area() > case.fire_lines[0].burned_area(),
+                "{}: nothing burned",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_interval_shows_growth() {
+        // A case where some step has zero growth would make that step's
+        // fitness degenerate (empty-vs-empty): the library cases avoid it.
+        for case in standard_cases() {
+            for (i, w) in case.fire_lines.windows(2).enumerate() {
+                assert!(
+                    w[1].burned_area() > w[0].burned_area(),
+                    "{} interval {i}: no growth ({} cells)",
+                    case.name,
+                    w[0].burned_area()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truth_is_a_perfect_descriptor_of_its_own_interval() {
+        use crate::fitness::StepContext;
+        let case = tiny_test_case();
+        for i in 0..case.intervals() {
+            let ctx = StepContext::new(
+                Arc::clone(&case.sim),
+                case.fire_lines[i].clone(),
+                case.fire_lines[i + 1].clone(),
+                case.times[i],
+                case.times[i + 1],
+            );
+            let f = ctx.fitness_of(&case.truth[i]);
+            assert!(
+                (f - 1.0).abs() < 1e-9,
+                "truth must score 1 on its own interval, got {f} at step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn shifting_wind_truth_actually_drifts() {
+        let case = shifting_wind();
+        let dirs: Vec<f64> = case.truth.iter().map(|s| s.wind_dir_deg).collect();
+        assert!(dirs.windows(2).all(|w| w[1] > w[0]));
+        assert!(dirs.last().unwrap() - dirs.first().unwrap() > 90.0);
+    }
+
+    #[test]
+    fn stale_truth_degrades_on_shifting_wind() {
+        // The §IV motivation, quantified: step 0's perfect scenario loses
+        // fitness on a later interval.
+        use crate::fitness::StepContext;
+        let case = shifting_wind();
+        let last = case.intervals() - 1;
+        let ctx = StepContext::new(
+            Arc::clone(&case.sim),
+            case.fire_lines[last].clone(),
+            case.fire_lines[last + 1].clone(),
+            case.times[last],
+            case.times[last + 1],
+        );
+        let fresh = ctx.fitness_of(&case.truth[last]);
+        let stale = ctx.fitness_of(&case.truth[0]);
+        assert!((fresh - 1.0).abs() < 1e-9);
+        assert!(stale < 0.95, "stale truth should degrade, got {stale}");
+    }
+
+    #[test]
+    fn observation_noise_perturbs_but_preserves_structure() {
+        let clean = tiny_test_case();
+        let noisy = with_observation_noise(&clean, 0.3, 9);
+        // Line 0 (the known ignition) is exact.
+        assert_eq!(noisy.fire_lines[0], clean.fire_lines[0]);
+        // Later lines differ somewhere.
+        let changed = clean
+            .fire_lines
+            .iter()
+            .zip(&noisy.fire_lines)
+            .skip(1)
+            .any(|(a, b)| a != b);
+        assert!(changed, "30% front noise must perturb the observations");
+        // Observations still only grow.
+        for w in noisy.fire_lines.windows(2) {
+            assert!(w[0].is_subset_of(&w[1]), "noisy observations regressed");
+        }
+        // Truth and geometry untouched.
+        assert_eq!(noisy.truth.len(), clean.truth.len());
+        assert_eq!(noisy.times, clean.times);
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let clean = tiny_test_case();
+        let same = with_observation_noise(&clean, 0.0, 1);
+        for (a, b) in clean.fire_lines.iter().zip(&same.fire_lines) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let clean = tiny_test_case();
+        let a = with_observation_noise(&clean, 0.2, 5);
+        let b = with_observation_noise(&clean, 0.2, 5);
+        let c = with_observation_noise(&clean, 0.2, 6);
+        assert_eq!(a.fire_lines, b.fire_lines);
+        assert_ne!(a.fire_lines, c.fire_lines);
+    }
+
+    #[test]
+    fn library_lookup_by_name() {
+        for case in standard_cases() {
+            assert_eq!(by_name(case.name).unwrap().name, case.name);
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 instants")]
+    fn too_few_instants_rejected() {
+        let _ = BurnCase::generate(
+            "bad",
+            "",
+            Terrain::uniform(5, 5, 100.0),
+            centre_ignition(5, 5),
+            vec![0.0, 10.0],
+            vec![Scenario::reference()],
+        );
+    }
+}

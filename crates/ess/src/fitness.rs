@@ -1,0 +1,277 @@
+//! The per-step evaluation context and the parallel scenario evaluators.
+//!
+//! At prediction step `i` the Optimization Stage scores a scenario by
+//! simulating fire growth from the last known real fire line `RFL_{i-1}`
+//! over the step interval and comparing the simulated map against `RFL_i`
+//! with the Jaccard fitness of Eq. (3), excluding the cells already burned
+//! at the start ("previously burned cells are not considered", §III-B).
+//! This is the `PEA F` block of Figs. 1 and 3 — the work the Workers do.
+
+use evoalg::BatchEvaluator;
+use firelib::{FireSim, Scenario, ScenarioSpace};
+use landscape::{jaccard, FireLine, IgnitionMap};
+use parworker::{RayonMap, WorkerPool};
+use std::sync::Arc;
+
+/// Everything needed to score scenarios on one prediction interval.
+#[derive(Debug, Clone)]
+pub struct StepContext {
+    sim: Arc<FireSim>,
+    /// Fire state at the start of the interval (`RFL_{i-1}`), which is also
+    /// the pre-burn exclusion mask of Eq. (3).
+    from: FireLine,
+    /// Observed fire state at the end of the interval (`RFL_i`).
+    target: FireLine,
+    /// Start instant (minutes).
+    t0: f64,
+    /// End instant (minutes).
+    t1: f64,
+}
+
+impl StepContext {
+    /// Builds a context for the interval `[t0, t1]`.
+    ///
+    /// # Panics
+    /// Panics when shapes mismatch or `t1 <= t0`.
+    pub fn new(sim: Arc<FireSim>, from: FireLine, target: FireLine, t0: f64, t1: f64) -> Self {
+        assert!(t1 > t0, "step interval must have positive duration");
+        assert_eq!(
+            (from.rows(), from.cols()),
+            (sim.terrain().rows(), sim.terrain().cols()),
+            "fire line shape must match terrain"
+        );
+        assert!(from.mask().same_shape(target.mask()), "interval endpoints shape mismatch");
+        Self { sim, from, target, t0, t1 }
+    }
+
+    /// The simulator.
+    pub fn sim(&self) -> &Arc<FireSim> {
+        &self.sim
+    }
+
+    /// Start fire line (`RFL_{i-1}`).
+    pub fn from_line(&self) -> &FireLine {
+        &self.from
+    }
+
+    /// Target fire line (`RFL_i`).
+    pub fn target_line(&self) -> &FireLine {
+        &self.target
+    }
+
+    /// Interval start (minutes).
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// Interval end (minutes).
+    pub fn t1(&self) -> f64 {
+        self.t1
+    }
+
+    /// Interval duration (minutes).
+    pub fn duration(&self) -> f64 {
+        self.t1 - self.t0
+    }
+
+    /// Simulates one scenario over the interval, writing into `scratch`
+    /// (the Workers' allocation-free hot path), and returns its fitness.
+    pub fn fitness_into(&self, scenario: &Scenario, scratch: &mut IgnitionMap) -> f64 {
+        self.sim.simulate_into(scenario, &self.from, self.t0, self.duration(), scratch);
+        let simulated = scratch.fire_line_at(self.t1);
+        jaccard(&self.target, &simulated, Some(&self.from))
+    }
+
+    /// Fitness of one scenario (allocating convenience).
+    pub fn fitness_of(&self, scenario: &Scenario) -> f64 {
+        let mut scratch = IgnitionMap::unignited(self.from.rows(), self.from.cols());
+        self.fitness_into(scenario, &mut scratch)
+    }
+
+    /// Fitness of an encoded genome.
+    pub fn fitness_of_genome(&self, genes: &[f64]) -> f64 {
+        self.fitness_of(&ScenarioSpace.decode(genes))
+    }
+
+    /// The simulated fire line a scenario produces over this interval
+    /// (used by the Statistical Stage).
+    pub fn simulate_line(&self, scenario: &Scenario) -> FireLine {
+        self.sim.simulate_fire_line(scenario, &self.from, self.t0, self.duration())
+    }
+}
+
+/// Which execution backend evaluates scenario batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalBackend {
+    /// Single-threaded, in the master (the 1-worker baseline of E3).
+    Serial,
+    /// The Master/Worker channel farm with this many workers (the paper's
+    /// deployment model).
+    MasterWorker(usize),
+    /// A rayon work-stealing pool with this many threads (scheduling
+    /// comparison point).
+    Rayon(usize),
+}
+
+impl EvalBackend {
+    /// Human-readable backend name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            EvalBackend::Serial => "serial".to_string(),
+            EvalBackend::MasterWorker(n) => format!("master-worker({n})"),
+            EvalBackend::Rayon(n) => format!("rayon({n})"),
+        }
+    }
+}
+
+/// Batch scenario evaluator: decodes genomes, runs the fire simulations on
+/// the configured backend, and returns Eq. (3) fitness values. Implements
+/// [`evoalg::BatchEvaluator`], so it plugs into every engine.
+pub struct ScenarioEvaluator {
+    ctx: Arc<StepContext>,
+    backend: BackendImpl,
+    evaluations: u64,
+}
+
+enum BackendImpl {
+    Serial(IgnitionMap),
+    Pool(WorkerPool<Vec<f64>, f64>),
+    Rayon(RayonMap),
+}
+
+impl ScenarioEvaluator {
+    /// Builds an evaluator over `ctx` on `backend`.
+    pub fn new(ctx: Arc<StepContext>, backend: EvalBackend) -> Self {
+        let rows = ctx.from_line().rows();
+        let cols = ctx.from_line().cols();
+        let backend = match backend {
+            EvalBackend::Serial => BackendImpl::Serial(IgnitionMap::unignited(rows, cols)),
+            EvalBackend::MasterWorker(n) => {
+                let worker_ctx = Arc::clone(&ctx);
+                // Each worker owns a private scratch map: the per-worker
+                // state of the farm (the `FS` instance of OS-Worker x).
+                let pool = WorkerPool::new(
+                    n,
+                    move |_wid| IgnitionMap::unignited(rows, cols),
+                    {
+                        let ctx = Arc::clone(&worker_ctx);
+                        move |scratch: &mut IgnitionMap, genes: Vec<f64>| {
+                            ctx.fitness_into(&ScenarioSpace.decode(&genes), scratch)
+                        }
+                    },
+                );
+                BackendImpl::Pool(pool)
+            }
+            EvalBackend::Rayon(n) => BackendImpl::Rayon(RayonMap::new(n)),
+        };
+        Self { ctx, backend, evaluations: 0 }
+    }
+
+    /// The evaluation context.
+    pub fn context(&self) -> &Arc<StepContext> {
+        &self.ctx
+    }
+
+    /// Number of scenario evaluations performed.
+    pub fn evaluation_count(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+impl BatchEvaluator for ScenarioEvaluator {
+    fn evaluate(&mut self, genomes: &[Vec<f64>]) -> Vec<f64> {
+        self.evaluations += genomes.len() as u64;
+        match &mut self.backend {
+            BackendImpl::Serial(scratch) => genomes
+                .iter()
+                .map(|g| self.ctx.fitness_into(&ScenarioSpace.decode(g), scratch))
+                .collect(),
+            BackendImpl::Pool(pool) => pool.map(genomes.to_vec()),
+            BackendImpl::Rayon(pool) => {
+                let ctx = Arc::clone(&self.ctx);
+                pool.map(genomes, move |g| ctx.fitness_of_genome(g))
+            }
+        }
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firelib::sim::centre_ignition;
+    use firelib::Terrain;
+
+    /// A small context whose target was produced by a known scenario, so
+    /// that scenario scores exactly 1.
+    fn known_context() -> (Arc<StepContext>, Scenario) {
+        let truth = Scenario { wind_speed_mph: 6.0, wind_dir_deg: 45.0, ..Scenario::reference() };
+        let sim = Arc::new(FireSim::new(Terrain::uniform(25, 25, 100.0)));
+        let from = centre_ignition(25, 25);
+        let target = sim.simulate_fire_line(&truth, &from, 0.0, 40.0);
+        (Arc::new(StepContext::new(sim, from, target, 0.0, 40.0)), truth)
+    }
+
+    #[test]
+    fn true_scenario_scores_one() {
+        let (ctx, truth) = known_context();
+        assert!((ctx.fitness_of(&truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_scenario_scores_less() {
+        let (ctx, truth) = known_context();
+        let wrong = Scenario { wind_dir_deg: 225.0, wind_speed_mph: 25.0, ..truth };
+        assert!(ctx.fitness_of(&wrong) < 0.9);
+    }
+
+    #[test]
+    fn genome_fitness_matches_decoded() {
+        let (ctx, truth) = known_context();
+        let genes = ScenarioSpace.encode(&truth);
+        assert!((ctx.fitness_of_genome(&genes) - ctx.fitness_of(&truth)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backends_agree_exactly() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let (ctx, _) = known_context();
+        let mut rng = StdRng::seed_from_u64(0);
+        let genomes: Vec<Vec<f64>> = (0..12)
+            .map(|_| (0..firelib::GENE_COUNT).map(|_| rng.random::<f64>()).collect())
+            .collect();
+        let mut serial = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::Serial);
+        let mut pool = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::MasterWorker(2));
+        let mut ray = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::Rayon(2));
+        let fs = serial.evaluate(&genomes);
+        let fp = pool.evaluate(&genomes);
+        let fr = ray.evaluate(&genomes);
+        assert_eq!(fs, fp, "master-worker backend diverged from serial");
+        assert_eq!(fs, fr, "rayon backend diverged from serial");
+        assert_eq!(serial.evaluation_count(), 12);
+    }
+
+    #[test]
+    fn fitness_in_unit_interval() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let (ctx, _) = known_context();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let genes: Vec<f64> =
+                (0..firelib::GENE_COUNT).map(|_| rng.random::<f64>()).collect();
+            let f = ctx.fitness_of_genome(&genes);
+            assert!((0.0..=1.0).contains(&f), "fitness {f} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn inverted_interval_rejected() {
+        let sim = Arc::new(FireSim::new(Terrain::uniform(5, 5, 100.0)));
+        let fl = centre_ignition(5, 5);
+        let _ = StepContext::new(sim, fl.clone(), fl, 10.0, 10.0);
+    }
+}

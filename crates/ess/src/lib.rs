@@ -1,0 +1,51 @@
+//! `ess` — the Evolutionary Statistical System framework and the baseline
+//! prediction systems the paper compares against.
+//!
+//! The ESS family (paper §II) are Data-Driven Methods with Multiple
+//! Overlapping Solutions (DDM-MOS): at every prediction step they search
+//! the scenario space with a metaheuristic, aggregate the burned maps of a
+//! *set* of scenarios into an ignition-probability matrix, calibrate a Key
+//! Ignition Value threshold on the known past step, and emit the
+//! thresholded matrix as the next step's prediction. This crate implements
+//! that machinery once, with the metaheuristic pluggable, so that ESS,
+//! ESSIM-EA, ESSIM-DE and ESS-NS (in the `ess-ns` crate) are all
+//! instantiations of the same [`pipeline::PredictionPipeline`]:
+//!
+//! * [`fitness`] — the per-step evaluation context (simulate a scenario
+//!   over the last known interval, score with Eq. (3)) and the parallel
+//!   scenario evaluators (Serial / Master-Worker / rayon backends);
+//! * [`stages`] — the Statistical Stage (probability-matrix aggregation,
+//!   Figs. 1–2 `SS`);
+//! * [`calibration`] — the Calibration Stage's `SKign` search (Fig. 1) and
+//!   the Prediction Stage threshold application (Fig. 2);
+//! * [`pipeline`] — the prediction-step driver shared by every system,
+//!   producing per-step quality/diversity/timing reports;
+//! * [`ess_classic`] — ESS: fitness-driven GA, result = final population;
+//! * [`essim_ea`] — ESSIM-EA: island-model GA with migration and a Monitor
+//!   that selects the best island;
+//! * [`essim_de`] — ESSIM-DE: island-model Differential Evolution with the
+//!   diversity-injection result set and the published tuning operators
+//!   (population restart \[21\], IQR-based dynamic tuning \[22\]);
+//! * [`cases`] — synthetic controlled burn cases with a *hidden* true
+//!   scenario (optionally drifting over time), standing in for the field
+//!   burn maps of the original evaluations (see DESIGN.md §1);
+//! * [`report`] — aligned text tables and CSV writers for the experiment
+//!   harness.
+
+pub mod calibration;
+pub mod cases;
+pub mod ess_classic;
+pub mod essim_de;
+pub mod essim_ea;
+pub mod fitness;
+pub mod pipeline;
+pub mod report;
+pub mod stages;
+
+pub use calibration::{CalibrationOutcome, PredictionStage};
+pub use cases::BurnCase;
+pub use ess_classic::EssClassic;
+pub use essim_de::{EssimDe, TuningConfig};
+pub use essim_ea::EssimEa;
+pub use fitness::{EvalBackend, ScenarioEvaluator, StepContext};
+pub use pipeline::{OptimizeOutcome, PredictionPipeline, RunReport, StepOptimizer, StepReport};

@@ -1,0 +1,349 @@
+//! The prediction-step driver shared by every system (the outer loop of
+//! Figs. 1 and 3).
+//!
+//! For each prediction step `i ≥ 1` the pipeline:
+//!
+//! 1. runs the **Optimization Stage** on the just-observed interval
+//!    `[t_{i-1}, t_i]` (pluggable [`StepOptimizer`]);
+//! 2. runs the **Statistical Stage** twice over the optimizer's result
+//!    set: on the observed interval (for calibration) and on the upcoming
+//!    interval `[t_i, t_{i+1}]` (for prediction);
+//! 3. runs the **Calibration Stage** (`SKign`) on the observed interval,
+//!    producing `Kign_i`;
+//! 4. runs the **Prediction Stage** for instant `t_{i+1}` using the
+//!    *previous* step's `Kign_{i-1}` ("the new value Kign is used within
+//!    the PS of the next prediction step; therefore, the prediction cannot
+//!    start at the first time instant", §II-A).
+//!
+//! The first observed interval (step 1) only calibrates; predictions are
+//! emitted from instant `t_2` onwards.
+
+use crate::calibration::{skign_search, PredictionStage};
+use crate::cases::BurnCase;
+use crate::fitness::{EvalBackend, ScenarioEvaluator, StepContext};
+use crate::stages::statistical_stage_genomes;
+use evoalg::diversity::{self, DiversityReport};
+use parworker::Stopwatch;
+use std::sync::Arc;
+
+/// What an Optimization Stage hands back to the pipeline.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The scenario set fed to the Statistical Stage — the final population
+    /// for the baselines, `bestSet` for ESS-NS.
+    pub result_set: Vec<Vec<f64>>,
+    /// Best fitness seen during the search.
+    pub best_fitness: f64,
+    /// Generations executed.
+    pub generations: u32,
+    /// Scenario evaluations (simulations) performed.
+    pub evaluations: u64,
+}
+
+/// A pluggable Optimization Stage. Implementations own their metaheuristic
+/// configuration; the pipeline provides the per-step evaluation context.
+pub trait StepOptimizer {
+    /// System name (report key, e.g. `"ESS-NS"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the search for one prediction step. `seed` varies per step and
+    /// per replicate so repeated runs are independent but reproducible.
+    fn optimize(&mut self, evaluator: &mut ScenarioEvaluator, seed: u64) -> OptimizeOutcome;
+}
+
+/// Per-step record: everything the E-series experiments report.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Step index `i` (the step observed `[t_{i-1}, t_i]`).
+    pub step: usize,
+    /// Prediction quality (Eq. (3)) of `PFL_{t_{i+1}}` against
+    /// `RFL_{t_{i+1}}`, `None` for the first step (no `Kign` yet) and the
+    /// final step (nothing left to predict).
+    pub quality: Option<f64>,
+    /// Calibration outcome of this step.
+    pub kign: f64,
+    /// Fitness at the calibrated threshold.
+    pub calibration_fitness: f64,
+    /// Best fitness the optimizer found on the observed interval.
+    pub os_best_fitness: f64,
+    /// Diversity of the result set handed to the Statistical Stage (E2).
+    pub diversity: DiversityReport,
+    /// Scenario evaluations spent in this step.
+    pub evaluations: u64,
+    /// Generations the optimizer ran.
+    pub generations: u32,
+    /// Wall-clock milliseconds of the whole step.
+    pub wall_ms: f64,
+}
+
+/// A full prediction run over a burn case.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// System name.
+    pub system: &'static str,
+    /// Case name.
+    pub case: &'static str,
+    /// Per-step records.
+    pub steps: Vec<StepReport>,
+    /// Total wall-clock milliseconds.
+    pub total_ms: f64,
+}
+
+impl RunReport {
+    /// Mean prediction quality over the steps that produced predictions.
+    pub fn mean_quality(&self) -> f64 {
+        let qs: Vec<f64> = self.steps.iter().filter_map(|s| s.quality).collect();
+        if qs.is_empty() {
+            0.0
+        } else {
+            qs.iter().sum::<f64>() / qs.len() as f64
+        }
+    }
+
+    /// The quality series as `(predicted instant index, quality)` pairs.
+    pub fn quality_series(&self) -> Vec<(usize, f64)> {
+        self.steps
+            .iter()
+            .filter_map(|s| s.quality.map(|q| (s.step + 1, q)))
+            .collect()
+    }
+
+    /// Total scenario evaluations across steps.
+    pub fn total_evaluations(&self) -> u64 {
+        self.steps.iter().map(|s| s.evaluations).sum()
+    }
+
+    /// Mean result-set diversity (mean pairwise genotypic distance).
+    pub fn mean_diversity(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().map(|s| s.diversity.mean_pairwise).sum::<f64>()
+            / self.steps.len() as f64
+    }
+}
+
+/// The prediction pipeline: drives a [`StepOptimizer`] across every
+/// interval of a burn case.
+pub struct PredictionPipeline {
+    backend: EvalBackend,
+    /// Base seed; step `i` of replicate `r` uses `base ⊕ hash(i, r)`.
+    base_seed: u64,
+}
+
+impl PredictionPipeline {
+    /// Builds a pipeline running scenario evaluation on `backend`.
+    pub fn new(backend: EvalBackend, base_seed: u64) -> Self {
+        Self { backend, base_seed }
+    }
+
+    /// Derives the per-step RNG seed (SplitMix64 over the packed indices,
+    /// so neighbouring steps get uncorrelated streams).
+    fn step_seed(&self, step: usize) -> u64 {
+        let mut z = self
+            .base_seed
+            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(step as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Runs the full predictive process of one system over one case.
+    pub fn run(&self, case: &BurnCase, optimizer: &mut dyn StepOptimizer) -> RunReport {
+        let total = Stopwatch::start();
+        let mut steps = Vec::with_capacity(case.intervals());
+        let mut carried_kign: Option<f64> = None;
+
+        // The last interval's observation exists (we know RFL at every
+        // instant), but predicting *beyond* the final instant would have no
+        // ground truth; so step i ranges over intervals, and the prediction
+        // for t_{i+1} is only scored when i+1 is still an observed interval.
+        for i in 1..case.intervals() {
+            let sw = Stopwatch::start();
+            // --- Optimization Stage on [t_{i-1}, t_i] --------------------
+            let observed_ctx = Arc::new(StepContext::new(
+                Arc::clone(&case.sim),
+                case.fire_lines[i - 1].clone(),
+                case.fire_lines[i].clone(),
+                case.times[i - 1],
+                case.times[i],
+            ));
+            let mut evaluator = ScenarioEvaluator::new(Arc::clone(&observed_ctx), self.backend);
+            let outcome = optimizer.optimize(&mut evaluator, self.step_seed(i));
+
+            // --- Statistical Stage (calibration matrix) ------------------
+            let cal_matrix = statistical_stage_genomes(&observed_ctx, &outcome.result_set);
+
+            // --- Calibration Stage: SKign on the observed interval -------
+            let cal =
+                skign_search(&cal_matrix, &case.fire_lines[i], Some(&case.fire_lines[i - 1]));
+
+            // --- Statistical + Prediction Stage for t_{i+1} --------------
+            let quality = match carried_kign {
+                Some(kign) => {
+                    let next_ctx = StepContext::new(
+                        Arc::clone(&case.sim),
+                        case.fire_lines[i].clone(),
+                        case.fire_lines[i + 1].clone(),
+                        case.times[i],
+                        case.times[i + 1],
+                    );
+                    let pred_matrix = statistical_stage_genomes(&next_ctx, &outcome.result_set);
+                    let ps = PredictionStage::new(kign);
+                    Some(ps.quality(
+                        &pred_matrix,
+                        &case.fire_lines[i + 1],
+                        Some(&case.fire_lines[i]),
+                    ))
+                }
+                None => None,
+            };
+
+            carried_kign = Some(cal.kign);
+            steps.push(StepReport {
+                step: i,
+                quality,
+                kign: cal.kign,
+                calibration_fitness: cal.fitness,
+                os_best_fitness: outcome.best_fitness,
+                diversity: diversity::report(&outcome.result_set),
+                evaluations: outcome.evaluations,
+                generations: outcome.generations,
+                wall_ms: sw.elapsed_ms(),
+            });
+        }
+        RunReport {
+            system: optimizer.name(),
+            case: case.name,
+            steps,
+            total_ms: total.elapsed_ms(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::tiny_test_case;
+    use firelib::ScenarioSpace;
+
+    /// An oracle optimizer that returns the hidden truth — the pipeline's
+    /// upper bound. Used to validate the stage plumbing end to end.
+    struct Oracle {
+        truth_genes: Vec<f64>,
+    }
+
+    impl StepOptimizer for Oracle {
+        fn name(&self) -> &'static str {
+            "oracle"
+        }
+
+        fn optimize(&mut self, evaluator: &mut ScenarioEvaluator, _seed: u64) -> OptimizeOutcome {
+            let fit = evaluator.context().fitness_of_genome(&self.truth_genes);
+            OptimizeOutcome {
+                result_set: vec![self.truth_genes.clone()],
+                best_fitness: fit,
+                generations: 0,
+                evaluations: 1,
+            }
+        }
+    }
+
+    /// A random-search optimizer: the floor every real method must beat.
+    struct RandomSearch {
+        budget: usize,
+    }
+
+    impl StepOptimizer for RandomSearch {
+        fn name(&self) -> &'static str {
+            "random"
+        }
+
+        fn optimize(&mut self, evaluator: &mut ScenarioEvaluator, seed: u64) -> OptimizeOutcome {
+            use evoalg::BatchEvaluator;
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let genomes: Vec<Vec<f64>> =
+                (0..self.budget).map(|_| ScenarioSpace.sample_genes(&mut rng).to_vec()).collect();
+            let fitness = evaluator.evaluate(&genomes);
+            let mut scored: Vec<(f64, Vec<f64>)> =
+                fitness.into_iter().zip(genomes).collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let best_fitness = scored[0].0;
+            OptimizeOutcome {
+                result_set: scored.into_iter().take(8).map(|(_, g)| g).collect(),
+                best_fitness,
+                generations: 1,
+                evaluations: self.budget as u64,
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_achieves_high_quality_on_static_case() {
+        let case = tiny_test_case();
+        // Static truth: every interval shares the same scenario.
+        let genes = ScenarioSpace.encode(&case.truth[0]).to_vec();
+        let mut oracle = Oracle { truth_genes: genes };
+        let report = PredictionPipeline::new(EvalBackend::Serial, 1).run(&case, &mut oracle);
+        // Steps: intervals 1..n-1; first one has no quality.
+        assert_eq!(report.steps.len(), case.intervals() - 1);
+        assert!(report.steps[0].quality.is_none());
+        for s in &report.steps[1..] {
+            let q = s.quality.expect("prediction expected after first step");
+            assert!(q > 0.99, "oracle prediction should be near-perfect, got {q}");
+        }
+        assert!((report.steps[0].os_best_fitness - 1.0).abs() < 1e-9);
+        assert!((report.steps[0].calibration_fitness - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_search_beats_nothing_but_runs() {
+        let case = tiny_test_case();
+        let mut rs = RandomSearch { budget: 30 };
+        let report = PredictionPipeline::new(EvalBackend::Serial, 2).run(&case, &mut rs);
+        assert_eq!(report.system, "random");
+        assert!(report.total_evaluations() >= 60);
+        for s in &report.steps {
+            assert!((0.0..=1.0).contains(&s.kign));
+            assert!(s.os_best_fitness >= 0.0);
+        }
+    }
+
+    #[test]
+    fn oracle_beats_random_on_mean_quality() {
+        let case = tiny_test_case();
+        let genes = ScenarioSpace.encode(&case.truth[0]).to_vec();
+        let oracle_q = PredictionPipeline::new(EvalBackend::Serial, 3)
+            .run(&case, &mut Oracle { truth_genes: genes })
+            .mean_quality();
+        let random_q = PredictionPipeline::new(EvalBackend::Serial, 3)
+            .run(&case, &mut RandomSearch { budget: 10 })
+            .mean_quality();
+        assert!(
+            oracle_q >= random_q,
+            "oracle ({oracle_q}) must dominate random search ({random_q})"
+        );
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_given_seed() {
+        let case = tiny_test_case();
+        let run = |seed| {
+            let mut rs = RandomSearch { budget: 20 };
+            let r = PredictionPipeline::new(EvalBackend::Serial, seed).run(&case, &mut rs);
+            r.steps.iter().map(|s| (s.quality, s.kign)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn step_seeds_differ_per_step() {
+        let p = PredictionPipeline::new(EvalBackend::Serial, 42);
+        let seeds: Vec<u64> = (0..10).map(|i| p.step_seed(i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+}

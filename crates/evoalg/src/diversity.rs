@@ -1,0 +1,137 @@
+//! Population diversity statistics (experiment E2).
+//!
+//! The paper's core criticism of the baselines is genotypic convergence:
+//! "the population evolved for each prediction step may consist of a set of
+//! scenarios similar to each other, which limits the contribution of these
+//! solutions to uncertainty reduction" (§II-B). These metrics quantify
+//! that: the result set a method feeds into the Statistical Stage should be
+//! *diverse*, and ESS-NS's `bestSet` is expected to score markedly higher
+//! than the baselines' final populations.
+
+/// Mean pairwise Euclidean distance between genomes, normalised by `√dims`
+/// so the value lies in `[0, 1]` for unit-cube genes. Zero for fewer than
+/// two genomes.
+pub fn mean_pairwise_distance(genomes: &[Vec<f64>]) -> f64 {
+    if genomes.len() < 2 {
+        return 0.0;
+    }
+    let dims = genomes[0].len() as f64;
+    let mut total = 0.0;
+    let mut pairs = 0u64;
+    for i in 0..genomes.len() {
+        for j in (i + 1)..genomes.len() {
+            debug_assert_eq!(genomes[i].len(), genomes[j].len());
+            let sq: f64 = genomes[i]
+                .iter()
+                .zip(&genomes[j])
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            total += (sq / dims).sqrt();
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Per-gene population standard deviation, averaged over genes — a cheap
+/// O(n·d) convergence indicator used by the per-generation traces.
+pub fn mean_gene_std(genomes: &[Vec<f64>]) -> f64 {
+    if genomes.len() < 2 {
+        return 0.0;
+    }
+    let dims = genomes[0].len();
+    let n = genomes.len() as f64;
+    let mut acc = 0.0;
+    for d in 0..dims {
+        let mean: f64 = genomes.iter().map(|g| g[d]).sum::<f64>() / n;
+        let var: f64 = genomes.iter().map(|g| (g[d] - mean) * (g[d] - mean)).sum::<f64>() / n;
+        acc += var.sqrt();
+    }
+    acc / dims as f64
+}
+
+/// Count of *distinct* genomes (exact equality) — detects the degenerate
+/// "population of clones" end state of a converged GA.
+pub fn distinct_genomes(genomes: &[Vec<f64>]) -> usize {
+    let mut seen: Vec<&Vec<f64>> = Vec::with_capacity(genomes.len());
+    for g in genomes {
+        if !seen.contains(&g) {
+            seen.push(g);
+        }
+    }
+    seen.len()
+}
+
+/// A bundled diversity report for one result set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversityReport {
+    /// Mean pairwise normalised distance.
+    pub mean_pairwise: f64,
+    /// Mean per-gene standard deviation.
+    pub mean_gene_std: f64,
+    /// Number of distinct genomes.
+    pub distinct: usize,
+    /// Set size.
+    pub size: usize,
+}
+
+/// Computes all diversity metrics at once.
+pub fn report(genomes: &[Vec<f64>]) -> DiversityReport {
+    DiversityReport {
+        mean_pairwise: mean_pairwise_distance(genomes),
+        mean_gene_std: mean_gene_std(genomes),
+        distinct: distinct_genomes(genomes),
+        size: genomes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_have_zero_diversity() {
+        let pop = vec![vec![0.5, 0.5]; 10];
+        assert_eq!(mean_pairwise_distance(&pop), 0.0);
+        assert_eq!(mean_gene_std(&pop), 0.0);
+        assert_eq!(distinct_genomes(&pop), 1);
+    }
+
+    #[test]
+    fn opposite_corners_have_unit_distance() {
+        let pop = vec![vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]];
+        assert!((mean_pairwise_distance(&pop) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_beats_cluster() {
+        let cluster: Vec<Vec<f64>> =
+            (0..8).map(|i| vec![0.5 + i as f64 * 1e-3, 0.5]).collect();
+        let spread: Vec<Vec<f64>> =
+            (0..8).map(|i| vec![i as f64 / 7.0, 1.0 - i as f64 / 7.0]).collect();
+        assert!(mean_pairwise_distance(&spread) > 10.0 * mean_pairwise_distance(&cluster));
+        assert!(mean_gene_std(&spread) > mean_gene_std(&cluster));
+    }
+
+    #[test]
+    fn singleton_and_empty_are_zero() {
+        assert_eq!(mean_pairwise_distance(&[]), 0.0);
+        assert_eq!(mean_pairwise_distance(&[vec![0.3]]), 0.0);
+        assert_eq!(mean_gene_std(&[vec![0.3]]), 0.0);
+    }
+
+    #[test]
+    fn distinct_counts_exact_duplicates_only() {
+        let pop = vec![vec![0.1], vec![0.1], vec![0.1 + 1e-15], vec![0.2]];
+        assert_eq!(distinct_genomes(&pop), 3);
+    }
+
+    #[test]
+    fn report_bundles_consistently() {
+        let pop = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let r = report(&pop);
+        assert_eq!(r.size, 3);
+        assert_eq!(r.distinct, 2);
+        assert!((r.mean_pairwise - mean_pairwise_distance(&pop)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,270 @@
+//! Variation operators over normalised (`[0, 1]`) gene vectors.
+
+use rand::Rng;
+
+/// One-point crossover: children swap tails after a random cut point.
+///
+/// # Panics
+/// Panics when parents differ in length or have fewer than 2 genes.
+pub fn one_point_crossover<R: Rng + ?Sized>(
+    a: &[f64],
+    b: &[f64],
+    rng: &mut R,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), b.len(), "crossover parents must have equal length");
+    assert!(a.len() >= 2, "one-point crossover needs at least two genes");
+    let cut = rng.random_range(1..a.len());
+    let mut c1 = a.to_vec();
+    let mut c2 = b.to_vec();
+    c1[cut..].copy_from_slice(&b[cut..]);
+    c2[cut..].copy_from_slice(&a[cut..]);
+    (c1, c2)
+}
+
+/// Uniform crossover: each gene independently swaps with probability ½.
+pub fn uniform_crossover<R: Rng + ?Sized>(
+    a: &[f64],
+    b: &[f64],
+    rng: &mut R,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), b.len(), "crossover parents must have equal length");
+    let mut c1 = a.to_vec();
+    let mut c2 = b.to_vec();
+    for i in 0..a.len() {
+        if rng.random::<bool>() {
+            c1[i] = b[i];
+            c2[i] = a[i];
+        }
+    }
+    (c1, c2)
+}
+
+/// BLX-α blend crossover: each child gene is drawn uniformly from the
+/// parents' interval extended by `alpha` on both sides, clamped to `[0, 1]`.
+pub fn blx_alpha_crossover<R: Rng + ?Sized>(
+    a: &[f64],
+    b: &[f64],
+    alpha: f64,
+    rng: &mut R,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), b.len(), "crossover parents must have equal length");
+    assert!(alpha >= 0.0, "alpha must be non-negative");
+    let mut sample = |x: f64, y: f64| {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let span = hi - lo;
+        let lo_e = lo - alpha * span;
+        let hi_e = hi + alpha * span;
+        let v = lo_e + rng.random::<f64>() * (hi_e - lo_e);
+        v.clamp(0.0, 1.0)
+    };
+    let c1: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| sample(x, y)).collect();
+    let c2: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| sample(x, y)).collect();
+    (c1, c2)
+}
+
+/// Uniform-reset mutation: each gene is independently resampled uniformly
+/// in `[0, 1]` with probability `rate`.
+pub fn uniform_mutation<R: Rng + ?Sized>(genes: &mut [f64], rate: f64, rng: &mut R) {
+    assert!((0.0..=1.0).contains(&rate), "mutation rate must be a probability");
+    for g in genes {
+        if rng.random::<f64>() < rate {
+            *g = rng.random::<f64>();
+        }
+    }
+}
+
+/// Gaussian creep mutation: each gene is independently perturbed by
+/// `N(0, sigma)` with probability `rate`, clamped to `[0, 1]`.
+///
+/// Uses a Box–Muller draw so no external distribution crate is needed.
+pub fn gaussian_mutation<R: Rng + ?Sized>(genes: &mut [f64], rate: f64, sigma: f64, rng: &mut R) {
+    assert!((0.0..=1.0).contains(&rate), "mutation rate must be a probability");
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    for g in genes {
+        if rng.random::<f64>() < rate {
+            *g = (*g + sigma * standard_normal(rng)).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// A standard normal draw via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by drawing u1 from (0, 1].
+    let u1 = 1.0 - rng.random::<f64>();
+    let u2 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// DE `rand/1` donor vector: `x_r1 + f × (x_r2 − x_r3)`, clamped to
+/// `[0, 1]`. `r1, r2, r3` are distinct indices into `population`, all
+/// different from `target`.
+///
+/// # Panics
+/// Panics when the population has fewer than 4 members (DE's minimum).
+pub fn de_rand_1_donor<R: Rng + ?Sized>(
+    population: &[Vec<f64>],
+    target: usize,
+    f: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(population.len() >= 4, "DE rand/1 needs at least 4 individuals");
+    let mut pick = |exclude: &[usize]| -> usize {
+        loop {
+            let i = rng.random_range(0..population.len());
+            if !exclude.contains(&i) {
+                return i;
+            }
+        }
+    };
+    let r1 = pick(&[target]);
+    let r2 = pick(&[target, r1]);
+    let r3 = pick(&[target, r1, r2]);
+    population[r1]
+        .iter()
+        .zip(&population[r2])
+        .zip(&population[r3])
+        .map(|((&a, &b), &c)| (a + f * (b - c)).clamp(0.0, 1.0))
+        .collect()
+}
+
+/// DE binomial crossover: gene-wise take the donor with probability `cr`,
+/// with one guaranteed donor gene (`j_rand`).
+pub fn de_binomial_crossover<R: Rng + ?Sized>(
+    target: &[f64],
+    donor: &[f64],
+    cr: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert_eq!(target.len(), donor.len(), "DE crossover length mismatch");
+    assert!((0.0..=1.0).contains(&cr), "crossover rate must be a probability");
+    let j_rand = rng.random_range(0..target.len());
+    target
+        .iter()
+        .zip(donor)
+        .enumerate()
+        .map(|(j, (&t, &d))| if j == j_rand || rng.random::<f64>() < cr { d } else { t })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn one_point_preserves_multiset_per_position() {
+        let a = vec![0.1, 0.2, 0.3, 0.4];
+        let b = vec![0.9, 0.8, 0.7, 0.6];
+        let (c1, c2) = one_point_crossover(&a, &b, &mut rng());
+        for i in 0..4 {
+            let mut got = [c1[i], c2[i]];
+            let mut want = [a[i], b[i]];
+            got.sort_by(f64::total_cmp);
+            want.sort_by(f64::total_cmp);
+            assert_eq!(got, want);
+        }
+        // The cut must actually exchange a tail.
+        assert_ne!(c1, a);
+    }
+
+    #[test]
+    fn uniform_crossover_positionwise_swap() {
+        let a = vec![0.0; 16];
+        let b = vec![1.0; 16];
+        let (c1, c2) = uniform_crossover(&a, &b, &mut rng());
+        for i in 0..16 {
+            assert!((c1[i] == 0.0 && c2[i] == 1.0) || (c1[i] == 1.0 && c2[i] == 0.0));
+        }
+    }
+
+    #[test]
+    fn blx_children_within_extended_interval() {
+        let a = vec![0.3; 8];
+        let b = vec![0.5; 8];
+        let (c1, c2) = blx_alpha_crossover(&a, &b, 0.5, &mut rng());
+        for g in c1.iter().chain(&c2) {
+            assert!((0.2..=0.6).contains(g), "gene {g} outside BLX interval");
+        }
+    }
+
+    #[test]
+    fn mutation_rate_zero_is_identity() {
+        let mut genes = vec![0.25, 0.5, 0.75];
+        let orig = genes.clone();
+        uniform_mutation(&mut genes, 0.0, &mut rng());
+        assert_eq!(genes, orig);
+        gaussian_mutation(&mut genes, 0.0, 0.1, &mut rng());
+        assert_eq!(genes, orig);
+    }
+
+    #[test]
+    fn mutation_rate_one_changes_most_genes() {
+        let mut genes = vec![0.5; 64];
+        uniform_mutation(&mut genes, 1.0, &mut rng());
+        let changed = genes.iter().filter(|&&g| g != 0.5).count();
+        assert!(changed > 56, "expected nearly all genes resampled, got {changed}");
+        assert!(genes.iter().all(|g| (0.0..=1.0).contains(g)));
+    }
+
+    #[test]
+    fn gaussian_mutation_stays_clamped() {
+        let mut genes = vec![0.01, 0.99];
+        for _ in 0..200 {
+            gaussian_mutation(&mut genes, 1.0, 0.5, &mut rng());
+            assert!(genes.iter().all(|g| (0.0..=1.0).contains(g)));
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn de_donor_in_bounds_and_distinct_sources() {
+        let pop: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 / 6.0; 4]).collect();
+        let mut r = rng();
+        for target in 0..pop.len() {
+            let donor = de_rand_1_donor(&pop, target, 0.8, &mut r);
+            assert_eq!(donor.len(), 4);
+            assert!(donor.iter().all(|g| (0.0..=1.0).contains(g)));
+        }
+    }
+
+    #[test]
+    fn de_crossover_keeps_at_least_one_donor_gene() {
+        let target = vec![0.0; 8];
+        let donor = vec![1.0; 8];
+        let mut r = rng();
+        for _ in 0..50 {
+            let trial = de_binomial_crossover(&target, &donor, 0.0, &mut r);
+            assert_eq!(trial.iter().filter(|&&g| g == 1.0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn de_crossover_cr_one_copies_donor() {
+        let target = vec![0.0; 5];
+        let donor = vec![1.0; 5];
+        let trial = de_binomial_crossover(&target, &donor, 1.0, &mut rng());
+        assert_eq!(trial, donor);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn de_requires_four_members() {
+        let pop = vec![vec![0.5]; 3];
+        let _ = de_rand_1_donor(&pop, 0, 0.5, &mut rng());
+    }
+}

@@ -1,0 +1,169 @@
+//! Parent selection operators.
+//!
+//! The paper fixes roulette-wheel selection for the NS-based GA ("the GA
+//! population selection strategy will be by roulette wheel selection",
+//! §III-B); tournament selection is provided for the baselines and
+//! ablations.
+
+use rand::Rng;
+
+/// Roulette-wheel (fitness-proportionate) selection over arbitrary
+/// non-negative scores. Returns the index of the selected entry.
+///
+/// Scores may be any finite non-negative values (fitness for the baseline
+/// GA, novelty for Algorithm 1). When every score is zero — common in the
+/// first generations of a fire-prediction run, where most scenarios score
+/// J = 0 — selection degrades gracefully to uniform, which matches how the
+/// ESS implementations seed their searches.
+///
+/// # Panics
+/// Panics on an empty slice or on negative/non-finite scores.
+pub fn roulette<R: Rng + ?Sized>(scores: &[f64], rng: &mut R) -> usize {
+    assert!(!scores.is_empty(), "roulette over an empty slice");
+    let mut total = 0.0;
+    for &s in scores {
+        assert!(s.is_finite() && s >= 0.0, "roulette scores must be finite and non-negative");
+        total += s;
+    }
+    if total <= 0.0 {
+        return rng.random_range(0..scores.len());
+    }
+    let mut ticket = rng.random::<f64>() * total;
+    for (i, &s) in scores.iter().enumerate() {
+        ticket -= s;
+        if ticket <= 0.0 {
+            return i;
+        }
+    }
+    scores.len() - 1 // numeric edge: the ticket fell off the wheel's end
+}
+
+/// Tournament selection: draws `k` uniform entrants and returns the index
+/// of the one with the highest score. Unlike roulette it tolerates
+/// negative scores.
+///
+/// # Panics
+/// Panics on an empty slice or `k == 0`.
+pub fn tournament<R: Rng + ?Sized>(scores: &[f64], k: usize, rng: &mut R) -> usize {
+    assert!(!scores.is_empty(), "tournament over an empty slice");
+    assert!(k > 0, "tournament size must be positive");
+    let mut best = rng.random_range(0..scores.len());
+    for _ in 1..k {
+        let challenger = rng.random_range(0..scores.len());
+        if scores[challenger] > scores[best] {
+            best = challenger;
+        }
+    }
+    best
+}
+
+/// Elitist replacement shared by the engines: keeps the `capacity` entries
+/// with the highest scores out of the concatenation of two score slices,
+/// returning indices into the virtual concatenation `[a, b]`.
+///
+/// Ties resolve in favour of `a` (the incumbent population), making
+/// replacement stable — important for reproducibility across platforms.
+pub fn elitist_merge_indices(a: &[f64], b: &[f64], capacity: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..a.len() + b.len()).collect();
+    let score = |i: usize| if i < a.len() { a[i] } else { b[i - a.len()] };
+    idx.sort_by(|&x, &y| {
+        score(y)
+            .partial_cmp(&score(x))
+            .expect("finite scores")
+            .then(x.cmp(&y))
+    });
+    idx.truncate(capacity);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roulette_prefers_high_scores() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let scores = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[roulette(&scores, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-score entry must never win");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((7.0..11.5).contains(&ratio), "expected ≈9×, got {ratio}");
+    }
+
+    #[test]
+    fn roulette_uniform_when_all_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let scores = [0.0, 0.0, 0.0, 0.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[roulette(&scores, &mut rng)] += 1;
+        }
+        for c in counts {
+            assert!(c > 1_600, "uniform fallback skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn roulette_single_entry() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(roulette(&[0.7], &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn roulette_rejects_negative() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = roulette(&[0.5, -0.1], &mut rng);
+    }
+
+    #[test]
+    fn tournament_full_size_is_argmax_often() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let scores = [0.2, 0.9, 0.4];
+        // P(max never drawn in 8 tries) = (2/3)^8 ≈ 3.9 %, so ≈ 480/500
+        // expected wins; 440 leaves ample slack while still proving strong
+        // selection pressure.
+        let mut wins = 0;
+        for _ in 0..500 {
+            if tournament(&scores, 8, &mut rng) == 1 {
+                wins += 1;
+            }
+        }
+        assert!(wins > 440, "k≫n tournament should almost always pick the max, got {wins}/500");
+    }
+
+    #[test]
+    fn tournament_handles_negative_scores() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let scores = [-5.0, -1.0, -9.0];
+        let pick = tournament(&scores, 16, &mut rng);
+        assert_eq!(pick, 1);
+    }
+
+    #[test]
+    fn elitist_merge_keeps_top() {
+        let a = [0.5, 0.1];
+        let b = [0.9, 0.3, 0.05];
+        let kept = elitist_merge_indices(&a, &b, 3);
+        // Scores by index: a0=0.5 a1=0.1 b→2:0.9 3:0.3 4:0.05
+        assert_eq!(kept, vec![2, 0, 3]);
+    }
+
+    #[test]
+    fn elitist_merge_tie_prefers_incumbent() {
+        let a = [0.5];
+        let b = [0.5];
+        assert_eq!(elitist_merge_indices(&a, &b, 1), vec![0]);
+    }
+
+    #[test]
+    fn elitist_merge_capacity_bounds() {
+        let kept = elitist_merge_indices(&[1.0], &[2.0], 10);
+        assert_eq!(kept.len(), 2);
+    }
+}

@@ -1,0 +1,329 @@
+//! Moisture-independent fuel-bed intermediates (fireLib's
+//! `Fire_FuelCombustion`).
+//!
+//! Everything here depends only on the fuel model, so fireLib computes it
+//! once per catalog entry; we do the same and cache [`FuelBed`] values
+//! inside the simulator. Formula numbers cite Rothermel (1972) as tabulated
+//! in the fireLib source.
+
+use crate::catalog::{FuelLife, FuelModel};
+use crate::SMIDGEN;
+
+/// Per-particle derived quantities kept for the moisture-dependent phase.
+#[derive(Debug, Clone, Copy)]
+pub struct ParticleFactors {
+    /// Life category.
+    pub life: FuelLife,
+    /// Area weighting factor within its life category (fᵢ).
+    pub area_wtg: f64,
+    /// Oven-dry load (lb/ft²).
+    pub load: f64,
+    /// SAV ratio (1/ft).
+    pub savr: f64,
+    /// Net load (silica-free): `load × (1 − s_total)`.
+    pub net_load: f64,
+    /// `exp(-138/savr)` — effective heating number εᵢ.
+    pub epsilon: f64,
+}
+
+/// Life-category aggregates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LifeFactors {
+    /// Category surface-area weighting factor (F_life).
+    pub area_wtg: f64,
+    /// Reaction-intensity factor: Γ × w_net × heat × η_s (lacking η_M).
+    pub rx_factor: f64,
+    /// Extinction moisture of the category (dead: from the model; live:
+    /// computed per-moisture-regime, so 0 here).
+    pub mext: f64,
+}
+
+/// The precomputed fuel bed: everything Rothermel needs that does not depend
+/// on moisture, wind or slope.
+#[derive(Debug, Clone)]
+pub struct FuelBed {
+    /// Source model number.
+    pub model_number: u8,
+    /// `true` when the bed can carry fire.
+    pub burnable: bool,
+    /// Characteristic surface-area-to-volume ratio σ (1/ft).
+    pub sigma: f64,
+    /// Packing ratio β.
+    pub beta: f64,
+    /// β / β_opt.
+    pub beta_ratio: f64,
+    /// Bulk density ρ_b (lb/ft³).
+    pub bulk_density: f64,
+    /// Propagating flux ratio ξ.
+    pub prop_flux: f64,
+    /// Slope factor coefficient: φ_s = slope_k × tan²φ.
+    pub slope_k: f64,
+    /// Wind factor coefficients: φ_w = wind_k × U^wind_b (U in ft/min).
+    pub wind_b: f64,
+    /// Wind factor multiplier (C × ratio^−E).
+    pub wind_k: f64,
+    /// Inverse helper: U = (φ_w × wind_e_inv)^(1/wind_b).
+    pub wind_e_inv: f64,
+    /// Live-extinction-moisture factor `2.9 × W_dead/W_live` (0 when no
+    /// live fuel).
+    pub live_mext_factor: f64,
+    /// Fine dead fuel normaliser Σ load·exp(−138/savr) over dead particles.
+    pub fine_dead: f64,
+    /// Dead extinction moisture (fraction).
+    pub mext_dead: f64,
+    /// Per-particle factors.
+    pub particles: Vec<ParticleFactors>,
+    /// Per-life-category aggregates, indexed by [`FuelBed::life_index`].
+    pub life: [LifeFactors; 3],
+}
+
+impl FuelBed {
+    /// Index of a life category inside [`FuelBed::life`].
+    pub fn life_index(life: FuelLife) -> usize {
+        match life {
+            FuelLife::Dead => 0,
+            FuelLife::LiveHerb => 1,
+            FuelLife::LiveWood => 2,
+        }
+    }
+
+    /// Precomputes the fuel-bed intermediates for `model`
+    /// (fireLib `Fire_FuelCombustion`).
+    pub fn new(model: &FuelModel) -> Self {
+        let mut bed = FuelBed {
+            model_number: model.number,
+            burnable: false,
+            sigma: 0.0,
+            beta: 0.0,
+            beta_ratio: 0.0,
+            bulk_density: 0.0,
+            prop_flux: 0.0,
+            slope_k: 0.0,
+            wind_b: 1.0,
+            wind_k: 0.0,
+            wind_e_inv: 0.0,
+            live_mext_factor: 0.0,
+            fine_dead: 0.0,
+            mext_dead: model.mext_dead,
+            particles: Vec::with_capacity(model.particles.len()),
+            life: [LifeFactors::default(); 3],
+        };
+        let total_load = model.total_load();
+        if model.depth <= SMIDGEN || total_load <= SMIDGEN {
+            return bed; // unburnable: all-zero factors
+        }
+
+        // --- Surface areas and weighting factors -------------------------
+        let mut life_area = [0.0f64; 3];
+        let mut total_area = 0.0;
+        for p in &model.particles {
+            let a = p.surface_area();
+            life_area[Self::life_index(p.life)] += a;
+            total_area += a;
+        }
+        if total_area <= SMIDGEN {
+            return bed;
+        }
+        for p in &model.particles {
+            let la = life_area[Self::life_index(p.life)];
+            let area_wtg = if la > SMIDGEN { p.surface_area() / la } else { 0.0 };
+            bed.particles.push(ParticleFactors {
+                life: p.life,
+                area_wtg,
+                load: p.load,
+                savr: p.savr,
+                net_load: p.load * (1.0 - p.si_total),
+                epsilon: p.sigma_factor_dead(),
+            });
+        }
+        for (lf, area) in bed.life.iter_mut().zip(life_area) {
+            lf.area_wtg = area / total_area;
+        }
+
+        // --- Characteristic σ, packing ratio -----------------------------
+        let mut sigma = 0.0;
+        for (p, f) in model.particles.iter().zip(&bed.particles) {
+            sigma += bed.life[Self::life_index(p.life)].area_wtg * f.area_wtg * p.savr;
+        }
+        let bulk_density = total_load / model.depth;
+        // All standard particles share density 32 lb/ft³; mirror fireLib's
+        // use of the particle density for β.
+        let particle_density = model.particles[0].density;
+        let beta = bulk_density / particle_density;
+        let beta_opt = 3.348 * sigma.powf(-0.8189);
+        let ratio = beta / beta_opt;
+
+        // --- Reaction velocity Γ -----------------------------------------
+        let aa = 133.0 * sigma.powf(-0.7913);
+        let sigma15 = sigma.powf(1.5);
+        let gamma_max = sigma15 / (495.0 + 0.0594 * sigma15);
+        let gamma = gamma_max * ratio.powf(aa) * (aa * (1.0 - ratio)).exp();
+
+        // --- Mineral damping η_s (effective silica 0.010 standard) -------
+        // fireLib computes it per life category from the particles' s_eff;
+        // all standard particles share 0.010, giving η_s ≈ 0.4174.
+        let mut life_eta_s = [0.0f64; 3];
+        for (p, f) in model.particles.iter().zip(&bed.particles) {
+            life_eta_s[Self::life_index(p.life)] += f.area_wtg * p.si_effective;
+        }
+        let eta_s = |seff: f64| -> f64 {
+            if seff <= SMIDGEN {
+                1.0
+            } else {
+                (0.174 * seff.powf(-0.19)).min(1.0)
+            }
+        };
+
+        // --- Life reaction factors (Γ·w_net·h·η_s) ------------------------
+        let mut life_load = [0.0f64; 3];
+        let mut life_heat = [0.0f64; 3];
+        for (p, f) in model.particles.iter().zip(&bed.particles) {
+            let li = Self::life_index(p.life);
+            life_load[li] += f.area_wtg * f.net_load;
+            life_heat[li] += f.area_wtg * p.heat;
+        }
+        for li in 0..3 {
+            bed.life[li].rx_factor = life_load[li] * life_heat[li] * eta_s(life_eta_s[li]) * gamma;
+        }
+        bed.life[0].mext = model.mext_dead;
+
+        // --- Live extinction moisture factor ------------------------------
+        let mut fine_dead = 0.0;
+        let mut fine_live = 0.0;
+        for p in &model.particles {
+            if p.life.is_dead() {
+                fine_dead += p.load * p.sigma_factor_dead();
+            } else {
+                fine_live += p.load * p.sigma_factor_live();
+            }
+        }
+        bed.fine_dead = fine_dead;
+        bed.live_mext_factor =
+            if fine_live > SMIDGEN { 2.9 * fine_dead / fine_live } else { 0.0 };
+
+        // --- Propagating flux ξ -------------------------------------------
+        let prop_flux =
+            ((0.792 + 0.681 * sigma.sqrt()) * (beta + 0.1)).exp() / (192.0 + 0.2595 * sigma);
+
+        // --- Wind and slope coefficients ----------------------------------
+        let slope_k = 5.275 * beta.powf(-0.3);
+        let wind_b = 0.02526 * sigma.powf(0.54);
+        let c = 7.47 * (-0.133 * sigma.powf(0.55)).exp();
+        let e = 0.715 * (-0.000359 * sigma).exp();
+        let wind_k = c * ratio.powf(-e);
+        let wind_e_inv = ratio.powf(e) / c;
+
+        bed.burnable = true;
+        bed.sigma = sigma;
+        bed.beta = beta;
+        bed.beta_ratio = ratio;
+        bed.bulk_density = bulk_density;
+        bed.prop_flux = prop_flux;
+        bed.slope_k = slope_k;
+        bed.wind_b = wind_b;
+        bed.wind_k = wind_k;
+        bed.wind_e_inv = wind_e_inv;
+        bed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::FuelCatalog;
+
+    fn bed(n: u8) -> FuelBed {
+        let cat = FuelCatalog::standard();
+        FuelBed::new(cat.model(n).unwrap())
+    }
+
+    #[test]
+    fn grass_sigma_equals_its_only_particle() {
+        // Model 1 has a single particle, so σ must be its SAV ratio.
+        let b = bed(1);
+        assert!((b.sigma - 3500.0).abs() < 1e-9);
+        assert!(b.burnable);
+    }
+
+    #[test]
+    fn bulk_density_is_load_over_depth() {
+        let b = bed(1);
+        assert!((b.bulk_density - 0.034 / 1.0).abs() < 1e-12);
+        let b13 = bed(13);
+        assert!((b13.bulk_density - (0.3220 + 1.0580 + 1.2880) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packing_ratio_uses_particle_density() {
+        let b = bed(1);
+        assert!((b.beta - 0.034 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_fuel_model_yields_inert_bed() {
+        let b = bed(0);
+        assert!(!b.burnable);
+        assert_eq!(b.sigma, 0.0);
+        assert_eq!(b.wind_k, 0.0);
+    }
+
+    #[test]
+    fn live_mext_factor_only_for_live_models() {
+        assert_eq!(bed(1).live_mext_factor, 0.0);
+        assert_eq!(bed(3).live_mext_factor, 0.0);
+        assert!(bed(4).live_mext_factor > 0.0);
+        assert!(bed(10).live_mext_factor > 0.0);
+    }
+
+    #[test]
+    fn area_weights_sum_to_one() {
+        for n in 1..=13u8 {
+            let b = bed(n);
+            let total: f64 = b.life.iter().map(|l| l.area_wtg).sum();
+            assert!((total - 1.0).abs() < 1e-9, "model {n}: ΣF = {total}");
+            for li in 0..3 {
+                let s: f64 = b
+                    .particles
+                    .iter()
+                    .filter(|p| FuelBed::life_index(p.life) == li)
+                    .map(|p| p.area_wtg)
+                    .sum();
+                if b.life[li].area_wtg > 0.0 {
+                    assert!((s - 1.0).abs() < 1e-9, "model {n} life {li}: Σf = {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finer_fuel_has_larger_wind_exponent() {
+        // wind_b grows with σ: grass (3500) > heavy slash (σ small).
+        assert!(bed(1).wind_b > bed(13).wind_b);
+    }
+
+    #[test]
+    fn prop_flux_in_unit_interval() {
+        for n in 1..=13u8 {
+            let b = bed(n);
+            assert!(b.prop_flux > 0.0 && b.prop_flux < 1.0, "model {n}: ξ = {}", b.prop_flux);
+        }
+    }
+
+    #[test]
+    fn wind_e_inv_is_inverse_of_wind_k_times_ratio_term() {
+        for n in 1..=13u8 {
+            let b = bed(n);
+            // wind_k × wind_e_inv = ratio^e × ratio^−e... they satisfy
+            // wind_k × wind_e_inv = 1 exactly when ratio^±e cancel:
+            // wind_k = C·ratio^−E, wind_e_inv = ratio^E / C → product = 1.
+            assert!((b.wind_k * b.wind_e_inv - 1.0).abs() < 1e-9, "model {n}");
+        }
+    }
+
+    #[test]
+    fn all_standard_models_burnable() {
+        for n in 1..=13u8 {
+            assert!(bed(n).burnable, "model {n} should be burnable");
+        }
+    }
+}

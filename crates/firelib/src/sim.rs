@@ -1,0 +1,400 @@
+//! Cell-to-cell fire propagation — the `FS` block of Figs. 1–3.
+//!
+//! fireLib propagates fire over a raster of square cells by repeatedly
+//! sweeping the map and assigning each cell the earliest arrival time from
+//! any burning neighbour until a fixpoint is reached. Because every
+//! cell-to-cell traversal time is non-negative and fixed for a given
+//! scenario, that fixpoint is exactly the shortest-path (minimum travel
+//! time) solution, which we compute directly with a Dijkstra sweep — same
+//! result, deterministic, and `O(n log n)` instead of repeated full-map
+//! sweeps.
+//!
+//! The traversal time of the edge from a burning cell to a neighbour is
+//! `distance / ros_source(azimuth)`, i.e. the fire crosses the source cell's
+//! fuel towards the neighbour, matching fireLib's per-cell spread
+//! computation. Cells whose own fuel bed cannot burn are never ignited.
+
+use crate::combustion::FuelBed;
+use crate::catalog::FuelCatalog;
+use crate::scenario::Scenario;
+use crate::spread::{wind_slope_max, SpreadInputs, SpreadVector};
+use crate::terrain::Terrain;
+use crate::SMIDGEN;
+use landscape::{FireLine, IgnitionMap};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-ordering wrapper for ignition times (never NaN by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("ignition times are never NaN")
+    }
+}
+
+/// The fire propagation simulator for one terrain.
+///
+/// Construction precomputes the fuel-bed intermediates for all 14 catalog
+/// entries; [`FireSim::simulate`] then evaluates one scenario. A `FireSim`
+/// is cheap to clone and safe to share read-only across worker threads; for
+/// allocation-free inner loops each worker should own one and use
+/// [`FireSim::simulate_into`] with a reusable output map.
+#[derive(Debug, Clone)]
+pub struct FireSim {
+    terrain: Terrain,
+    beds: Vec<FuelBed>,
+}
+
+impl FireSim {
+    /// Builds a simulator over `terrain` with the standard NFFL catalog.
+    pub fn new(terrain: Terrain) -> Self {
+        let catalog = FuelCatalog::standard();
+        let beds = catalog.models().iter().map(FuelBed::new).collect();
+        Self { terrain, beds }
+    }
+
+    /// The terrain this simulator burns.
+    pub fn terrain(&self) -> &Terrain {
+        &self.terrain
+    }
+
+    /// Directional spread rates for one cell under `scenario`.
+    fn cell_spread(&self, row: usize, col: usize, scenario: &Scenario) -> SpreadVector {
+        let fuel = self.terrain.fuel_at(row, col, scenario.model);
+        let bed = &self.beds[fuel as usize];
+        if !bed.burnable {
+            return SpreadVector::no_spread();
+        }
+        let slope_deg = self.terrain.slope_at(row, col, scenario.slope_deg);
+        let aspect = self.terrain.aspect_at(row, col, scenario.aspect_deg);
+        let inputs = SpreadInputs {
+            wind_fpm: scenario.wind_speed_mph * crate::MPH_TO_FPM,
+            wind_azimuth: scenario.wind_dir_deg,
+            slope_steepness: slope_deg.to_radians().tan(),
+            aspect_azimuth: aspect,
+        };
+        wind_slope_max(bed, &scenario.moisture(), &inputs)
+    }
+
+    /// Simulates fire growth from `initial` (cells burning at `t0`) for
+    /// `duration` minutes, returning the ignition-time map. Cells the fire
+    /// does not reach within the horizon hold [`landscape::UNIGNITED`];
+    /// initial cells hold `t0`.
+    ///
+    /// # Panics
+    /// Panics when `initial` does not match the terrain shape, `t0` is
+    /// negative/non-finite or `duration` is not positive.
+    pub fn simulate(&self, scenario: &Scenario, initial: &FireLine, t0: f64, duration: f64) -> IgnitionMap {
+        let mut out = IgnitionMap::unignited(self.terrain.rows(), self.terrain.cols());
+        self.simulate_into(scenario, initial, t0, duration, &mut out);
+        out
+    }
+
+    /// Allocation-reusing variant of [`FireSim::simulate`]: `out` is cleared
+    /// and refilled, keeping its buffer (the worker hot path).
+    pub fn simulate_into(
+        &self,
+        scenario: &Scenario,
+        initial: &FireLine,
+        t0: f64,
+        duration: f64,
+        out: &mut IgnitionMap,
+    ) {
+        let rows = self.terrain.rows();
+        let cols = self.terrain.cols();
+        assert_eq!((initial.rows(), initial.cols()), (rows, cols), "initial fire line shape mismatch");
+        assert!(t0.is_finite() && t0 >= 0.0, "t0 must be a non-negative instant");
+        assert!(duration.is_finite() && duration > 0.0, "duration must be positive");
+        assert_eq!((out.rows(), out.cols()), (rows, cols), "output map shape mismatch");
+
+        out.clear();
+        let t_end = t0 + duration;
+        let cell_ft = self.terrain.cell_size_ft();
+
+        // Directional spread table. With a uniform terrain every cell shares
+        // one table; with overrides we compute per cell (caching by fuel
+        // code would only help when slope/aspect layers are absent too).
+        let uniform: Option<[f64; 8]> = if self.terrain.has_overrides() {
+            None
+        } else {
+            Some(self.cell_spread(0, 0, scenario).compass_ros())
+        };
+        let per_cell: Vec<[f64; 8]> = if uniform.is_some() {
+            Vec::new()
+        } else {
+            let mut v = Vec::with_capacity(rows * cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    v.push(self.cell_spread(r, c, scenario).compass_ros());
+                }
+            }
+            v
+        };
+        let ros_of = |idx: usize| -> &[f64; 8] {
+            match &uniform {
+                Some(table) => table,
+                None => &per_cell[idx],
+            }
+        };
+        // A cell can ignite iff its own bed can burn (no-fuel cells are
+        // firebreaks). With uniform terrain burnability is global.
+        let burnable_at = |r: usize, c: usize| -> bool {
+            let fuel = self.terrain.fuel_at(r, c, scenario.model);
+            self.beds[fuel as usize].burnable
+        };
+
+        let mut heap: BinaryHeap<(Reverse<Time>, u32)> = BinaryHeap::new();
+        for (r, c) in initial.burned_cells() {
+            if !burnable_at(r, c) {
+                continue;
+            }
+            let idx = r * cols + c;
+            out.set_time(r, c, t0);
+            heap.push((Reverse(Time(t0)), idx as u32));
+        }
+
+        while let Some((Reverse(Time(t)), idx)) = heap.pop() {
+            let idx = idx as usize;
+            let (r, c) = (idx / cols, idx % cols);
+            if t > out.time(r, c) + SMIDGEN {
+                continue; // stale entry
+            }
+            let table = ros_of(idx);
+            for (dir, &(dr, dc, dist_factor)) in landscape::NEIGHBOUR_OFFSETS.iter().enumerate() {
+                let (nr, nc) = (r as isize + dr, c as isize + dc);
+                if nr < 0 || nc < 0 || nr as usize >= rows || nc as usize >= cols {
+                    continue;
+                }
+                let (nr, nc) = (nr as usize, nc as usize);
+                let ros = table[dir];
+                if ros <= SMIDGEN {
+                    continue;
+                }
+                let arrival = t + dist_factor * cell_ft / ros;
+                if arrival > t_end || arrival >= out.time(nr, nc) - SMIDGEN {
+                    continue;
+                }
+                if !burnable_at(nr, nc) {
+                    continue;
+                }
+                out.set_time(nr, nc, arrival);
+                heap.push((Reverse(Time(arrival)), (nr * cols + nc) as u32));
+            }
+        }
+    }
+
+    /// Convenience: simulates and returns the fire line at the end of the
+    /// horizon (burned cells at `t0 + duration`).
+    pub fn simulate_fire_line(
+        &self,
+        scenario: &Scenario,
+        initial: &FireLine,
+        t0: f64,
+        duration: f64,
+    ) -> FireLine {
+        self.simulate(scenario, initial, t0, duration).fire_line_at(t0 + duration)
+    }
+
+    /// Maximum spread rate (ft/min) of `scenario` on a uniform cell of this
+    /// terrain — exposed for workload sizing in the benches.
+    pub fn max_ros(&self, scenario: &Scenario) -> f64 {
+        self.cell_spread(0, 0, scenario).ros_max
+    }
+}
+
+/// Builds the single-cell ignition used by most examples: the map centre
+/// burning at `t = 0`.
+pub fn centre_ignition(rows: usize, cols: usize) -> FireLine {
+    FireLine::from_cells(rows, cols, &[(rows / 2, cols / 2)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use landscape::{Grid, UNIGNITED};
+
+    fn flat_sim(n: usize) -> FireSim {
+        FireSim::new(Terrain::uniform(n, n, 100.0))
+    }
+
+    fn calm_scenario() -> Scenario {
+        Scenario { wind_speed_mph: 0.0, slope_deg: 0.0, ..Scenario::reference() }
+    }
+
+    #[test]
+    fn fire_grows_from_ignition_point() {
+        let sim = flat_sim(21);
+        let map = sim.simulate(&calm_scenario(), &centre_ignition(21, 21), 0.0, 300.0);
+        assert_eq!(map.time(10, 10), 0.0);
+        assert!(map.burned_count_at(300.0) > 1, "fire must spread beyond the ignition");
+    }
+
+    #[test]
+    fn calm_flat_fire_is_symmetric() {
+        let sim = flat_sim(21);
+        let map = sim.simulate(&calm_scenario(), &centre_ignition(21, 21), 0.0, 500.0);
+        for d in 1..=5usize {
+            let north = map.time(10 - d, 10);
+            let south = map.time(10 + d, 10);
+            let east = map.time(10, 10 + d);
+            let west = map.time(10, 10 - d);
+            assert!((north - south).abs() < 1e-9);
+            assert!((east - west).abs() < 1e-9);
+            assert!((north - east).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ignition_times_increase_with_distance() {
+        let sim = flat_sim(21);
+        let map = sim.simulate(&calm_scenario(), &centre_ignition(21, 21), 0.0, 2000.0);
+        let mut prev = 0.0;
+        for d in 1..=8usize {
+            let t = map.time(10, 10 + d);
+            assert!(t > prev, "time must increase along a ray");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn wind_skews_fire_downwind() {
+        let sim = flat_sim(31);
+        let scenario = Scenario { wind_speed_mph: 10.0, wind_dir_deg: 90.0, ..calm_scenario() };
+        let map = sim.simulate(&scenario, &centre_ignition(31, 31), 0.0, 120.0);
+        // Wind blows east: the eastern cell ignites earlier than the western.
+        let east = map.time(15, 20);
+        let west = map.time(15, 10);
+        assert!(east < west, "east {east} < west {west} expected");
+    }
+
+    #[test]
+    fn slope_skews_fire_upslope() {
+        let sim = flat_sim(31);
+        // Aspect 180° (south-facing) → upslope north (decreasing row).
+        let scenario = Scenario { slope_deg: 30.0, aspect_deg: 180.0, ..calm_scenario() };
+        let map = sim.simulate(&scenario, &centre_ignition(31, 31), 0.0, 300.0);
+        let north = map.time(10, 15);
+        let south = map.time(20, 15);
+        assert!(north < south, "north {north} < south {south} expected");
+    }
+
+    #[test]
+    fn horizon_bounds_ignition_times() {
+        let sim = flat_sim(41);
+        let map = sim.simulate(&calm_scenario(), &centre_ignition(41, 41), 0.0, 60.0);
+        for ((_, _), &t) in map.grid().iter_cells() {
+            assert!(t == UNIGNITED || t <= 60.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn longer_horizon_extends_shorter_map() {
+        let sim = flat_sim(31);
+        let s = calm_scenario();
+        let short = sim.simulate(&s, &centre_ignition(31, 31), 0.0, 100.0);
+        let long = sim.simulate(&s, &centre_ignition(31, 31), 0.0, 300.0);
+        for r in 0..31 {
+            for c in 0..31 {
+                if short.time(r, c) != UNIGNITED {
+                    assert!((short.time(r, c) - long.time(r, c)).abs() < 1e-9);
+                }
+            }
+        }
+        assert!(long.burned_count_at(300.0) > short.burned_count_at(100.0));
+    }
+
+    #[test]
+    fn t0_offsets_all_times() {
+        let sim = flat_sim(21);
+        let s = calm_scenario();
+        let at0 = sim.simulate(&s, &centre_ignition(21, 21), 0.0, 200.0);
+        let at50 = sim.simulate(&s, &centre_ignition(21, 21), 50.0, 200.0);
+        for r in 0..21 {
+            for c in 0..21 {
+                if at0.time(r, c) != UNIGNITED {
+                    assert!((at50.time(r, c) - (at0.time(r, c) + 50.0)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn firebreak_stops_spread() {
+        // A vertical stripe of no-fuel cells splits the map; fire ignited on
+        // the left must never reach the right side.
+        let mut fuel = Grid::filled(15, 15, 1u8);
+        for r in 0..15 {
+            fuel.set(r, 7, 0);
+        }
+        let sim = FireSim::new(Terrain::uniform(15, 15, 100.0).with_fuel(fuel));
+        let ignition = FireLine::from_cells(15, 15, &[(7, 2)]);
+        let map = sim.simulate(&calm_scenario(), &ignition, 0.0, 1e5);
+        for r in 0..15 {
+            assert_eq!(map.time(r, 7), UNIGNITED, "firebreak cell ({r},7) ignited");
+            for c in 8..15 {
+                assert_eq!(map.time(r, c), UNIGNITED, "cell ({r},{c}) behind the break ignited");
+            }
+        }
+        assert!(map.burned_count_at(1e5) > 10);
+    }
+
+    #[test]
+    fn damp_fuel_never_ignites_neighbours() {
+        let sim = flat_sim(11);
+        let scenario = Scenario {
+            m1_pct: 30.0,
+            m10_pct: 30.0,
+            m100_pct: 30.0,
+            ..calm_scenario()
+        }; // far beyond model 1 extinction (12 %)
+        let map = sim.simulate(&scenario, &centre_ignition(11, 11), 0.0, 1e6);
+        assert_eq!(map.burned_count_at(1e6), 1, "only the ignition cell may burn");
+    }
+
+    #[test]
+    fn unburnable_ignition_cell_is_ignored() {
+        let mut fuel = Grid::filled(5, 5, 1u8);
+        fuel.set(2, 2, 0);
+        let sim = FireSim::new(Terrain::uniform(5, 5, 100.0).with_fuel(fuel));
+        let map = sim.simulate(&calm_scenario(), &centre_ignition(5, 5), 0.0, 1e4);
+        assert_eq!(map.burned_count_at(1e4), 0);
+    }
+
+    #[test]
+    fn simulate_into_reuses_buffer_and_matches() {
+        let sim = flat_sim(15);
+        let s = calm_scenario();
+        let fresh = sim.simulate(&s, &centre_ignition(15, 15), 0.0, 150.0);
+        let mut reused = IgnitionMap::unignited(15, 15);
+        // Pre-pollute to prove it clears.
+        reused.set_time(0, 0, 1.0);
+        sim.simulate_into(&s, &centre_ignition(15, 15), 0.0, 150.0, &mut reused);
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn fire_line_convenience_matches_map() {
+        let sim = flat_sim(15);
+        let s = calm_scenario();
+        let map = sim.simulate(&s, &centre_ignition(15, 15), 0.0, 150.0);
+        let fl = sim.simulate_fire_line(&s, &centre_ignition(15, 15), 0.0, 150.0);
+        assert_eq!(fl, map.fire_line_at(150.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        let sim = flat_sim(5);
+        let _ = sim.simulate(&calm_scenario(), &centre_ignition(5, 5), 0.0, 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! The raster landscape a fire burns across.
+
+use landscape::geometry::normalize_azimuth;
+use landscape::Grid;
+
+/// Terrain description for the propagation engine.
+///
+/// The ESS systems treat fuel model, slope and aspect as *scenario*
+/// parameters (they are searched by the metaheuristic, Table I), i.e. they
+/// are uniform over the map unless the terrain provides per-cell overrides.
+/// `Terrain` therefore stores the raster shape plus optional override
+/// layers; a cell's effective value is the override when present, otherwise
+/// the scenario's global value.
+#[derive(Debug, Clone)]
+pub struct Terrain {
+    rows: usize,
+    cols: usize,
+    /// Side length of a (square) cell, in feet.
+    cell_size_ft: f64,
+    fuel_override: Option<Grid<u8>>,
+    /// Slope override in degrees.
+    slope_override: Option<Grid<f64>>,
+    /// Aspect override in degrees clockwise from north.
+    aspect_override: Option<Grid<f64>>,
+}
+
+impl Terrain {
+    /// A uniform terrain: every cell takes fuel/slope/aspect from the
+    /// scenario under evaluation.
+    ///
+    /// # Panics
+    /// Panics when a dimension is zero or the cell size is not positive.
+    pub fn uniform(rows: usize, cols: usize, cell_size_ft: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "terrain dimensions must be non-zero");
+        assert!(
+            cell_size_ft.is_finite() && cell_size_ft > 0.0,
+            "cell size must be positive"
+        );
+        Self {
+            rows,
+            cols,
+            cell_size_ft,
+            fuel_override: None,
+            slope_override: None,
+            aspect_override: None,
+        }
+    }
+
+    /// Adds a per-cell fuel-model override layer.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or a fuel code outside 0–13.
+    pub fn with_fuel(mut self, fuel: Grid<u8>) -> Self {
+        assert_eq!(fuel.shape(), (self.rows, self.cols), "fuel layer shape mismatch");
+        assert!(
+            fuel.as_slice().iter().all(|&f| f <= 13),
+            "fuel codes must be 0..=13 (NFFL catalog)"
+        );
+        self.fuel_override = Some(fuel);
+        self
+    }
+
+    /// Adds a per-cell slope override layer (degrees, `[0, 90)`).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or out-of-range values.
+    pub fn with_slope(mut self, slope_deg: Grid<f64>) -> Self {
+        assert_eq!(slope_deg.shape(), (self.rows, self.cols), "slope layer shape mismatch");
+        assert!(
+            slope_deg.as_slice().iter().all(|&s| (0.0..90.0).contains(&s)),
+            "slope must be in [0, 90) degrees"
+        );
+        self.slope_override = Some(slope_deg);
+        self
+    }
+
+    /// Adds a per-cell aspect override layer (degrees clockwise from north).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn with_aspect(mut self, aspect_deg: Grid<f64>) -> Self {
+        assert_eq!(aspect_deg.shape(), (self.rows, self.cols), "aspect layer shape mismatch");
+        self.aspect_override = Some(aspect_deg.map(|&a| normalize_azimuth(a)));
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cell side length (ft).
+    pub fn cell_size_ft(&self) -> f64 {
+        self.cell_size_ft
+    }
+
+    /// `true` when any per-cell override layer is present (the simulator
+    /// then computes spread per cell instead of once per scenario).
+    pub fn has_overrides(&self) -> bool {
+        self.fuel_override.is_some()
+            || self.slope_override.is_some()
+            || self.aspect_override.is_some()
+    }
+
+    /// Effective fuel model of a cell given the scenario's global value.
+    #[inline]
+    pub fn fuel_at(&self, row: usize, col: usize, scenario_fuel: u8) -> u8 {
+        self.fuel_override.as_ref().map_or(scenario_fuel, |g| g.at(row, col))
+    }
+
+    /// Effective slope (degrees) of a cell given the scenario's value.
+    #[inline]
+    pub fn slope_at(&self, row: usize, col: usize, scenario_slope_deg: f64) -> f64 {
+        self.slope_override.as_ref().map_or(scenario_slope_deg, |g| g.at(row, col))
+    }
+
+    /// Effective aspect (degrees) of a cell given the scenario's value.
+    #[inline]
+    pub fn aspect_at(&self, row: usize, col: usize, scenario_aspect_deg: f64) -> f64 {
+        self.aspect_override.as_ref().map_or(scenario_aspect_deg, |g| g.at(row, col))
+    }
+}
+
+/// The direction fire is pushed by slope: directly upslope, i.e. opposite
+/// the (downslope-facing) aspect.
+pub fn upslope_azimuth(aspect_deg: f64) -> f64 {
+    normalize_azimuth(aspect_deg + 180.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_terrain_delegates_to_scenario() {
+        let t = Terrain::uniform(4, 4, 100.0);
+        assert!(!t.has_overrides());
+        assert_eq!(t.fuel_at(1, 1, 7), 7);
+        assert_eq!(t.slope_at(1, 1, 12.0), 12.0);
+        assert_eq!(t.aspect_at(1, 1, 270.0), 270.0);
+    }
+
+    #[test]
+    fn overrides_shadow_scenario_values() {
+        let fuel = Grid::filled(2, 2, 4u8);
+        let t = Terrain::uniform(2, 2, 50.0).with_fuel(fuel);
+        assert!(t.has_overrides());
+        assert_eq!(t.fuel_at(0, 0, 1), 4);
+    }
+
+    #[test]
+    fn aspect_layer_is_normalized() {
+        let t = Terrain::uniform(1, 1, 50.0).with_aspect(Grid::filled(1, 1, -90.0));
+        assert_eq!(t.aspect_at(0, 0, 0.0), 270.0);
+    }
+
+    #[test]
+    fn upslope_is_opposite_aspect() {
+        assert_eq!(upslope_azimuth(180.0), 0.0);
+        assert_eq!(upslope_azimuth(0.0), 180.0);
+        assert_eq!(upslope_azimuth(270.0), 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=13")]
+    fn invalid_fuel_code_rejected() {
+        let _ = Terrain::uniform(1, 1, 50.0).with_fuel(Grid::filled(1, 1, 14u8));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn layer_shape_mismatch_rejected() {
+        let _ = Terrain::uniform(2, 2, 50.0).with_slope(Grid::filled(1, 2, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_cell_size_rejected() {
+        let _ = Terrain::uniform(2, 2, 0.0);
+    }
+}

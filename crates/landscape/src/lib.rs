@@ -1,0 +1,32 @@
+//! Raster substrate for the ESS-NS wildfire prediction reproduction.
+//!
+//! The fire simulator, the statistical stage and every quality metric in the
+//! ESS family of systems operate on *square-cell rasters* ("the map of the
+//! field as a matrix of square cells", paper §III-B). This crate provides:
+//!
+//! * [`Grid`] — a generic row-major raster with 8-neighbour topology;
+//! * [`IgnitionMap`] — per-cell ignition times, the output of one fire
+//!   simulation ("a map indicating the time instant of ignition of each
+//!   cell", paper §III-A);
+//! * [`FireLine`] — the burned-cell set at a given instant (the `RFL`/`PFL`
+//!   objects of Figs. 1–3);
+//! * [`ProbabilityMap`] — the aggregated ignition-probability matrix built by
+//!   the Statistical Stage and thresholded by the Key Ignition Value;
+//! * [`metrics::jaccard`] — the fitness function of Eq. (3), excluding
+//!   pre-burned cells;
+//! * ASCII / CSV raster IO for the examples and the report harness.
+
+pub mod firemap;
+pub mod geometry;
+pub mod grid;
+pub mod io;
+pub mod metrics;
+pub mod perimeter;
+pub mod probability;
+
+pub use firemap::{FireLine, IgnitionMap, UNIGNITED};
+pub use perimeter::{perimeter_cells, shape_stats, ShapeStats};
+pub use geometry::{CellId, Direction8, NEIGHBOUR_OFFSETS};
+pub use grid::Grid;
+pub use metrics::{jaccard, JaccardBreakdown};
+pub use probability::ProbabilityMap;

@@ -1,0 +1,252 @@
+//! Map-comparison metrics — the fitness function of the ESS family.
+
+use crate::firemap::FireLine;
+use crate::grid::Grid;
+
+/// Cell-level contingency counts behind a Jaccard evaluation.
+///
+/// Useful for the report harness: the ESS literature frequently discusses
+/// over-prediction (cells predicted burned that did not burn) separately
+/// from under-prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JaccardBreakdown {
+    /// Burned in both maps (the intersection).
+    pub hits: usize,
+    /// Burned only in the prediction (over-prediction).
+    pub false_alarms: usize,
+    /// Burned only in the reference (under-prediction).
+    pub misses: usize,
+    /// Cells excluded because they were burned before the simulation started.
+    pub excluded: usize,
+}
+
+impl JaccardBreakdown {
+    /// The Jaccard index |A∩B| / |A∪B| implied by these counts.
+    ///
+    /// When both maps are empty after exclusion the union is empty; the
+    /// prediction is trivially perfect, so this returns 1.0 (matching the
+    /// ESS convention that a no-growth step predicted as no-growth scores 1).
+    pub fn index(&self) -> f64 {
+        let union = self.hits + self.false_alarms + self.misses;
+        if union == 0 {
+            1.0
+        } else {
+            self.hits as f64 / union as f64
+        }
+    }
+}
+
+/// Fitness function of the ESS systems — Eq. (3) of the paper:
+///
+/// ```text
+/// fitness(A, B) = |A ∩ B| / |A ∪ B|
+/// ```
+///
+/// where `A` is the real burned map and `B` the simulated/predicted map,
+/// **both with the cells already burned before the simulation removed**
+/// ("previously burned cells are not considered in order to avoid skewed
+/// results", §III-B). `preburn` may be `None` when nothing was burned before
+/// the step (e.g. the very first instant).
+///
+/// Returns a value in `[0, 1]`: 1 is a perfect prediction, 0 the worst.
+///
+/// # Panics
+/// Panics when the maps (or mask) differ in shape.
+pub fn jaccard(real: &FireLine, predicted: &FireLine, preburn: Option<&FireLine>) -> f64 {
+    jaccard_breakdown(real, predicted, preburn).index()
+}
+
+/// Like [`jaccard`] but returns the full contingency counts.
+pub fn jaccard_breakdown(
+    real: &FireLine,
+    predicted: &FireLine,
+    preburn: Option<&FireLine>,
+) -> JaccardBreakdown {
+    assert!(
+        real.mask().same_shape(predicted.mask()),
+        "jaccard: real and predicted maps differ in shape"
+    );
+    if let Some(p) = preburn {
+        assert!(real.mask().same_shape(p.mask()), "jaccard: preburn mask differs in shape");
+    }
+
+    let mut counts = JaccardBreakdown { hits: 0, false_alarms: 0, misses: 0, excluded: 0 };
+    let n = real.mask().len();
+    let ra = real.mask().as_slice();
+    let pa = predicted.mask().as_slice();
+    for i in 0..n {
+        if let Some(p) = preburn {
+            if p.mask().as_slice()[i] {
+                counts.excluded += 1;
+                continue;
+            }
+        }
+        match (ra[i], pa[i]) {
+            (true, true) => counts.hits += 1,
+            (false, true) => counts.false_alarms += 1,
+            (true, false) => counts.misses += 1,
+            (false, false) => {}
+        }
+    }
+    counts
+}
+
+/// Mean and population standard deviation of a sample.
+///
+/// Shared by the diversity/quality reporting across crates; lives here so
+/// every consumer agrees on the definition (population, not sample, σ).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Interquartile range (Q3 − Q1) using the nearest-rank method.
+///
+/// This is the population-spread statistic used by ESSIM-DE's dynamic
+/// tuning metric (\[22\] in the paper): a collapsing IQR of the population
+/// fitness signals premature convergence.
+pub fn iqr(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("iqr: NaN in sample"));
+    let q = |frac: f64| -> f64 {
+        let pos = frac * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    };
+    q(0.75) - q(0.25)
+}
+
+/// Sørensen–Dice coefficient, 2|A∩B| / (|A|+|B|) — reported alongside
+/// Jaccard by some of the predecessor papers; kept for the harness.
+pub fn dice(real: &FireLine, predicted: &FireLine, preburn: Option<&FireLine>) -> f64 {
+    let b = jaccard_breakdown(real, predicted, preburn);
+    let denom = 2 * b.hits + b.false_alarms + b.misses;
+    if denom == 0 {
+        1.0
+    } else {
+        2.0 * b.hits as f64 / denom as f64
+    }
+}
+
+/// Builds a [`FireLine`] difference map: cells burned in exactly one input.
+pub fn symmetric_difference(a: &FireLine, b: &FireLine) -> FireLine {
+    assert!(a.mask().same_shape(b.mask()), "symmetric_difference: shape mismatch");
+    let rows = a.rows();
+    let cols = a.cols();
+    let mut g = Grid::filled(rows, cols, false);
+    for r in 0..rows {
+        for c in 0..cols {
+            g.set(r, c, a.is_burned(r, c) != b.is_burned(r, c));
+        }
+    }
+    FireLine::from_mask(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fl(rows: usize, cols: usize, cells: &[(usize, usize)]) -> FireLine {
+        FireLine::from_cells(rows, cols, cells)
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let a = fl(3, 3, &[(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(jaccard(&a, &a.clone(), None), 1.0);
+    }
+
+    #[test]
+    fn disjoint_prediction_scores_zero() {
+        let a = fl(2, 2, &[(0, 0)]);
+        let b = fl(2, 2, &[(1, 1)]);
+        assert_eq!(jaccard(&a, &b, None), 0.0);
+    }
+
+    #[test]
+    fn half_overlap() {
+        // A = {a,b}, B = {b,c}: |A∩B| = 1, |A∪B| = 3.
+        let a = fl(2, 2, &[(0, 0), (0, 1)]);
+        let b = fl(2, 2, &[(0, 1), (1, 0)]);
+        assert!((jaccard(&a, &b, None) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preburn_cells_are_excluded() {
+        // Both maps burn the preburned cell; without exclusion J would be
+        // 1/1 = 1. With exclusion the remaining maps are empty → 1.0 too,
+        // so craft a case where exclusion changes the score:
+        let real = fl(2, 2, &[(0, 0), (1, 1)]);
+        let pred = fl(2, 2, &[(0, 0)]);
+        let pre = fl(2, 2, &[(0, 0)]);
+        // Excluding (0,0): real = {(1,1)}, pred = {} → J = 0.
+        assert_eq!(jaccard(&real, &pred, Some(&pre)), 0.0);
+        // Without exclusion J = 1/2.
+        assert_eq!(jaccard(&real, &pred, None), 0.5);
+    }
+
+    #[test]
+    fn empty_union_is_perfect() {
+        let a = fl(2, 2, &[]);
+        assert_eq!(jaccard(&a, &a.clone(), None), 1.0);
+    }
+
+    #[test]
+    fn breakdown_counts() {
+        let real = fl(2, 3, &[(0, 0), (0, 1), (1, 2)]);
+        let pred = fl(2, 3, &[(0, 1), (1, 0), (1, 2)]);
+        let b = jaccard_breakdown(&real, &pred, None);
+        assert_eq!(b.hits, 2);
+        assert_eq!(b.misses, 1);
+        assert_eq!(b.false_alarms, 1);
+        assert_eq!(b.excluded, 0);
+        assert!((b.index() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_relates_to_jaccard() {
+        let real = fl(2, 3, &[(0, 0), (0, 1), (1, 2)]);
+        let pred = fl(2, 3, &[(0, 1), (1, 0), (1, 2)]);
+        let j = jaccard(&real, &pred, None);
+        let d = dice(&real, &pred, None);
+        // D = 2J / (1 + J)
+        assert!((d - 2.0 * j / (1.0 + j)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_difference_is_xor() {
+        let a = fl(2, 2, &[(0, 0), (0, 1)]);
+        let b = fl(2, 2, &[(0, 1), (1, 1)]);
+        let d = symmetric_difference(&a, &b);
+        assert!(d.is_burned(0, 0));
+        assert!(!d.is_burned(0, 1));
+        assert!(d.is_burned(1, 1));
+        assert_eq!(d.burned_area(), 2);
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn iqr_linear_interpolation() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        // positions: q1 at 0.75 -> 1.75, q3 at 2.25 -> 3.25 → IQR 1.5
+        assert!((iqr(&v) - 1.5).abs() < 1e-12);
+        assert_eq!(iqr(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! `parworker` — the Master/Worker parallel evaluation engine of the ESS
+//! systems.
+//!
+//! Every system in the ESS family parallelises the same thing: the
+//! evaluation of scenarios ("the Master process only delegates the
+//! simulation and evaluation of individuals to the Workers, since this is
+//! the most demanding part of the prediction process", paper §III-A; "in a
+//! first version, parallelism will only be implemented in the evaluation of
+//! the scenarios", §III-B). The original systems use MPI processes; this
+//! crate reproduces the communication pattern with OS threads and crossbeam
+//! channels:
+//!
+//! * [`pool::WorkerPool`] — a persistent Master/Worker task farm. The
+//!   master scatters indexed tasks over a shared channel; workers own
+//!   per-worker mutable state (e.g. a simulator with scratch buffers),
+//!   compute, and send results back; the master gathers and reorders.
+//! * [`pool::scoped_par_map`] — a one-shot scoped fork/join map for
+//!   borrowed data.
+//! * [`rayon_backend::RayonMap`] — the same contract on a rayon
+//!   work-stealing pool, used by the benches to compare scheduling
+//!   strategies.
+//! * [`stats`] — wall-clock / busy-time instrumentation feeding the
+//!   speedup experiment (E3).
+
+pub mod pool;
+pub mod rayon_backend;
+pub mod stats;
+
+pub use pool::{scoped_par_map, WorkerPool};
+pub use rayon_backend::RayonMap;
+pub use stats::{PoolStats, SpeedupRow, Stopwatch};

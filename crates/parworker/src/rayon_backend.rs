@@ -1,0 +1,90 @@
+//! Rayon work-stealing backend — the alternative scheduling strategy the
+//! benches compare against the channel-based Master/Worker farm.
+
+use rayon::prelude::*;
+
+/// A sized rayon thread pool exposing the same ordered-map contract as
+/// [`crate::WorkerPool`].
+///
+/// Unlike the Master/Worker farm, rayon uses work stealing: tasks are not
+/// scattered up front by a master but stolen by idle workers, which can
+/// schedule irregular task mixes (e.g. scenarios whose simulations differ
+/// wildly in burned area) better. E3 quantifies the difference.
+pub struct RayonMap {
+    pool: rayon::ThreadPool,
+}
+
+impl RayonMap {
+    /// Builds a pool with exactly `workers` threads.
+    ///
+    /// # Panics
+    /// Panics when `workers == 0` or the pool cannot be built.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "a rayon pool needs at least one worker");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .thread_name(|i| format!("rayonworker-{i}"))
+            .build()
+            .expect("failed to build rayon pool");
+        Self { pool }
+    }
+
+    /// Number of threads.
+    pub fn workers(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// Ordered parallel map over borrowed tasks.
+    pub fn map<T, R, F>(&self, tasks: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.pool.install(|| tasks.par_iter().map(&f).collect())
+    }
+
+    /// Ordered parallel map over owned tasks.
+    pub fn map_owned<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        self.pool.install(|| tasks.into_par_iter().map(f).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_results() {
+        let pool = RayonMap::new(3);
+        let tasks: Vec<u64> = (0..50).collect();
+        assert_eq!(pool.map(&tasks, |&x| x * 3), (0..50).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owned_map_matches_borrowed() {
+        let pool = RayonMap::new(2);
+        let tasks: Vec<u64> = (0..20).collect();
+        let borrowed = pool.map(&tasks, |&x| x + 7);
+        let owned = pool.map_owned(tasks, |x| x + 7);
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn respects_thread_count() {
+        let pool = RayonMap::new(2);
+        assert_eq!(pool.workers(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pool = RayonMap::new(2);
+        let out: Vec<u32> = pool.map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+}

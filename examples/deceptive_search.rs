@@ -1,0 +1,83 @@
+//! The §II-C deceptiveness argument, outside the fire domain: on a fully
+//! deceptive landscape the objective gradient points *away* from the global
+//! optimum, so a fitness GA converges to the deceptive attractor while
+//! Novelty Search — which ignores the objective — keeps finding new
+//! behaviours until it stumbles on the true optimum and records it in
+//! `bestSet`.
+//!
+//! ```sh
+//! cargo run --release --example deceptive_search
+//! ```
+
+use ess_ns::{NoveltyGa, NoveltyGaConfig};
+use evoalg::benchmarks::{deceptive_trap, trap_is_optimal};
+use evoalg::{GaConfig, GaEngine};
+
+const DIMS: usize = 16; // four 4-bit trap blocks
+const GENS: u32 = 60;
+const SEEDS: u64 = 10;
+
+fn main() {
+    println!("deceptive trap: {DIMS} pseudo-bits in blocks of 4, {GENS} generations, {SEEDS} seeds");
+    println!("block fitness: all-ones = 4 (optimum), otherwise 3 - #ones (deceptive slope)\n");
+
+    let mut ns_hits = 0;
+    let mut ga_hits = 0;
+    let mut ns_mean = 0.0;
+    let mut ga_mean = 0.0;
+
+    for seed in 0..SEEDS {
+        // --- Novelty Search (Algorithm 1) --------------------------------
+        let cfg = NoveltyGaConfig {
+            population_size: 24,
+            offspring: 24,
+            max_generations: GENS,
+            fitness_threshold: 2.0, // disabled: run the full budget
+            seed,
+            ..NoveltyGaConfig::default()
+        };
+        let mut eval =
+            |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| deceptive_trap(g, 4)).collect() };
+        let out = NoveltyGa::new(DIMS, cfg).run(&mut eval);
+        let ns_best = out.best_set.max_fitness();
+        ns_mean += ns_best;
+        if trap_is_optimal(&out.best_set.entries()[0].genes) {
+            ns_hits += 1;
+        }
+
+        // --- fitness GA, same budget --------------------------------------
+        let mut engine = GaEngine::new(
+            DIMS,
+            GaConfig { population_size: 24, offspring: 24, seed, ..GaConfig::default() },
+        );
+        let mut eval =
+            |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| deceptive_trap(g, 4)).collect() };
+        engine.evaluate_initial(&mut eval);
+        let mut best = f64::NEG_INFINITY;
+        let mut best_genes = Vec::new();
+        for _ in 0..GENS {
+            engine.step(&mut eval);
+            if let Some(b) = engine.population().best() {
+                if b.fitness > best {
+                    best = b.fitness;
+                    best_genes = b.genes.clone();
+                }
+            }
+        }
+        ga_mean += best;
+        if trap_is_optimal(&best_genes) {
+            ga_hits += 1;
+        }
+    }
+
+    ns_mean /= SEEDS as f64;
+    ga_mean /= SEEDS as f64;
+    println!("algorithm    mean best fitness   global optima found");
+    println!("NS-GA        {ns_mean:.4}              {ns_hits}/{SEEDS}");
+    println!("fitness-GA   {ga_mean:.4}              {ga_hits}/{SEEDS}");
+    println!(
+        "\nThe deceptive attractor (all zeros) scores 0.75; riding the gradient\n\
+         gets the fitness GA stuck there, while NS's behaviour-space exploration\n\
+         reaches full blocks and its bestSet remembers them."
+    );
+}

@@ -1,0 +1,69 @@
+//! A full prediction campaign under a drifting truth: the scenario the
+//! paper's §IV worries about ("a scenario that was a good descriptor at one
+//! time step can become worse at the next step").
+//!
+//! Runs ESS (fitness GA, final population) and ESS-NS (Algorithm 1,
+//! bestSet) through every prediction step of the `shifting_wind` burn case
+//! and prints quality per step, diversity of the result sets, and the final
+//! predicted-vs-real map.
+//!
+//! ```sh
+//! cargo run --release --example predict_campaign
+//! ```
+
+use ess::cases;
+use ess::fitness::EvalBackend;
+use ess::pipeline::PredictionPipeline;
+use ess::report::{f4, opt_f4, TextTable};
+use ess_ns::EssNs;
+
+fn main() {
+    let case = cases::shifting_wind();
+    println!("case: {} — {}", case.name, case.description);
+    println!(
+        "observed instants: {:?} min; final burned area {} cells\n",
+        case.times,
+        case.final_area()
+    );
+
+    let pipeline = PredictionPipeline::new(EvalBackend::MasterWorker(2), 2024);
+
+    let mut ess = ess::EssClassic::default();
+    let ess_report = pipeline.run(&case, &mut ess);
+
+    let mut essns = EssNs::baseline();
+    let ns_report = pipeline.run(&case, &mut essns);
+
+    let mut table = TextTable::new([
+        "step", "ESS quality", "ESS-NS quality", "ESS diversity", "ESS-NS diversity",
+    ]);
+    for (a, b) in ess_report.steps.iter().zip(&ns_report.steps) {
+        table.row([
+            format!("t{}", a.step + 1),
+            opt_f4(a.quality),
+            opt_f4(b.quality),
+            f4(a.diversity.mean_pairwise),
+            f4(b.diversity.mean_pairwise),
+        ]);
+    }
+    table.row([
+        "mean".to_string(),
+        f4(ess_report.mean_quality()),
+        f4(ns_report.mean_quality()),
+        f4(ess_report.mean_diversity()),
+        f4(ns_report.mean_diversity()),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "evaluations: ESS {}, ESS-NS {}; wall: ESS {:.0} ms, ESS-NS {:.0} ms",
+        ess_report.total_evaluations(),
+        ns_report.total_evaluations(),
+        ess_report.total_ms,
+        ns_report.total_ms,
+    );
+    println!(
+        "\nThe drifting wind punishes converged populations: ESS-NS's bestSet keeps\n\
+         scenarios from different search-space regions, which shows up as the higher\n\
+         diversity column and (typically) equal-or-better late-step quality."
+    );
+}

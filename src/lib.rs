@@ -1,0 +1,28 @@
+//! `essns-repro` — umbrella crate of the reproduction of
+//! *"A Parallel Novelty Search Metaheuristic Applied to a Wildfire
+//! Prediction System"* (Strappa, Caymes-Scutari & Bianchini, IPPS 2022).
+//!
+//! Re-exports every workspace crate so the examples and integration tests
+//! have a single import root. Start with [`ess_ns`] (the paper's
+//! contribution: Algorithm 1 and the ESS-NS system), then [`ess`] (the
+//! prediction framework and baselines), [`firelib`] (the fire simulator),
+//! [`evoalg`] (the EA substrate), [`parworker`] (the Master/Worker engine)
+//! and [`landscape`] (rasters and metrics).
+//!
+//! ```no_run
+//! use essns_repro::ess::{cases, fitness::EvalBackend, pipeline::PredictionPipeline};
+//! use essns_repro::ess_ns::EssNs;
+//!
+//! let case = cases::grass_uniform();
+//! let mut system = EssNs::baseline();
+//! let report = PredictionPipeline::new(EvalBackend::MasterWorker(2), 7)
+//!     .run(&case, &mut system);
+//! println!("mean prediction quality: {:.3}", report.mean_quality());
+//! ```
+
+pub use ess;
+pub use ess_ns;
+pub use evoalg;
+pub use firelib;
+pub use landscape;
+pub use parworker;

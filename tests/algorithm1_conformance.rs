@@ -1,0 +1,151 @@
+//! A1 — Algorithm 1 conformance: line-by-line behavioural checks of the
+//! Novelty-based Genetic Algorithm with Multiple Solutions against the
+//! paper's pseudocode, using an instrumented evaluator as the oracle.
+
+use essns_repro::ess_ns::{NoveltyGa, NoveltyGaConfig, StopReason};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared evaluation log: every `(genome, fitness)` pair ever scored.
+type EvalLog = Rc<RefCell<Vec<(Vec<f64>, f64)>>>;
+
+/// An instrumented objective that records every genome it ever scored.
+fn recording_eval(log: EvalLog) -> impl FnMut(&[Vec<f64>]) -> Vec<f64> {
+    move |gs: &[Vec<f64>]| {
+        gs.iter()
+            .map(|g| {
+                let f = evoalg::benchmarks::sphere(g);
+                log.borrow_mut().push((g.clone(), f));
+                f
+            })
+            .collect()
+    }
+}
+
+fn base_config() -> NoveltyGaConfig {
+    NoveltyGaConfig {
+        population_size: 12,
+        offspring: 16,
+        max_generations: 8,
+        fitness_threshold: 2.0, // force the generation budget
+        best_set_capacity: 6,
+        archive_capacity: 20,
+        seed: 77,
+        ..NoveltyGaConfig::default()
+    }
+}
+
+/// Line 21 + output contract: `bestSet` holds exactly the top-fitness
+/// distinct genomes among everything the search ever evaluated.
+#[test]
+fn best_set_is_global_topk_of_all_evaluations() {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut eval = recording_eval(Rc::clone(&log));
+    let out = NoveltyGa::new(5, base_config()).run(&mut eval);
+
+    // Oracle: sort every evaluated (genome, fitness) by fitness, dedupe by
+    // genome, take the top capacity.
+    let mut seen: Vec<(Vec<f64>, f64)> = Vec::new();
+    for (g, f) in log.borrow().iter() {
+        if !seen.iter().any(|(sg, _)| sg == g) {
+            seen.push((g.clone(), *f));
+        }
+    }
+    seen.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    seen.truncate(6);
+    let expected: Vec<f64> = seen.iter().map(|(_, f)| *f).collect();
+    let got = out.best_set.fitness_values();
+    assert_eq!(got.len(), expected.len());
+    for (g, e) in got.iter().zip(&expected) {
+        assert!((g - e).abs() < 1e-12, "bestSet {got:?} != oracle top-k {expected:?}");
+    }
+}
+
+/// Line 6: stopping on the generation budget.
+#[test]
+fn stops_on_generation_budget() {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut eval = recording_eval(Rc::clone(&log));
+    let out = NoveltyGa::new(4, base_config()).run(&mut eval);
+    assert_eq!(out.generations, 8);
+    assert_eq!(out.stop_reason, StopReason::GenerationBudget);
+}
+
+/// Line 6: stopping on the fitness threshold, checked against line 18's
+/// `getMaxFitness(bestSet)`.
+#[test]
+fn stops_on_fitness_threshold() {
+    let cfg = NoveltyGaConfig {
+        fitness_threshold: 0.5,
+        max_generations: 1000,
+        ..base_config()
+    };
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut eval = recording_eval(Rc::clone(&log));
+    let out = NoveltyGa::new(4, cfg).run(&mut eval);
+    assert_eq!(out.stop_reason, StopReason::FitnessThreshold);
+    assert!(out.best_set.max_fitness() >= 0.5);
+    assert!(out.generations < 1000);
+    // The loop must stop at the FIRST generation whose bestSet reached the
+    // threshold: all history rows but the last are below it.
+    for h in &out.history[..out.history.len() - 1] {
+        assert!(h.max_fitness < 0.5, "ran past the threshold at gen {}", h.generation);
+    }
+}
+
+/// Lines 8–10: evaluation effort is exactly N + generations × m (the
+/// population's cached scores are reused, offspring are fresh).
+#[test]
+fn evaluation_budget_matches_pseudocode() {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut eval = recording_eval(Rc::clone(&log));
+    let out = NoveltyGa::new(4, base_config()).run(&mut eval);
+    let total = log.borrow().len() as u64;
+    assert_eq!(total, 12 + 8 * 16);
+    assert_eq!(out.evaluations, total);
+}
+
+/// Line 15/16 invariants across the whole run: archive bounded by its
+/// capacity, population size constant at N.
+#[test]
+fn archive_bounded_and_population_constant() {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut eval = recording_eval(Rc::clone(&log));
+    let out = NoveltyGa::new(4, base_config()).run(&mut eval);
+    assert!(out.archive.len() <= 20);
+    assert_eq!(out.final_population.len(), 12);
+    for h in &out.history {
+        assert!(h.archive_len <= 20);
+        assert!(h.best_set_len <= 6);
+    }
+}
+
+/// Lines 18–19: `maxFitness` is non-decreasing and equals the bestSet head.
+#[test]
+fn max_fitness_monotone_and_consistent() {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut eval = recording_eval(Rc::clone(&log));
+    let out = NoveltyGa::new(4, base_config()).run(&mut eval);
+    let series: Vec<f64> = out.history.iter().map(|h| h.max_fitness).collect();
+    assert!(series.windows(2).all(|w| w[1] >= w[0]), "{series:?}");
+    assert_eq!(*series.last().unwrap(), out.best_set.max_fitness());
+}
+
+/// The defining NS property the paper relies on (§III-A): the population
+/// itself does not converge — its genotypic diversity stays of the same
+/// order as the initial random population's.
+#[test]
+fn population_never_converges() {
+    let cfg = NoveltyGaConfig { max_generations: 30, ..base_config() };
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut eval = recording_eval(Rc::clone(&log));
+    let out = NoveltyGa::new(6, cfg).run(&mut eval);
+    let final_div =
+        evoalg::diversity::mean_pairwise_distance(&out.final_population.genomes());
+    // A uniform random population in [0,1]^6 has mean pairwise normalised
+    // distance ≈ 0.38; a converged GA population sits well below 0.05.
+    assert!(
+        final_div > 0.1,
+        "NS population collapsed to diversity {final_div} after 30 generations"
+    );
+}

@@ -1,0 +1,63 @@
+//! T1 — Table I conformance: the in-code scenario space matches the
+//! paper's parameter table row for row, and the whole workspace agrees on
+//! the encoding.
+
+use essns_repro::firelib::{ParamDef, Scenario, ScenarioSpace, GENE_COUNT};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The rows of Table I exactly as printed in the paper.
+const PAPER_TABLE1: [(&str, f64, f64, &str); 9] = [
+    ("Model", 1.0, 13.0, "fuel model"),
+    ("WindSpd", 0.0, 80.0, "miles/hour"),
+    ("WindDir", 0.0, 360.0, "degrees clockwise from North"),
+    ("M1", 1.0, 60.0, "percent"),
+    ("M10", 1.0, 60.0, "percent"),
+    ("M100", 1.0, 60.0, "percent"),
+    ("Mherb", 30.0, 300.0, "percent"),
+    ("Slope", 0.0, 81.0, "degrees"),
+    ("Aspect", 0.0, 360.0, "degrees clockwise from north"),
+];
+
+#[test]
+fn parameter_table_matches_paper() {
+    let params: &[ParamDef; GENE_COUNT] = ScenarioSpace.params();
+    assert_eq!(params.len(), PAPER_TABLE1.len());
+    for (def, (name, lo, hi, unit)) in params.iter().zip(PAPER_TABLE1) {
+        assert_eq!(def.name, name);
+        assert_eq!(def.lo, lo, "{name} lower bound");
+        assert_eq!(def.hi, hi, "{name} upper bound");
+        assert_eq!(def.unit, unit, "{name} unit");
+    }
+}
+
+#[test]
+fn only_the_fuel_model_is_integer_valued() {
+    for def in ScenarioSpace.params() {
+        assert_eq!(def.integer, def.name == "Model", "{}", def.name);
+    }
+}
+
+#[test]
+fn every_sample_respects_every_row() {
+    let mut rng = StdRng::seed_from_u64(2022);
+    for _ in 0..2000 {
+        let s: Scenario = ScenarioSpace.sample(&mut rng);
+        let values = s.values();
+        for (v, (name, lo, hi, _)) in values.iter().zip(PAPER_TABLE1) {
+            assert!(
+                (lo..=hi).contains(v),
+                "sampled {name} = {v} outside the paper range [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn rendered_table_contains_every_paper_row() {
+    let rendered = essns_repro::firelib::scenario::render_table1();
+    for (name, _, _, unit) in PAPER_TABLE1 {
+        assert!(rendered.contains(name), "missing parameter {name}");
+        assert!(rendered.contains(unit), "missing unit {unit}");
+    }
+}
