@@ -4,7 +4,7 @@
 //! (on the fire problem the simulations dominate and this overhead
 //! disappears — compare with the `eval_backends` group).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ess_benches::microbench::{bench, group};
 use ess_ns::{NoveltyGa, NoveltyGaConfig};
 use evoalg::benchmarks::deceptive_trap;
 use evoalg::{GaConfig, GaEngine};
@@ -13,46 +13,44 @@ use std::hint::black_box;
 const DIMS: usize = 16;
 const GENS: u32 = 30;
 
-fn bench_deceptive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("deceptive_trap_search");
-    group.sample_size(10);
+fn main() {
+    group("deceptive_trap_search (30 generations)");
 
-    group.bench_function("ns_ga", |b| {
-        b.iter(|| {
-            let cfg = NoveltyGaConfig {
+    bench("ns_ga", 10, || {
+        let cfg = NoveltyGaConfig {
+            population_size: 24,
+            offspring: 24,
+            max_generations: GENS,
+            fitness_threshold: 2.0,
+            seed: 5,
+            ..NoveltyGaConfig::default()
+        };
+        let mut eval =
+            |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| deceptive_trap(g, 4)).collect() };
+        black_box(
+            NoveltyGa::new(DIMS, cfg)
+                .run(&mut eval)
+                .best_set
+                .max_fitness(),
+        )
+    });
+
+    bench("fitness_ga", 10, || {
+        let mut engine = GaEngine::new(
+            DIMS,
+            GaConfig {
                 population_size: 24,
                 offspring: 24,
-                max_generations: GENS,
-                fitness_threshold: 2.0,
                 seed: 5,
-                ..NoveltyGaConfig::default()
-            };
-            let mut eval = |gs: &[Vec<f64>]| -> Vec<f64> {
-                gs.iter().map(|g| deceptive_trap(g, 4)).collect()
-            };
-            black_box(NoveltyGa::new(DIMS, cfg).run(&mut eval).best_set.max_fitness())
-        })
+                ..GaConfig::default()
+            },
+        );
+        let mut eval =
+            |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| deceptive_trap(g, 4)).collect() };
+        engine.evaluate_initial(&mut eval);
+        for _ in 0..GENS {
+            engine.step(&mut eval);
+        }
+        black_box(engine.stats().best_fitness)
     });
-
-    group.bench_function("fitness_ga", |b| {
-        b.iter(|| {
-            let mut engine = GaEngine::new(
-                DIMS,
-                GaConfig { population_size: 24, offspring: 24, seed: 5, ..GaConfig::default() },
-            );
-            let mut eval = |gs: &[Vec<f64>]| -> Vec<f64> {
-                gs.iter().map(|g| deceptive_trap(g, 4)).collect()
-            };
-            engine.evaluate_initial(&mut eval);
-            for _ in 0..GENS {
-                engine.step(&mut eval);
-            }
-            black_box(engine.stats().best_fitness)
-        })
-    });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_deceptive);
-criterion_main!(benches);

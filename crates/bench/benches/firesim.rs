@@ -2,57 +2,46 @@
 //! (grid size × fuel model), the cost model underneath every other
 //! experiment.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ess_benches::microbench::{bench, group};
 use firelib::sim::centre_ignition;
 use firelib::{FireSim, Scenario, Terrain};
 use std::hint::black_box;
 
-fn bench_firesim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("firesim");
-    group.sample_size(20);
+fn main() {
+    group("firesim (one 500-min propagation)");
     for &n in &[32usize, 64, 128] {
         for &model in &[1u8, 4, 10] {
             let sim = FireSim::new(Terrain::uniform(n, n, 100.0));
-            let scenario = Scenario { model, wind_speed_mph: 10.0, ..Scenario::reference() };
+            let scenario = Scenario {
+                model,
+                wind_speed_mph: 10.0,
+                ..Scenario::reference()
+            };
             let ignition = centre_ignition(n, n);
-            group.throughput(Throughput::Elements((n * n) as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("NFFL{model:02}"), format!("{n}x{n}")),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(sim.simulate(
-                            black_box(&scenario),
-                            black_box(&ignition),
-                            0.0,
-                            500.0,
-                        ))
-                    })
-                },
-            );
+            bench(&format!("NFFL{model:02} {n}x{n}"), 20, || {
+                black_box(sim.simulate(black_box(&scenario), black_box(&ignition), 0.0, 500.0))
+            });
         }
     }
-    group.finish();
 
     // Per-cell override path (the two_ridge terrain): measures the
     // per-cell spread-table cost relative to the uniform fast path.
-    let mut group = c.benchmark_group("firesim_overrides");
-    group.sample_size(20);
+    group("firesim_overrides");
     let n = 64usize;
     let mut slope = landscape::Grid::filled(n, n, 0.0f64);
     for r in 0..n {
-        for c2 in 0..n {
-            slope.set(r, c2, (c2 % 20) as f64);
+        for c in 0..n {
+            slope.set(r, c, (c % 20) as f64);
         }
     }
     let sim = FireSim::new(Terrain::uniform(n, n, 100.0).with_slope(slope));
-    let scenario = Scenario { model: 2, wind_speed_mph: 8.0, ..Scenario::reference() };
+    let scenario = Scenario {
+        model: 2,
+        wind_speed_mph: 8.0,
+        ..Scenario::reference()
+    };
     let ignition = centre_ignition(n, n);
-    group.bench_function("per_cell_slope_64x64", |b| {
-        b.iter(|| black_box(sim.simulate(&scenario, &ignition, 0.0, 500.0)))
+    bench("per_cell_slope_64x64", 20, || {
+        black_box(sim.simulate(&scenario, &ignition, 0.0, 500.0))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_firesim);
-criterion_main!(benches);

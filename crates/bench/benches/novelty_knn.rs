@@ -2,38 +2,28 @@
 //! reference set (population ∪ offspring ∪ archive) and `k` grow. This is
 //! the master-side overhead ESS-NS adds per generation over the baselines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ess_benches::microbench::{bench, group};
 use evoalg::novelty::novelty_score;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
-fn bench_novelty(c: &mut Criterion) {
-    let mut group = c.benchmark_group("novelty_knn");
+fn main() {
+    group("novelty_knn (score one full generation)");
     let mut rng = StdRng::seed_from_u64(7);
     for &n in &[64usize, 256, 1024] {
         // 1-D fitness behaviours — the paper's Eq. (2).
         let behaviours: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.random::<f64>()]).collect();
         for &k in &[5usize, 15] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), format!("n{n}")),
-                &(n, k),
-                |b, _| {
-                    b.iter(|| {
-                        // Score a full generation (every member) like
-                        // Algorithm 1's lines 12–14.
-                        let mut acc = 0.0;
-                        for i in 0..behaviours.len() {
-                            acc += novelty_score(black_box(i), black_box(&behaviours), k);
-                        }
-                        black_box(acc)
-                    })
-                },
-            );
+            bench(&format!("n={n} k={k}"), 10, || {
+                // Score a full generation (every member) like Algorithm 1's
+                // lines 12–14.
+                let mut acc = 0.0;
+                for i in 0..behaviours.len() {
+                    acc += novelty_score(black_box(i), black_box(&behaviours), k);
+                }
+                black_box(acc)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_novelty);
-criterion_main!(benches);

@@ -3,32 +3,21 @@
 //! comparison itself is the harness's `e1-quality` table; this bench pins
 //! the per-step cost of each system.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ess::cases;
 use ess::fitness::EvalBackend;
 use ess::pipeline::PredictionPipeline;
+use ess_benches::microbench::{bench, group};
 use ess_benches::Method;
 use std::hint::black_box;
 
-fn bench_quality_step(c: &mut Criterion) {
+fn main() {
     let case = cases::tiny_test_case();
-    let mut group = c.benchmark_group("prediction_run");
-    group.sample_size(10);
+    group("prediction_run (tiny case, 0.25x budget)");
     for method in Method::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(method.name()),
-            &method,
-            |b, &method| {
-                b.iter(|| {
-                    let mut opt = method.make(0.25);
-                    let pipeline = PredictionPipeline::new(EvalBackend::Serial, 7);
-                    black_box(pipeline.run(&case, opt.as_mut()).mean_quality())
-                })
-            },
-        );
+        bench(method.name(), 10, || {
+            let mut opt = method.make(0.25);
+            let pipeline = PredictionPipeline::new(EvalBackend::Serial, 7);
+            black_box(pipeline.run(&case, opt.as_mut()).mean_quality())
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_quality_step);
-criterion_main!(benches);

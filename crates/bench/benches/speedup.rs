@@ -1,17 +1,18 @@
-//! E3 (kernel) — one batch of scenario evaluations through each backend:
-//! serial, the channel Master/Worker farm, and rayon work stealing.
+//! E3 (kernel) — one batch of scenario evaluations through each backend of
+//! the unified evaluation layer: serial, the channel Master/Worker farm,
+//! and work stealing. The three produce bit-identical fitness vectors, so
+//! this isolates pure scheduling cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ess::cases;
 use ess::fitness::{EvalBackend, ScenarioEvaluator, StepContext};
+use ess_benches::microbench::{bench, group};
 use evoalg::BatchEvaluator;
 use firelib::ScenarioSpace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::hint::black_box;
 use std::sync::Arc;
 
-fn bench_backends(c: &mut Criterion) {
+fn main() {
     let case = cases::chaparral_slope();
     let ctx = Arc::new(StepContext::new(
         Arc::clone(&case.sim),
@@ -21,24 +22,24 @@ fn bench_backends(c: &mut Criterion) {
         case.times[1],
     ));
     let mut rng = StdRng::seed_from_u64(11);
-    let batch: Vec<Vec<f64>> =
-        (0..64).map(|_| ScenarioSpace.sample_genes(&mut rng).to_vec()).collect();
+    let batch: Vec<Vec<f64>> = (0..64)
+        .map(|_| ScenarioSpace.sample_genes(&mut rng).to_vec())
+        .collect();
 
-    let mut group = c.benchmark_group("eval_backends");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(batch.len() as u64));
-    for (label, backend) in [
-        ("serial", EvalBackend::Serial),
-        ("master_worker_2", EvalBackend::MasterWorker(2)),
-        ("rayon_2", EvalBackend::Rayon(2)),
+    group("eval_backends (64 scenarios/batch)");
+    let mut reference: Option<Vec<u64>> = None;
+    for backend in [
+        EvalBackend::Serial,
+        EvalBackend::WorkerPool(2),
+        EvalBackend::Rayon(2),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &backend, |b, &backend| {
-            let mut evaluator = ScenarioEvaluator::new(Arc::clone(&ctx), backend);
-            b.iter(|| black_box(evaluator.evaluate(black_box(&batch))))
-        });
+        let mut evaluator = ScenarioEvaluator::new(Arc::clone(&ctx), backend);
+        let fitness = evaluator.evaluate(&batch);
+        let bits: Vec<u64> = fitness.iter().map(|f| f.to_bits()).collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => assert_eq!(r, &bits, "{backend} diverged from serial"),
+        }
+        bench(&backend.name(), 10, || evaluator.evaluate(&batch));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_backends);
-criterion_main!(benches);

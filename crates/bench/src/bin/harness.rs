@@ -3,7 +3,8 @@
 //! `reports/`.
 //!
 //! ```text
-//! harness <experiment|all> [--seeds N] [--scale F] [--cases a,b] [--out DIR]
+//! harness <experiment|all> [--seeds N] [--scale F] [--cases a,b]
+//!         [--backend serial|worker-pool:N|rayon:N] [--out DIR]
 //!
 //! experiments:
 //!   table1      Table I   — fireLib parameter space
@@ -23,8 +24,13 @@
 //! ```
 //!
 //! `--scale` shrinks every per-step evaluation budget proportionally
-//! (default 1.0); `--seeds` sets the replicate count (default 3).
+//! (default 1.0); `--seeds` sets the replicate count (default 3);
+//! `--backend` selects the scenario-evaluation backend for the
+//! pipeline-driven experiments (results are backend-independent — every
+//! backend produces bit-identical fitness values — so this only changes
+//! wall time; default `serial`).
 
+use ess::fitness::EvalBackend;
 use ess::report::TextTable;
 use ess_benches::experiments as exp;
 use std::path::PathBuf;
@@ -37,6 +43,7 @@ struct Args {
     cases: Vec<String>,
     out: PathBuf,
     workers: Vec<usize>,
+    backend: EvalBackend,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         ],
         out: PathBuf::from("reports"),
         workers: vec![2, 4],
+        backend: EvalBackend::Serial,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("missing value for {flag}"));
@@ -63,6 +71,11 @@ fn parse_args() -> Result<Args, String> {
             "--scale" => args.scale = value()?.parse().map_err(|e| format!("--scale: {e}"))?,
             "--cases" => args.cases = value()?.split(',').map(str::to_string).collect(),
             "--out" => args.out = PathBuf::from(value()?),
+            "--backend" => {
+                args.backend = value()?
+                    .parse()
+                    .map_err(|e: parworker::ParseBackendError| e.to_string())?
+            }
             "--workers" => {
                 args.workers = value()?
                     .split(',')
@@ -79,7 +92,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--out DIR]".to_string()
+    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--out DIR]".to_string()
 }
 
 fn emit(args: &Args, id: &str, title: &str, table: &TextTable) {
@@ -119,7 +132,12 @@ fn main() -> ExitCode {
     let want = |id: &str| args.experiment == id || args.experiment == "all";
 
     if want("table1") {
-        emit(&args, "table1", "Table I — fireLib scenario parameters", &exp::table1());
+        emit(
+            &args,
+            "table1",
+            "Table I — fireLib scenario parameters",
+            &exp::table1(),
+        );
         ran = true;
     }
     if want("fig1-trace") {
@@ -127,7 +145,12 @@ fn main() -> ExitCode {
         ran = true;
     }
     if want("fig2-kign") {
-        emit(&args, "fig2-kign", "Fig. 2 — SKign calibration curve", &exp::fig2_kign());
+        emit(
+            &args,
+            "fig2-kign",
+            "Fig. 2 — SKign calibration curve",
+            &exp::fig2_kign(),
+        );
         ran = true;
     }
     if want("fig3-trace") {
@@ -139,7 +162,7 @@ fn main() -> ExitCode {
             &args,
             "e1-quality",
             "E1 — prediction quality per step (Jaccard), per case and method",
-            &exp::e1_quality(&seeds, args.scale, &case_refs),
+            &exp::e1_quality(&seeds, args.scale, &case_refs, args.backend),
         );
         ran = true;
     }
@@ -148,7 +171,7 @@ fn main() -> ExitCode {
             &args,
             "e2-diversity",
             "E2 — diversity of the result set fed to the Statistical Stage",
-            &exp::e2_diversity(&seeds, args.scale, &case_refs),
+            &exp::e2_diversity(&seeds, args.scale, &case_refs, args.backend),
         );
         ran = true;
     }
@@ -162,7 +185,12 @@ fn main() -> ExitCode {
         ran = true;
     }
     if want("e4-throughput") {
-        emit(&args, "e4-throughput", "E4 — fire simulator throughput", &exp::e4_throughput());
+        emit(
+            &args,
+            "e4-throughput",
+            "E4 — fire simulator throughput",
+            &exp::e4_throughput(),
+        );
         ran = true;
     }
     if want("e5-deceptive") {
@@ -179,7 +207,7 @@ fn main() -> ExitCode {
             &args,
             "e6-tuning",
             "E6 — effect of the ESSIM-DE tuning operators",
-            &exp::e6_tuning(&seeds, args.scale),
+            &exp::e6_tuning(&seeds, args.scale, args.backend),
         );
         ran = true;
     }
@@ -188,7 +216,7 @@ fn main() -> ExitCode {
             &args,
             "e7-hybrid",
             "E7 — weighted fitness/novelty scoring ablation",
-            &exp::e7_hybrid(&seeds, args.scale),
+            &exp::e7_hybrid(&seeds, args.scale, args.backend),
         );
         ran = true;
     }
@@ -197,7 +225,7 @@ fn main() -> ExitCode {
             &args,
             "e8-ablation",
             "E8 — NS hyper-parameter ablation (k, archive, bestSet, behaviour)",
-            &exp::e8_ablation(&seeds, args.scale),
+            &exp::e8_ablation(&seeds, args.scale, args.backend),
         );
         ran = true;
     }
@@ -206,7 +234,7 @@ fn main() -> ExitCode {
             &args,
             "e9-inclusion",
             "E9 — result-set composition under a drifting truth",
-            &exp::e9_inclusion(&seeds, args.scale),
+            &exp::e9_inclusion(&seeds, args.scale, args.backend),
         );
         ran = true;
     }
@@ -215,7 +243,7 @@ fn main() -> ExitCode {
             &args,
             "e10-noise",
             "E10 — robustness to observation noise on the fire lines",
-            &exp::e10_noise(&seeds, args.scale),
+            &exp::e10_noise(&seeds, args.scale, args.backend),
         );
         ran = true;
     }

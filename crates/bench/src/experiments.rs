@@ -9,8 +9,7 @@ use ess::pipeline::{PredictionPipeline, RunReport};
 use ess::report::{f2, f4, TextTable};
 use ess::stages::statistical_stage_genomes;
 use ess_ns::{
-    BehaviourSpace, EssNs, EssNsConfig, InclusionPolicy, NoveltyGa, NoveltyGaConfig,
-    ScoringPolicy,
+    BehaviourSpace, EssNs, EssNsConfig, InclusionPolicy, NoveltyGa, NoveltyGaConfig, ScoringPolicy,
 };
 use evoalg::benchmarks::{deceptive_trap, two_peaks};
 use evoalg::{BatchEvaluator, GaConfig, GaEngine};
@@ -28,7 +27,12 @@ pub fn table1() -> TextTable {
         } else {
             format!("{}-{}", d.lo, d.hi)
         };
-        t.row([d.name.to_string(), d.description.to_string(), range, d.unit.to_string()]);
+        t.row([
+            d.name.to_string(),
+            d.description.to_string(),
+            range,
+            d.unit.to_string(),
+        ]);
     }
     t
 }
@@ -62,7 +66,7 @@ pub fn fig1_trace() -> String {
     ));
 
     // OS-Master / OS-Workers: fitness GA over scenarios (PV{1..n} → FS → FF).
-    let mut evaluator = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::MasterWorker(2));
+    let mut evaluator = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::WorkerPool(2));
     let mut ess = Method::Ess.make(1.0);
     let outcome = ess.optimize(&mut evaluator, 1);
     out.push_str(&format!(
@@ -122,7 +126,16 @@ pub fn fig2_kign() -> TextTable {
     let cal = skign_search(&matrix, &case.fire_lines[1], Some(&case.fire_lines[0]));
     let mut t = TextTable::new(["threshold", "fitness", "chosen"]);
     for (k, f) in &cal.curve {
-        t.row([f4(*k), f4(*f), if (*k - cal.kign).abs() < 1e-12 { "<= Kign" } else { "" }.to_string()]);
+        t.row([
+            f4(*k),
+            f4(*f),
+            if (*k - cal.kign).abs() < 1e-12 {
+                "<= Kign"
+            } else {
+                ""
+            }
+            .to_string(),
+        ]);
     }
     t
 }
@@ -137,12 +150,19 @@ pub fn fig3_trace() -> String {
         "Fig. 3 dataflow trace — one ESS-NS prediction step on '{}'\n\n",
         case.name
     ));
-    let cfg = NoveltyGaConfig { max_generations: 10, ..NoveltyGaConfig::default() };
+    let cfg = NoveltyGaConfig {
+        max_generations: 10,
+        ..NoveltyGaConfig::default()
+    };
     let engine = NoveltyGa::new(firelib::GENE_COUNT, cfg);
-    let mut evaluator = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::MasterWorker(2));
+    let mut evaluator = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::WorkerPool(2));
     let outcome = engine.run(&mut evaluator);
-    out.push_str("[OS: NS-based GA] per-generation state (novelty-driven; fitness only recorded)\n");
-    out.push_str("gen  maxFitness(bestSet)  meanNovelty(pop)  meanFitness(pop)  archive  bestSet\n");
+    out.push_str(
+        "[OS: NS-based GA] per-generation state (novelty-driven; fitness only recorded)\n",
+    );
+    out.push_str(
+        "gen  maxFitness(bestSet)  meanNovelty(pop)  meanFitness(pop)  archive  bestSet\n",
+    );
     for h in &outcome.history {
         out.push_str(&format!(
             "{:<4} {:<20} {:<17} {:<17} {:<8} {}\n",
@@ -204,25 +224,38 @@ fn mean_of(v: &[f64]) -> f64 {
 
 /// E1 — prediction quality per step, per case, per method (the headline
 /// comparison; reproduces the quality-per-step evaluation protocol of the
-/// predecessor systems).
-pub fn e1_quality(seeds: &[u64], scale: f64, case_names: &[&str]) -> TextTable {
+/// predecessor systems). `backend` selects where scenario batches run;
+/// results are backend-independent (only wall time changes).
+pub fn e1_quality(
+    seeds: &[u64],
+    scale: f64,
+    case_names: &[&str],
+    backend: EvalBackend,
+) -> TextTable {
     let mut t = TextTable::new([
-        "case", "method", "step", "quality_mean", "quality_min", "quality_max", "evals_mean",
+        "case",
+        "method",
+        "step",
+        "quality_mean",
+        "quality_min",
+        "quality_max",
+        "evals_mean",
     ]);
     for name in case_names {
         let case = cases::by_name(name).unwrap_or_else(|| panic!("unknown case {name}"));
         for method in Method::ALL {
-            let reports = run_replicates(method, &case, seeds, scale, EvalBackend::Serial);
+            let reports = run_replicates(method, &case, seeds, scale, backend);
             // Per predicted instant: collect quality across seeds.
             let n_steps = reports[0].steps.len();
             for si in 0..n_steps {
-                let qs: Vec<f64> =
-                    reports.iter().filter_map(|r| r.steps[si].quality).collect();
+                let qs: Vec<f64> = reports.iter().filter_map(|r| r.steps[si].quality).collect();
                 if qs.is_empty() {
                     continue; // the first step has no prediction
                 }
-                let evals: Vec<f64> =
-                    reports.iter().map(|r| r.steps[si].evaluations as f64).collect();
+                let evals: Vec<f64> = reports
+                    .iter()
+                    .map(|r| r.steps[si].evaluations as f64)
+                    .collect();
                 t.row([
                     case.name.to_string(),
                     method.name().to_string(),
@@ -242,7 +275,12 @@ pub fn e1_quality(seeds: &[u64], scale: f64, case_names: &[&str]) -> TextTable {
                 f4(mean_of(&means)),
                 f4(means.iter().copied().fold(f64::INFINITY, f64::min)),
                 f4(means.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
-                f2(mean_of(&reports.iter().map(|r| r.total_evaluations() as f64).collect::<Vec<_>>())),
+                f2(mean_of(
+                    &reports
+                        .iter()
+                        .map(|r| r.total_evaluations() as f64)
+                        .collect::<Vec<_>>(),
+                )),
             ]);
         }
     }
@@ -250,7 +288,12 @@ pub fn e1_quality(seeds: &[u64], scale: f64, case_names: &[&str]) -> TextTable {
 }
 
 /// E2 — diversity of the result set fed to the Statistical Stage.
-pub fn e2_diversity(seeds: &[u64], scale: f64, case_names: &[&str]) -> TextTable {
+pub fn e2_diversity(
+    seeds: &[u64],
+    scale: f64,
+    case_names: &[&str],
+    backend: EvalBackend,
+) -> TextTable {
     let mut t = TextTable::new([
         "case",
         "method",
@@ -262,7 +305,7 @@ pub fn e2_diversity(seeds: &[u64], scale: f64, case_names: &[&str]) -> TextTable
     for name in case_names {
         let case = cases::by_name(name).unwrap_or_else(|| panic!("unknown case {name}"));
         for method in Method::ALL {
-            let reports = run_replicates(method, &case, seeds, scale, EvalBackend::Serial);
+            let reports = run_replicates(method, &case, seeds, scale, backend);
             let mut pair = Vec::new();
             let mut gstd = Vec::new();
             let mut dfrac = Vec::new();
@@ -301,12 +344,19 @@ fn speedup_context() -> Arc<StepContext> {
     let n = 128usize;
     let sim = Arc::new(FireSim::new(Terrain::uniform(n, n, 100.0)));
     let ignition = centre_ignition(n, n);
-    let truth = Scenario { wind_speed_mph: 10.0, wind_dir_deg: 45.0, ..Scenario::reference() };
+    let truth = Scenario {
+        wind_speed_mph: 10.0,
+        wind_dir_deg: 45.0,
+        ..Scenario::reference()
+    };
     let target = sim.simulate_fire_line(&truth, &ignition, 0.0, 60.0);
     Arc::new(StepContext::new(sim, ignition, target, 0.0, 60.0))
 }
 
-/// E3 — Master/Worker scaling of one Optimization Stage.
+/// E3 — Master/Worker scaling of one Optimization Stage. This is the
+/// apples-to-apples backend comparison: every configuration runs the
+/// identical search (bit-identical fitness values), so the table isolates
+/// pure scheduling cost.
 pub fn e3_speedup(worker_counts: &[usize]) -> TextTable {
     let ctx = speedup_context();
     let run_with = |backend: EvalBackend| -> f64 {
@@ -322,16 +372,19 @@ pub fn e3_speedup(worker_counts: &[usize]) -> TextTable {
     let baseline = std::time::Duration::from_secs_f64(baseline_ms / 1e3);
 
     let mut t = TextTable::new(["backend", "workers", "wall_ms", "speedup", "efficiency"]);
-    t.row(["serial".to_string(), "1".to_string(), f2(baseline_ms), f2(1.0), f2(1.0)]);
+    t.row([
+        "serial".to_string(),
+        "1".to_string(),
+        f2(baseline_ms),
+        f2(1.0),
+        f2(1.0),
+    ]);
     for &w in worker_counts {
-        for (label, backend) in [
-            ("master-worker", EvalBackend::MasterWorker(w)),
-            ("rayon", EvalBackend::Rayon(w)),
-        ] {
+        for backend in [EvalBackend::WorkerPool(w), EvalBackend::Rayon(w)] {
             let ms = run_with(backend);
             let row = SpeedupRow::new(w, std::time::Duration::from_secs_f64(ms / 1e3), baseline);
             t.row([
-                label.to_string(),
+                backend.name(),
                 w.to_string(),
                 f2(ms),
                 f2(row.speedup),
@@ -348,7 +401,11 @@ pub fn e4_throughput() -> TextTable {
     for &n in &[32usize, 64, 128] {
         for &model in &[1u8, 4, 10] {
             let sim = FireSim::new(Terrain::uniform(n, n, 100.0));
-            let scenario = Scenario { model, wind_speed_mph: 10.0, ..Scenario::reference() };
+            let scenario = Scenario {
+                model,
+                wind_speed_mph: 10.0,
+                ..Scenario::reference()
+            };
             let ignition = centre_ignition(n, n);
             // Warm-up + measure.
             let _ = sim.simulate(&scenario, &ignition, 0.0, 500.0);
@@ -387,32 +444,38 @@ pub fn e4_throughput() -> TextTable {
 pub fn e5_deceptive(seeds: &[u64]) -> TextTable {
     use evoalg::benchmarks::{covers_both_basins, twin_basins};
     let mut t = TextTable::new([
-        "function", "algorithm", "best_fitness_mean", "set_success_rate", "evaluations",
+        "function",
+        "algorithm",
+        "best_fitness_mean",
+        "set_success_rate",
+        "evaluations",
     ]);
     type SetPredicate = Box<dyn Fn(&[Vec<f64>]) -> bool>;
-    type Objective = (&'static str, Box<dyn Fn(&[f64]) -> f64>, SetPredicate, usize);
+    type Objective = (
+        &'static str,
+        Box<dyn Fn(&[f64]) -> f64>,
+        SetPredicate,
+        usize,
+    );
     let objectives: Vec<Objective> = vec![
         (
             "sphere(6)",
             Box::new(evoalg::benchmarks::sphere),
-            Box::new(|set: &[Vec<f64>]| {
-                set.iter().any(|g| evoalg::benchmarks::sphere(g) > 0.995)
-            }),
+            Box::new(|set: &[Vec<f64>]| set.iter().any(|g| evoalg::benchmarks::sphere(g) > 0.995)),
             6,
         ),
         (
             "trap(16,b=4)",
             Box::new(|g: &[f64]| deceptive_trap(g, 4)),
-            Box::new(|set: &[Vec<f64>]| {
-                set.iter().any(|g| evoalg::benchmarks::trap_is_optimal(g))
-            }),
+            Box::new(|set: &[Vec<f64>]| set.iter().any(|g| evoalg::benchmarks::trap_is_optimal(g))),
             16,
         ),
         (
             "two_peaks(4)",
             Box::new(|g: &[f64]| two_peaks(g, 0.6)),
             Box::new(|set: &[Vec<f64>]| {
-                set.iter().any(|g| evoalg::benchmarks::two_peaks_is_optimal(g, 0.05))
+                set.iter()
+                    .any(|g| evoalg::benchmarks::two_peaks_is_optimal(g, 0.05))
             }),
             4,
         ),
@@ -444,8 +507,7 @@ pub fn e5_deceptive(seeds: &[u64]) -> TextTable {
                     seed,
                     ..NoveltyGaConfig::default()
                 };
-                let mut eval =
-                    |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| f(g)).collect() };
+                let mut eval = |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| f(g)).collect() };
                 let out = NoveltyGa::new(*dims, cfg).run(&mut eval);
                 ns_best.push(out.best_set.max_fitness());
                 if set_success(&out.best_set.genomes()) {
@@ -468,7 +530,12 @@ pub fn e5_deceptive(seeds: &[u64]) -> TextTable {
         for &seed in seeds {
             let mut engine = GaEngine::new(
                 *dims,
-                GaConfig { population_size: 24, offspring: 24, seed, ..GaConfig::default() },
+                GaConfig {
+                    population_size: 24,
+                    offspring: 24,
+                    seed,
+                    ..GaConfig::default()
+                },
             );
             let mut eval = |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| f(g)).collect() };
             engine.evaluate_initial(&mut eval);
@@ -499,14 +566,21 @@ pub fn e5_deceptive(seeds: &[u64]) -> TextTable {
 /// restarts to amortise (a restart spends evaluations re-seeding before it
 /// can recover), so this experiment runs ESSIM-DE with a 30-generation
 /// cap — roughly 3× the E1 budget — for both variants.
-pub fn e6_tuning(seeds: &[u64], scale: f64) -> TextTable {
+pub fn e6_tuning(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
     use ess::essim_de::{EssimDe, EssimDeConfig, TuningConfig};
-    let mut t = TextTable::new(["case", "variant", "mean_quality", "mean_evals", "mean_wall_ms"]);
+    let mut t = TextTable::new([
+        "case",
+        "variant",
+        "mean_quality",
+        "mean_evals",
+        "mean_wall_ms",
+    ]);
     for name in ["shifting_wind", "moisture_front"] {
         let case = cases::by_name(name).unwrap();
-        for (variant, tuning) in
-            [("untuned", TuningConfig::disabled()), ("tuned", TuningConfig::enabled())]
-        {
+        for (variant, tuning) in [
+            ("untuned", TuningConfig::disabled()),
+            ("tuned", TuningConfig::enabled()),
+        ] {
             let mut qualities = Vec::new();
             let mut evals = Vec::new();
             let mut walls = Vec::new();
@@ -520,7 +594,7 @@ pub fn e6_tuning(seeds: &[u64], scale: f64) -> TextTable {
                     tuning,
                     ..EssimDeConfig::default()
                 });
-                let r = PredictionPipeline::new(EvalBackend::Serial, seed).run(&case, &mut opt);
+                let r = PredictionPipeline::new(backend, seed).run(&case, &mut opt);
                 qualities.push(r.mean_quality());
                 evals.push(r.total_evaluations() as f64);
                 walls.push(r.total_ms);
@@ -539,20 +613,27 @@ pub fn e6_tuning(seeds: &[u64], scale: f64) -> TextTable {
 
 /// E7 — the hybrid fitness/novelty scoring ablation (§IV), plus the
 /// NSLC quality-diversity variant (\[26\]).
-pub fn e7_hybrid(seeds: &[u64], scale: f64) -> TextTable {
+pub fn e7_hybrid(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
     let case = cases::shifting_wind();
-    let mut t =
-        TextTable::new(["scoring", "mean_quality", "mean_diversity", "mean_best_fitness"]);
-    let mut policies: Vec<(String, ScoringPolicy)> = vec![(
-        "w=1.00 (pure NS)".into(),
-        ScoringPolicy::PureNovelty,
-    )];
+    let mut t = TextTable::new([
+        "scoring",
+        "mean_quality",
+        "mean_diversity",
+        "mean_best_fitness",
+    ]);
+    let mut policies: Vec<(String, ScoringPolicy)> =
+        vec![("w=1.00 (pure NS)".into(), ScoringPolicy::PureNovelty)];
     for &w in &[0.75, 0.5, 0.25, 0.0] {
-        policies.push((format!("w={w:.2}"), ScoringPolicy::Weighted { novelty_weight: w }));
+        policies.push((
+            format!("w={w:.2}"),
+            ScoringPolicy::Weighted { novelty_weight: w },
+        ));
     }
     policies.push((
         "NSLC (w=0.5)".into(),
-        ScoringPolicy::NoveltyLocalCompetition { novelty_weight: 0.5 },
+        ScoringPolicy::NoveltyLocalCompetition {
+            novelty_weight: 0.5,
+        },
     ));
     for (label, scoring) in policies {
         let mut qualities = Vec::new();
@@ -569,24 +650,38 @@ pub fn e7_hybrid(seeds: &[u64], scale: f64) -> TextTable {
                     ..NoveltyGaConfig::default()
                 },
                 inclusion: InclusionPolicy::BestOnly,
+                backend,
             });
-            let r = PredictionPipeline::new(EvalBackend::Serial, seed).run(&case, &mut opt);
+            let r = PredictionPipeline::new(backend, seed).run(&case, &mut opt);
             qualities.push(r.mean_quality());
             diversities.push(r.mean_diversity());
             bests.push(mean_of(
-                &r.steps.iter().map(|st| st.os_best_fitness).collect::<Vec<_>>(),
+                &r.steps
+                    .iter()
+                    .map(|st| st.os_best_fitness)
+                    .collect::<Vec<_>>(),
             ));
         }
-        t.row([label, f4(mean_of(&qualities)), f4(mean_of(&diversities)), f4(mean_of(&bests))]);
+        t.row([
+            label,
+            f4(mean_of(&qualities)),
+            f4(mean_of(&diversities)),
+            f4(mean_of(&bests)),
+        ]);
     }
     t
 }
 
 /// E8 — NS hyper-parameter ablation: `k`, archive capacity, `bestSet` size.
-pub fn e8_ablation(seeds: &[u64], scale: f64) -> TextTable {
+pub fn e8_ablation(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
     let case = cases::two_ridge();
-    let mut t =
-        TextTable::new(["parameter", "value", "mean_quality", "mean_diversity", "mean_evals"]);
+    let mut t = TextTable::new([
+        "parameter",
+        "value",
+        "mean_quality",
+        "mean_diversity",
+        "mean_evals",
+    ]);
     let s = |v: usize| ((v as f64) * scale).round().max(4.0) as usize;
     let base = NoveltyGaConfig {
         population_size: s(32),
@@ -600,9 +695,12 @@ pub fn e8_ablation(seeds: &[u64], scale: f64) -> TextTable {
         let mut diversities = Vec::new();
         let mut evals = Vec::new();
         for &seed in seeds {
-            let mut opt =
-                EssNs::new(EssNsConfig { algorithm, inclusion: InclusionPolicy::BestOnly });
-            let r = PredictionPipeline::new(EvalBackend::Serial, seed).run(&case, &mut opt);
+            let mut opt = EssNs::new(EssNsConfig {
+                algorithm,
+                inclusion: InclusionPolicy::BestOnly,
+                backend,
+            });
+            let r = PredictionPipeline::new(backend, seed).run(&case, &mut opt);
             qualities.push(r.mean_quality());
             diversities.push(r.mean_diversity());
             evals.push(r.total_evaluations() as f64);
@@ -616,41 +714,69 @@ pub fn e8_ablation(seeds: &[u64], scale: f64) -> TextTable {
         ]);
     };
     for &k in &[3usize, 5, 10, 15] {
-        run_cfg("k", k.to_string(), NoveltyGaConfig { novelty_neighbours: k, ..base });
+        run_cfg(
+            "k",
+            k.to_string(),
+            NoveltyGaConfig {
+                novelty_neighbours: k,
+                ..base
+            },
+        );
     }
     for &cap in &[16usize, 64, 256] {
         run_cfg(
             "archive",
             cap.to_string(),
-            NoveltyGaConfig { archive_capacity: s(cap).max(4), ..base },
+            NoveltyGaConfig {
+                archive_capacity: s(cap).max(4),
+                ..base
+            },
         );
     }
     for &bs in &[8usize, 24, 48] {
         run_cfg(
             "bestSet",
             bs.to_string(),
-            NoveltyGaConfig { best_set_capacity: s(bs).max(4), ..base },
+            NoveltyGaConfig {
+                best_set_capacity: s(bs).max(4),
+                ..base
+            },
         );
     }
     // Behaviour-space ablation rides along (fitness vs genotype distance).
     run_cfg(
         "behaviour",
         "genotype".to_string(),
-        NoveltyGaConfig { behaviour: BehaviourSpace::Genotype, ..base },
+        NoveltyGaConfig {
+            behaviour: BehaviourSpace::Genotype,
+            ..base
+        },
     );
     t
 }
 
 /// E9 — result-set composition under a drifting truth (§IV).
-pub fn e9_inclusion(seeds: &[u64], scale: f64) -> TextTable {
+pub fn e9_inclusion(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
     let case = cases::shifting_wind();
     let mut t = TextTable::new(["policy", "mean_quality", "mean_set_size", "mean_diversity"]);
     let policies: Vec<(String, InclusionPolicy)> = vec![
         ("best-only".into(), InclusionPolicy::BestOnly),
-        ("novel-10%".into(), InclusionPolicy::WithNovel { fraction: 0.10 }),
-        ("novel-25%".into(), InclusionPolicy::WithNovel { fraction: 0.25 }),
-        ("random-10%".into(), InclusionPolicy::WithRandom { fraction: 0.10 }),
-        ("random-25%".into(), InclusionPolicy::WithRandom { fraction: 0.25 }),
+        (
+            "novel-10%".into(),
+            InclusionPolicy::WithNovel { fraction: 0.10 },
+        ),
+        (
+            "novel-25%".into(),
+            InclusionPolicy::WithNovel { fraction: 0.25 },
+        ),
+        (
+            "random-10%".into(),
+            InclusionPolicy::WithRandom { fraction: 0.10 },
+        ),
+        (
+            "random-25%".into(),
+            InclusionPolicy::WithRandom { fraction: 0.25 },
+        ),
     ];
     let s = |v: usize| ((v as f64) * scale).round().max(4.0) as usize;
     for (label, inclusion) in policies {
@@ -666,15 +792,24 @@ pub fn e9_inclusion(seeds: &[u64], scale: f64) -> TextTable {
                     ..NoveltyGaConfig::default()
                 },
                 inclusion,
+                backend,
             });
-            let r = PredictionPipeline::new(EvalBackend::Serial, seed).run(&case, &mut opt);
+            let r = PredictionPipeline::new(backend, seed).run(&case, &mut opt);
             qualities.push(r.mean_quality());
             sizes.push(mean_of(
-                &r.steps.iter().map(|st| st.diversity.size as f64).collect::<Vec<_>>(),
+                &r.steps
+                    .iter()
+                    .map(|st| st.diversity.size as f64)
+                    .collect::<Vec<_>>(),
             ));
             diversities.push(r.mean_diversity());
         }
-        t.row([label, f4(mean_of(&qualities)), f2(mean_of(&sizes)), f4(mean_of(&diversities))]);
+        t.row([
+            label,
+            f4(mean_of(&qualities)),
+            f2(mean_of(&sizes)),
+            f4(mean_of(&diversities)),
+        ]);
     }
     t
 }
@@ -684,9 +819,14 @@ pub fn e9_inclusion(seeds: &[u64], scale: f64) -> TextTable {
 /// sensor noise. The paper's whole premise is input uncertainty; this
 /// experiment injects it into the *observations* rather than the
 /// parameters and asks which result-set policy degrades most gracefully.
-pub fn e10_noise(seeds: &[u64], scale: f64) -> TextTable {
+pub fn e10_noise(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
     let clean = cases::shifting_wind();
-    let mut t = TextTable::new(["flip_prob", "method", "mean_quality", "quality_drop_vs_clean"]);
+    let mut t = TextTable::new([
+        "flip_prob",
+        "method",
+        "mean_quality",
+        "quality_drop_vs_clean",
+    ]);
     let mut clean_quality: Vec<(Method, f64)> = Vec::new();
     for &flip in &[0.0, 0.10, 0.25] {
         for method in Method::ALL {
@@ -698,8 +838,7 @@ pub fn e10_noise(seeds: &[u64], scale: f64) -> TextTable {
                     clean.clone()
                 };
                 let mut opt = method.make(scale);
-                let r = PredictionPipeline::new(EvalBackend::Serial, seed)
-                    .run(&case, opt.as_mut());
+                let r = PredictionPipeline::new(backend, seed).run(&case, opt.as_mut());
                 qualities.push(r.mean_quality());
             }
             let q = mean_of(&qualities);
@@ -712,12 +851,7 @@ pub fn e10_noise(seeds: &[u64], scale: f64) -> TextTable {
                     .find(|(m, _)| *m == method)
                     .map(|&(_, q0)| q0)
                     .unwrap_or(q);
-                t.row([
-                    f2(flip),
-                    method.name().to_string(),
-                    f4(q),
-                    f4(base - q),
-                ]);
+                t.row([f2(flip), method.name().to_string(), f4(q), f4(base - q)]);
             }
         }
     }

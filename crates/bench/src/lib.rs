@@ -1,13 +1,17 @@
 //! `ess-benches` — shared experiment machinery behind the `harness` binary
-//! and the criterion benches.
+//! and the microbenchmarks.
 //!
 //! Every experiment in DESIGN.md §4 is a function here returning a
 //! [`ess::report::TextTable`], so the harness can print it and write the
-//! CSV, the criterion benches can reuse the same workloads, and the
-//! integration tests can assert on the *shape* of the results without
-//! duplicating setup.
+//! CSV, the benches can reuse the same workloads, and the integration
+//! tests can assert on the *shape* of the results without duplicating
+//! setup. The pipeline-driven experiments take a
+//! [`parworker::EvalBackend`], surfaced on the harness CLI as
+//! `--backend`; every backend yields bit-identical results, so backend
+//! choice only moves wall time.
 
 pub mod experiments;
 pub mod methods;
+pub mod microbench;
 
 pub use methods::{comparable_methods, Method};

@@ -4,6 +4,7 @@
 use ess::ess_classic::{EssClassic, EssConfig};
 use ess::essim_de::{EssimDe, EssimDeConfig, TuningConfig};
 use ess::essim_ea::{EssimEa, EssimEaConfig};
+use ess::fitness::EvalBackend;
 use ess::pipeline::StepOptimizer;
 use ess_ns::{EssNs, EssNsConfig, InclusionPolicy, NoveltyGaConfig};
 
@@ -85,6 +86,7 @@ impl Method {
                     ..NoveltyGaConfig::default()
                 },
                 inclusion: InclusionPolicy::BestOnly,
+                backend: EvalBackend::Serial,
             })),
         }
     }

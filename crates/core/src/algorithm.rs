@@ -166,8 +166,14 @@ impl NoveltyGa {
         assert!(dims >= 2, "genome needs at least two genes");
         assert!(config.population_size >= 2, "N must be at least 2");
         assert!(config.offspring >= 2, "m must be at least 2");
-        assert!((0.0..=1.0).contains(&config.mutation_rate), "mR is a probability");
-        assert!((0.0..=1.0).contains(&config.crossover_rate), "cR is a probability");
+        assert!(
+            (0.0..=1.0).contains(&config.mutation_rate),
+            "mR is a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.crossover_rate),
+            "cR is a probability"
+        );
         assert!(config.novelty_neighbours >= 1, "k must be at least 1");
         Self { config, dims }
     }
@@ -276,7 +282,11 @@ impl NoveltyGa {
             // over the union by the search score (novelty for the
             // baseline; the hybrid/NSLC policies for E7).
             let score = |ind: &Individual| {
-                let lc = if ind.local_comp.is_finite() { ind.local_comp } else { 0.0 };
+                let lc = if ind.local_comp.is_finite() {
+                    ind.local_comp
+                } else {
+                    0.0
+                };
                 cfg.scoring.score_with_lc(ind.fitness, ind.novelty, lc)
             };
             let pop_scores: Vec<f64> = population.members().iter().map(score).collect();
@@ -307,10 +317,8 @@ impl NoveltyGa {
             max_fitness = best_set.max_fitness();
             generations += 1;
 
-            let novelties: Vec<f64> =
-                population.members().iter().map(|m| m.novelty).collect();
-            let fitnesses: Vec<f64> =
-                population.members().iter().map(|m| m.fitness).collect();
+            let novelties: Vec<f64> = population.members().iter().map(|m| m.novelty).collect();
+            let fitnesses: Vec<f64> = population.members().iter().map(|m| m.fitness).collect();
             history.push(NsGenStats {
                 generation: generations,
                 max_fitness,
@@ -343,7 +351,11 @@ impl NoveltyGa {
             .iter()
             .map(|m| {
                 if m.novelty.is_finite() && m.fitness.is_finite() {
-                    let lc = if m.local_comp.is_finite() { m.local_comp } else { 0.0 };
+                    let lc = if m.local_comp.is_finite() {
+                        m.local_comp
+                    } else {
+                        0.0
+                    };
                     cfg.scoring.score_with_lc(m.fitness, m.novelty, lc)
                 } else {
                     0.0 // first generation: uniform selection
@@ -361,7 +373,10 @@ impl NoveltyGa {
                     rng,
                 )
             } else {
-                (population.members()[pa].genes.clone(), population.members()[pb].genes.clone())
+                (
+                    population.members()[pa].genes.clone(),
+                    population.members()[pb].genes.clone(),
+                )
             };
             uniform_mutation(&mut c1, cfg.mutation_rate, rng);
             uniform_mutation(&mut c2, cfg.mutation_rate, rng);
@@ -386,10 +401,16 @@ impl NoveltyGa {
         if missing.is_empty() {
             return 0;
         }
-        let genomes: Vec<Vec<f64>> =
-            missing.iter().map(|&i| pop.members()[i].genes.clone()).collect();
+        let genomes: Vec<Vec<f64>> = missing
+            .iter()
+            .map(|&i| pop.members()[i].genes.clone())
+            .collect();
         let fitness = evaluator.evaluate(&genomes);
-        assert_eq!(fitness.len(), genomes.len(), "evaluator returned wrong batch size");
+        assert_eq!(
+            fitness.len(),
+            genomes.len(),
+            "evaluator returned wrong batch size"
+        );
         for (&i, f) in missing.iter().zip(&fitness) {
             assert!(f.is_finite(), "fitness must be finite");
             pop.members_mut()[i].fitness = *f;
@@ -430,7 +451,10 @@ mod tests {
         let (out, _) = run_on(sphere, NoveltyGaConfig::default(), 6);
         assert!(!out.best_set.is_empty());
         let f = out.best_set.fitness_values();
-        assert!(f.windows(2).all(|w| w[0] >= w[1]), "bestSet not sorted: {f:?}");
+        assert!(
+            f.windows(2).all(|w| w[0] >= w[1]),
+            "bestSet not sorted: {f:?}"
+        );
         assert_eq!(out.best_set.max_fitness(), f[0]);
     }
 
@@ -479,7 +503,10 @@ mod tests {
     fn max_fitness_is_monotone_in_history() {
         let (out, _) = run_on(sphere, NoveltyGaConfig::default(), 6);
         let mf: Vec<f64> = out.history.iter().map(|h| h.max_fitness).collect();
-        assert!(mf.windows(2).all(|w| w[1] >= w[0]), "maxFitness must never decrease: {mf:?}");
+        assert!(
+            mf.windows(2).all(|w| w[1] >= w[0]),
+            "maxFitness must never decrease: {mf:?}"
+        );
     }
 
     #[test]
@@ -510,12 +537,16 @@ mod tests {
             ..NoveltyGaConfig::default()
         };
         let (out, _) = run_on(sphere, cfg, 6);
-        let ns_div =
-            evoalg::diversity::mean_pairwise_distance(&out.final_population.genomes());
+        let ns_div = evoalg::diversity::mean_pairwise_distance(&out.final_population.genomes());
 
         let mut ga = evoalg::GaEngine::new(
             6,
-            evoalg::GaConfig { population_size: 32, offspring: 32, seed: 0, ..Default::default() },
+            evoalg::GaConfig {
+                population_size: 32,
+                offspring: 32,
+                seed: 0,
+                ..Default::default()
+            },
         );
         let mut eval = |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| sphere(g)).collect() };
         ga.evaluate_initial(&mut eval);
@@ -550,7 +581,12 @@ mod tests {
 
         let mut ga = evoalg::GaEngine::new(
             dims,
-            evoalg::GaConfig { population_size: 24, offspring: 24, seed: 3, ..Default::default() },
+            evoalg::GaConfig {
+                population_size: 24,
+                offspring: 24,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let mut eval = |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| trap(g)).collect() };
         let mut ga_best = ga.evaluate_initial(&mut eval).best_fitness;
@@ -567,7 +603,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
-            let cfg = NoveltyGaConfig { seed, max_generations: 6, ..NoveltyGaConfig::default() };
+            let cfg = NoveltyGaConfig {
+                seed,
+                max_generations: 6,
+                ..NoveltyGaConfig::default()
+            };
             let (out, _) = run_on(|g| two_peaks(g, 0.6), cfg, 4);
             out.best_set.genomes()
         };
@@ -586,8 +626,13 @@ mod tests {
             seed: 8,
             ..NoveltyGaConfig::default()
         };
-        let (fit_out, _) =
-            run_on(sphere, mk(ScoringPolicy::Weighted { novelty_weight: 0.0 }), 6);
+        let (fit_out, _) = run_on(
+            sphere,
+            mk(ScoringPolicy::Weighted {
+                novelty_weight: 0.0,
+            }),
+            6,
+        );
         let (ns_out, _) = run_on(sphere, mk(ScoringPolicy::PureNovelty), 6);
         let fit_mean = fit_out.history.last().unwrap().mean_fitness;
         let ns_mean = ns_out.history.last().unwrap().mean_fitness;
@@ -608,7 +653,9 @@ mod tests {
         };
         let (nslc, _) = run_on(
             |g| two_peaks(g, 0.6),
-            mk(ScoringPolicy::NoveltyLocalCompetition { novelty_weight: 0.5 }),
+            mk(ScoringPolicy::NoveltyLocalCompetition {
+                novelty_weight: 0.5,
+            }),
             4,
         );
         let (pure, _) = run_on(|g| two_peaks(g, 0.6), mk(ScoringPolicy::PureNovelty), 4);
@@ -616,7 +663,10 @@ mod tests {
         assert!(nslc.archive.len() <= nslc.archive.capacity());
         // The local-competition pressure must actually change the search
         // trajectory for the same seed.
-        assert_ne!(nslc.final_population.genomes(), pure.final_population.genomes());
+        assert_ne!(
+            nslc.final_population.genomes(),
+            pure.final_population.genomes()
+        );
         // Every surviving member carries a computed local-competition score.
         for m in nslc.final_population.members() {
             assert!(
@@ -626,7 +676,11 @@ mod tests {
             );
         }
         // Pure NS must never compute it.
-        assert!(pure.final_population.members().iter().all(|m| m.local_comp.is_nan()));
+        assert!(pure
+            .final_population
+            .members()
+            .iter()
+            .all(|m| m.local_comp.is_nan()));
     }
 
     #[test]
@@ -638,7 +692,10 @@ mod tests {
             ..NoveltyGaConfig::default()
         };
         let (open, _) = run_on(sphere, base, 4);
-        let strict = NoveltyGaConfig { archive_threshold: Some(0.9), ..base };
+        let strict = NoveltyGaConfig {
+            archive_threshold: Some(0.9),
+            ..base
+        };
         let (gated, _) = run_on(sphere, strict, 4);
         assert!(
             gated.archive.len() < open.archive.len(),
@@ -653,7 +710,10 @@ mod tests {
     fn zero_k_rejected() {
         let _ = NoveltyGa::new(
             4,
-            NoveltyGaConfig { novelty_neighbours: 0, ..NoveltyGaConfig::default() },
+            NoveltyGaConfig {
+                novelty_neighbours: 0,
+                ..NoveltyGaConfig::default()
+            },
         );
     }
 }

@@ -61,11 +61,17 @@ impl ScoringPolicy {
         match *self {
             ScoringPolicy::PureNovelty => n,
             ScoringPolicy::Weighted { novelty_weight } => {
-                assert!((0.0..=1.0).contains(&novelty_weight), "novelty weight is a proportion");
+                assert!(
+                    (0.0..=1.0).contains(&novelty_weight),
+                    "novelty weight is a proportion"
+                );
                 novelty_weight * n + (1.0 - novelty_weight) * fitness
             }
             ScoringPolicy::NoveltyLocalCompetition { novelty_weight } => {
-                assert!((0.0..=1.0).contains(&novelty_weight), "novelty weight is a proportion");
+                assert!(
+                    (0.0..=1.0).contains(&novelty_weight),
+                    "novelty weight is a proportion"
+                );
                 assert!(
                     (0.0..=1.0).contains(&local_competition),
                     "local competition is a fraction"
@@ -132,7 +138,10 @@ impl InclusionPolicy {
                 fraction
             }
         };
-        assert!((0.0..=1.0).contains(&fraction), "inclusion fraction is a proportion");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "inclusion fraction is a proportion"
+        );
         ((size as f64) * fraction).round() as usize
     }
 }
@@ -150,24 +159,42 @@ mod tests {
 
     #[test]
     fn weighted_blend_interpolates() {
-        let p = ScoringPolicy::Weighted { novelty_weight: 0.25 };
+        let p = ScoringPolicy::Weighted {
+            novelty_weight: 0.25,
+        };
         let s = p.score(0.8, 0.4);
         assert!((s - (0.25 * 0.4 + 0.75 * 0.8)).abs() < 1e-12);
         // Extremes recover the pure strategies.
-        assert_eq!(ScoringPolicy::Weighted { novelty_weight: 1.0 }.score(0.9, 0.3), 0.3);
-        assert_eq!(ScoringPolicy::Weighted { novelty_weight: 0.0 }.score(0.9, 0.3), 0.9);
+        assert_eq!(
+            ScoringPolicy::Weighted {
+                novelty_weight: 1.0
+            }
+            .score(0.9, 0.3),
+            0.3
+        );
+        assert_eq!(
+            ScoringPolicy::Weighted {
+                novelty_weight: 0.0
+            }
+            .score(0.9, 0.3),
+            0.9
+        );
     }
 
     #[test]
     fn sentinel_novelty_is_clamped() {
-        let p = ScoringPolicy::Weighted { novelty_weight: 0.5 };
+        let p = ScoringPolicy::Weighted {
+            novelty_weight: 0.5,
+        };
         let s = p.score(0.6, f64::MAX);
         assert!((s - (0.5 + 0.3)).abs() < 1e-12);
     }
 
     #[test]
     fn nslc_blends_novelty_and_local_competition() {
-        let p = ScoringPolicy::NoveltyLocalCompetition { novelty_weight: 0.5 };
+        let p = ScoringPolicy::NoveltyLocalCompetition {
+            novelty_weight: 0.5,
+        };
         assert!(p.uses_local_competition());
         assert!(!ScoringPolicy::PureNovelty.uses_local_competition());
         // Fitness itself is ignored; only the niche-relative term counts.
@@ -188,14 +215,23 @@ mod tests {
         let a = BehaviourSpace::Genotype.describe(&[0.0, 0.0, 0.0, 0.0], 0.0);
         let b = BehaviourSpace::Genotype.describe(&[1.0, 1.0, 1.0, 1.0], 0.9);
         let d = evoalg::novelty::behaviour_distance(&a, &b);
-        assert!((d - 1.0).abs() < 1e-12, "corner-to-corner should be 1, got {d}");
+        assert!(
+            (d - 1.0).abs() < 1e-12,
+            "corner-to-corner should be 1, got {d}"
+        );
     }
 
     #[test]
     fn inclusion_counts() {
         assert_eq!(InclusionPolicy::BestOnly.extra_count(20), 0);
-        assert_eq!(InclusionPolicy::WithNovel { fraction: 0.25 }.extra_count(20), 5);
-        assert_eq!(InclusionPolicy::WithRandom { fraction: 0.1 }.extra_count(20), 2);
+        assert_eq!(
+            InclusionPolicy::WithNovel { fraction: 0.25 }.extra_count(20),
+            5
+        );
+        assert_eq!(
+            InclusionPolicy::WithRandom { fraction: 0.1 }.extra_count(20),
+            2
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use crate::algorithm::{NoveltyGa, NoveltyGaConfig};
 use crate::hybrid::InclusionPolicy;
-use ess::fitness::ScenarioEvaluator;
-use ess::pipeline::{OptimizeOutcome, StepOptimizer};
+use ess::fitness::{EvalBackend, ScenarioEvaluator};
+use ess::pipeline::{OptimizeOutcome, PredictionPipeline, StepOptimizer};
 use firelib::{ScenarioSpace, GENE_COUNT};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,11 +25,19 @@ pub struct EssNsConfig {
     /// Result-set composition (§IV variants; `BestOnly` is the paper's
     /// baseline).
     pub inclusion: InclusionPolicy,
+    /// Execution backend for scenario evaluation (the `PEA F` block of
+    /// Fig. 3): Serial, the Master/Worker farm, or work stealing. Results
+    /// are backend-independent; only wall time changes.
+    pub backend: EvalBackend,
 }
 
 impl Default for EssNsConfig {
     fn default() -> Self {
-        Self { algorithm: NoveltyGaConfig::default(), inclusion: InclusionPolicy::BestOnly }
+        Self {
+            algorithm: NoveltyGaConfig::default(),
+            inclusion: InclusionPolicy::BestOnly,
+            backend: EvalBackend::Serial,
+        }
     }
 }
 
@@ -54,6 +62,26 @@ impl EssNs {
     pub fn config(&self) -> &EssNsConfig {
         &self.config
     }
+
+    /// Builds the Fig. 3 prediction pipeline on this system's configured
+    /// evaluation backend — the one-stop way to run ESS-NS end to end:
+    ///
+    /// ```no_run
+    /// use ess_ns::{EssNs, EssNsConfig};
+    /// use ess::fitness::EvalBackend;
+    /// use ess::cases;
+    ///
+    /// let system = EssNs::new(EssNsConfig {
+    ///     backend: EvalBackend::WorkerPool(4),
+    ///     ..EssNsConfig::default()
+    /// });
+    /// let mut optimizer = system.clone();
+    /// let case = cases::grass_uniform();
+    /// let report = system.pipeline(7).run(&case, &mut optimizer);
+    /// ```
+    pub fn pipeline(&self, base_seed: u64) -> PredictionPipeline {
+        PredictionPipeline::new(self.config.backend, base_seed)
+    }
 }
 
 impl Default for EssNs {
@@ -68,7 +96,10 @@ impl StepOptimizer for EssNs {
     }
 
     fn optimize(&mut self, evaluator: &mut ScenarioEvaluator, seed: u64) -> OptimizeOutcome {
-        let algo_cfg = NoveltyGaConfig { seed, ..self.config.algorithm };
+        let algo_cfg = NoveltyGaConfig {
+            seed,
+            ..self.config.algorithm
+        };
         let engine = NoveltyGa::new(GENE_COUNT, algo_cfg);
         let outcome = engine.run(evaluator);
 
@@ -82,9 +113,7 @@ impl StepOptimizer for EssNs {
                 InclusionPolicy::WithNovel { .. } => {
                     // The most novel archive entries not already present.
                     let mut entries: Vec<_> = outcome.archive.entries().to_vec();
-                    entries.sort_by(|a, b| {
-                        b.novelty.partial_cmp(&a.novelty).expect("finite novelty")
-                    });
+                    entries.sort_by(|a, b| b.novelty.total_cmp(&a.novelty));
                     for e in entries {
                         if result_set.len() >= outcome.best_set.capacity() + extra {
                             break;
@@ -146,6 +175,7 @@ mod tests {
         let mut essns = EssNs::new(EssNsConfig {
             algorithm: small_algo(),
             inclusion: InclusionPolicy::BestOnly,
+            backend: EvalBackend::Serial,
         });
         let mut eval = step_evaluator();
         let out = essns.optimize(&mut eval, 3);
@@ -160,10 +190,12 @@ mod tests {
         let mut base = EssNs::new(EssNsConfig {
             algorithm: small_algo(),
             inclusion: InclusionPolicy::BestOnly,
+            backend: EvalBackend::Serial,
         });
         let mut with_novel = EssNs::new(EssNsConfig {
             algorithm: small_algo(),
             inclusion: InclusionPolicy::WithNovel { fraction: 0.3 },
+            backend: EvalBackend::Serial,
         });
         let mut e1 = step_evaluator();
         let mut e2 = step_evaluator();
@@ -182,6 +214,7 @@ mod tests {
         let mut essns = EssNs::new(EssNsConfig {
             algorithm: small_algo(),
             inclusion: InclusionPolicy::WithRandom { fraction: 0.5 },
+            backend: EvalBackend::Serial,
         });
         let mut eval = step_evaluator();
         let out = essns.optimize(&mut eval, 7);
@@ -198,8 +231,12 @@ mod tests {
         // converged final population of the fitness GA baseline.
         use ess::ess_classic::{EssClassic, EssConfig};
         let mut essns = EssNs::new(EssNsConfig {
-            algorithm: NoveltyGaConfig { max_generations: 12, ..small_algo() },
+            algorithm: NoveltyGaConfig {
+                max_generations: 12,
+                ..small_algo()
+            },
             inclusion: InclusionPolicy::BestOnly,
+            backend: EvalBackend::Serial,
         });
         let mut ess = EssClassic::new(EssConfig {
             population_size: 16,
@@ -226,6 +263,7 @@ mod tests {
             let mut essns = EssNs::new(EssNsConfig {
                 algorithm: small_algo(),
                 inclusion: InclusionPolicy::BestOnly,
+                backend: EvalBackend::Serial,
             });
             let mut eval = step_evaluator();
             essns.optimize(&mut eval, seed).result_set

@@ -63,9 +63,17 @@ pub fn skign_search(
         // back to the most conservative threshold.
         let predicted = matrix.threshold(1.0);
         let f = jaccard(observed, &predicted, preburn);
-        return CalibrationOutcome { kign: 1.0, fitness: f, curve: vec![(1.0, f)] };
+        return CalibrationOutcome {
+            kign: 1.0,
+            fitness: f,
+            curve: vec![(1.0, f)],
+        };
     }
-    CalibrationOutcome { kign: best_kign, fitness: best_fitness, curve }
+    CalibrationOutcome {
+        kign: best_kign,
+        fitness: best_fitness,
+        curve,
+    }
 }
 
 /// The Prediction Stage: applies the previous step's Key Ignition Value to
@@ -81,7 +89,10 @@ pub struct PredictionStage {
 impl PredictionStage {
     /// Builds the stage from a calibrated `Kign`.
     pub fn new(kign: f64) -> Self {
-        assert!((0.0..=1.0).contains(&kign), "Kign is a probability threshold");
+        assert!(
+            (0.0..=1.0).contains(&kign),
+            "Kign is a probability threshold"
+        );
         Self { kign }
     }
 

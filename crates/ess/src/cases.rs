@@ -53,12 +53,20 @@ impl BurnCase {
         times: Vec<f64>,
         truth: Vec<Scenario>,
     ) -> Self {
-        assert!(times.len() >= 3, "a burn case needs at least 3 instants (got {})", times.len());
+        assert!(
+            times.len() >= 3,
+            "a burn case needs at least 3 instants (got {})",
+            times.len()
+        );
         assert!(
             times.windows(2).all(|w| w[1] > w[0]),
             "observation instants must be strictly increasing"
         );
-        assert_eq!(truth.len(), times.len() - 1, "one true scenario per interval");
+        assert_eq!(
+            truth.len(),
+            times.len() - 1,
+            "one true scenario per interval"
+        );
         let sim = Arc::new(FireSim::new(terrain));
         let mut fire_lines = vec![ignition];
         for (i, scenario) in truth.iter().enumerate() {
@@ -69,7 +77,14 @@ impl BurnCase {
             let grown = map.fire_line_at(times[i + 1]);
             fire_lines.push(from.union(&grown));
         }
-        Self { name, description, sim, times, fire_lines, truth }
+        Self {
+            name,
+            description,
+            sim,
+            times,
+            fire_lines,
+            truth,
+        }
     }
 
     /// Total burned area at the final instant.
@@ -150,7 +165,7 @@ pub fn shifting_wind() -> BurnCase {
     };
     let truth: Vec<Scenario> = (0..6)
         .map(|i| Scenario {
-            wind_dir_deg: 15.0 * i as f64 * 1.5, // 0° → 112.5° over the burn
+            wind_dir_deg: 15.0 * i as f64 * 1.5,  // 0° → 112.5° over the burn
             wind_speed_mph: 5.0 + 1.5 * i as f64, // 5 → 12.5 mph ramp
             ..base
         })
@@ -206,7 +221,11 @@ pub fn two_ridge() -> BurnCase {
             // Two parallel ridges along columns n/3 and 2n/3.
             let d1 = (c as f64 - n as f64 / 3.0).abs();
             let d2 = (c as f64 - 2.0 * n as f64 / 3.0).abs();
-            let (d, facing_east) = if d1 <= d2 { (d1, c < n / 3) } else { (d2, c < 2 * n / 3) };
+            let (d, facing_east) = if d1 <= d2 {
+                (d1, c < n / 3)
+            } else {
+                (d2, c < 2 * n / 3)
+            };
             let s = (20.0 - d).max(0.0);
             slope.set(r, c, s);
             aspect.set(r, c, if facing_east { 90.0 } else { 270.0 });
@@ -226,7 +245,9 @@ pub fn two_ridge() -> BurnCase {
     BurnCase::generate(
         "two_ridge",
         "96x96 timber-grass (NFFL 2) with two opposite-aspect ridges",
-        Terrain::uniform(n, n, CELL_FT).with_slope(slope).with_aspect(aspect),
+        Terrain::uniform(n, n, CELL_FT)
+            .with_slope(slope)
+            .with_aspect(aspect),
         FireLine::from_cells(n, n, &[(n / 2, 6)]),
         steps(5, 25.0),
         vec![truth; 5],
@@ -249,7 +270,10 @@ pub fn two_ridge() -> BurnCase {
 pub fn with_observation_noise(case: &BurnCase, flip_prob: f64, seed: u64) -> BurnCase {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    assert!((0.0..=1.0).contains(&flip_prob), "flip probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&flip_prob),
+        "flip probability must be in [0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6A09E667F3BCC909);
     let mut noisy: Vec<FireLine> = Vec::with_capacity(case.fire_lines.len());
     noisy.push(case.fire_lines[0].clone());
@@ -262,8 +286,11 @@ pub fn with_observation_noise(case: &BurnCase, flip_prob: f64, seed: u64) -> Bur
                 observed.set_burned(r, c, false);
             }
             // Unburned neighbours of the front misread as burned.
-            let neighbours: Vec<(usize, usize)> =
-                line.mask().neighbours8(r, c).map(|(nr, nc, _)| (nr, nc)).collect();
+            let neighbours: Vec<(usize, usize)> = line
+                .mask()
+                .neighbours8(r, c)
+                .map(|(nr, nc, _)| (nr, nc))
+                .collect();
             for (nr, nc) in neighbours {
                 if !line.is_burned(nr, nc) && rng.random::<f64>() < flip_prob {
                     observed.set_burned(nr, nc, true);
@@ -286,7 +313,13 @@ pub fn with_observation_noise(case: &BurnCase, flip_prob: f64, seed: u64) -> Bur
 
 /// The full standard case library.
 pub fn standard_cases() -> Vec<BurnCase> {
-    vec![grass_uniform(), chaparral_slope(), shifting_wind(), moisture_front(), two_ridge()]
+    vec![
+        grass_uniform(),
+        chaparral_slope(),
+        shifting_wind(),
+        moisture_front(),
+        two_ridge(),
+    ]
 }
 
 /// Fetches one case by name.

@@ -130,7 +130,11 @@ mod tests {
         });
         let mut eval = step_evaluator();
         let out = ess.optimize(&mut eval, 5);
-        assert!(out.best_fitness > 0.25, "GA should find some signal, got {}", out.best_fitness);
+        assert!(
+            out.best_fitness > 0.25,
+            "GA should find some signal, got {}",
+            out.best_fitness
+        );
         assert_eq!(out.result_set.len(), 32);
         assert!(out.evaluations >= 32);
     }

@@ -61,7 +61,11 @@ impl TuningConfig {
 
     /// Both tuning metrics on with the defaults used in E6.
     pub fn enabled() -> Self {
-        Self { restart_enabled: true, iqr_enabled: true, ..Self::disabled() }
+        Self {
+            restart_enabled: true,
+            iqr_enabled: true,
+            ..Self::disabled()
+        }
     }
 }
 
@@ -123,9 +127,18 @@ impl EssimDe {
     /// # Panics
     /// Panics on degenerate configurations.
     pub fn new(config: EssimDeConfig) -> Self {
-        assert!(config.islands >= 2, "an island model needs at least 2 islands");
-        assert!(config.island_population >= 4, "DE islands need at least 4 members");
-        assert!((0.0..=1.0).contains(&config.elite_fraction), "elite fraction is a proportion");
+        assert!(
+            config.islands >= 2,
+            "an island model needs at least 2 islands"
+        );
+        assert!(
+            config.island_population >= 4,
+            "DE islands need at least 4 members"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.elite_fraction),
+            "elite fraction is a proportion"
+        );
         assert!(config.result_set_size >= 1, "result set must be non-empty");
         Self { config }
     }
@@ -190,8 +203,7 @@ impl StepOptimizer for EssimDe {
         let mut best = f64::NEG_INFINITY;
         let mut best_age = 0u32;
         let mut generation = 0u32;
-        let last_restart_gen =
-            (cfg.max_generations as f64 * cfg.tuning.last_restart_frac) as u32;
+        let last_restart_gen = (cfg.max_generations as f64 * cfg.tuning.last_restart_frac) as u32;
         while generation < cfg.max_generations && best < cfg.fitness_threshold {
             let restarts_allowed = generation < last_restart_gen;
             let mut gen_best = f64::NEG_INFINITY;
@@ -236,9 +248,7 @@ impl StepOptimizer for EssimDe {
         let winner = islands
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                a.stats().best_fitness.partial_cmp(&b.stats().best_fitness).expect("finite")
-            })
+            .max_by(|(_, a), (_, b)| a.stats().best_fitness.total_cmp(&b.stats().best_fitness))
             .map(|(i, _)| i)
             .expect("at least one island");
 
@@ -248,15 +258,22 @@ impl StepOptimizer for EssimDe {
         pop.sort_by_fitness_desc();
         let n_elite = ((cfg.result_set_size as f64) * cfg.elite_fraction).round() as usize;
         let n_elite = n_elite.min(pop.len()).min(cfg.result_set_size);
-        let mut result_set: Vec<Vec<f64>> =
-            pop.members()[..n_elite].iter().map(|m| m.genes.clone()).collect();
+        let mut result_set: Vec<Vec<f64>> = pop.members()[..n_elite]
+            .iter()
+            .map(|m| m.genes.clone())
+            .collect();
         while result_set.len() < cfg.result_set_size.min(pop.len()) {
             let pick = rng.random_range(0..pop.len());
             result_set.push(pop.members()[pick].genes.clone());
         }
 
         let evaluations: u64 = islands.iter().map(|i| i.evaluations()).sum();
-        OptimizeOutcome { result_set, best_fitness: best, generations: generation, evaluations }
+        OptimizeOutcome {
+            result_set,
+            best_fitness: best,
+            generations: generation,
+            evaluations,
+        }
     }
 }
 
@@ -357,6 +374,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 2 islands")]
     fn single_island_rejected() {
-        let _ = EssimDe::new(EssimDeConfig { islands: 1, ..EssimDeConfig::default() });
+        let _ = EssimDe::new(EssimDeConfig {
+            islands: 1,
+            ..EssimDeConfig::default()
+        });
     }
 }

@@ -10,8 +10,10 @@
 use evoalg::BatchEvaluator;
 use firelib::{FireSim, Scenario, ScenarioSpace};
 use landscape::{jaccard, FireLine, IgnitionMap};
-use parworker::{RayonMap, WorkerPool};
+use parworker::Backend;
 use std::sync::Arc;
+
+pub use parworker::EvalBackend;
 
 /// Everything needed to score scenarios on one prediction interval.
 #[derive(Debug, Clone)]
@@ -40,8 +42,17 @@ impl StepContext {
             (sim.terrain().rows(), sim.terrain().cols()),
             "fire line shape must match terrain"
         );
-        assert!(from.mask().same_shape(target.mask()), "interval endpoints shape mismatch");
-        Self { sim, from, target, t0, t1 }
+        assert!(
+            from.mask().same_shape(target.mask()),
+            "interval endpoints shape mismatch"
+        );
+        Self {
+            sim,
+            from,
+            target,
+            t0,
+            t1,
+        }
     }
 
     /// The simulator.
@@ -77,7 +88,8 @@ impl StepContext {
     /// Simulates one scenario over the interval, writing into `scratch`
     /// (the Workers' allocation-free hot path), and returns its fitness.
     pub fn fitness_into(&self, scenario: &Scenario, scratch: &mut IgnitionMap) -> f64 {
-        self.sim.simulate_into(scenario, &self.from, self.t0, self.duration(), scratch);
+        self.sim
+            .simulate_into(scenario, &self.from, self.t0, self.duration(), scratch);
         let simulated = scratch.fire_line_at(self.t1);
         jaccard(&self.target, &simulated, Some(&self.from))
     }
@@ -96,75 +108,59 @@ impl StepContext {
     /// The simulated fire line a scenario produces over this interval
     /// (used by the Statistical Stage).
     pub fn simulate_line(&self, scenario: &Scenario) -> FireLine {
-        self.sim.simulate_fire_line(scenario, &self.from, self.t0, self.duration())
+        self.sim
+            .simulate_fire_line(scenario, &self.from, self.t0, self.duration())
     }
 }
 
-/// Which execution backend evaluates scenario batches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EvalBackend {
-    /// Single-threaded, in the master (the 1-worker baseline of E3).
-    Serial,
-    /// The Master/Worker channel farm with this many workers (the paper's
-    /// deployment model).
-    MasterWorker(usize),
-    /// A rayon work-stealing pool with this many threads (scheduling
-    /// comparison point).
-    Rayon(usize),
-}
-
-impl EvalBackend {
-    /// Human-readable backend name for reports.
-    pub fn name(&self) -> String {
-        match self {
-            EvalBackend::Serial => "serial".to_string(),
-            EvalBackend::MasterWorker(n) => format!("master-worker({n})"),
-            EvalBackend::Rayon(n) => format!("rayon({n})"),
-        }
-    }
-}
+/// The boxed backend a [`ScenarioEvaluator`] runs on by default (built
+/// from an [`EvalBackend`] spec at runtime).
+pub type DynBackend = Box<dyn Backend<Vec<f64>, f64>>;
 
 /// Batch scenario evaluator: decodes genomes, runs the fire simulations on
-/// the configured backend, and returns Eq. (3) fitness values. Implements
-/// [`evoalg::BatchEvaluator`], so it plugs into every engine.
-pub struct ScenarioEvaluator {
+/// the configured [`parworker::Backend`], and returns Eq. (3) fitness
+/// values. Implements [`evoalg::BatchEvaluator`], so it plugs into every
+/// engine; generic over the backend (defaulting to the runtime-selected
+/// boxed form the pipeline uses).
+///
+/// Every backend runs the same pure work function — decode the genome,
+/// simulate into the worker's private scratch [`IgnitionMap`] via
+/// [`StepContext::fitness_into`] (allocation-free hot loop), score with
+/// Eq. (3) — so Serial, WorkerPool and Rayon produce bit-identical fitness
+/// vectors for the same genome batch.
+pub struct ScenarioEvaluator<B: Backend<Vec<f64>, f64> = DynBackend> {
     ctx: Arc<StepContext>,
-    backend: BackendImpl,
+    backend: B,
     evaluations: u64,
 }
 
-enum BackendImpl {
-    Serial(IgnitionMap),
-    Pool(WorkerPool<Vec<f64>, f64>),
-    Rayon(RayonMap),
-}
-
 impl ScenarioEvaluator {
-    /// Builds an evaluator over `ctx` on `backend`.
-    pub fn new(ctx: Arc<StepContext>, backend: EvalBackend) -> Self {
+    /// Builds an evaluator over `ctx` on the backend `spec` selects.
+    pub fn new(ctx: Arc<StepContext>, spec: EvalBackend) -> Self {
         let rows = ctx.from_line().rows();
         let cols = ctx.from_line().cols();
-        let backend = match backend {
-            EvalBackend::Serial => BackendImpl::Serial(IgnitionMap::unignited(rows, cols)),
-            EvalBackend::MasterWorker(n) => {
-                let worker_ctx = Arc::clone(&ctx);
-                // Each worker owns a private scratch map: the per-worker
-                // state of the farm (the `FS` instance of OS-Worker x).
-                let pool = WorkerPool::new(
-                    n,
-                    move |_wid| IgnitionMap::unignited(rows, cols),
-                    {
-                        let ctx = Arc::clone(&worker_ctx);
-                        move |scratch: &mut IgnitionMap, genes: Vec<f64>| {
-                            ctx.fitness_into(&ScenarioSpace.decode(&genes), scratch)
-                        }
-                    },
-                );
-                BackendImpl::Pool(pool)
-            }
-            EvalBackend::Rayon(n) => BackendImpl::Rayon(RayonMap::new(n)),
-        };
-        Self { ctx, backend, evaluations: 0 }
+        let worker_ctx = Arc::clone(&ctx);
+        // Each worker owns a private scratch map: the per-worker state of
+        // the farm (the `FS` instance of OS-Worker x).
+        let backend = spec.build(
+            move |_wid| IgnitionMap::unignited(rows, cols),
+            move |scratch: &mut IgnitionMap, genes: Vec<f64>| {
+                worker_ctx.fitness_into(&ScenarioSpace.decode(&genes), scratch)
+            },
+        );
+        Self::with_backend(ctx, backend)
+    }
+}
+
+impl<B: Backend<Vec<f64>, f64>> ScenarioEvaluator<B> {
+    /// Wraps an already-built backend (static dispatch; `new` is the
+    /// config-driven entry point).
+    pub fn with_backend(ctx: Arc<StepContext>, backend: B) -> Self {
+        Self {
+            ctx,
+            backend,
+            evaluations: 0,
+        }
     }
 
     /// The evaluation context.
@@ -176,22 +172,17 @@ impl ScenarioEvaluator {
     pub fn evaluation_count(&self) -> u64 {
         self.evaluations
     }
+
+    /// The backend's report name (e.g. `"worker-pool(4)"`).
+    pub fn backend_name(&self) -> String {
+        self.backend.name()
+    }
 }
 
-impl BatchEvaluator for ScenarioEvaluator {
+impl<B: Backend<Vec<f64>, f64>> BatchEvaluator for ScenarioEvaluator<B> {
     fn evaluate(&mut self, genomes: &[Vec<f64>]) -> Vec<f64> {
         self.evaluations += genomes.len() as u64;
-        match &mut self.backend {
-            BackendImpl::Serial(scratch) => genomes
-                .iter()
-                .map(|g| self.ctx.fitness_into(&ScenarioSpace.decode(g), scratch))
-                .collect(),
-            BackendImpl::Pool(pool) => pool.map(genomes.to_vec()),
-            BackendImpl::Rayon(pool) => {
-                let ctx = Arc::clone(&self.ctx);
-                pool.map(genomes, move |g| ctx.fitness_of_genome(g))
-            }
-        }
+        self.backend.map(genomes.to_vec())
     }
 
     fn evaluations(&self) -> u64 {
@@ -208,11 +199,18 @@ mod tests {
     /// A small context whose target was produced by a known scenario, so
     /// that scenario scores exactly 1.
     fn known_context() -> (Arc<StepContext>, Scenario) {
-        let truth = Scenario { wind_speed_mph: 6.0, wind_dir_deg: 45.0, ..Scenario::reference() };
+        let truth = Scenario {
+            wind_speed_mph: 6.0,
+            wind_dir_deg: 45.0,
+            ..Scenario::reference()
+        };
         let sim = Arc::new(FireSim::new(Terrain::uniform(25, 25, 100.0)));
         let from = centre_ignition(25, 25);
         let target = sim.simulate_fire_line(&truth, &from, 0.0, 40.0);
-        (Arc::new(StepContext::new(sim, from, target, 0.0, 40.0)), truth)
+        (
+            Arc::new(StepContext::new(sim, from, target, 0.0, 40.0)),
+            truth,
+        )
     }
 
     #[test]
@@ -224,7 +222,11 @@ mod tests {
     #[test]
     fn wrong_scenario_scores_less() {
         let (ctx, truth) = known_context();
-        let wrong = Scenario { wind_dir_deg: 225.0, wind_speed_mph: 25.0, ..truth };
+        let wrong = Scenario {
+            wind_dir_deg: 225.0,
+            wind_speed_mph: 25.0,
+            ..truth
+        };
         assert!(ctx.fitness_of(&wrong) < 0.9);
     }
 
@@ -241,15 +243,19 @@ mod tests {
         let (ctx, _) = known_context();
         let mut rng = StdRng::seed_from_u64(0);
         let genomes: Vec<Vec<f64>> = (0..12)
-            .map(|_| (0..firelib::GENE_COUNT).map(|_| rng.random::<f64>()).collect())
+            .map(|_| {
+                (0..firelib::GENE_COUNT)
+                    .map(|_| rng.random::<f64>())
+                    .collect()
+            })
             .collect();
         let mut serial = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::Serial);
-        let mut pool = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::MasterWorker(2));
+        let mut pool = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::WorkerPool(2));
         let mut ray = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::Rayon(2));
         let fs = serial.evaluate(&genomes);
         let fp = pool.evaluate(&genomes);
         let fr = ray.evaluate(&genomes);
-        assert_eq!(fs, fp, "master-worker backend diverged from serial");
+        assert_eq!(fs, fp, "worker-pool backend diverged from serial");
         assert_eq!(fs, fr, "rayon backend diverged from serial");
         assert_eq!(serial.evaluation_count(), 12);
     }
@@ -260,8 +266,9 @@ mod tests {
         let (ctx, _) = known_context();
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..30 {
-            let genes: Vec<f64> =
-                (0..firelib::GENE_COUNT).map(|_| rng.random::<f64>()).collect();
+            let genes: Vec<f64> = (0..firelib::GENE_COUNT)
+                .map(|_| rng.random::<f64>())
+                .collect();
             let f = ctx.fitness_of_genome(&genes);
             assert!((0.0..=1.0).contains(&f), "fitness {f} out of range");
         }

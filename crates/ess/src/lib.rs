@@ -12,8 +12,10 @@
 //! instantiations of the same [`pipeline::PredictionPipeline`]:
 //!
 //! * [`fitness`] — the per-step evaluation context (simulate a scenario
-//!   over the last known interval, score with Eq. (3)) and the parallel
-//!   scenario evaluators (Serial / Master-Worker / rayon backends);
+//!   over the last known interval, score with Eq. (3)) and the
+//!   [`fitness::ScenarioEvaluator`], which runs batches on any
+//!   [`parworker::Backend`] (Serial / WorkerPool / Rayon, selected at
+//!   runtime by [`parworker::EvalBackend`]);
 //! * [`stages`] — the Statistical Stage (probability-matrix aggregation,
 //!   Figs. 1–2 `SS`);
 //! * [`calibration`] — the Calibration Stage's `SKign` search (Fig. 1) and

@@ -118,7 +118,10 @@ impl RunReport {
         if self.steps.is_empty() {
             return 0.0;
         }
-        self.steps.iter().map(|s| s.diversity.mean_pairwise).sum::<f64>()
+        self.steps
+            .iter()
+            .map(|s| s.diversity.mean_pairwise)
+            .sum::<f64>()
             / self.steps.len() as f64
     }
 }
@@ -175,8 +178,11 @@ impl PredictionPipeline {
             let cal_matrix = statistical_stage_genomes(&observed_ctx, &outcome.result_set);
 
             // --- Calibration Stage: SKign on the observed interval -------
-            let cal =
-                skign_search(&cal_matrix, &case.fire_lines[i], Some(&case.fire_lines[i - 1]));
+            let cal = skign_search(
+                &cal_matrix,
+                &case.fire_lines[i],
+                Some(&case.fire_lines[i - 1]),
+            );
 
             // --- Statistical + Prediction Stage for t_{i+1} --------------
             let quality = match carried_kign {
@@ -263,12 +269,12 @@ mod tests {
             use evoalg::BatchEvaluator;
             use rand::{rngs::StdRng, SeedableRng};
             let mut rng = StdRng::seed_from_u64(seed);
-            let genomes: Vec<Vec<f64>> =
-                (0..self.budget).map(|_| ScenarioSpace.sample_genes(&mut rng).to_vec()).collect();
+            let genomes: Vec<Vec<f64>> = (0..self.budget)
+                .map(|_| ScenarioSpace.sample_genes(&mut rng).to_vec())
+                .collect();
             let fitness = evaluator.evaluate(&genomes);
-            let mut scored: Vec<(f64, Vec<f64>)> =
-                fitness.into_iter().zip(genomes).collect();
-            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let mut scored: Vec<(f64, Vec<f64>)> = fitness.into_iter().zip(genomes).collect();
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0));
             let best_fitness = scored[0].0;
             OptimizeOutcome {
                 result_set: scored.into_iter().take(8).map(|(_, g)| g).collect(),
@@ -291,7 +297,10 @@ mod tests {
         assert!(report.steps[0].quality.is_none());
         for s in &report.steps[1..] {
             let q = s.quality.expect("prediction expected after first step");
-            assert!(q > 0.99, "oracle prediction should be near-perfect, got {q}");
+            assert!(
+                q > 0.99,
+                "oracle prediction should be near-perfect, got {q}"
+            );
         }
         assert!((report.steps[0].os_best_fitness - 1.0).abs() < 1e-9);
         assert!((report.steps[0].calibration_fitness - 1.0).abs() < 1e-9);
@@ -332,7 +341,10 @@ mod tests {
         let run = |seed| {
             let mut rs = RandomSearch { budget: 20 };
             let r = PredictionPipeline::new(EvalBackend::Serial, seed).run(&case, &mut rs);
-            r.steps.iter().map(|s| (s.quality, s.kign)).collect::<Vec<_>>()
+            r.steps
+                .iter()
+                .map(|s| (s.quality, s.kign))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
     }

@@ -73,8 +73,14 @@ mod tests {
         let c = ctx();
         let scenarios = vec![
             Scenario::reference(),
-            Scenario { wind_dir_deg: 270.0, ..Scenario::reference() },
-            Scenario { wind_speed_mph: 20.0, ..Scenario::reference() },
+            Scenario {
+                wind_dir_deg: 270.0,
+                ..Scenario::reference()
+            },
+            Scenario {
+                wind_speed_mph: 20.0,
+                ..Scenario::reference()
+            },
         ];
         let pm = statistical_stage(&c, &scenarios);
         // The initial burning cell burns in every simulation.
@@ -85,8 +91,16 @@ mod tests {
     fn divergent_scenarios_create_fractional_cells() {
         let c = ctx();
         let scenarios = vec![
-            Scenario { wind_speed_mph: 25.0, wind_dir_deg: 0.0, ..Scenario::reference() },
-            Scenario { wind_speed_mph: 25.0, wind_dir_deg: 180.0, ..Scenario::reference() },
+            Scenario {
+                wind_speed_mph: 25.0,
+                wind_dir_deg: 0.0,
+                ..Scenario::reference()
+            },
+            Scenario {
+                wind_speed_mph: 25.0,
+                wind_dir_deg: 180.0,
+                ..Scenario::reference()
+            },
         ];
         let pm = statistical_stage(&c, &scenarios);
         let grid = pm.to_grid();
@@ -101,9 +115,17 @@ mod tests {
     #[test]
     fn genome_variant_agrees_with_scenario_variant() {
         let c = ctx();
-        let scenarios = vec![Scenario::reference(), Scenario { model: 3, ..Scenario::reference() }];
-        let genomes: Vec<Vec<f64>> =
-            scenarios.iter().map(|s| ScenarioSpace.encode(s).to_vec()).collect();
+        let scenarios = vec![
+            Scenario::reference(),
+            Scenario {
+                model: 3,
+                ..Scenario::reference()
+            },
+        ];
+        let genomes: Vec<Vec<f64>> = scenarios
+            .iter()
+            .map(|s| ScenarioSpace.encode(s).to_vec())
+            .collect();
         assert_eq!(
             statistical_stage(&c, &scenarios),
             statistical_stage_genomes(&c, &genomes)

@@ -1,0 +1,152 @@
+//! The unified evaluation layer's core contract, as a property test:
+//! Serial, WorkerPool and Rayon backends are *interchangeable* — for any
+//! genome batch they return bit-identical fitness vectors and identical
+//! evaluation accounting, so backend choice can never change results, only
+//! wall time (the premise of the E3 speedup comparison).
+
+use ess::cases;
+use ess::fitness::{EvalBackend, ScenarioEvaluator, StepContext};
+use evoalg::BatchEvaluator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn step1_context() -> Arc<StepContext> {
+    let case = cases::tiny_test_case();
+    Arc::new(StepContext::new(
+        Arc::clone(&case.sim),
+        case.fire_lines[0].clone(),
+        case.fire_lines[1].clone(),
+        case.times[0],
+        case.times[1],
+    ))
+}
+
+fn random_batch(rng: &mut StdRng, len: usize) -> Vec<Vec<f64>> {
+    (0..len)
+        .map(|_| {
+            (0..firelib::GENE_COUNT)
+                .map(|_| rng.random::<f64>())
+                .collect()
+        })
+        .collect()
+}
+
+/// The headline property: over many random batches (varying sizes,
+/// including the empty and single-genome edge cases), every backend
+/// returns bit-identical fitness vectors and the same evaluation count.
+#[test]
+fn all_backends_bit_identical_on_random_batches() {
+    let ctx = step1_context();
+    let specs = [
+        EvalBackend::Serial,
+        EvalBackend::WorkerPool(2),
+        EvalBackend::WorkerPool(4),
+        EvalBackend::Rayon(2),
+    ];
+    // Persistent evaluators: worker state must stay correct across rounds.
+    let mut evaluators: Vec<ScenarioEvaluator> = specs
+        .iter()
+        .map(|&s| ScenarioEvaluator::new(Arc::clone(&ctx), s))
+        .collect();
+
+    let mut expected_count = 0u64;
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = match seed {
+            0 => 0,
+            1 => 1,
+            _ => rng.random_range(2..48usize),
+        };
+        let batch = random_batch(&mut rng, len);
+        expected_count += len as u64;
+
+        let reference: Vec<u64> = evaluators[0]
+            .evaluate(&batch)
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        for (spec, evaluator) in specs.iter().zip(&mut evaluators).skip(1) {
+            let got: Vec<u64> = evaluator
+                .evaluate(&batch)
+                .iter()
+                .map(|f| f.to_bits())
+                .collect();
+            assert_eq!(got, reference, "{spec} diverged from serial on seed {seed}");
+        }
+        for (spec, evaluator) in specs.iter().zip(&evaluators) {
+            assert_eq!(
+                evaluator.evaluation_count(),
+                expected_count,
+                "{spec} miscounted evaluations"
+            );
+            assert_eq!(evaluator.evaluations(), expected_count);
+        }
+    }
+}
+
+/// Fitness values are sane on every backend (finite, in [0, 1] — Eq. (3)
+/// is a Jaccard index).
+#[test]
+fn all_backends_produce_unit_interval_fitness() {
+    let ctx = step1_context();
+    let mut rng = StdRng::seed_from_u64(99);
+    let batch = random_batch(&mut rng, 16);
+    for spec in [
+        EvalBackend::Serial,
+        EvalBackend::WorkerPool(3),
+        EvalBackend::Rayon(3),
+    ] {
+        let mut evaluator = ScenarioEvaluator::new(Arc::clone(&ctx), spec);
+        for f in evaluator.evaluate(&batch) {
+            assert!((0.0..=1.0).contains(&f), "{spec}: fitness {f} out of range");
+        }
+    }
+}
+
+/// Backends constructed from parsed CLI spec strings behave identically to
+/// ones constructed from enum values (the harness `--backend` path).
+#[test]
+fn parsed_specs_match_programmatic_ones() {
+    let ctx = step1_context();
+    let mut rng = StdRng::seed_from_u64(7);
+    let batch = random_batch(&mut rng, 10);
+    let reference: Vec<u64> = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::Serial)
+        .evaluate(&batch)
+        .iter()
+        .map(|f| f.to_bits())
+        .collect();
+    for spec_str in [
+        "serial",
+        "worker-pool:2",
+        "pool:3",
+        "mw:2",
+        "rayon:2",
+        "steal:2",
+    ] {
+        let spec: EvalBackend = spec_str.parse().expect("valid spec");
+        let got: Vec<u64> = ScenarioEvaluator::new(Arc::clone(&ctx), spec)
+            .evaluate(&batch)
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        assert_eq!(got, reference, "spec '{spec_str}' diverged");
+    }
+}
+
+/// The evaluator exposes its backend's report name.
+#[test]
+fn backend_names_surface_through_the_evaluator() {
+    let ctx = step1_context();
+    let pairs = [
+        (EvalBackend::Serial, "serial"),
+        (EvalBackend::WorkerPool(2), "worker-pool(2)"),
+        (EvalBackend::Rayon(2), "rayon(2)"),
+    ];
+    for (spec, name) in pairs {
+        assert_eq!(
+            ScenarioEvaluator::new(Arc::clone(&ctx), spec).backend_name(),
+            name
+        );
+    }
+}

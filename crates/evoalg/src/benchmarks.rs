@@ -19,8 +19,7 @@
 /// centre; smooth gradient everywhere.
 pub fn sphere(genes: &[f64]) -> f64 {
     assert!(!genes.is_empty());
-    let mse: f64 =
-        genes.iter().map(|&g| (g - 0.5) * (g - 0.5)).sum::<f64>() / genes.len() as f64;
+    let mse: f64 = genes.iter().map(|&g| (g - 0.5) * (g - 0.5)).sum::<f64>() / genes.len() as f64;
     1.0 - mse / 0.25
 }
 
@@ -64,7 +63,10 @@ pub fn deceptive_trap(genes: &[f64], block_size: usize) -> f64 {
 /// at the hill.
 pub fn two_peaks(genes: &[f64], local_height: f64) -> f64 {
     assert!(!genes.is_empty());
-    assert!((0.0..1.0).contains(&local_height), "local peak must be lower than the global one");
+    assert!(
+        (0.0..1.0).contains(&local_height),
+        "local peak must be lower than the global one"
+    );
     let per_gene = |x: f64| -> f64 {
         let hill = local_height * (-((x - 0.25) / 0.15).powi(2)).exp();
         let peak = (-((x - 0.9) / 0.02).powi(2)).exp();
@@ -82,9 +84,7 @@ pub fn two_peaks(genes: &[f64], local_height: f64) -> f64 {
 /// space, but may still have acceptable fitness values that contribute to
 /// the prediction".
 pub fn twin_basins(genes: &[f64]) -> f64 {
-    let d2 = |c: f64| {
-        genes.iter().map(|&x| (x - c) * (x - c)).sum::<f64>() / genes.len() as f64
-    };
+    let d2 = |c: f64| genes.iter().map(|&x| (x - c) * (x - c)).sum::<f64>() / genes.len() as f64;
     let a = (-d2(0.2) / (0.15 * 0.15)).exp();
     let b = (-d2(0.8) / (0.15 * 0.15)).exp();
     a.max(b)
@@ -154,7 +154,10 @@ mod tests {
         let f1 = deceptive_trap(&one, 4);
         let f3 = deceptive_trap(&three, 4);
         let f4 = deceptive_trap(&four, 4);
-        assert!(f0 > f1 && f1 > f3, "gradient must point to zeros: {f0} {f1} {f3}");
+        assert!(
+            f0 > f1 && f1 > f3,
+            "gradient must point to zeros: {f0} {f1} {f3}"
+        );
         assert!(f4 > f0, "global optimum must beat the deceptive attractor");
     }
 

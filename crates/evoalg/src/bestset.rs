@@ -32,7 +32,10 @@ impl BestSet {
     /// Panics on zero capacity.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "bestSet capacity must be positive");
-        Self { capacity, entries: Vec::with_capacity(capacity) }
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// Capacity.
@@ -92,20 +95,21 @@ impl BestSet {
         }
         // Insert keeping descending order (stable: later equal-fitness
         // entries go after earlier ones).
-        let pos = self
-            .entries
-            .partition_point(|e| e.fitness >= fitness);
-        self.entries.insert(pos, ScoredGenome { genes: genes.to_vec(), fitness });
+        let pos = self.entries.partition_point(|e| e.fitness >= fitness);
+        self.entries.insert(
+            pos,
+            ScoredGenome {
+                genes: genes.to_vec(),
+                fitness,
+            },
+        );
         true
     }
 
     /// Offers a whole batch (Algorithm 1 line 17:
     /// `bestSet ← updateBest(bestSet, offspring)`), returning how many were
     /// retained.
-    pub fn update<'a>(
-        &mut self,
-        batch: impl IntoIterator<Item = (&'a [f64], f64)>,
-    ) -> usize {
+    pub fn update<'a>(&mut self, batch: impl IntoIterator<Item = (&'a [f64], f64)>) -> usize {
         batch.into_iter().filter(|&(g, f)| self.offer(g, f)).count()
     }
 

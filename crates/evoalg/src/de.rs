@@ -28,7 +28,12 @@ pub struct DeConfig {
 
 impl Default for DeConfig {
     fn default() -> Self {
-        Self { population_size: 50, differential_weight: 0.8, crossover_rate: 0.9, seed: 0 }
+        Self {
+            population_size: 50,
+            differential_weight: 0.8,
+            crossover_rate: 0.9,
+            seed: 0,
+        }
     }
 }
 
@@ -50,16 +55,29 @@ impl DeEngine {
     /// # Panics
     /// Panics on invalid parameters.
     pub fn new(dims: usize, config: DeConfig) -> Self {
-        assert!(config.population_size >= 4, "DE rand/1 needs at least 4 individuals");
+        assert!(
+            config.population_size >= 4,
+            "DE rand/1 needs at least 4 individuals"
+        );
         assert!(
             config.differential_weight > 0.0 && config.differential_weight <= 2.0,
             "differential weight must be in (0, 2]"
         );
-        assert!((0.0..=1.0).contains(&config.crossover_rate), "CR is a probability");
+        assert!(
+            (0.0..=1.0).contains(&config.crossover_rate),
+            "CR is a probability"
+        );
         assert!(dims >= 1, "genome needs at least one gene");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let population = Population::random(config.population_size, dims, &mut rng);
-        Self { config, dims, population, rng, generation: 0, evaluations: 0 }
+        Self {
+            config,
+            dims,
+            population,
+            rng,
+            generation: 0,
+            evaluations: 0,
+        }
     }
 
     /// Evaluates the current population (initially, and after restarts or
@@ -76,14 +94,21 @@ impl DeEngine {
     /// each target whose trial is at least as fit.
     pub fn step<E: BatchEvaluator>(&mut self, evaluator: &mut E) -> GenStats {
         assert!(
-            self.population.members().iter().all(Individual::is_evaluated),
+            self.population
+                .members()
+                .iter()
+                .all(Individual::is_evaluated),
             "call evaluate_initial before step"
         );
         let genomes = self.population.genomes();
         let mut trials = Vec::with_capacity(genomes.len());
         for target in 0..genomes.len() {
-            let donor =
-                de_rand_1_donor(&genomes, target, self.config.differential_weight, &mut self.rng);
+            let donor = de_rand_1_donor(
+                &genomes,
+                target,
+                self.config.differential_weight,
+                &mut self.rng,
+            );
             trials.push(de_binomial_crossover(
                 &genomes[target],
                 &donor,
@@ -112,7 +137,10 @@ impl DeEngine {
     /// ESSIM-DE population restart operator (\[21\]). Restarted members are
     /// unevaluated; call [`DeEngine::evaluate_initial`] before stepping.
     pub fn restart_worst(&mut self, frac: f64) {
-        assert!((0.0..=1.0).contains(&frac), "restart fraction is a probability");
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "restart fraction is a probability"
+        );
         let n = ((self.population.len() as f64) * frac).round() as usize;
         if n == 0 {
             return;
@@ -149,7 +177,11 @@ impl DeEngine {
     /// Statistics of the current population.
     pub fn stats(&self) -> GenStats {
         let f = self.population.fitness_values();
-        let mean = if f.is_empty() { 0.0 } else { f.iter().sum::<f64>() / f.len() as f64 };
+        let mean = if f.is_empty() {
+            0.0
+        } else {
+            f.iter().sum::<f64>() / f.len() as f64
+        };
         GenStats {
             generation: self.generation,
             best_fitness: f.iter().copied().fold(f64::NEG_INFINITY, f64::max),
@@ -171,19 +203,35 @@ mod tests {
 
     #[test]
     fn de_converges_on_sphere() {
-        let mut engine = DeEngine::new(6, DeConfig { seed: 77, ..DeConfig::default() });
+        let mut engine = DeEngine::new(
+            6,
+            DeConfig {
+                seed: 77,
+                ..DeConfig::default()
+            },
+        );
         let mut eval = sphere_eval();
         engine.evaluate_initial(&mut eval);
         let mut last = engine.stats();
         for _ in 0..60 {
             last = engine.step(&mut eval);
         }
-        assert!(last.best_fitness > 0.98, "DE should solve sphere, got {}", last.best_fitness);
+        assert!(
+            last.best_fitness > 0.98,
+            "DE should solve sphere, got {}",
+            last.best_fitness
+        );
     }
 
     #[test]
     fn greedy_selection_never_regresses_any_member() {
-        let mut engine = DeEngine::new(4, DeConfig { seed: 3, ..DeConfig::default() });
+        let mut engine = DeEngine::new(
+            4,
+            DeConfig {
+                seed: 3,
+                ..DeConfig::default()
+            },
+        );
         let mut eval = sphere_eval();
         engine.evaluate_initial(&mut eval);
         let before: Vec<f64> = engine.population().fitness_values();
@@ -197,7 +245,13 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed: u64| {
-            let mut e = DeEngine::new(4, DeConfig { seed, ..DeConfig::default() });
+            let mut e = DeEngine::new(
+                4,
+                DeConfig {
+                    seed,
+                    ..DeConfig::default()
+                },
+            );
             let mut eval = sphere_eval();
             e.evaluate_initial(&mut eval);
             for _ in 0..10 {
@@ -211,7 +265,11 @@ mod tests {
 
     #[test]
     fn evaluations_accumulate() {
-        let cfg = DeConfig { population_size: 12, seed: 1, ..DeConfig::default() };
+        let cfg = DeConfig {
+            population_size: 12,
+            seed: 1,
+            ..DeConfig::default()
+        };
         let mut e = DeEngine::new(3, cfg);
         let mut eval = sphere_eval();
         e.evaluate_initial(&mut eval);
@@ -222,11 +280,22 @@ mod tests {
 
     #[test]
     fn restart_marks_worst_unevaluated() {
-        let mut e = DeEngine::new(3, DeConfig { seed: 4, ..DeConfig::default() });
+        let mut e = DeEngine::new(
+            3,
+            DeConfig {
+                seed: 4,
+                ..DeConfig::default()
+            },
+        );
         let mut eval = sphere_eval();
         e.evaluate_initial(&mut eval);
         e.restart_worst(0.25);
-        let fresh = e.population().members().iter().filter(|m| !m.is_evaluated()).count();
+        let fresh = e
+            .population()
+            .members()
+            .iter()
+            .filter(|m| !m.is_evaluated())
+            .count();
         assert_eq!(fresh, 13); // round(50 × 0.25)
         e.evaluate_initial(&mut eval);
         e.step(&mut eval);
@@ -235,6 +304,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 4")]
     fn tiny_population_rejected() {
-        let _ = DeEngine::new(3, DeConfig { population_size: 3, ..DeConfig::default() });
+        let _ = DeEngine::new(
+            3,
+            DeConfig {
+                population_size: 3,
+                ..DeConfig::default()
+            },
+        );
     }
 }

@@ -44,7 +44,11 @@ pub fn mean_gene_std(genomes: &[Vec<f64>]) -> f64 {
     let mut acc = 0.0;
     for d in 0..dims {
         let mean: f64 = genomes.iter().map(|g| g[d]).sum::<f64>() / n;
-        let var: f64 = genomes.iter().map(|g| (g[d] - mean) * (g[d] - mean)).sum::<f64>() / n;
+        let var: f64 = genomes
+            .iter()
+            .map(|g| (g[d] - mean) * (g[d] - mean))
+            .sum::<f64>()
+            / n;
         acc += var.sqrt();
     }
     acc / dims as f64
@@ -105,10 +109,10 @@ mod tests {
 
     #[test]
     fn spread_beats_cluster() {
-        let cluster: Vec<Vec<f64>> =
-            (0..8).map(|i| vec![0.5 + i as f64 * 1e-3, 0.5]).collect();
-        let spread: Vec<Vec<f64>> =
-            (0..8).map(|i| vec![i as f64 / 7.0, 1.0 - i as f64 / 7.0]).collect();
+        let cluster: Vec<Vec<f64>> = (0..8).map(|i| vec![0.5 + i as f64 * 1e-3, 0.5]).collect();
+        let spread: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![i as f64 / 7.0, 1.0 - i as f64 / 7.0])
+            .collect();
         assert!(mean_pairwise_distance(&spread) > 10.0 * mean_pairwise_distance(&cluster));
         assert!(mean_gene_std(&spread) > mean_gene_std(&cluster));
     }

@@ -77,20 +77,43 @@ impl GaEngine {
     /// # Panics
     /// Panics on a zero population, zero offspring, or out-of-range rates.
     pub fn new(dims: usize, config: GaConfig) -> Self {
-        assert!(config.population_size >= 2, "GA needs at least two individuals");
-        assert!(config.offspring >= 2, "GA needs at least two offspring per generation");
-        assert!((0.0..=1.0).contains(&config.mutation_rate), "mutation rate is a probability");
-        assert!((0.0..=1.0).contains(&config.crossover_rate), "crossover rate is a probability");
+        assert!(
+            config.population_size >= 2,
+            "GA needs at least two individuals"
+        );
+        assert!(
+            config.offspring >= 2,
+            "GA needs at least two offspring per generation"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.mutation_rate),
+            "mutation rate is a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.crossover_rate),
+            "crossover rate is a probability"
+        );
         assert!(dims >= 2, "genome needs at least two genes");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let population = Population::random(config.population_size, dims, &mut rng);
-        Self { config, dims, population, rng, generation: 0, evaluations: 0 }
+        Self {
+            config,
+            dims,
+            population,
+            rng,
+            generation: 0,
+            evaluations: 0,
+        }
     }
 
     /// Replaces the initial population (used by islands seeded by a
     /// monitor, and by restart operators).
     pub fn set_population(&mut self, population: Population) {
-        assert_eq!(population.len(), self.config.population_size, "population size mismatch");
+        assert_eq!(
+            population.len(),
+            self.config.population_size,
+            "population size mismatch"
+        );
         self.population = population;
     }
 
@@ -108,7 +131,10 @@ impl GaEngine {
     /// offspring (elitist replacement).
     pub fn step<E: BatchEvaluator>(&mut self, evaluator: &mut E) -> GenStats {
         assert!(
-            self.population.members().iter().all(Individual::is_evaluated),
+            self.population
+                .members()
+                .iter()
+                .all(Individual::is_evaluated),
             "call evaluate_initial before step"
         );
         let offspring = self.make_offspring();
@@ -172,7 +198,10 @@ impl GaEngine {
     /// which the next [`GaEngine::step`] will not do implicitly; call
     /// [`GaEngine::evaluate_initial`] after restarting.
     pub fn restart_worst(&mut self, frac: f64) {
-        assert!((0.0..=1.0).contains(&frac), "restart fraction is a probability");
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "restart fraction is a probability"
+        );
         let n = ((self.population.len() as f64) * frac).round() as usize;
         if n == 0 {
             return;
@@ -239,7 +268,7 @@ pub(crate) fn iqr(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     let q = |frac: f64| -> f64 {
         let pos = frac * (sorted.len() - 1) as f64;
         let lo = pos.floor() as usize;
@@ -261,7 +290,13 @@ mod tests {
 
     #[test]
     fn ga_improves_sphere_fitness() {
-        let mut engine = GaEngine::new(8, GaConfig { seed: 21, ..GaConfig::default() });
+        let mut engine = GaEngine::new(
+            8,
+            GaConfig {
+                seed: 21,
+                ..GaConfig::default()
+            },
+        );
         let mut eval = sphere_eval();
         let start = engine.evaluate_initial(&mut eval);
         let mut last = start;
@@ -279,7 +314,13 @@ mod tests {
 
     #[test]
     fn elitism_never_regresses_best() {
-        let mut engine = GaEngine::new(6, GaConfig { seed: 5, ..GaConfig::default() });
+        let mut engine = GaEngine::new(
+            6,
+            GaConfig {
+                seed: 5,
+                ..GaConfig::default()
+            },
+        );
         let mut eval = sphere_eval();
         let mut best = engine.evaluate_initial(&mut eval).best_fitness;
         for _ in 0..15 {
@@ -292,7 +333,13 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed: u64| {
-            let mut engine = GaEngine::new(5, GaConfig { seed, ..GaConfig::default() });
+            let mut engine = GaEngine::new(
+                5,
+                GaConfig {
+                    seed,
+                    ..GaConfig::default()
+                },
+            );
             let mut eval = sphere_eval();
             engine.evaluate_initial(&mut eval);
             for _ in 0..10 {
@@ -306,7 +353,12 @@ mod tests {
 
     #[test]
     fn evaluation_count_tracks_budget() {
-        let cfg = GaConfig { population_size: 10, offspring: 20, seed: 1, ..GaConfig::default() };
+        let cfg = GaConfig {
+            population_size: 10,
+            offspring: 20,
+            seed: 1,
+            ..GaConfig::default()
+        };
         let mut engine = GaEngine::new(4, cfg);
         let mut eval = sphere_eval();
         engine.evaluate_initial(&mut eval);
@@ -319,12 +371,22 @@ mod tests {
 
     #[test]
     fn restart_worst_resets_tail() {
-        let mut engine = GaEngine::new(4, GaConfig { seed: 2, ..GaConfig::default() });
+        let mut engine = GaEngine::new(
+            4,
+            GaConfig {
+                seed: 2,
+                ..GaConfig::default()
+            },
+        );
         let mut eval = sphere_eval();
         engine.evaluate_initial(&mut eval);
         engine.restart_worst(0.5);
-        let unevaluated =
-            engine.population().members().iter().filter(|m| !m.is_evaluated()).count();
+        let unevaluated = engine
+            .population()
+            .members()
+            .iter()
+            .filter(|m| !m.is_evaluated())
+            .count();
         assert_eq!(unevaluated, 25);
         // Re-evaluate and continue stepping without panic.
         engine.evaluate_initial(&mut eval);
@@ -341,7 +403,13 @@ mod tests {
 
     #[test]
     fn stats_report_population_summary() {
-        let mut engine = GaEngine::new(4, GaConfig { seed: 9, ..GaConfig::default() });
+        let mut engine = GaEngine::new(
+            4,
+            GaConfig {
+                seed: 9,
+                ..GaConfig::default()
+            },
+        );
         let mut eval = sphere_eval();
         let s = engine.evaluate_initial(&mut eval);
         assert!(s.best_fitness >= s.mean_fitness);

@@ -27,7 +27,12 @@ pub struct Individual {
 impl Individual {
     /// A fresh, unevaluated individual.
     pub fn new(genes: Vec<f64>) -> Self {
-        Self { genes, fitness: f64::NAN, novelty: f64::NAN, local_comp: f64::NAN }
+        Self {
+            genes,
+            fitness: f64::NAN,
+            novelty: f64::NAN,
+            local_comp: f64::NAN,
+        }
     }
 
     /// `true` once a finite fitness has been assigned.
@@ -50,7 +55,9 @@ pub struct Population {
 impl Population {
     /// An empty population.
     pub fn new() -> Self {
-        Self { members: Vec::new() }
+        Self {
+            members: Vec::new(),
+        }
     }
 
     /// Wraps existing members.
@@ -107,7 +114,11 @@ impl Population {
     /// Panics on length mismatch or non-finite fitness — a NaN score would
     /// silently poison every later comparison.
     pub fn assign_fitness(&mut self, fitness: &[f64]) {
-        assert_eq!(fitness.len(), self.members.len(), "fitness batch length mismatch");
+        assert_eq!(
+            fitness.len(),
+            self.members.len(),
+            "fitness batch length mismatch"
+        );
         for (m, &f) in self.members.iter_mut().zip(fitness) {
             assert!(f.is_finite(), "fitness must be finite, got {f}");
             m.fitness = f;
@@ -119,29 +130,49 @@ impl Population {
         self.members
             .iter()
             .filter(|m| m.is_evaluated())
-            .max_by(|a, b| a.fitness.partial_cmp(&b.fitness).expect("finite fitness"))
+            .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
     }
 
     /// All fitness values (evaluated members only).
     pub fn fitness_values(&self) -> Vec<f64> {
-        self.members.iter().filter(|m| m.is_evaluated()).map(|m| m.fitness).collect()
+        self.members
+            .iter()
+            .filter(|m| m.is_evaluated())
+            .map(|m| m.fitness)
+            .collect()
     }
 
     /// Sorts members by descending fitness (unevaluated members sink).
     pub fn sort_by_fitness_desc(&mut self) {
         self.members.sort_by(|a, b| {
-            let fa = if a.fitness.is_finite() { a.fitness } else { f64::NEG_INFINITY };
-            let fb = if b.fitness.is_finite() { b.fitness } else { f64::NEG_INFINITY };
-            fb.partial_cmp(&fa).expect("ordered fitness")
+            let fa = if a.fitness.is_finite() {
+                a.fitness
+            } else {
+                f64::NEG_INFINITY
+            };
+            let fb = if b.fitness.is_finite() {
+                b.fitness
+            } else {
+                f64::NEG_INFINITY
+            };
+            fb.total_cmp(&fa)
         });
     }
 
     /// Sorts members by descending novelty (unscored members sink).
     pub fn sort_by_novelty_desc(&mut self) {
         self.members.sort_by(|a, b| {
-            let na = if a.novelty.is_finite() { a.novelty } else { f64::NEG_INFINITY };
-            let nb = if b.novelty.is_finite() { b.novelty } else { f64::NEG_INFINITY };
-            nb.partial_cmp(&na).expect("ordered novelty")
+            let na = if a.novelty.is_finite() {
+                a.novelty
+            } else {
+                f64::NEG_INFINITY
+            };
+            let nb = if b.novelty.is_finite() {
+                b.novelty
+            } else {
+                f64::NEG_INFINITY
+            };
+            nb.total_cmp(&na)
         });
     }
 }

@@ -14,8 +14,16 @@
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn behaviour_distance(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "behaviour descriptors must have equal dimension");
-    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "behaviour descriptors must have equal dimension"
+    );
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// The novelty score ρ(x) of Eq. (1): the mean distance from
@@ -48,8 +56,10 @@ pub fn novelty_score(subject: usize, behaviours: &[Vec<f64>], k: usize) -> f64 {
 /// when scoring archive candidates against an external reference).
 pub fn novelty_score_external(behaviour: &[f64], reference: &[Vec<f64>], k: usize) -> f64 {
     assert!(k > 0, "k must be positive");
-    let mut dists: Vec<f64> =
-        reference.iter().map(|b| behaviour_distance(behaviour, b)).collect();
+    let mut dists: Vec<f64> = reference
+        .iter()
+        .map(|b| behaviour_distance(behaviour, b))
+        .collect();
     mean_of_k_smallest(&mut dists, k)
 }
 
@@ -68,7 +78,11 @@ pub fn local_competition_score(
     k: usize,
 ) -> f64 {
     assert!(subject < behaviours.len(), "subject index out of bounds");
-    assert_eq!(behaviours.len(), fitnesses.len(), "one fitness per behaviour");
+    assert_eq!(
+        behaviours.len(),
+        fitnesses.len(),
+        "one fitness per behaviour"
+    );
     assert!(k > 0, "k must be positive");
     let me = &behaviours[subject];
     let mut neighbours: Vec<(f64, f64)> = behaviours
@@ -82,9 +96,11 @@ pub fn local_competition_score(
         return 1.0; // no niche: trivially dominant
     }
     let k = k.min(neighbours.len());
-    neighbours
-        .select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
-    let beaten = neighbours[..k].iter().filter(|&&(_, f)| f < fitnesses[subject]).count();
+    neighbours.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+    let beaten = neighbours[..k]
+        .iter()
+        .filter(|&&(_, f)| f < fitnesses[subject])
+        .count();
     beaten as f64 / k as f64
 }
 
@@ -97,7 +113,7 @@ fn mean_of_k_smallest(dists: &mut [f64], k: usize) -> f64 {
     }
     let k = k.min(dists.len());
     // Partial selection of the k smallest distances.
-    dists.select_nth_unstable_by(k - 1, |a, b| a.partial_cmp(b).expect("finite distances"));
+    dists.select_nth_unstable_by(k - 1, f64::total_cmp);
     dists[..k].iter().sum::<f64>() / k as f64
 }
 
@@ -137,7 +153,11 @@ impl NoveltyArchive {
     /// Panics on zero capacity.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "archive capacity must be positive");
-        Self { capacity, threshold: None, entries: Vec::with_capacity(capacity) }
+        Self {
+            capacity,
+            threshold: None,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// Adds a minimum-novelty admission threshold (future-work variant;
@@ -201,7 +221,7 @@ impl NoveltyArchive {
             .iter()
             .enumerate()
             .map(|(i, e)| (i, e.novelty))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite novelty"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("archive is non-empty here");
         if novelty > min_novelty {
             self.entries[min_idx] = ArchiveEntry {
@@ -221,7 +241,7 @@ impl NoveltyArchive {
         self.entries
             .iter()
             .map(|e| e.novelty)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite novelty"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Maximum novelty currently stored (`None` when empty).
@@ -229,7 +249,7 @@ impl NoveltyArchive {
         self.entries
             .iter()
             .map(|e| e.novelty)
-            .max_by(|a, b| a.partial_cmp(b).expect("finite novelty"))
+            .max_by(|a, b| a.total_cmp(b))
     }
 }
 
@@ -287,7 +307,10 @@ mod tests {
         let set = b(&[0.50, 0.51, 0.49, 0.52, 0.95]);
         let clustered = novelty_score(0, &set, 3);
         let outlier = novelty_score(4, &set, 3);
-        assert!(outlier > 3.0 * clustered, "outlier {outlier} vs cluster {clustered}");
+        assert!(
+            outlier > 3.0 * clustered,
+            "outlier {outlier} vs cluster {clustered}"
+        );
     }
 
     #[test]

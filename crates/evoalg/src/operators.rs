@@ -65,7 +65,10 @@ pub fn blx_alpha_crossover<R: Rng + ?Sized>(
 /// Uniform-reset mutation: each gene is independently resampled uniformly
 /// in `[0, 1]` with probability `rate`.
 pub fn uniform_mutation<R: Rng + ?Sized>(genes: &mut [f64], rate: f64, rng: &mut R) {
-    assert!((0.0..=1.0).contains(&rate), "mutation rate must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "mutation rate must be a probability"
+    );
     for g in genes {
         if rng.random::<f64>() < rate {
             *g = rng.random::<f64>();
@@ -78,7 +81,10 @@ pub fn uniform_mutation<R: Rng + ?Sized>(genes: &mut [f64], rate: f64, rng: &mut
 ///
 /// Uses a Box–Muller draw so no external distribution crate is needed.
 pub fn gaussian_mutation<R: Rng + ?Sized>(genes: &mut [f64], rate: f64, sigma: f64, rng: &mut R) {
-    assert!((0.0..=1.0).contains(&rate), "mutation rate must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "mutation rate must be a probability"
+    );
     assert!(sigma >= 0.0, "sigma must be non-negative");
     for g in genes {
         if rng.random::<f64>() < rate {
@@ -107,7 +113,10 @@ pub fn de_rand_1_donor<R: Rng + ?Sized>(
     f: f64,
     rng: &mut R,
 ) -> Vec<f64> {
-    assert!(population.len() >= 4, "DE rand/1 needs at least 4 individuals");
+    assert!(
+        population.len() >= 4,
+        "DE rand/1 needs at least 4 individuals"
+    );
     let mut pick = |exclude: &[usize]| -> usize {
         loop {
             let i = rng.random_range(0..population.len());
@@ -136,13 +145,22 @@ pub fn de_binomial_crossover<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<f64> {
     assert_eq!(target.len(), donor.len(), "DE crossover length mismatch");
-    assert!((0.0..=1.0).contains(&cr), "crossover rate must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&cr),
+        "crossover rate must be a probability"
+    );
     let j_rand = rng.random_range(0..target.len());
     target
         .iter()
         .zip(donor)
         .enumerate()
-        .map(|(j, (&t, &d))| if j == j_rand || rng.random::<f64>() < cr { d } else { t })
+        .map(|(j, (&t, &d))| {
+            if j == j_rand || rng.random::<f64>() < cr {
+                d
+            } else {
+                t
+            }
+        })
         .collect()
 }
 
@@ -207,7 +225,10 @@ mod tests {
         let mut genes = vec![0.5; 64];
         uniform_mutation(&mut genes, 1.0, &mut rng());
         let changed = genes.iter().filter(|&&g| g != 0.5).count();
-        assert!(changed > 56, "expected nearly all genes resampled, got {changed}");
+        assert!(
+            changed > 56,
+            "expected nearly all genes resampled, got {changed}"
+        );
         assert!(genes.iter().all(|g| (0.0..=1.0).contains(g)));
     }
 

@@ -22,7 +22,10 @@ pub fn roulette<R: Rng + ?Sized>(scores: &[f64], rng: &mut R) -> usize {
     assert!(!scores.is_empty(), "roulette over an empty slice");
     let mut total = 0.0;
     for &s in scores {
-        assert!(s.is_finite() && s >= 0.0, "roulette scores must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "roulette scores must be finite and non-negative"
+        );
         total += s;
     }
     if total <= 0.0 {
@@ -66,12 +69,7 @@ pub fn tournament<R: Rng + ?Sized>(scores: &[f64], k: usize, rng: &mut R) -> usi
 pub fn elitist_merge_indices(a: &[f64], b: &[f64], capacity: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..a.len() + b.len()).collect();
     let score = |i: usize| if i < a.len() { a[i] } else { b[i - a.len()] };
-    idx.sort_by(|&x, &y| {
-        score(y)
-            .partial_cmp(&score(x))
-            .expect("finite scores")
-            .then(x.cmp(&y))
-    });
+    idx.sort_by(|&x, &y| score(y).total_cmp(&score(x)).then(x.cmp(&y)));
     idx.truncate(capacity);
     idx
 }
@@ -134,7 +132,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins > 440, "k≫n tournament should almost always pick the max, got {wins}/500");
+        assert!(
+            wins > 440,
+            "k≫n tournament should almost always pick the max, got {wins}/500"
+        );
     }
 
     #[test]

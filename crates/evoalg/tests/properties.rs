@@ -1,127 +1,184 @@
-//! Property-based tests for the evolutionary substrate invariants.
+//! Property-style tests for the evolutionary substrate invariants: each
+//! test checks its invariant over many randomly generated inputs from a
+//! deterministic seed stream (the workspace builds without external
+//! dependencies, so the former proptest strategies are seeded loops).
 
 use evoalg::bestset::BestSet;
-use evoalg::novelty::{novelty_score, NoveltyArchive};
+use evoalg::novelty::{behaviour_distance, novelty_score, NoveltyArchive};
 use evoalg::operators;
 use evoalg::selection;
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_genome(dims: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..=1.0, dims)
+const CASES: u64 = 64;
+
+fn genome(rng: &mut StdRng, dims: usize) -> Vec<f64> {
+    (0..dims).map(|_| rng.random::<f64>()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Roulette always returns a valid index and never selects a
-    /// zero-weight entry when any weight is positive.
-    #[test]
-    fn roulette_valid_and_zero_excluded(
-        scores in proptest::collection::vec(0.0f64..10.0, 1..30),
-        seed in any::<u64>(),
-    ) {
+/// Roulette always returns a valid index and never selects a zero-weight
+/// entry when any weight is positive.
+#[test]
+fn roulette_valid_and_zero_excluded() {
+    for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(1..30usize);
+        let scores: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.random::<bool>() {
+                    rng.random::<f64>() * 10.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let i = selection::roulette(&scores, &mut rng);
-        prop_assert!(i < scores.len());
+        assert!(i < scores.len());
         if scores.iter().any(|&s| s > 0.0) {
-            prop_assert!(scores[i] > 0.0, "selected zero-weight index {i}");
+            assert!(
+                scores[i] > 0.0,
+                "selected zero-weight index {i} of {scores:?}"
+            );
         }
     }
+}
 
-    /// Crossover children stay inside the unit cube and keep genome length.
-    #[test]
-    fn crossover_closure(
-        a in arb_genome(9),
-        b in arb_genome(9),
-        seed in any::<u64>(),
-    ) {
+/// Crossover children stay inside the unit cube and keep genome length.
+#[test]
+fn crossover_closure() {
+    for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
+        let a = genome(&mut rng, 9);
+        let b = genome(&mut rng, 9);
         let (c1, c2) = operators::one_point_crossover(&a, &b, &mut rng);
         let (u1, u2) = operators::uniform_crossover(&a, &b, &mut rng);
         let (b1, b2) = operators::blx_alpha_crossover(&a, &b, 0.3, &mut rng);
         for child in [&c1, &c2, &u1, &u2, &b1, &b2] {
-            prop_assert_eq!(child.len(), 9);
-            prop_assert!(child.iter().all(|g| (0.0..=1.0).contains(g)));
+            assert_eq!(child.len(), 9);
+            assert!(child.iter().all(|g| (0.0..=1.0).contains(g)));
         }
     }
+}
 
-    /// Mutation keeps genes in the unit cube for any rate.
-    #[test]
-    fn mutation_closure(
-        mut genes in arb_genome(9),
-        rate in 0.0f64..=1.0,
-        sigma in 0.0f64..2.0,
-        seed in any::<u64>(),
-    ) {
+/// Mutation keeps genes in the unit cube for any rate.
+#[test]
+fn mutation_closure() {
+    for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut genes = genome(&mut rng, 9);
+        let rate = rng.random::<f64>();
+        let sigma = rng.random::<f64>() * 2.0;
         operators::uniform_mutation(&mut genes, rate, &mut rng);
-        prop_assert!(genes.iter().all(|g| (0.0..=1.0).contains(g)));
+        assert!(genes.iter().all(|g| (0.0..=1.0).contains(g)));
         operators::gaussian_mutation(&mut genes, rate, sigma, &mut rng);
-        prop_assert!(genes.iter().all(|g| (0.0..=1.0).contains(g)));
+        assert!(genes.iter().all(|g| (0.0..=1.0).contains(g)));
     }
+}
 
-    /// DE trial vectors stay in the unit cube.
-    #[test]
-    fn de_closure(
-        pop in proptest::collection::vec(arb_genome(6), 4..12),
-        f in 0.1f64..2.0,
-        cr in 0.0f64..=1.0,
-        seed in any::<u64>(),
-    ) {
+/// DE trial vectors stay in the unit cube.
+#[test]
+fn de_closure() {
+    for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(4..12usize);
+        let pop: Vec<Vec<f64>> = (0..n).map(|_| genome(&mut rng, 6)).collect();
+        let f = 0.1 + rng.random::<f64>() * 1.9;
+        let cr = rng.random::<f64>();
         for target in 0..pop.len() {
             let donor = operators::de_rand_1_donor(&pop, target, f, &mut rng);
             let trial = operators::de_binomial_crossover(&pop[target], &donor, cr, &mut rng);
-            prop_assert!(trial.iter().all(|g| (0.0..=1.0).contains(g)));
+            assert!(trial.iter().all(|g| (0.0..=1.0).contains(g)));
         }
     }
+}
 
-    /// Novelty scores are non-negative, and adding a duplicate of the
-    /// subject never increases its novelty.
-    #[test]
-    fn novelty_nonneg_and_duplicate_antitone(
-        mut behaviours in proptest::collection::vec(arb_genome(2), 3..20),
-        k in 1usize..6,
-    ) {
+/// Novelty scores are non-negative, and adding a duplicate of the subject
+/// never increases its novelty.
+#[test]
+fn novelty_nonneg_and_duplicate_antitone() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(3..20usize);
+        let mut behaviours: Vec<Vec<f64>> = (0..n).map(|_| genome(&mut rng, 2)).collect();
+        let k = rng.random_range(1..6usize);
         let before = novelty_score(0, &behaviours, k);
-        prop_assert!(before >= 0.0);
+        assert!(before >= 0.0);
         behaviours.push(behaviours[0].clone());
         let after = novelty_score(0, &behaviours, k);
-        prop_assert!(after <= before + 1e-12, "duplicate raised novelty {before} → {after}");
+        assert!(
+            after <= before + 1e-12,
+            "duplicate raised novelty {before} → {after}"
+        );
     }
+}
 
-    /// The archive never exceeds capacity and its minimum novelty is
-    /// monotonically non-decreasing once full (novelty-only replacement).
-    #[test]
-    fn archive_invariants(
-        offers in proptest::collection::vec((arb_genome(3), 0.0f64..10.0), 1..60),
-        capacity in 1usize..8,
-    ) {
+/// Cross-check of the kNN selection inside `novelty_score` against a
+/// brute-force oracle: sort *all* pairwise distances and average the k
+/// smallest. The partial-selection fast path must agree.
+#[test]
+fn novelty_score_matches_brute_force_knn() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+        let n = rng.random_range(2..40usize);
+        let dims = rng.random_range(1..4usize);
+        let behaviours: Vec<Vec<f64>> = (0..n).map(|_| genome(&mut rng, dims)).collect();
+        let k = rng.random_range(1..8usize);
+        for subject in 0..n {
+            let got = novelty_score(subject, &behaviours, k);
+            // Brute force: every distance to the subject, fully sorted.
+            let mut dists: Vec<f64> = behaviours
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != subject)
+                .map(|(_, b)| behaviour_distance(&behaviours[subject], b))
+                .collect();
+            dists.sort_by(f64::total_cmp);
+            let kk = k.min(dists.len());
+            let expected = dists[..kk].iter().sum::<f64>() / kk as f64;
+            assert!(
+                (got - expected).abs() <= 1e-9 * expected.max(1.0),
+                "seed {seed} subject {subject}: fast {got} vs brute-force {expected}"
+            );
+        }
+    }
+}
+
+/// The archive never exceeds capacity and its minimum novelty is
+/// monotonically non-decreasing once full (novelty-only replacement).
+#[test]
+fn archive_invariants() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let capacity = rng.random_range(1..8usize);
+        let offers = rng.random_range(1..60usize);
         let mut archive = NoveltyArchive::new(capacity);
         let mut last_min: Option<f64> = None;
-        for (genes, novelty) in offers {
+        for _ in 0..offers {
+            let genes = genome(&mut rng, 3);
+            let novelty = rng.random::<f64>() * 10.0;
             archive.offer(&genes, &genes, novelty, 0.5);
-            prop_assert!(archive.len() <= capacity);
+            assert!(archive.len() <= capacity);
             if archive.len() == capacity {
                 let min = archive.min_novelty().unwrap();
                 if let Some(prev) = last_min {
-                    prop_assert!(min >= prev - 1e-12, "archive min regressed {prev} → {min}");
+                    assert!(min >= prev - 1e-12, "archive min regressed {prev} → {min}");
                 }
                 last_min = Some(min);
             }
         }
     }
+}
 
-    /// With deterministic fitness (the real-usage contract: one genome, one
-    /// fitness), BestSet holds exactly the top-capacity distinct-genome
-    /// fitness values of the offered stream, in descending order.
-    #[test]
-    fn bestset_is_topk(
-        stream in proptest::collection::vec(0u8..40, 1..80),
-        capacity in 1usize..10,
-    ) {
+/// With deterministic fitness (the real-usage contract: one genome, one
+/// fitness), BestSet holds exactly the top-capacity distinct-genome
+/// fitness values of the offered stream, in descending order.
+#[test]
+fn bestset_is_topk() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let capacity = rng.random_range(1..10usize);
+        let len = rng.random_range(1..80usize);
+        let stream: Vec<u8> = (0..len).map(|_| rng.random_range(0..40u32) as u8).collect();
         // Deterministic per-genome fitness, injective enough to avoid ties
         // mattering while exercising the comparison paths.
         let fitness_of = |gene: u8| ((gene as f64 * 37.0) % 41.0) / 41.0;
@@ -134,30 +191,39 @@ proptest! {
             }
         }
         let mut expected: Vec<f64> = seen.iter().map(|&g| fitness_of(g)).collect();
-        expected.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        expected.sort_by(|a, b| b.total_cmp(a));
         expected.truncate(capacity);
         let got = bs.fitness_values();
-        prop_assert_eq!(got.len(), expected.len());
-        prop_assert!(got.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(got.len(), expected.len());
+        assert!(got.windows(2).all(|w| w[0] >= w[1]));
         for (g, e) in got.iter().zip(&expected) {
-            prop_assert!((g - e).abs() < 1e-12, "top-k mismatch: {got:?} vs {expected:?}");
+            assert!(
+                (g - e).abs() < 1e-12,
+                "top-k mismatch: {got:?} vs {expected:?}"
+            );
         }
     }
+}
 
-    /// Elitist merge returns exactly `min(capacity, n)` indices, each valid
-    /// and distinct.
-    #[test]
-    fn elitist_merge_valid(
-        a in proptest::collection::vec(0.0f64..1.0, 0..20),
-        b in proptest::collection::vec(0.0f64..1.0, 1..20),
-        cap in 1usize..30,
-    ) {
+/// Elitist merge returns exactly `min(capacity, n)` indices, each valid
+/// and distinct.
+#[test]
+fn elitist_merge_valid() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..rng.random_range(0..20usize))
+            .map(|_| rng.random())
+            .collect();
+        let b: Vec<f64> = (0..rng.random_range(1..20usize))
+            .map(|_| rng.random())
+            .collect();
+        let cap = rng.random_range(1..30usize);
         let kept = selection::elitist_merge_indices(&a, &b, cap);
-        prop_assert_eq!(kept.len(), cap.min(a.len() + b.len()));
+        assert_eq!(kept.len(), cap.min(a.len() + b.len()));
         let mut sorted = kept.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), kept.len(), "duplicate indices");
-        prop_assert!(kept.iter().all(|&i| i < a.len() + b.len()));
+        assert_eq!(sorted.len(), kept.len(), "duplicate indices");
+        assert!(kept.iter().all(|&i| i < a.len() + b.len()));
     }
 }

@@ -50,10 +50,18 @@ pub fn behaviour_from_vector(
     reaction_intensity: f64,
     vector: &SpreadVector,
 ) -> FireBehaviour {
-    let residence = if bed.sigma > SMIDGEN { 384.0 / bed.sigma } else { 0.0 };
+    let residence = if bed.sigma > SMIDGEN {
+        384.0 / bed.sigma
+    } else {
+        0.0
+    };
     let hpa = reaction_intensity * residence;
     let byram = hpa * vector.ros_max / 60.0;
-    let flame = if byram > SMIDGEN { 0.45 * byram.powf(0.46) } else { 0.0 };
+    let flame = if byram > SMIDGEN {
+        0.45 * byram.powf(0.46)
+    } else {
+        0.0
+    };
     FireBehaviour {
         ros_head_fpm: vector.ros_max,
         reaction_intensity,
@@ -75,7 +83,11 @@ mod tests {
     }
 
     fn windy(mph: f64) -> SpreadInputs {
-        SpreadInputs { wind_fpm: mph * MPH_TO_FPM, wind_azimuth: 0.0, ..SpreadInputs::calm() }
+        SpreadInputs {
+            wind_fpm: mph * MPH_TO_FPM,
+            wind_azimuth: 0.0,
+            ..SpreadInputs::calm()
+        }
     }
 
     #[test]

@@ -141,52 +141,264 @@ impl FuelCatalog {
         // (number, name, description, depth, mext,
         //  1hr load, 1hr savr, 10hr load, 100hr load,
         //  herb load, herb savr, wood load, wood savr)
-        type Row = (u8, &'static str, &'static str, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64);
+        type Row = (
+            u8,
+            &'static str,
+            &'static str,
+            f64,
+            f64,
+            f64,
+            f64,
+            f64,
+            f64,
+            f64,
+            f64,
+            f64,
+            f64,
+        );
         const ROWS: [Row; 14] = [
-            (0, "NoFuel", "No combustible fuel", 0.1, 0.01, 0.0, 1500.0, 0.0, 0.0, 0.0, 1500.0, 0.0, 1500.0),
-            (1, "NFFL01", "Short grass (1 ft)", 1.0, 0.12, 0.0340, 3500.0, 0.0, 0.0, 0.0, 1500.0, 0.0, 1500.0),
-            (2, "NFFL02", "Timber (grass & understory)", 1.0, 0.15, 0.0920, 3000.0, 0.0460, 0.0230, 0.0230, 1500.0, 0.0, 1500.0),
-            (3, "NFFL03", "Tall grass (2.5 ft)", 2.5, 0.25, 0.1380, 1500.0, 0.0, 0.0, 0.0, 1500.0, 0.0, 1500.0),
-            (4, "NFFL04", "Chaparral (6 ft)", 6.0, 0.20, 0.2300, 2000.0, 0.1840, 0.0920, 0.0, 1500.0, 0.2300, 1500.0),
-            (5, "NFFL05", "Brush (2 ft)", 2.0, 0.20, 0.0460, 2000.0, 0.0230, 0.0, 0.0, 1500.0, 0.0920, 1500.0),
-            (6, "NFFL06", "Dormant brush & hardwood slash", 2.5, 0.25, 0.0690, 1750.0, 0.1150, 0.0920, 0.0, 1500.0, 0.0, 1500.0),
-            (7, "NFFL07", "Southern rough", 2.5, 0.40, 0.0520, 1750.0, 0.0860, 0.0690, 0.0, 1500.0, 0.0170, 1550.0),
-            (8, "NFFL08", "Closed timber litter", 0.2, 0.30, 0.0690, 2000.0, 0.0460, 0.1150, 0.0, 1500.0, 0.0, 1500.0),
-            (9, "NFFL09", "Hardwood litter", 0.2, 0.25, 0.1340, 2500.0, 0.0190, 0.0070, 0.0, 1500.0, 0.0, 1500.0),
-            (10, "NFFL10", "Timber (litter & understory)", 1.0, 0.25, 0.1380, 2000.0, 0.0920, 0.2300, 0.0, 1500.0, 0.0920, 1500.0),
-            (11, "NFFL11", "Light logging slash", 1.0, 0.15, 0.0690, 1500.0, 0.2070, 0.2530, 0.0, 1500.0, 0.0, 1500.0),
-            (12, "NFFL12", "Medium logging slash", 2.3, 0.20, 0.1840, 1500.0, 0.6440, 0.7590, 0.0, 1500.0, 0.0, 1500.0),
-            (13, "NFFL13", "Heavy logging slash", 3.0, 0.25, 0.3220, 1500.0, 1.0580, 1.2880, 0.0, 1500.0, 0.0, 1500.0),
+            (
+                0,
+                "NoFuel",
+                "No combustible fuel",
+                0.1,
+                0.01,
+                0.0,
+                1500.0,
+                0.0,
+                0.0,
+                0.0,
+                1500.0,
+                0.0,
+                1500.0,
+            ),
+            (
+                1,
+                "NFFL01",
+                "Short grass (1 ft)",
+                1.0,
+                0.12,
+                0.0340,
+                3500.0,
+                0.0,
+                0.0,
+                0.0,
+                1500.0,
+                0.0,
+                1500.0,
+            ),
+            (
+                2,
+                "NFFL02",
+                "Timber (grass & understory)",
+                1.0,
+                0.15,
+                0.0920,
+                3000.0,
+                0.0460,
+                0.0230,
+                0.0230,
+                1500.0,
+                0.0,
+                1500.0,
+            ),
+            (
+                3,
+                "NFFL03",
+                "Tall grass (2.5 ft)",
+                2.5,
+                0.25,
+                0.1380,
+                1500.0,
+                0.0,
+                0.0,
+                0.0,
+                1500.0,
+                0.0,
+                1500.0,
+            ),
+            (
+                4,
+                "NFFL04",
+                "Chaparral (6 ft)",
+                6.0,
+                0.20,
+                0.2300,
+                2000.0,
+                0.1840,
+                0.0920,
+                0.0,
+                1500.0,
+                0.2300,
+                1500.0,
+            ),
+            (
+                5,
+                "NFFL05",
+                "Brush (2 ft)",
+                2.0,
+                0.20,
+                0.0460,
+                2000.0,
+                0.0230,
+                0.0,
+                0.0,
+                1500.0,
+                0.0920,
+                1500.0,
+            ),
+            (
+                6,
+                "NFFL06",
+                "Dormant brush & hardwood slash",
+                2.5,
+                0.25,
+                0.0690,
+                1750.0,
+                0.1150,
+                0.0920,
+                0.0,
+                1500.0,
+                0.0,
+                1500.0,
+            ),
+            (
+                7,
+                "NFFL07",
+                "Southern rough",
+                2.5,
+                0.40,
+                0.0520,
+                1750.0,
+                0.0860,
+                0.0690,
+                0.0,
+                1500.0,
+                0.0170,
+                1550.0,
+            ),
+            (
+                8,
+                "NFFL08",
+                "Closed timber litter",
+                0.2,
+                0.30,
+                0.0690,
+                2000.0,
+                0.0460,
+                0.1150,
+                0.0,
+                1500.0,
+                0.0,
+                1500.0,
+            ),
+            (
+                9,
+                "NFFL09",
+                "Hardwood litter",
+                0.2,
+                0.25,
+                0.1340,
+                2500.0,
+                0.0190,
+                0.0070,
+                0.0,
+                1500.0,
+                0.0,
+                1500.0,
+            ),
+            (
+                10,
+                "NFFL10",
+                "Timber (litter & understory)",
+                1.0,
+                0.25,
+                0.1380,
+                2000.0,
+                0.0920,
+                0.2300,
+                0.0,
+                1500.0,
+                0.0920,
+                1500.0,
+            ),
+            (
+                11,
+                "NFFL11",
+                "Light logging slash",
+                1.0,
+                0.15,
+                0.0690,
+                1500.0,
+                0.2070,
+                0.2530,
+                0.0,
+                1500.0,
+                0.0,
+                1500.0,
+            ),
+            (
+                12,
+                "NFFL12",
+                "Medium logging slash",
+                2.3,
+                0.20,
+                0.1840,
+                1500.0,
+                0.6440,
+                0.7590,
+                0.0,
+                1500.0,
+                0.0,
+                1500.0,
+            ),
+            (
+                13,
+                "NFFL13",
+                "Heavy logging slash",
+                3.0,
+                0.25,
+                0.3220,
+                1500.0,
+                1.0580,
+                1.2880,
+                0.0,
+                1500.0,
+                0.0,
+                1500.0,
+            ),
         ];
 
         let models = ROWS
             .iter()
-            .map(|&(num, name, desc, depth, mext, l1, s1, l10, l100, lherb, sherb, lwood, swood)| {
-                let mut particles = Vec::new();
-                if l1 > 0.0 {
-                    particles.push(FuelParticle::standard(FuelLife::Dead, l1, s1));
-                }
-                if l10 > 0.0 {
-                    particles.push(FuelParticle::standard(FuelLife::Dead, l10, SAVR_10HR));
-                }
-                if l100 > 0.0 {
-                    particles.push(FuelParticle::standard(FuelLife::Dead, l100, SAVR_100HR));
-                }
-                if lherb > 0.0 {
-                    particles.push(FuelParticle::standard(FuelLife::LiveHerb, lherb, sherb));
-                }
-                if lwood > 0.0 {
-                    particles.push(FuelParticle::standard(FuelLife::LiveWood, lwood, swood));
-                }
-                FuelModel {
-                    number: num,
-                    name,
-                    description: desc,
-                    depth,
-                    mext_dead: mext,
-                    particles,
-                }
-            })
+            .map(
+                |&(num, name, desc, depth, mext, l1, s1, l10, l100, lherb, sherb, lwood, swood)| {
+                    let mut particles = Vec::new();
+                    if l1 > 0.0 {
+                        particles.push(FuelParticle::standard(FuelLife::Dead, l1, s1));
+                    }
+                    if l10 > 0.0 {
+                        particles.push(FuelParticle::standard(FuelLife::Dead, l10, SAVR_10HR));
+                    }
+                    if l100 > 0.0 {
+                        particles.push(FuelParticle::standard(FuelLife::Dead, l100, SAVR_100HR));
+                    }
+                    if lherb > 0.0 {
+                        particles.push(FuelParticle::standard(FuelLife::LiveHerb, lherb, sherb));
+                    }
+                    if lwood > 0.0 {
+                        particles.push(FuelParticle::standard(FuelLife::LiveWood, lwood, swood));
+                    }
+                    FuelModel {
+                        number: num,
+                        name,
+                        description: desc,
+                        depth,
+                        mext_dead: mext,
+                        particles,
+                    }
+                },
+            )
             .collect();
         Self { models }
     }

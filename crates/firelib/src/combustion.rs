@@ -126,7 +126,11 @@ impl FuelBed {
         }
         for p in &model.particles {
             let la = life_area[Self::life_index(p.life)];
-            let area_wtg = if la > SMIDGEN { p.surface_area() / la } else { 0.0 };
+            let area_wtg = if la > SMIDGEN {
+                p.surface_area() / la
+            } else {
+                0.0
+            };
             bed.particles.push(ParticleFactors {
                 life: p.life,
                 area_wtg,
@@ -198,8 +202,11 @@ impl FuelBed {
             }
         }
         bed.fine_dead = fine_dead;
-        bed.live_mext_factor =
-            if fine_live > SMIDGEN { 2.9 * fine_dead / fine_live } else { 0.0 };
+        bed.live_mext_factor = if fine_live > SMIDGEN {
+            2.9 * fine_dead / fine_live
+        } else {
+            0.0
+        };
 
         // --- Propagating flux ξ -------------------------------------------
         let prop_flux =
@@ -305,7 +312,11 @@ mod tests {
     fn prop_flux_in_unit_interval() {
         for n in 1..=13u8 {
             let b = bed(n);
-            assert!(b.prop_flux > 0.0 && b.prop_flux < 1.0, "model {n}: ξ = {}", b.prop_flux);
+            assert!(
+                b.prop_flux > 0.0 && b.prop_flux < 1.0,
+                "model {n}: ξ = {}",
+                b.prop_flux
+            );
         }
     }
 

@@ -32,9 +32,18 @@ impl MoistureRegime {
     /// fraction and any negative value indicates a decoding bug upstream.
     pub fn from_percent(m1: f64, m10: f64, m100: f64, herb: f64, wood: f64) -> Self {
         for v in [m1, m10, m100, herb, wood] {
-            assert!(v.is_finite() && v >= 0.0, "moisture must be a non-negative percentage");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "moisture must be a non-negative percentage"
+            );
         }
-        Self { m1: m1 / 100.0, m10: m10 / 100.0, m100: m100 / 100.0, herb: herb / 100.0, wood: wood / 100.0 }
+        Self {
+            m1: m1 / 100.0,
+            m10: m10 / 100.0,
+            m100: m100 / 100.0,
+            herb: herb / 100.0,
+            wood: wood / 100.0,
+        }
     }
 
     /// The moisture applied to a particle of the given life class and SAV

@@ -33,15 +33,78 @@ pub struct ParamDef {
 
 /// The nine rows of Table I, in the paper's order.
 pub const PARAM_DEFS: [ParamDef; GENE_COUNT] = [
-    ParamDef { name: "Model", description: "Rothermel Fuel Model", lo: 1.0, hi: 13.0, unit: "fuel model", integer: true },
-    ParamDef { name: "WindSpd", description: "Wind speed", lo: 0.0, hi: 80.0, unit: "miles/hour", integer: false },
-    ParamDef { name: "WindDir", description: "Wind direction", lo: 0.0, hi: 360.0, unit: "degrees clockwise from North", integer: false },
-    ParamDef { name: "M1", description: "Dead Fuel Moisture in 1 hour since start of fire", lo: 1.0, hi: 60.0, unit: "percent", integer: false },
-    ParamDef { name: "M10", description: "Dead Fuel Moisture in 10 h", lo: 1.0, hi: 60.0, unit: "percent", integer: false },
-    ParamDef { name: "M100", description: "Dead Fuel Moisture in 100 h", lo: 1.0, hi: 60.0, unit: "percent", integer: false },
-    ParamDef { name: "Mherb", description: "Live herbaceous fuel moisture", lo: 30.0, hi: 300.0, unit: "percent", integer: false },
-    ParamDef { name: "Slope", description: "Surface slope", lo: 0.0, hi: 81.0, unit: "degrees", integer: false },
-    ParamDef { name: "Aspect", description: "Direction of the surface faces", lo: 0.0, hi: 360.0, unit: "degrees clockwise from north", integer: false },
+    ParamDef {
+        name: "Model",
+        description: "Rothermel Fuel Model",
+        lo: 1.0,
+        hi: 13.0,
+        unit: "fuel model",
+        integer: true,
+    },
+    ParamDef {
+        name: "WindSpd",
+        description: "Wind speed",
+        lo: 0.0,
+        hi: 80.0,
+        unit: "miles/hour",
+        integer: false,
+    },
+    ParamDef {
+        name: "WindDir",
+        description: "Wind direction",
+        lo: 0.0,
+        hi: 360.0,
+        unit: "degrees clockwise from North",
+        integer: false,
+    },
+    ParamDef {
+        name: "M1",
+        description: "Dead Fuel Moisture in 1 hour since start of fire",
+        lo: 1.0,
+        hi: 60.0,
+        unit: "percent",
+        integer: false,
+    },
+    ParamDef {
+        name: "M10",
+        description: "Dead Fuel Moisture in 10 h",
+        lo: 1.0,
+        hi: 60.0,
+        unit: "percent",
+        integer: false,
+    },
+    ParamDef {
+        name: "M100",
+        description: "Dead Fuel Moisture in 100 h",
+        lo: 1.0,
+        hi: 60.0,
+        unit: "percent",
+        integer: false,
+    },
+    ParamDef {
+        name: "Mherb",
+        description: "Live herbaceous fuel moisture",
+        lo: 30.0,
+        hi: 300.0,
+        unit: "percent",
+        integer: false,
+    },
+    ParamDef {
+        name: "Slope",
+        description: "Surface slope",
+        lo: 0.0,
+        hi: 81.0,
+        unit: "degrees",
+        integer: false,
+    },
+    ParamDef {
+        name: "Aspect",
+        description: "Direction of the surface faces",
+        lo: 0.0,
+        hi: 360.0,
+        unit: "degrees clockwise from north",
+        integer: false,
+    },
 ];
 
 /// One fire-environment scenario (an individual of the metaheuristics).
@@ -154,7 +217,11 @@ impl ScenarioSpace {
     /// # Panics
     /// Panics when `genes.len() != GENE_COUNT`.
     pub fn decode(&self, genes: &[f64]) -> Scenario {
-        assert_eq!(genes.len(), GENE_COUNT, "scenario gene vector must have {GENE_COUNT} entries");
+        assert_eq!(
+            genes.len(),
+            GENE_COUNT,
+            "scenario gene vector must have {GENE_COUNT} entries"
+        );
         let g = |i: usize| -> f64 {
             let v = genes[i];
             if v.is_nan() {
@@ -243,7 +310,10 @@ pub fn render_table1() -> String {
         } else {
             format!("{}-{}", d.lo, d.hi)
         };
-        out.push_str(&format!("{:<8} {:<52} {:<10} {}\n", d.name, d.description, range, d.unit));
+        out.push_str(&format!(
+            "{:<8} {:<52} {:<10} {}\n",
+            d.name, d.description, range, d.unit
+        ));
     }
     out
 }
@@ -336,7 +406,11 @@ mod tests {
 
     #[test]
     fn spread_inputs_unit_conversion() {
-        let s = Scenario { wind_speed_mph: 10.0, slope_deg: 45.0, ..Scenario::reference() };
+        let s = Scenario {
+            wind_speed_mph: 10.0,
+            slope_deg: 45.0,
+            ..Scenario::reference()
+        };
         let i = s.spread_inputs();
         assert!((i.wind_fpm - 880.0).abs() < 1e-9);
         assert!((i.slope_steepness - 1.0).abs() < 1e-12);

@@ -14,8 +14,8 @@
 //! fuel towards the neighbour, matching fireLib's per-cell spread
 //! computation. Cells whose own fuel bed cannot burn are never ignited.
 
-use crate::combustion::FuelBed;
 use crate::catalog::FuelCatalog;
+use crate::combustion::FuelBed;
 use crate::scenario::Scenario;
 use crate::spread::{wind_slope_max, SpreadInputs, SpreadVector};
 use crate::terrain::Terrain;
@@ -24,7 +24,9 @@ use landscape::{FireLine, IgnitionMap};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Total-ordering wrapper for ignition times (never NaN by construction).
+/// Total-ordering wrapper for ignition times, ordered by
+/// [`f64::total_cmp`] — branch-free and panic-free (times are never NaN by
+/// construction, so IEEE total order and numeric order coincide here).
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Time(f64);
 
@@ -38,7 +40,7 @@ impl PartialOrd for Time {
 
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("ignition times are never NaN")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -94,7 +96,13 @@ impl FireSim {
     /// # Panics
     /// Panics when `initial` does not match the terrain shape, `t0` is
     /// negative/non-finite or `duration` is not positive.
-    pub fn simulate(&self, scenario: &Scenario, initial: &FireLine, t0: f64, duration: f64) -> IgnitionMap {
+    pub fn simulate(
+        &self,
+        scenario: &Scenario,
+        initial: &FireLine,
+        t0: f64,
+        duration: f64,
+    ) -> IgnitionMap {
         let mut out = IgnitionMap::unignited(self.terrain.rows(), self.terrain.cols());
         self.simulate_into(scenario, initial, t0, duration, &mut out);
         out
@@ -112,10 +120,24 @@ impl FireSim {
     ) {
         let rows = self.terrain.rows();
         let cols = self.terrain.cols();
-        assert_eq!((initial.rows(), initial.cols()), (rows, cols), "initial fire line shape mismatch");
-        assert!(t0.is_finite() && t0 >= 0.0, "t0 must be a non-negative instant");
-        assert!(duration.is_finite() && duration > 0.0, "duration must be positive");
-        assert_eq!((out.rows(), out.cols()), (rows, cols), "output map shape mismatch");
+        assert_eq!(
+            (initial.rows(), initial.cols()),
+            (rows, cols),
+            "initial fire line shape mismatch"
+        );
+        assert!(
+            t0.is_finite() && t0 >= 0.0,
+            "t0 must be a non-negative instant"
+        );
+        assert!(
+            duration.is_finite() && duration > 0.0,
+            "duration must be positive"
+        );
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (rows, cols),
+            "output map shape mismatch"
+        );
 
         out.clear();
         let t_end = t0 + duration;
@@ -202,7 +224,8 @@ impl FireSim {
         t0: f64,
         duration: f64,
     ) -> FireLine {
-        self.simulate(scenario, initial, t0, duration).fire_line_at(t0 + duration)
+        self.simulate(scenario, initial, t0, duration)
+            .fire_line_at(t0 + duration)
     }
 
     /// Maximum spread rate (ft/min) of `scenario` on a uniform cell of this
@@ -228,7 +251,11 @@ mod tests {
     }
 
     fn calm_scenario() -> Scenario {
-        Scenario { wind_speed_mph: 0.0, slope_deg: 0.0, ..Scenario::reference() }
+        Scenario {
+            wind_speed_mph: 0.0,
+            slope_deg: 0.0,
+            ..Scenario::reference()
+        }
     }
 
     #[test]
@@ -236,7 +263,10 @@ mod tests {
         let sim = flat_sim(21);
         let map = sim.simulate(&calm_scenario(), &centre_ignition(21, 21), 0.0, 300.0);
         assert_eq!(map.time(10, 10), 0.0);
-        assert!(map.burned_count_at(300.0) > 1, "fire must spread beyond the ignition");
+        assert!(
+            map.burned_count_at(300.0) > 1,
+            "fire must spread beyond the ignition"
+        );
     }
 
     #[test]
@@ -269,7 +299,11 @@ mod tests {
     #[test]
     fn wind_skews_fire_downwind() {
         let sim = flat_sim(31);
-        let scenario = Scenario { wind_speed_mph: 10.0, wind_dir_deg: 90.0, ..calm_scenario() };
+        let scenario = Scenario {
+            wind_speed_mph: 10.0,
+            wind_dir_deg: 90.0,
+            ..calm_scenario()
+        };
         let map = sim.simulate(&scenario, &centre_ignition(31, 31), 0.0, 120.0);
         // Wind blows east: the eastern cell ignites earlier than the western.
         let east = map.time(15, 20);
@@ -281,7 +315,11 @@ mod tests {
     fn slope_skews_fire_upslope() {
         let sim = flat_sim(31);
         // Aspect 180° (south-facing) → upslope north (decreasing row).
-        let scenario = Scenario { slope_deg: 30.0, aspect_deg: 180.0, ..calm_scenario() };
+        let scenario = Scenario {
+            slope_deg: 30.0,
+            aspect_deg: 180.0,
+            ..calm_scenario()
+        };
         let map = sim.simulate(&scenario, &centre_ignition(31, 31), 0.0, 300.0);
         let north = map.time(10, 15);
         let south = map.time(20, 15);
@@ -342,7 +380,11 @@ mod tests {
         for r in 0..15 {
             assert_eq!(map.time(r, 7), UNIGNITED, "firebreak cell ({r},7) ignited");
             for c in 8..15 {
-                assert_eq!(map.time(r, c), UNIGNITED, "cell ({r},{c}) behind the break ignited");
+                assert_eq!(
+                    map.time(r, c),
+                    UNIGNITED,
+                    "cell ({r},{c}) behind the break ignited"
+                );
             }
         }
         assert!(map.burned_count_at(1e5) > 10);
@@ -358,7 +400,11 @@ mod tests {
             ..calm_scenario()
         }; // far beyond model 1 extinction (12 %)
         let map = sim.simulate(&scenario, &centre_ignition(11, 11), 0.0, 1e6);
-        assert_eq!(map.burned_count_at(1e6), 1, "only the ignition cell may burn");
+        assert_eq!(
+            map.burned_count_at(1e6),
+            1,
+            "only the ignition cell may burn"
+        );
     }
 
     #[test]

@@ -24,7 +24,12 @@ pub struct SpreadInputs {
 impl SpreadInputs {
     /// Calm, flat conditions.
     pub fn calm() -> Self {
-        Self { wind_fpm: 0.0, wind_azimuth: 0.0, slope_steepness: 0.0, aspect_azimuth: 0.0 }
+        Self {
+            wind_fpm: 0.0,
+            wind_azimuth: 0.0,
+            slope_steepness: 0.0,
+            aspect_azimuth: 0.0,
+        }
     }
 }
 
@@ -102,7 +107,11 @@ pub fn no_wind_no_slope(bed: &FuelBed, moisture: &MoistureRegime) -> (f64, f64) 
             wfmd += p.load * p.epsilon * moisture.for_particle(p.life, p.savr);
         }
     }
-    let fdmois = if bed.fine_dead > SMIDGEN { wfmd / bed.fine_dead } else { 0.0 };
+    let fdmois = if bed.fine_dead > SMIDGEN {
+        wfmd / bed.fine_dead
+    } else {
+        0.0
+    };
 
     // Live extinction moisture (Albini 1976).
     let live_mext = if bed.live_mext_factor > SMIDGEN {
@@ -133,7 +142,11 @@ pub fn no_wind_no_slope(bed: &FuelBed, moisture: &MoistureRegime) -> (f64, f64) 
         rx_int += lf.rx_factor * moisture_damping(m, mext);
     }
 
-    let ros0 = if rb_qig > SMIDGEN { rx_int * bed.prop_flux / rb_qig } else { 0.0 };
+    let ros0 = if rb_qig > SMIDGEN {
+        rx_int * bed.prop_flux / rb_qig
+    } else {
+        0.0
+    };
     (ros0, rx_int)
 }
 
@@ -155,7 +168,11 @@ pub fn moisture_damping(moisture: f64, mext: f64) -> f64 {
 /// spread plus the ellipse eccentricity
 /// (fireLib `Fire_SpreadWindSlopeMax` + eccentricity from the
 /// length-to-width ratio).
-pub fn wind_slope_max(bed: &FuelBed, moisture: &MoistureRegime, inputs: &SpreadInputs) -> SpreadVector {
+pub fn wind_slope_max(
+    bed: &FuelBed,
+    moisture: &MoistureRegime,
+    inputs: &SpreadInputs,
+) -> SpreadVector {
     let (ros0, rx_int) = no_wind_no_slope(bed, moisture);
     if ros0 <= SMIDGEN {
         return SpreadVector::no_spread();
@@ -223,7 +240,11 @@ pub fn wind_slope_max(bed: &FuelBed, moisture: &MoistureRegime, inputs: &SpreadI
     // Ellipse eccentricity from the length-to-width ratio
     // (Anderson 1983, as used by fireLib): L/W = 1 + 0.002840909·U_eff.
     let lw = 1.0 + 0.002840909 * eff_wind;
-    let eccentricity = if lw > 1.0 + SMIDGEN { (lw * lw - 1.0).sqrt() / lw } else { 0.0 };
+    let eccentricity = if lw > 1.0 + SMIDGEN {
+        (lw * lw - 1.0).sqrt() / lw
+    } else {
+        0.0
+    };
 
     azimuth_max = landscape::geometry::normalize_azimuth(azimuth_max);
     SpreadVector {
@@ -304,9 +325,18 @@ mod tests {
         let windy = wind_slope_max(
             &b,
             &m,
-            &SpreadInputs { wind_fpm: 5.0 * crate::MPH_TO_FPM, wind_azimuth: 90.0, ..SpreadInputs::calm() },
+            &SpreadInputs {
+                wind_fpm: 5.0 * crate::MPH_TO_FPM,
+                wind_azimuth: 90.0,
+                ..SpreadInputs::calm()
+            },
         );
-        assert!(windy.ros_max > 3.0 * calm.ros_max, "calm {} windy {}", calm.ros_max, windy.ros_max);
+        assert!(
+            windy.ros_max > 3.0 * calm.ros_max,
+            "calm {} windy {}",
+            calm.ros_max,
+            windy.ros_max
+        );
         assert_eq!(windy.azimuth_max, 90.0);
         assert!(windy.eccentricity > 0.0 && windy.eccentricity < 1.0);
     }
@@ -326,7 +356,11 @@ mod tests {
         let v = wind_slope_max(
             &bed(1),
             &MoistureRegime::moderate(),
-            &SpreadInputs { wind_fpm: 400.0, wind_azimuth: 45.0, ..SpreadInputs::calm() },
+            &SpreadInputs {
+                wind_fpm: 400.0,
+                wind_azimuth: 45.0,
+                ..SpreadInputs::calm()
+            },
         );
         let head = v.ros_at_azimuth(45.0);
         let flank = v.ros_at_azimuth(135.0);
@@ -365,7 +399,11 @@ mod tests {
                 aspect_azimuth: 180.0,
             },
         );
-        assert!(v.azimuth_max > 0.0 && v.azimuth_max < 90.0, "az = {}", v.azimuth_max);
+        assert!(
+            v.azimuth_max > 0.0 && v.azimuth_max < 90.0,
+            "az = {}",
+            v.azimuth_max
+        );
     }
 
     #[test]
@@ -373,7 +411,11 @@ mod tests {
         let v = wind_slope_max(
             &bed(1),
             &MoistureRegime::moderate(),
-            &SpreadInputs { wind_fpm: 200.0, wind_azimuth: 10.0, ..SpreadInputs::calm() },
+            &SpreadInputs {
+                wind_fpm: 200.0,
+                wind_azimuth: 10.0,
+                ..SpreadInputs::calm()
+            },
         );
         let table = v.compass_ros();
         for (i, &r) in table.iter().enumerate() {
@@ -386,7 +428,11 @@ mod tests {
         let v = wind_slope_max(
             &bed(0),
             &MoistureRegime::very_dry(),
-            &SpreadInputs { wind_fpm: 1000.0, wind_azimuth: 0.0, ..SpreadInputs::calm() },
+            &SpreadInputs {
+                wind_fpm: 1000.0,
+                wind_azimuth: 0.0,
+                ..SpreadInputs::calm()
+            },
         );
         assert_eq!(v.ros_max, 0.0);
         assert_eq!(v.ros_at_azimuth(0.0), 0.0);
@@ -400,7 +446,11 @@ mod tests {
             wind_slope_max(
                 &b,
                 &m,
-                &SpreadInputs { wind_fpm: mph * crate::MPH_TO_FPM, wind_azimuth: 0.0, ..SpreadInputs::calm() },
+                &SpreadInputs {
+                    wind_fpm: mph * crate::MPH_TO_FPM,
+                    wind_azimuth: 0.0,
+                    ..SpreadInputs::calm()
+                },
             )
             .eccentricity
         };

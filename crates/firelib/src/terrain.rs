@@ -51,7 +51,11 @@ impl Terrain {
     /// # Panics
     /// Panics on shape mismatch or a fuel code outside 0–13.
     pub fn with_fuel(mut self, fuel: Grid<u8>) -> Self {
-        assert_eq!(fuel.shape(), (self.rows, self.cols), "fuel layer shape mismatch");
+        assert_eq!(
+            fuel.shape(),
+            (self.rows, self.cols),
+            "fuel layer shape mismatch"
+        );
         assert!(
             fuel.as_slice().iter().all(|&f| f <= 13),
             "fuel codes must be 0..=13 (NFFL catalog)"
@@ -65,9 +69,16 @@ impl Terrain {
     /// # Panics
     /// Panics on shape mismatch or out-of-range values.
     pub fn with_slope(mut self, slope_deg: Grid<f64>) -> Self {
-        assert_eq!(slope_deg.shape(), (self.rows, self.cols), "slope layer shape mismatch");
+        assert_eq!(
+            slope_deg.shape(),
+            (self.rows, self.cols),
+            "slope layer shape mismatch"
+        );
         assert!(
-            slope_deg.as_slice().iter().all(|&s| (0.0..90.0).contains(&s)),
+            slope_deg
+                .as_slice()
+                .iter()
+                .all(|&s| (0.0..90.0).contains(&s)),
             "slope must be in [0, 90) degrees"
         );
         self.slope_override = Some(slope_deg);
@@ -79,7 +90,11 @@ impl Terrain {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn with_aspect(mut self, aspect_deg: Grid<f64>) -> Self {
-        assert_eq!(aspect_deg.shape(), (self.rows, self.cols), "aspect layer shape mismatch");
+        assert_eq!(
+            aspect_deg.shape(),
+            (self.rows, self.cols),
+            "aspect layer shape mismatch"
+        );
         self.aspect_override = Some(aspect_deg.map(|&a| normalize_azimuth(a)));
         self
     }
@@ -110,19 +125,25 @@ impl Terrain {
     /// Effective fuel model of a cell given the scenario's global value.
     #[inline]
     pub fn fuel_at(&self, row: usize, col: usize, scenario_fuel: u8) -> u8 {
-        self.fuel_override.as_ref().map_or(scenario_fuel, |g| g.at(row, col))
+        self.fuel_override
+            .as_ref()
+            .map_or(scenario_fuel, |g| g.at(row, col))
     }
 
     /// Effective slope (degrees) of a cell given the scenario's value.
     #[inline]
     pub fn slope_at(&self, row: usize, col: usize, scenario_slope_deg: f64) -> f64 {
-        self.slope_override.as_ref().map_or(scenario_slope_deg, |g| g.at(row, col))
+        self.slope_override
+            .as_ref()
+            .map_or(scenario_slope_deg, |g| g.at(row, col))
     }
 
     /// Effective aspect (degrees) of a cell given the scenario's value.
     #[inline]
     pub fn aspect_at(&self, row: usize, col: usize, scenario_aspect_deg: f64) -> f64 {
-        self.aspect_override.as_ref().map_or(scenario_aspect_deg, |g| g.at(row, col))
+        self.aspect_override
+            .as_ref()
+            .map_or(scenario_aspect_deg, |g| g.at(row, col))
     }
 }
 

@@ -1,110 +1,155 @@
-//! Property-based tests for the fire spread model and the propagation
-//! engine: physical invariants that must hold for *every* scenario.
+//! Property-style tests for the fire spread model and the propagation
+//! engine: physical invariants that must hold for *every* scenario,
+//! checked over deterministic seeded streams of random scenarios.
 
 use firelib::sim::centre_ignition;
 use firelib::{FireSim, MoistureRegime, Scenario, ScenarioSpace, SpreadInputs, Terrain};
 use landscape::UNIGNITED;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_scenario() -> impl Strategy<Value = Scenario> {
-    proptest::collection::vec(0.0f64..=1.0, firelib::GENE_COUNT)
-        .prop_map(|g| ScenarioSpace.decode(&g))
+const CASES: u64 = 64;
+
+fn scenario(rng: &mut StdRng) -> Scenario {
+    let genes: Vec<f64> = (0..firelib::GENE_COUNT)
+        .map(|_| rng.random::<f64>())
+        .collect();
+    ScenarioSpace.decode(&genes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any gene vector decodes to an in-range scenario (decode is total).
-    #[test]
-    fn decode_is_total(genes in proptest::collection::vec(-10.0f64..10.0, firelib::GENE_COUNT)) {
+/// Any gene vector decodes to an in-range scenario (decode is total).
+#[test]
+fn decode_is_total() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genes: Vec<f64> = (0..firelib::GENE_COUNT)
+            .map(|_| -10.0 + rng.random::<f64>() * 20.0)
+            .collect();
         let s = ScenarioSpace.decode(&genes);
-        prop_assert!(s.is_valid());
+        assert!(s.is_valid(), "genes {genes:?} decoded to invalid scenario");
     }
+}
 
-    /// Encode/decode round-trips the fuel model and keeps genes in [0,1].
-    #[test]
-    fn encode_in_unit_cube(s in arb_scenario()) {
+/// Encode/decode round-trips the fuel model and keeps genes in [0,1].
+#[test]
+fn encode_in_unit_cube() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = scenario(&mut rng);
         let genes = ScenarioSpace.encode(&s);
         for g in genes {
-            prop_assert!((0.0..=1.0).contains(&g));
+            assert!((0.0..=1.0).contains(&g));
         }
-        prop_assert_eq!(ScenarioSpace.decode(&genes).model, s.model);
+        assert_eq!(ScenarioSpace.decode(&genes).model, s.model);
     }
+}
 
-    /// The spread ellipse never spreads faster than its head rate in any
-    /// direction, and never negatively.
-    #[test]
-    fn directional_ros_bounded(s in arb_scenario(), az in 0.0f64..360.0) {
-        let bed = firelib::FuelBed::new(
-            firelib::FuelCatalog::standard().model(s.model).unwrap(),
-        );
+/// The spread ellipse never spreads faster than its head rate in any
+/// direction, and never negatively.
+#[test]
+fn directional_ros_bounded() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = scenario(&mut rng);
+        let az = rng.random::<f64>() * 360.0;
+        let bed = firelib::FuelBed::new(firelib::FuelCatalog::standard().model(s.model).unwrap());
         let v = firelib::spread::wind_slope_max(&bed, &s.moisture(), &s.spread_inputs());
         let r = v.ros_at_azimuth(az);
-        prop_assert!(r >= 0.0);
-        prop_assert!(r <= v.ros_max + 1e-9);
+        assert!(r >= 0.0);
+        assert!(r <= v.ros_max + 1e-9);
     }
+}
 
-    /// Eccentricity stays in [0, 1) for all scenarios.
-    #[test]
-    fn eccentricity_in_range(s in arb_scenario()) {
-        let bed = firelib::FuelBed::new(
-            firelib::FuelCatalog::standard().model(s.model).unwrap(),
-        );
+/// Eccentricity stays in [0, 1) for all scenarios.
+#[test]
+fn eccentricity_in_range() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = scenario(&mut rng);
+        let bed = firelib::FuelBed::new(firelib::FuelCatalog::standard().model(s.model).unwrap());
         let v = firelib::spread::wind_slope_max(&bed, &s.moisture(), &s.spread_inputs());
-        prop_assert!((0.0..1.0).contains(&v.eccentricity));
+        assert!((0.0..1.0).contains(&v.eccentricity));
     }
+}
 
-    /// More moisture never accelerates the no-wind spread rate.
-    #[test]
-    fn moisture_monotonicity(
-        model in 1u8..=13,
-        m_lo in 1.0f64..30.0,
-        bump in 0.0f64..25.0,
-    ) {
-        let bed = firelib::FuelBed::new(
-            firelib::FuelCatalog::standard().model(model).unwrap(),
-        );
+/// More moisture never accelerates the no-wind spread rate.
+#[test]
+fn moisture_monotonicity() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = rng.random_range(1..14u32) as u8;
+        let m_lo = 1.0 + rng.random::<f64>() * 29.0;
+        let bump = rng.random::<f64>() * 25.0;
+        let bed = firelib::FuelBed::new(firelib::FuelCatalog::standard().model(model).unwrap());
         let wet = |m: f64| MoistureRegime::from_percent(m, m, m, 150.0, 150.0);
         let lo = firelib::spread::no_wind_no_slope(&bed, &wet(m_lo)).0;
         let hi = firelib::spread::no_wind_no_slope(&bed, &wet(m_lo + bump)).0;
-        prop_assert!(hi <= lo + 1e-9, "ros({}) = {lo} < ros({}) = {hi}", m_lo, m_lo + bump);
-    }
-
-    /// Stronger wind never slows the head fire.
-    #[test]
-    fn wind_monotonicity(model in 1u8..=13, w_lo in 0.0f64..40.0, bump in 0.0f64..40.0) {
-        let bed = firelib::FuelBed::new(
-            firelib::FuelCatalog::standard().model(model).unwrap(),
+        assert!(
+            hi <= lo + 1e-9,
+            "ros({}) = {lo} < ros({}) = {hi}",
+            m_lo,
+            m_lo + bump
         );
-        let m = MoistureRegime::moderate();
-        let at = |mph: f64| firelib::spread::wind_slope_max(
-            &bed,
-            &m,
-            &SpreadInputs { wind_fpm: mph * firelib::MPH_TO_FPM, wind_azimuth: 0.0, ..SpreadInputs::calm() },
-        ).ros_max;
-        prop_assert!(at(w_lo + bump) >= at(w_lo) - 1e-9);
     }
+}
 
-    /// Simulated ignition times respect the time horizon, include the
-    /// ignition instant, and grow outward (every burned cell is reachable
-    /// at a time no earlier than its neighbours' minimum plus a positive
-    /// traversal).
-    #[test]
-    fn simulation_respects_horizon(s in arb_scenario(), dur in 10.0f64..500.0) {
+/// Stronger wind never slows the head fire.
+#[test]
+fn wind_monotonicity() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = rng.random_range(1..14u32) as u8;
+        let w_lo = rng.random::<f64>() * 40.0;
+        let bump = rng.random::<f64>() * 40.0;
+        let bed = firelib::FuelBed::new(firelib::FuelCatalog::standard().model(model).unwrap());
+        let m = MoistureRegime::moderate();
+        let at = |mph: f64| {
+            firelib::spread::wind_slope_max(
+                &bed,
+                &m,
+                &SpreadInputs {
+                    wind_fpm: mph * firelib::MPH_TO_FPM,
+                    wind_azimuth: 0.0,
+                    ..SpreadInputs::calm()
+                },
+            )
+            .ros_max
+        };
+        assert!(at(w_lo + bump) >= at(w_lo) - 1e-9);
+    }
+}
+
+/// Simulated ignition times respect the time horizon and include the
+/// ignition instant.
+#[test]
+fn simulation_respects_horizon() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = scenario(&mut rng);
+        let dur = 10.0 + rng.random::<f64>() * 490.0;
         let sim = FireSim::new(Terrain::uniform(17, 17, 100.0));
         let map = sim.simulate(&s, &centre_ignition(17, 17), 0.0, dur);
         for ((r, c), &t) in map.grid().iter_cells() {
             if t == UNIGNITED {
                 continue;
             }
-            prop_assert!(t >= 0.0 && t <= dur + 1e-9, "cell ({r},{c}) at {t} breaks horizon {dur}");
+            assert!(
+                (0.0..=dur + 1e-9).contains(&t),
+                "cell ({r},{c}) at {t} breaks horizon {dur}"
+            );
         }
-        prop_assert!(map.time(8, 8) == 0.0 || map.burned_count_at(dur) == 0);
+        assert!(map.time(8, 8) == 0.0 || map.burned_count_at(dur) == 0);
     }
+}
 
-    /// Burned area is monotone in the horizon for a fixed scenario.
-    #[test]
-    fn burned_area_monotone_in_duration(s in arb_scenario(), d1 in 10.0f64..200.0, extra in 0.0f64..300.0) {
+/// Burned area is monotone in the horizon for a fixed scenario.
+#[test]
+fn burned_area_monotone_in_duration() {
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = scenario(&mut rng);
+        let d1 = 10.0 + rng.random::<f64>() * 190.0;
+        let extra = rng.random::<f64>() * 300.0;
         let sim = FireSim::new(Terrain::uniform(15, 15, 100.0));
         let a1 = sim
             .simulate(&s, &centre_ignition(15, 15), 0.0, d1)
@@ -112,13 +157,17 @@ proptest! {
         let a2 = sim
             .simulate(&s, &centre_ignition(15, 15), 0.0, d1 + extra + 1.0)
             .burned_count_at(d1 + extra + 1.0);
-        prop_assert!(a2 >= a1);
+        assert!(a2 >= a1);
     }
+}
 
-    /// Every ignited cell (except the seeds) has an already-ignited
-    /// neighbour with an earlier time: fire does not teleport.
-    #[test]
-    fn no_teleportation(s in arb_scenario()) {
+/// Every ignited cell (except the seeds) has an already-ignited neighbour
+/// with an earlier time: fire does not teleport.
+#[test]
+fn no_teleportation() {
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = scenario(&mut rng);
         let sim = FireSim::new(Terrain::uniform(13, 13, 100.0));
         let map = sim.simulate(&s, &centre_ignition(13, 13), 0.0, 400.0);
         for ((r, c), &t) in map.grid().iter_cells() {
@@ -129,7 +178,10 @@ proptest! {
                 .grid()
                 .neighbours8(r, c)
                 .any(|(nr, nc, _)| map.time(nr, nc) < t);
-            prop_assert!(has_earlier_neighbour, "cell ({r},{c}) ignited at {t} with no earlier neighbour");
+            assert!(
+                has_earlier_neighbour,
+                "cell ({r},{c}) ignited at {t} with no earlier neighbour"
+            );
         }
     }
 }

@@ -23,7 +23,9 @@ pub struct IgnitionMap {
 impl IgnitionMap {
     /// A map where no cell has ignited yet.
     pub fn unignited(rows: usize, cols: usize) -> Self {
-        Self { times: Grid::filled(rows, cols, UNIGNITED) }
+        Self {
+            times: Grid::filled(rows, cols, UNIGNITED),
+        }
     }
 
     /// Wraps a grid of ignition times.
@@ -33,7 +35,10 @@ impl IgnitionMap {
     /// instants and the propagation algorithms rely on their ordering.
     pub fn from_grid(times: Grid<f64>) -> Self {
         for (_, &t) in times.iter_cells() {
-            assert!(!t.is_nan() && t >= 0.0, "ignition times must be non-negative, not NaN");
+            assert!(
+                !t.is_nan() && t >= 0.0,
+                "ignition times must be non-negative, not NaN"
+            );
         }
         Self { times }
     }
@@ -80,7 +85,9 @@ impl IgnitionMap {
     /// `<= t`. This is how an `RFL`/`PFL` snapshot is extracted from a
     /// simulation.
     pub fn fire_line_at(&self, t: f64) -> FireLine {
-        FireLine { burned: self.times.map(|&it| it <= t) }
+        FireLine {
+            burned: self.times.map(|&it| it <= t),
+        }
     }
 
     /// Number of cells ignited at or before `t`.
@@ -104,7 +111,9 @@ pub struct FireLine {
 impl FireLine {
     /// An empty (nothing burned) fire line.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        Self { burned: Grid::filled(rows, cols, false) }
+        Self {
+            burned: Grid::filled(rows, cols, false),
+        }
     }
 
     /// Wraps a burned mask.
@@ -165,7 +174,10 @@ impl FireLine {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn union(&self, other: &FireLine) -> FireLine {
-        assert!(self.burned.same_shape(&other.burned), "fire line shape mismatch");
+        assert!(
+            self.burned.same_shape(&other.burned),
+            "fire line shape mismatch"
+        );
         let mut out = self.burned.clone();
         for ((r, c), &b) in other.burned.iter_cells() {
             if b {
@@ -177,7 +189,10 @@ impl FireLine {
 
     /// `true` when every burned cell of `self` is burned in `other`.
     pub fn is_subset_of(&self, other: &FireLine) -> bool {
-        assert!(self.burned.same_shape(&other.burned), "fire line shape mismatch");
+        assert!(
+            self.burned.same_shape(&other.burned),
+            "fire line shape mismatch"
+        );
         self.burned
             .as_slice()
             .iter()

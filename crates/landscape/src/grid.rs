@@ -23,7 +23,11 @@ impl<T: Clone> Grid<T> {
     /// meaning anywhere in the pipeline and would only defer the error.
     pub fn filled(rows: usize, cols: usize, fill: T) -> Self {
         assert!(rows > 0 && cols > 0, "grid dimensions must be non-zero");
-        Self { rows, cols, data: vec![fill; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        }
     }
 
     /// Builds a grid by evaluating `f(row, col)` for every cell.
@@ -43,7 +47,11 @@ impl<T: Clone> Grid<T> {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         assert!(rows > 0 && cols > 0, "grid dimensions must be non-zero");
         Self { rows, cols, data }
     }
@@ -139,7 +147,10 @@ impl<T> Grid<T> {
     /// Iterate over `((row, col), &value)` in row-major order.
     pub fn iter_cells(&self) -> impl Iterator<Item = ((usize, usize), &T)> {
         let cols = self.cols;
-        self.data.iter().enumerate().map(move |(i, v)| ((i / cols, i % cols), v))
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| ((i / cols, i % cols), v))
     }
 
     /// Applies `f` to every cell, producing a grid of the results.
@@ -159,10 +170,13 @@ impl<T> Grid<T> {
         row: usize,
         col: usize,
     ) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        crate::geometry::NEIGHBOUR_OFFSETS.iter().filter_map(move |&(dr, dc, dist)| {
-            let (nr, nc) = (row as isize + dr, col as isize + dc);
-            self.in_bounds(nr, nc).then_some((nr as usize, nc as usize, dist))
-        })
+        crate::geometry::NEIGHBOUR_OFFSETS
+            .iter()
+            .filter_map(move |&(dr, dc, dist)| {
+                let (nr, nc) = (row as isize + dr, col as isize + dc);
+                self.in_bounds(nr, nc)
+                    .then_some((nr as usize, nc as usize, dist))
+            })
     }
 }
 
@@ -183,22 +197,30 @@ impl<T: Copy> Grid<T> {
 impl Grid<f64> {
     /// Minimum finite value, or `None` when every cell is non-finite.
     pub fn min_finite(&self) -> Option<f64> {
-        self.data.iter().copied().filter(|v| v.is_finite()).fold(None, |acc, v| {
-            Some(match acc {
-                Some(m) if m <= v => m,
-                _ => v,
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    Some(m) if m <= v => m,
+                    _ => v,
+                })
             })
-        })
     }
 
     /// Maximum finite value, or `None` when every cell is non-finite.
     pub fn max_finite(&self) -> Option<f64> {
-        self.data.iter().copied().filter(|v| v.is_finite()).fold(None, |acc, v| {
-            Some(match acc {
-                Some(m) if m >= v => m,
-                _ => v,
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    Some(m) if m >= v => m,
+                    _ => v,
+                })
             })
-        })
     }
 }
 
@@ -269,8 +291,10 @@ mod tests {
     #[test]
     fn diagonal_neighbours_carry_sqrt2() {
         let g = Grid::filled(3, 3, 0u8);
-        let diag: Vec<_> =
-            g.neighbours8(1, 1).filter(|&(r, c, _)| r != 1 && c != 1).collect();
+        let diag: Vec<_> = g
+            .neighbours8(1, 1)
+            .filter(|&(r, c, _)| r != 1 && c != 1)
+            .collect();
         assert_eq!(diag.len(), 4);
         for (_, _, d) in diag {
             assert!((d - std::f64::consts::SQRT_2).abs() < 1e-12);

@@ -25,14 +25,17 @@ pub fn render_fire_line(line: &FireLine, preburn: Option<&FireLine>) -> String {
 
 /// Renders two fire lines side by side for visual comparison in examples.
 pub fn render_comparison(real: &FireLine, predicted: &FireLine) -> String {
-    assert!(real.mask().same_shape(predicted.mask()), "render: shape mismatch");
+    assert!(
+        real.mask().same_shape(predicted.mask()),
+        "render: shape mismatch"
+    );
     let mut out = String::new();
     for r in 0..real.rows() {
         for c in 0..real.cols() {
             out.push(match (real.is_burned(r, c), predicted.is_burned(r, c)) {
-                (true, true) => '#',   // hit
-                (true, false) => '-',  // miss (under-prediction)
-                (false, true) => '+',  // false alarm (over-prediction)
+                (true, true) => '#',  // hit
+                (true, false) => '-', // miss (under-prediction)
+                (false, true) => '+', // false alarm (over-prediction)
                 (false, false) => '.',
             });
         }
@@ -139,7 +142,13 @@ pub fn ignition_map_to_firelib_csv(map: &IgnitionMap) -> String {
 /// Propagates CSV parse failures.
 pub fn ignition_map_from_firelib_csv(text: &str) -> Result<IgnitionMap, String> {
     let grid = grid_from_csv(text)?;
-    Ok(IgnitionMap::from_grid(grid.map(|&t| if t == 0.0 { UNIGNITED } else { t })))
+    Ok(IgnitionMap::from_grid(grid.map(|&t| {
+        if t == 0.0 {
+            UNIGNITED
+        } else {
+            t
+        }
+    })))
 }
 
 #[cfg(test)]

@@ -25,8 +25,8 @@ pub mod perimeter;
 pub mod probability;
 
 pub use firemap::{FireLine, IgnitionMap, UNIGNITED};
-pub use perimeter::{perimeter_cells, shape_stats, ShapeStats};
 pub use geometry::{CellId, Direction8, NEIGHBOUR_OFFSETS};
 pub use grid::Grid;
 pub use metrics::{jaccard, JaccardBreakdown};
+pub use perimeter::{perimeter_cells, shape_stats, ShapeStats};
 pub use probability::ProbabilityMap;

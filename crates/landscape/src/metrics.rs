@@ -67,10 +67,18 @@ pub fn jaccard_breakdown(
         "jaccard: real and predicted maps differ in shape"
     );
     if let Some(p) = preburn {
-        assert!(real.mask().same_shape(p.mask()), "jaccard: preburn mask differs in shape");
+        assert!(
+            real.mask().same_shape(p.mask()),
+            "jaccard: preburn mask differs in shape"
+        );
     }
 
-    let mut counts = JaccardBreakdown { hits: 0, false_alarms: 0, misses: 0, excluded: 0 };
+    let mut counts = JaccardBreakdown {
+        hits: 0,
+        false_alarms: 0,
+        misses: 0,
+        excluded: 0,
+    };
     let n = real.mask().len();
     let ra = real.mask().as_slice();
     let pa = predicted.mask().as_slice();
@@ -115,7 +123,7 @@ pub fn iqr(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("iqr: NaN in sample"));
+    sorted.sort_by(f64::total_cmp);
     let q = |frac: f64| -> f64 {
         let pos = frac * (sorted.len() - 1) as f64;
         let lo = pos.floor() as usize;
@@ -140,7 +148,10 @@ pub fn dice(real: &FireLine, predicted: &FireLine, preburn: Option<&FireLine>) -
 
 /// Builds a [`FireLine`] difference map: cells burned in exactly one input.
 pub fn symmetric_difference(a: &FireLine, b: &FireLine) -> FireLine {
-    assert!(a.mask().same_shape(b.mask()), "symmetric_difference: shape mismatch");
+    assert!(
+        a.mask().same_shape(b.mask()),
+        "symmetric_difference: shape mismatch"
+    );
     let rows = a.rows();
     let cols = a.cols();
     let mut g = Grid::filled(rows, cols, false);

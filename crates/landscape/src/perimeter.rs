@@ -40,16 +40,17 @@ pub fn perimeter_cells(line: &FireLine) -> Vec<(usize, usize)> {
                 continue;
             }
             let on_edge = r == 0 || c == 0 || r == rows - 1 || c == cols - 1;
-            let has_unburned_side = [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)]
-                .iter()
-                .any(|&(dr, dc)| {
-                    let (nr, nc) = (r as isize + dr, c as isize + dc);
-                    nr >= 0
-                        && nc >= 0
-                        && (nr as usize) < rows
-                        && (nc as usize) < cols
-                        && !line.is_burned(nr as usize, nc as usize)
-                });
+            let has_unburned_side =
+                [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)]
+                    .iter()
+                    .any(|&(dr, dc)| {
+                        let (nr, nc) = (r as isize + dr, c as isize + dc);
+                        nr >= 0
+                            && nc >= 0
+                            && (nr as usize) < rows
+                            && (nc as usize) < cols
+                            && !line.is_burned(nr as usize, nc as usize)
+                    });
             if on_edge || has_unburned_side {
                 out.push((r, c));
             }

@@ -18,7 +18,10 @@ pub struct ProbabilityMap {
 impl ProbabilityMap {
     /// An empty accumulator for maps of the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { counts: Grid::filled(rows, cols, 0), samples: 0 }
+        Self {
+            counts: Grid::filled(rows, cols, 0),
+            samples: 0,
+        }
     }
 
     /// Number of aggregated fire lines.
@@ -95,7 +98,8 @@ impl ProbabilityMap {
     /// The full probability raster.
     pub fn to_grid(&self) -> Grid<f64> {
         let s = self.samples;
-        self.counts.map(|&c| if s == 0 { 0.0 } else { c as f64 / s as f64 })
+        self.counts
+            .map(|&c| if s == 0 { 0.0 } else { c as f64 / s as f64 })
     }
 
     /// Applies the Key Ignition Value: a cell is predicted burned when its
@@ -126,7 +130,10 @@ impl ProbabilityMap {
         let mut counts: Vec<u32> = self.counts.as_slice().to_vec();
         counts.sort_unstable();
         counts.dedup();
-        counts.into_iter().map(|c| c as f64 / self.samples as f64).collect()
+        counts
+            .into_iter()
+            .map(|c| c as f64 / self.samples as f64)
+            .collect()
     }
 }
 

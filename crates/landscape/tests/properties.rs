@@ -1,104 +1,147 @@
-//! Property-based tests for the raster substrate invariants the rest of the
-//! workspace relies on.
+//! Property-style tests for the raster substrate invariants the rest of
+//! the workspace relies on, checked over deterministic seeded streams of
+//! random rasters.
 
 use landscape::{jaccard, FireLine, Grid, IgnitionMap, ProbabilityMap, UNIGNITED};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const ROWS: usize = 6;
 const COLS: usize = 7;
+const CASES: u64 = 64;
 
-fn arb_mask() -> impl Strategy<Value = FireLine> {
-    proptest::collection::vec(any::<bool>(), ROWS * COLS)
-        .prop_map(|v| FireLine::from_mask(Grid::from_vec(ROWS, COLS, v)))
+fn mask(rng: &mut StdRng) -> FireLine {
+    let v: Vec<bool> = (0..ROWS * COLS).map(|_| rng.random::<bool>()).collect();
+    FireLine::from_mask(Grid::from_vec(ROWS, COLS, v))
 }
 
-fn arb_ignition_map() -> impl Strategy<Value = IgnitionMap> {
-    proptest::collection::vec(
-        prop_oneof![3 => 0.0f64..100.0, 1 => Just(UNIGNITED)],
-        ROWS * COLS,
-    )
-    .prop_map(|v| IgnitionMap::from_grid(Grid::from_vec(ROWS, COLS, v)))
+fn ignition_map(rng: &mut StdRng) -> IgnitionMap {
+    // 3:1 mix of finite times and unignited cells, like the former
+    // proptest strategy.
+    let v: Vec<f64> = (0..ROWS * COLS)
+        .map(|_| {
+            if rng.random_range(0..4u32) < 3 {
+                rng.random::<f64>() * 100.0
+            } else {
+                UNIGNITED
+            }
+        })
+        .collect();
+    IgnitionMap::from_grid(Grid::from_vec(ROWS, COLS, v))
 }
 
-proptest! {
-    /// Eq. (3) is bounded in [0, 1] for any pair of maps and any preburn.
-    #[test]
-    fn jaccard_bounded(a in arb_mask(), b in arb_mask(), pre in arb_mask()) {
+/// Eq. (3) is bounded in [0, 1] for any pair of maps and any preburn.
+#[test]
+fn jaccard_bounded() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b, pre) = (mask(&mut rng), mask(&mut rng), mask(&mut rng));
         let j = jaccard(&a, &b, Some(&pre));
-        prop_assert!((0.0..=1.0).contains(&j));
+        assert!((0.0..=1.0).contains(&j));
     }
+}
 
-    /// Eq. (3) is symmetric: intersection and union are symmetric sets.
-    #[test]
-    fn jaccard_symmetric(a in arb_mask(), b in arb_mask()) {
-        prop_assert_eq!(jaccard(&a, &b, None).to_bits(), jaccard(&b, &a, None).to_bits());
+/// Eq. (3) is symmetric: intersection and union are symmetric sets.
+#[test]
+fn jaccard_symmetric() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (mask(&mut rng), mask(&mut rng));
+        assert_eq!(
+            jaccard(&a, &b, None).to_bits(),
+            jaccard(&b, &a, None).to_bits()
+        );
     }
+}
 
-    /// A map compared with itself is a perfect prediction.
-    #[test]
-    fn jaccard_reflexive(a in arb_mask(), pre in arb_mask()) {
-        prop_assert_eq!(jaccard(&a, &a, Some(&pre)), 1.0);
+/// A map compared with itself is a perfect prediction.
+#[test]
+fn jaccard_reflexive() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, pre) = (mask(&mut rng), mask(&mut rng));
+        assert_eq!(jaccard(&a, &a, Some(&pre)), 1.0);
     }
+}
 
-    /// Fire lines extracted at increasing instants are nested (the burned
-    /// region can only grow with time).
-    #[test]
-    fn fire_lines_nested_in_time(
-        m in arb_ignition_map(),
-        t1 in 0.0f64..100.0,
-        dt in 0.0f64..100.0,
-    ) {
+/// Fire lines extracted at increasing instants are nested (the burned
+/// region can only grow with time).
+#[test]
+fn fire_lines_nested_in_time() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = ignition_map(&mut rng);
+        let t1 = rng.random::<f64>() * 100.0;
+        let dt = rng.random::<f64>() * 100.0;
         let early = m.fire_line_at(t1);
         let late = m.fire_line_at(t1 + dt);
-        prop_assert!(early.is_subset_of(&late));
+        assert!(early.is_subset_of(&late));
     }
+}
 
-    /// Thresholding a probability map is antitone in Kign: a higher key
-    /// ignition value never enlarges the predicted burned area.
-    #[test]
-    fn threshold_antitone(
-        lines in proptest::collection::vec(arb_mask(), 1..8),
-        k1 in 0.0f64..=1.0,
-        k2 in 0.0f64..=1.0,
-    ) {
+/// Thresholding a probability map is antitone in Kign: a higher key
+/// ignition value never enlarges the predicted burned area.
+#[test]
+fn threshold_antitone() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(1..8usize);
+        let lines: Vec<FireLine> = (0..n).map(|_| mask(&mut rng)).collect();
         let pm = ProbabilityMap::from_lines(ROWS, COLS, lines.iter());
+        let k1 = rng.random::<f64>();
+        let k2 = rng.random::<f64>();
         let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
-        prop_assert!(pm.threshold(hi).is_subset_of(&pm.threshold(lo)));
+        assert!(pm.threshold(hi).is_subset_of(&pm.threshold(lo)));
     }
+}
 
-    /// Every aggregated fire line is a superset of the Kign=1 consensus and
-    /// a subset of the Kign→0⁺ union region.
-    #[test]
-    fn threshold_extremes_bracket_inputs(
-        lines in proptest::collection::vec(arb_mask(), 1..8),
-    ) {
+/// Every aggregated fire line is a superset of the Kign=1 consensus and a
+/// subset of the Kign→0⁺ union region.
+#[test]
+fn threshold_extremes_bracket_inputs() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(1..8usize);
+        let lines: Vec<FireLine> = (0..n).map(|_| mask(&mut rng)).collect();
         let pm = ProbabilityMap::from_lines(ROWS, COLS, lines.iter());
         let consensus = pm.threshold(1.0);
         let eps = 1.0 / (lines.len() as f64 * 2.0);
         let union = pm.threshold(eps);
         for l in &lines {
-            prop_assert!(consensus.is_subset_of(l));
-            prop_assert!(l.is_subset_of(&union));
+            assert!(consensus.is_subset_of(l));
+            assert!(l.is_subset_of(&union));
         }
     }
+}
 
-    /// CSV round-trip preserves grids bit-for-bit within formatting
-    /// precision (1e-6 absolute, the written precision).
-    #[test]
-    fn csv_roundtrip(v in proptest::collection::vec(-1e6f64..1e6, ROWS * COLS)) {
+/// CSV round-trip preserves grids within formatting precision (the
+/// written precision is 1e-6 absolute).
+#[test]
+fn csv_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v: Vec<f64> = (0..ROWS * COLS)
+            .map(|_| -1e6 + rng.random::<f64>() * 2e6)
+            .collect();
         let g = Grid::from_vec(ROWS, COLS, v);
         let back = landscape::io::grid_from_csv(&landscape::io::grid_to_csv(&g)).unwrap();
-        prop_assert_eq!(back.shape(), (ROWS, COLS));
+        assert_eq!(back.shape(), (ROWS, COLS));
         for r in 0..ROWS {
             for c in 0..COLS {
-                prop_assert!((back.at(r, c) - g.at(r, c)).abs() < 1e-5);
+                assert!((back.at(r, c) - g.at(r, c)).abs() < 1e-5);
             }
         }
     }
+}
 
-    /// IQR is non-negative and zero for constant samples.
-    #[test]
-    fn iqr_nonnegative(v in proptest::collection::vec(-1e3f64..1e3, 0..40)) {
-        prop_assert!(landscape::metrics::iqr(&v) >= 0.0);
+/// IQR is non-negative and zero for constant samples.
+#[test]
+fn iqr_nonnegative() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(0..40usize);
+        let v: Vec<f64> = (0..n).map(|_| -1e3 + rng.random::<f64>() * 2e3).collect();
+        assert!(landscape::metrics::iqr(&v) >= 0.0);
     }
+    assert_eq!(landscape::metrics::iqr(&[2.5; 9]), 0.0);
 }

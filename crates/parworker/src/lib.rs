@@ -1,5 +1,5 @@
-//! `parworker` — the Master/Worker parallel evaluation engine of the ESS
-//! systems.
+//! `parworker` — the parallel evaluation engine of the ESS systems, and
+//! the home of the **unified batch-evaluation backend layer**.
 //!
 //! Every system in the ESS family parallelises the same thing: the
 //! evaluation of scenarios ("the Master process only delegates the
@@ -7,25 +7,35 @@
 //! the most demanding part of the prediction process", paper §III-A; "in a
 //! first version, parallelism will only be implemented in the evaluation of
 //! the scenarios", §III-B). The original systems use MPI processes; this
-//! crate reproduces the communication pattern with OS threads and crossbeam
-//! channels:
+//! crate reproduces the communication patterns with OS threads and exposes
+//! them behind one pluggable abstraction:
 //!
+//! * [`backend`] — the [`Backend`] trait (ordered batch map with
+//!   per-worker state) and the [`EvalBackend`] runtime spec that builds
+//!   one of the three interchangeable implementations below. This is the
+//!   single seam between the metaheuristics and the hardware: algorithm
+//!   code depends on the trait only, and backend choice is a config value.
 //! * [`pool::WorkerPool`] — a persistent Master/Worker task farm. The
 //!   master scatters indexed tasks over a shared channel; workers own
 //!   per-worker mutable state (e.g. a simulator with scratch buffers),
 //!   compute, and send results back; the master gathers and reorders.
+//! * [`steal::StealPool`] — the same contract with work-stealing
+//!   scheduling (idle workers pull from a shared bag), used to compare
+//!   scheduling strategies in the benches.
+//! * [`backend::SerialBackend`] — the in-master 1-worker baseline of E3.
 //! * [`pool::scoped_par_map`] — a one-shot scoped fork/join map for
 //!   borrowed data.
-//! * [`rayon_backend::RayonMap`] — the same contract on a rayon
-//!   work-stealing pool, used by the benches to compare scheduling
-//!   strategies.
+//! * [`channel`] — the dependency-free MPMC channel under the farm.
 //! * [`stats`] — wall-clock / busy-time instrumentation feeding the
 //!   speedup experiment (E3).
 
+pub mod backend;
+pub mod channel;
 pub mod pool;
-pub mod rayon_backend;
 pub mod stats;
+pub mod steal;
 
+pub use backend::{Backend, EvalBackend, ParseBackendError, SerialBackend};
 pub use pool::{scoped_par_map, WorkerPool};
-pub use rayon_backend::RayonMap;
 pub use stats::{PoolStats, SpeedupRow, Stopwatch};
+pub use steal::StealPool;

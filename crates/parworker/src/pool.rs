@@ -1,6 +1,7 @@
 //! The persistent Master/Worker task farm.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::channel::{unbounded, Receiver, Sender};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -23,11 +24,12 @@ use crate::stats::PoolStats;
 /// spawn cost, which matters for the E3 speedup measurements.
 pub struct WorkerPool<T, R> {
     task_tx: Option<Sender<(usize, T)>>,
-    result_rx: Receiver<(usize, R)>,
+    result_rx: Receiver<(usize, std::thread::Result<R>)>,
     handles: Vec<JoinHandle<()>>,
     busy_nanos: Arc<Vec<AtomicU64>>,
     tasks_done: Arc<Vec<AtomicU64>>,
     workers: usize,
+    poisoned: bool,
 }
 
 impl<T: Send + 'static, R: Send + 'static> WorkerPool<T, R> {
@@ -44,7 +46,7 @@ impl<T: Send + 'static, R: Send + 'static> WorkerPool<T, R> {
     {
         assert!(workers > 0, "a worker pool needs at least one worker");
         let (task_tx, task_rx) = unbounded::<(usize, T)>();
-        let (result_tx, result_rx) = unbounded::<(usize, R)>();
+        let (result_tx, result_rx) = unbounded::<(usize, std::thread::Result<R>)>();
         let busy_nanos: Arc<Vec<AtomicU64>> =
             Arc::new((0..workers).map(|_| AtomicU64::new(0)).collect());
         let tasks_done: Arc<Vec<AtomicU64>> =
@@ -69,18 +71,33 @@ impl<T: Send + 'static, R: Send + 'static> WorkerPool<T, R> {
                         // dropped (pool shutdown).
                         while let Ok((idx, task)) = task_rx.recv() {
                             let t = Instant::now();
-                            let result = work(&mut state, task);
+                            // Catch panics so a crashing work function
+                            // surfaces in the master instead of deadlocking
+                            // its gather loop.
+                            let result = catch_unwind(AssertUnwindSafe(|| work(&mut state, task)));
                             busy[wid].fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             done[wid].fetch_add(1, Ordering::Relaxed);
+                            let failed = result.is_err();
                             if result_tx.send((idx, result)).is_err() {
                                 break; // master gone
+                            }
+                            if failed {
+                                break; // state may be corrupt after unwind
                             }
                         }
                     })
                     .expect("failed to spawn worker thread"),
             );
         }
-        Self { task_tx: Some(task_tx), result_rx, handles, busy_nanos, tasks_done, workers }
+        Self {
+            task_tx: Some(task_tx),
+            result_rx,
+            handles,
+            busy_nanos,
+            tasks_done,
+            workers,
+            poisoned: false,
+        }
     }
 
     /// Number of workers.
@@ -91,7 +108,15 @@ impl<T: Send + 'static, R: Send + 'static> WorkerPool<T, R> {
     /// Scatter `tasks` to the workers and gather the results in submission
     /// order. Takes `&mut self` so two concurrent `map` calls cannot
     /// interleave their result streams.
+    ///
+    /// # Panics
+    /// Re-raises the first panic a worker's work function raised (the pool
+    /// is then poisoned and must not be reused).
     pub fn map(&mut self, tasks: Vec<T>) -> Vec<R> {
+        assert!(
+            !self.poisoned,
+            "worker pool poisoned by an earlier worker panic"
+        );
         let n = tasks.len();
         let tx = self.task_tx.as_ref().expect("pool already shut down");
         for (idx, task) in tasks.into_iter().enumerate() {
@@ -100,18 +125,37 @@ impl<T: Send + 'static, R: Send + 'static> WorkerPool<T, R> {
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (idx, result) = self.result_rx.recv().expect("worker pool hung up");
-            debug_assert!(slots[idx].is_none(), "duplicate result for task {idx}");
-            slots[idx] = Some(result);
+            match result {
+                Ok(r) => {
+                    debug_assert!(slots[idx].is_none(), "duplicate result for task {idx}");
+                    slots[idx] = Some(r);
+                }
+                Err(payload) => {
+                    self.poisoned = true;
+                    resume_unwind(payload);
+                }
+            }
         }
-        slots.into_iter().map(|s| s.expect("missing result")).collect()
+        slots
+            .into_iter()
+            .map(|s| s.expect("missing result"))
+            .collect()
     }
 
     /// Cumulative per-worker instrumentation.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             workers: self.workers,
-            busy_nanos: self.busy_nanos.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
-            tasks_done: self.tasks_done.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            busy_nanos: self
+                .busy_nanos
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            tasks_done: self
+                .tasks_done
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -145,18 +189,19 @@ where
     }
     let chunk = tasks.len().div_ceil(workers);
     let mut out: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let f = &f;
         for (slot_chunk, task_chunk) in out.chunks_mut(chunk).zip(tasks.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, task) in slot_chunk.iter_mut().zip(task_chunk) {
                     *slot = Some(f(task));
                 }
             });
         }
-    })
-    .expect("scoped worker panicked");
-    out.into_iter().map(|s| s.expect("missing result")).collect()
+    });
+    out.into_iter()
+        .map(|s| s.expect("missing result"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -186,10 +231,14 @@ mod tests {
     fn worker_state_is_private_and_persistent() {
         // Each worker counts its own tasks in its private state; totals
         // must add up without any synchronisation in the work fn.
-        let mut pool: WorkerPool<(), usize> = WorkerPool::new(3, |_| 0usize, |count, ()| {
-            *count += 1;
-            *count
-        });
+        let mut pool: WorkerPool<(), usize> = WorkerPool::new(
+            3,
+            |_| 0usize,
+            |count, ()| {
+                *count += 1;
+                *count
+            },
+        );
         let results = pool.map(vec![(); 60]);
         // Private counters: the sum of the final per-worker counts equals 60.
         let stats = pool.stats();
@@ -226,13 +275,20 @@ mod tests {
 
     #[test]
     fn stats_track_busy_time() {
-        let mut pool: WorkerPool<u64, u64> = WorkerPool::new(2, |_| (), |_, x| {
-            std::thread::sleep(std::time::Duration::from_millis(2));
-            x
-        });
+        let mut pool: WorkerPool<u64, u64> = WorkerPool::new(
+            2,
+            |_| (),
+            |_, x| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                x
+            },
+        );
         let _ = pool.map((0..8).collect());
         let stats = pool.stats();
-        assert!(stats.total_busy_nanos() >= 8 * 2_000_000, "busy time unmeasured");
+        assert!(
+            stats.total_busy_nanos() >= 8 * 2_000_000,
+            "busy time unmeasured"
+        );
         assert_eq!(stats.total_tasks(), 8);
     }
 
@@ -249,10 +305,14 @@ mod tests {
         let t = Instant::now();
         let _: Vec<u64> = tasks.iter().map(work).collect();
         let serial = t.elapsed();
-        let mut pool: WorkerPool<u64, u64> = WorkerPool::new(2, |_| (), move |_, x| {
-            std::thread::sleep(std::time::Duration::from_millis(x));
-            x
-        });
+        let mut pool: WorkerPool<u64, u64> = WorkerPool::new(
+            2,
+            |_| (),
+            move |_, x| {
+                std::thread::sleep(std::time::Duration::from_millis(x));
+                x
+            },
+        );
         let t = Instant::now();
         let _ = pool.map(tasks);
         let parallel = t.elapsed();
@@ -283,5 +343,20 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _: WorkerPool<u32, u32> = WorkerPool::new(0, |_| (), |_, x| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "task exploded")]
+    fn worker_panic_propagates_to_master() {
+        // A crashing work function must fail the map call, not deadlock it.
+        let mut pool: WorkerPool<u64, u64> = WorkerPool::new(
+            2,
+            |_| (),
+            |_, x| {
+                assert!(x != 3, "task exploded");
+                x
+            },
+        );
+        let _ = pool.map((0..8).collect());
     }
 }

@@ -59,7 +59,12 @@ impl SpeedupRow {
         } else {
             baseline.as_secs_f64() / wall.as_secs_f64()
         };
-        Self { workers, wall, speedup, efficiency: speedup / workers as f64 }
+        Self {
+            workers,
+            wall,
+            speedup,
+            efficiency: speedup / workers as f64,
+        }
     }
 }
 
@@ -88,7 +93,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts timing.
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.
@@ -120,13 +127,21 @@ mod tests {
 
     #[test]
     fn balanced_pool_has_unit_imbalance() {
-        let s = PoolStats { workers: 4, busy_nanos: vec![50; 4], tasks_done: vec![2; 4] };
+        let s = PoolStats {
+            workers: 4,
+            busy_nanos: vec![50; 4],
+            tasks_done: vec![2; 4],
+        };
         assert!((s.imbalance() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn idle_pool_reports_neutral_imbalance() {
-        let s = PoolStats { workers: 4, busy_nanos: vec![0; 4], tasks_done: vec![0; 4] };
+        let s = PoolStats {
+            workers: 4,
+            busy_nanos: vec![0; 4],
+            tasks_done: vec![0; 4],
+        };
         assert_eq!(s.imbalance(), 1.0);
     }
 

@@ -18,7 +18,9 @@ const GENS: u32 = 60;
 const SEEDS: u64 = 10;
 
 fn main() {
-    println!("deceptive trap: {DIMS} pseudo-bits in blocks of 4, {GENS} generations, {SEEDS} seeds");
+    println!(
+        "deceptive trap: {DIMS} pseudo-bits in blocks of 4, {GENS} generations, {SEEDS} seeds"
+    );
     println!("block fitness: all-ones = 4 (optimum), otherwise 3 - #ones (deceptive slope)\n");
 
     let mut ns_hits = 0;
@@ -48,7 +50,12 @@ fn main() {
         // --- fitness GA, same budget --------------------------------------
         let mut engine = GaEngine::new(
             DIMS,
-            GaConfig { population_size: 24, offspring: 24, seed, ..GaConfig::default() },
+            GaConfig {
+                population_size: 24,
+                offspring: 24,
+                seed,
+                ..GaConfig::default()
+            },
         );
         let mut eval =
             |gs: &[Vec<f64>]| -> Vec<f64> { gs.iter().map(|g| deceptive_trap(g, 4)).collect() };

@@ -23,7 +23,11 @@ fn main() {
     let n = 128usize;
     let sim = Arc::new(FireSim::new(Terrain::uniform(n, n, 100.0)));
     let ignition = centre_ignition(n, n);
-    let truth = Scenario { wind_speed_mph: 10.0, wind_dir_deg: 45.0, ..Scenario::reference() };
+    let truth = Scenario {
+        wind_speed_mph: 10.0,
+        wind_dir_deg: 45.0,
+        ..Scenario::reference()
+    };
     let target = sim.simulate_fire_line(&truth, &ignition, 0.0, 60.0);
     let ctx = Arc::new(StepContext::new(sim, ignition, target, 0.0, 60.0));
     println!("one ESS-NS Optimization Stage on a {n}x{n} raster (~420 simulations)\n");
@@ -42,14 +46,16 @@ fn main() {
     let _ = time_backend(EvalBackend::Serial);
     let baseline = time_backend(EvalBackend::Serial);
     let mut rows = vec![SpeedupRow::new(1, baseline, baseline)];
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let mut counts = vec![2, cores.max(2), 2 * cores];
     counts.sort_unstable();
     counts.dedup();
     for workers in counts {
         rows.push(SpeedupRow::new(
             workers,
-            time_backend(EvalBackend::MasterWorker(workers)),
+            time_backend(EvalBackend::WorkerPool(workers)),
             baseline,
         ));
     }
@@ -57,7 +63,8 @@ fn main() {
     println!("{}", render_speedup_table(&rows));
 
     let rayon2 = time_backend(EvalBackend::Rayon(2));
-    println!("rayon(2) work stealing: {:.1} ms (speedup {:.2})",
+    println!(
+        "rayon(2) work stealing: {:.1} ms (speedup {:.2})",
         rayon2.as_secs_f64() * 1e3,
         baseline.as_secs_f64() / rayon2.as_secs_f64(),
     );

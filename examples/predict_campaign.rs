@@ -13,9 +13,8 @@
 
 use ess::cases;
 use ess::fitness::EvalBackend;
-use ess::pipeline::PredictionPipeline;
 use ess::report::{f4, opt_f4, TextTable};
-use ess_ns::EssNs;
+use ess_ns::{EssNs, EssNsConfig};
 
 fn main() {
     let case = cases::shifting_wind();
@@ -26,16 +25,26 @@ fn main() {
         case.final_area()
     );
 
-    let pipeline = PredictionPipeline::new(EvalBackend::MasterWorker(2), 2024);
+    // Backend selection is a config value on the system: the same
+    // pipeline fans scenario evaluations out to a 2-worker farm for both
+    // runs (results are backend-independent, only wall time changes).
+    let mut essns = EssNs::new(EssNsConfig {
+        backend: EvalBackend::WorkerPool(2),
+        ..EssNsConfig::default()
+    });
+    let pipeline = essns.pipeline(2024);
 
     let mut ess = ess::EssClassic::default();
     let ess_report = pipeline.run(&case, &mut ess);
 
-    let mut essns = EssNs::baseline();
     let ns_report = pipeline.run(&case, &mut essns);
 
     let mut table = TextTable::new([
-        "step", "ESS quality", "ESS-NS quality", "ESS diversity", "ESS-NS diversity",
+        "step",
+        "ESS quality",
+        "ESS-NS quality",
+        "ESS diversity",
+        "ESS-NS diversity",
     ]);
     for (a, b) in ess_report.steps.iter().zip(&ns_report.steps) {
         table.row([

@@ -19,20 +19,28 @@ fn main() {
     let terrain = Terrain::uniform(40, 40, 100.0);
     let sim = Arc::new(FireSim::new(terrain));
     let truth = Scenario {
-        model: 1,             // short grass
-        wind_speed_mph: 9.0,  // fresh breeze…
-        wind_dir_deg: 120.0,  // …blowing ESE
+        model: 1,            // short grass
+        wind_speed_mph: 9.0, // fresh breeze…
+        wind_dir_deg: 120.0, // …blowing ESE
         ..Scenario::reference()
     };
     let ignition = centre_ignition(40, 40);
     let map = sim.simulate(&truth, &ignition, 0.0, 45.0);
-    println!("fire after 45 min ({} cells burned):", map.burned_count_at(45.0));
-    println!("{}", render_fire_line(&map.fire_line_at(45.0), Some(&ignition)));
+    println!(
+        "fire after 45 min ({} cells burned):",
+        map.burned_count_at(45.0)
+    );
+    println!(
+        "{}",
+        render_fire_line(&map.fire_line_at(45.0), Some(&ignition))
+    );
 
     // Derived fire-behaviour outputs (what a fire analyst reads off the
     // model): head rate of spread, Byram's intensity, flame length.
     let bed = firelib::FuelBed::new(
-        firelib::FuelCatalog::standard().model(truth.model).expect("catalog model"),
+        firelib::FuelCatalog::standard()
+            .model(truth.model)
+            .expect("catalog model"),
     );
     let behaviour = firelib::fire_behaviour(&bed, &truth.moisture(), &truth.spread_inputs());
     println!(
@@ -57,9 +65,18 @@ fn main() {
         0.0,
         45.0,
     ));
-    let wrong = Scenario { wind_dir_deg: 300.0, ..truth };
-    println!("fitness of the true scenario:  {:.4}", ctx.fitness_of(&truth));
-    println!("fitness of a wrong wind guess: {:.4}", ctx.fitness_of(&wrong));
+    let wrong = Scenario {
+        wind_dir_deg: 300.0,
+        ..truth
+    };
+    println!(
+        "fitness of the true scenario:  {:.4}",
+        ctx.fitness_of(&truth)
+    );
+    println!(
+        "fitness of a wrong wind guess: {:.4}",
+        ctx.fitness_of(&wrong)
+    );
 
     // --- 3. Search with the novelty-based GA (Algorithm 1) ------------------
     // ESS-NS explores by novelty and remembers the best-fitness scenarios in
@@ -74,7 +91,7 @@ fn main() {
         },
         ..EssNsConfig::default()
     });
-    let mut evaluator = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::MasterWorker(2));
+    let mut evaluator = ScenarioEvaluator::new(Arc::clone(&ctx), EvalBackend::WorkerPool(2));
     let outcome = ess::pipeline::StepOptimizer::optimize(&mut essns, &mut evaluator, 42);
     println!(
         "\nESS-NS: {} evaluations, best fitness {:.4}, bestSet holds {} scenarios",

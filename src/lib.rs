@@ -10,13 +10,17 @@
 //! and [`landscape`] (rasters and metrics).
 //!
 //! ```no_run
-//! use essns_repro::ess::{cases, fitness::EvalBackend, pipeline::PredictionPipeline};
-//! use essns_repro::ess_ns::EssNs;
+//! use essns_repro::ess::{cases, fitness::EvalBackend};
+//! use essns_repro::ess_ns::{EssNs, EssNsConfig};
 //!
 //! let case = cases::grass_uniform();
-//! let mut system = EssNs::baseline();
-//! let report = PredictionPipeline::new(EvalBackend::MasterWorker(2), 7)
-//!     .run(&case, &mut system);
+//! // Backend choice is a runtime config value; every backend yields
+//! // bit-identical results, so this only changes wall time.
+//! let mut system = EssNs::new(EssNsConfig {
+//!     backend: EvalBackend::WorkerPool(2),
+//!     ..EssNsConfig::default()
+//! });
+//! let report = system.pipeline(7).run(&case, &mut system.clone());
 //! println!("mean prediction quality: {:.3}", report.mean_quality());
 //! ```
 

@@ -51,13 +51,16 @@ fn best_set_is_global_topk_of_all_evaluations() {
             seen.push((g.clone(), *f));
         }
     }
-    seen.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    seen.sort_by(|a, b| b.1.total_cmp(&a.1));
     seen.truncate(6);
     let expected: Vec<f64> = seen.iter().map(|(_, f)| *f).collect();
     let got = out.best_set.fitness_values();
     assert_eq!(got.len(), expected.len());
     for (g, e) in got.iter().zip(&expected) {
-        assert!((g - e).abs() < 1e-12, "bestSet {got:?} != oracle top-k {expected:?}");
+        assert!(
+            (g - e).abs() < 1e-12,
+            "bestSet {got:?} != oracle top-k {expected:?}"
+        );
     }
 }
 
@@ -89,7 +92,11 @@ fn stops_on_fitness_threshold() {
     // The loop must stop at the FIRST generation whose bestSet reached the
     // threshold: all history rows but the last are below it.
     for h in &out.history[..out.history.len() - 1] {
-        assert!(h.max_fitness < 0.5, "ran past the threshold at gen {}", h.generation);
+        assert!(
+            h.max_fitness < 0.5,
+            "ran past the threshold at gen {}",
+            h.generation
+        );
     }
 }
 
@@ -136,12 +143,14 @@ fn max_fitness_monotone_and_consistent() {
 /// order as the initial random population's.
 #[test]
 fn population_never_converges() {
-    let cfg = NoveltyGaConfig { max_generations: 30, ..base_config() };
+    let cfg = NoveltyGaConfig {
+        max_generations: 30,
+        ..base_config()
+    };
     let log = Rc::new(RefCell::new(Vec::new()));
     let mut eval = recording_eval(Rc::clone(&log));
     let out = NoveltyGa::new(6, cfg).run(&mut eval);
-    let final_div =
-        evoalg::diversity::mean_pairwise_distance(&out.final_population.genomes());
+    let final_div = evoalg::diversity::mean_pairwise_distance(&out.final_population.genomes());
     // A uniform random population in [0,1]^6 has mean pairwise normalised
     // distance ≈ 0.38; a converged GA population sits well below 0.05.
     assert!(

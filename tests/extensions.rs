@@ -5,8 +5,8 @@ use essns_repro::ess::cases::{self, with_observation_noise};
 use essns_repro::ess::fitness::EvalBackend;
 use essns_repro::ess::pipeline::PredictionPipeline;
 use essns_repro::ess_ns::EssNs;
-use essns_repro::firelib::{self, FireSim, Scenario, Terrain};
 use essns_repro::firelib::sim::centre_ignition;
+use essns_repro::firelib::{self, FireSim, Scenario, Terrain};
 use essns_repro::landscape;
 
 #[test]
@@ -18,11 +18,17 @@ fn pipeline_survives_noisy_observations() {
         let report = PredictionPipeline::new(EvalBackend::Serial, 11).run(&noisy, &mut sys);
         for s in &report.steps {
             if let Some(q) = s.quality {
-                assert!((0.0..=1.0).contains(&q), "flip {flip}: quality {q} out of range");
+                assert!(
+                    (0.0..=1.0).contains(&q),
+                    "flip {flip}: quality {q} out of range"
+                );
             }
             assert!((0.0..=1.0).contains(&s.kign));
         }
-        assert!(report.mean_quality() > 0.0, "flip {flip}: prediction collapsed to zero");
+        assert!(
+            report.mean_quality() > 0.0,
+            "flip {flip}: prediction collapsed to zero"
+        );
     }
 }
 
@@ -48,12 +54,19 @@ fn noise_degrades_the_oracle_quality() {
     let noisy_f = ctx(&noisy).fitness_of(&noisy.truth[0]);
     assert!((clean_f - 1.0).abs() < 1e-9);
     assert!(noisy_f < clean_f, "noise must cost the oracle some fitness");
-    assert!(noisy_f > 0.5, "30% front noise should not destroy the signal entirely");
+    assert!(
+        noisy_f > 0.5,
+        "30% front noise should not destroy the signal entirely"
+    );
 }
 
 #[test]
 fn behaviour_outputs_track_scenario_severity() {
-    let mild = Scenario { model: 1, wind_speed_mph: 2.0, ..Scenario::reference() };
+    let mild = Scenario {
+        model: 1,
+        wind_speed_mph: 2.0,
+        ..Scenario::reference()
+    };
     let severe = Scenario {
         model: 4,
         wind_speed_mph: 20.0,
@@ -66,8 +79,11 @@ fn behaviour_outputs_track_scenario_severity() {
         firelib::FuelBed::new(firelib::FuelCatalog::standard().model(s.model).unwrap())
     };
     let mild_b = firelib::fire_behaviour(&bed_of(&mild), &mild.moisture(), &mild.spread_inputs());
-    let severe_b =
-        firelib::fire_behaviour(&bed_of(&severe), &severe.moisture(), &severe.spread_inputs());
+    let severe_b = firelib::fire_behaviour(
+        &bed_of(&severe),
+        &severe.moisture(),
+        &severe.spread_inputs(),
+    );
     assert!(severe_b.flame_length_ft > 2.0 * mild_b.flame_length_ft);
     assert!(severe_b.byram_intensity > mild_b.byram_intensity);
     assert!(severe_b.ros_head_fpm > mild_b.ros_head_fpm);
@@ -77,8 +93,16 @@ fn behaviour_outputs_track_scenario_severity() {
 fn windy_burns_are_elongated_calm_burns_round() {
     let sim = FireSim::new(Terrain::uniform(41, 41, 100.0));
     let ignition = centre_ignition(41, 41);
-    let calm = Scenario { wind_speed_mph: 0.0, slope_deg: 0.0, ..Scenario::reference() };
-    let windy = Scenario { wind_speed_mph: 15.0, wind_dir_deg: 90.0, ..calm };
+    let calm = Scenario {
+        wind_speed_mph: 0.0,
+        slope_deg: 0.0,
+        ..Scenario::reference()
+    };
+    let windy = Scenario {
+        wind_speed_mph: 15.0,
+        wind_dir_deg: 90.0,
+        ..calm
+    };
     let calm_line = sim.simulate_fire_line(&calm, &ignition, 0.0, 120.0);
     let windy_line = sim.simulate_fire_line(&windy, &ignition, 0.0, 40.0);
     let calm_shape = landscape::shape_stats(&calm_line);
@@ -104,7 +128,10 @@ fn perimeter_grows_slower_than_area() {
     // the perimeter is linear: the ratio must rise.
     let sim = FireSim::new(Terrain::uniform(61, 61, 100.0));
     let ignition = centre_ignition(61, 61);
-    let s = Scenario { wind_speed_mph: 4.0, ..Scenario::reference() };
+    let s = Scenario {
+        wind_speed_mph: 4.0,
+        ..Scenario::reference()
+    };
     let map = sim.simulate(&s, &ignition, 0.0, 260.0);
     let early = landscape::shape_stats(&map.fire_line_at(130.0));
     let late = landscape::shape_stats(&map.fire_line_at(260.0));

@@ -22,7 +22,12 @@ fn every_system_completes_a_prediction_run() {
     for mut system in all_systems() {
         let report = PredictionPipeline::new(EvalBackend::Serial, 5).run(&case, system.as_mut());
         assert_eq!(report.case, "tiny_test_case");
-        assert_eq!(report.steps.len(), case.intervals() - 1, "{}", report.system);
+        assert_eq!(
+            report.steps.len(),
+            case.intervals() - 1,
+            "{}",
+            report.system
+        );
         // First step calibrates only; later steps must predict.
         assert!(report.steps[0].quality.is_none());
         for s in &report.steps[1..] {
@@ -30,7 +35,12 @@ fn every_system_completes_a_prediction_run() {
             assert!((0.0..=1.0).contains(&q), "{}: quality {q}", report.system);
         }
         for s in &report.steps {
-            assert!((0.0..=1.0).contains(&s.kign), "{}: Kign {}", report.system, s.kign);
+            assert!(
+                (0.0..=1.0).contains(&s.kign),
+                "{}: Kign {}",
+                report.system,
+                s.kign
+            );
             assert!(
                 (0.0..=1.0).contains(&s.calibration_fitness),
                 "{}: calibration fitness",
@@ -49,7 +59,10 @@ fn pipeline_deterministic_per_seed_for_every_system() {
         let run = |seed: u64| {
             let mut sys = all_systems().remove(make);
             let r = PredictionPipeline::new(EvalBackend::Serial, seed).run(&case, sys.as_mut());
-            r.steps.iter().map(|s| (s.quality.map(f64::to_bits), s.kign.to_bits())).collect::<Vec<_>>()
+            r.steps
+                .iter()
+                .map(|s| (s.quality.map(f64::to_bits), s.kign.to_bits()))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9), "system #{make} not deterministic");
     }
@@ -63,26 +76,47 @@ fn backends_produce_identical_predictions() {
     let quality_with = |backend| {
         let mut sys = EssNs::baseline();
         let r = PredictionPipeline::new(backend, 31).run(&case, &mut sys);
-        r.steps.iter().map(|s| (s.quality.map(f64::to_bits), s.kign.to_bits())).collect::<Vec<_>>()
+        r.steps
+            .iter()
+            .map(|s| (s.quality.map(f64::to_bits), s.kign.to_bits()))
+            .collect::<Vec<_>>()
     };
     let serial = quality_with(EvalBackend::Serial);
-    assert_eq!(serial, quality_with(EvalBackend::MasterWorker(2)), "master-worker diverged");
-    assert_eq!(serial, quality_with(EvalBackend::Rayon(2)), "rayon diverged");
+    assert_eq!(
+        serial,
+        quality_with(EvalBackend::WorkerPool(2)),
+        "master-worker diverged"
+    );
+    assert_eq!(
+        serial,
+        quality_with(EvalBackend::Rayon(2)),
+        "rayon diverged"
+    );
 }
 
 #[test]
 fn essns_result_sets_stay_diverse_across_steps() {
+    // Averaged over seeds: single-seed diversity comparisons on the tiny
+    // case are noisy, but the mechanism must show in the mean.
     let case = cases::tiny_test_case();
-    let mut essns = EssNs::baseline();
-    let mut ess = EssClassic::default();
-    let p = PredictionPipeline::new(EvalBackend::Serial, 17);
-    let ns_report = p.run(&case, &mut essns);
-    let ess_report = p.run(&case, &mut ess);
+    let seeds = [17u64, 18, 19, 20];
+    let mean_div = |mk: &dyn Fn() -> Box<dyn essns_repro::ess::pipeline::StepOptimizer>| {
+        seeds
+            .iter()
+            .map(|&seed| {
+                let mut sys = mk();
+                PredictionPipeline::new(EvalBackend::Serial, seed)
+                    .run(&case, sys.as_mut())
+                    .mean_diversity()
+            })
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let ns_div = mean_div(&|| Box::new(EssNs::baseline()));
+    let ess_div = mean_div(&|| Box::new(EssClassic::default()));
     assert!(
-        ns_report.mean_diversity() > ess_report.mean_diversity(),
-        "ESS-NS sets ({}) should out-diversify ESS's final populations ({})",
-        ns_report.mean_diversity(),
-        ess_report.mean_diversity()
+        ns_div > ess_div,
+        "ESS-NS sets ({ns_div}) should out-diversify ESS's final populations ({ess_div})"
     );
 }
 

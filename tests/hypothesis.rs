@@ -39,11 +39,11 @@ fn essns_is_comparable_or_better_under_drift() {
     let case = cases::tiny_drift_case();
     let seeds = [100, 200, 300];
 
-    let (ns_q, ns_d) =
-        mean_quality_over_seeds(&|| Box::new(EssNs::baseline()), &case, &seeds);
+    let (ns_q, ns_d) = mean_quality_over_seeds(&|| Box::new(EssNs::baseline()), &case, &seeds);
     let baselines: Vec<(&str, f64, f64)> = vec![
         {
-            let (q, d) = mean_quality_over_seeds(&|| Box::new(EssClassic::default()), &case, &seeds);
+            let (q, d) =
+                mean_quality_over_seeds(&|| Box::new(EssClassic::default()), &case, &seeds);
             ("ESS", q, d)
         },
         {
@@ -56,8 +56,10 @@ fn essns_is_comparable_or_better_under_drift() {
         },
     ];
 
-    let best_baseline =
-        baselines.iter().map(|&(_, q, _)| q).fold(f64::NEG_INFINITY, f64::max);
+    let best_baseline = baselines
+        .iter()
+        .map(|&(_, q, _)| q)
+        .fold(f64::NEG_INFINITY, f64::max);
     assert!(
         ns_q >= 0.85 * best_baseline,
         "ESS-NS quality {ns_q:.4} not comparable to best baseline {best_baseline:.4} \
