@@ -1,9 +1,12 @@
 //! E4 — fire simulator kernel throughput: one full propagation per
 //! (grid size × fuel model), the cost model underneath every other
-//! experiment.
+//! experiment — plus the SimArena acceptance benchmark: the arena hot path
+//! against an emulation of the pre-arena per-cell evaluation on the
+//! 200×200 corpus workload.
 
 use ess_benches::microbench::{bench, group};
 use firelib::sim::centre_ignition;
+use firelib::spread::{wind_slope_max, SpreadInputs};
 use firelib::{FireSim, Scenario, Terrain};
 use std::hint::black_box;
 
@@ -44,4 +47,67 @@ fn main() {
     bench("per_cell_slope_64x64", 20, || {
         black_box(sim.simulate(&scenario, &ignition, 0.0, 500.0))
     });
+
+    // Arena vs per-cell slope path: same terrain, reused buffers.
+    let mut arena = sim.arena();
+    bench("per_cell_slope_64x64 (arena)", 20, || {
+        sim.simulate_arena(&scenario, &ignition, 0.0, 500.0, &mut arena);
+        black_box(arena.map().burned_count_at(500.0))
+    });
+
+    // The acceptance benchmark: one scenario evaluation on the 200×200
+    // corpus workload, (a) emulating the pre-arena evaluation — a fresh
+    // per-cell directional table plus a fresh-allocation simulate, exactly
+    // the work the seed's simulate_into performed on a fuel mosaic — and
+    // (b) on the SimArena hot path (per-fuel table cache + reused
+    // buffers). The two propagations are asserted bit-identical first.
+    group("workload archipelago_large (200x200 fuel mosaic)");
+    let workload = firelib::workload::archipelago_large().build();
+    let sim = workload.sim();
+    let truth = workload.truth[0];
+    let ignition = workload.ignition.clone();
+    let horizon = *workload.times.last().expect("non-empty");
+
+    let mut arena = sim.arena();
+    let fresh = sim.simulate(&truth, &ignition, 0.0, horizon);
+    let reused = sim.simulate_arena(&truth, &ignition, 0.0, horizon, &mut arena);
+    assert_eq!(&fresh, reused, "arena path must be bit-identical");
+
+    let beds = firelib::combustion::standard_beds();
+    let terrain = sim.terrain();
+    let (rows, cols) = (terrain.rows(), terrain.cols());
+    let pre = bench("pre-arena emulation (per-cell tables)", 10, || {
+        // The seed recomputed one directional table per cell per call …
+        let mut tables = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let bed = &beds[terrain.fuel_at(r, c, truth.model) as usize];
+                let table = if bed.burnable {
+                    let inputs = SpreadInputs {
+                        wind_fpm: truth.wind_speed_mph * firelib::MPH_TO_FPM,
+                        wind_azimuth: truth.wind_dir_deg,
+                        slope_steepness: truth.slope_deg.to_radians().tan(),
+                        aspect_azimuth: truth.aspect_deg,
+                    };
+                    wind_slope_max(bed, &truth.moisture(), &inputs).compass_ros()
+                } else {
+                    [0.0; 8]
+                };
+                tables.push(table);
+            }
+        }
+        black_box(&tables);
+        // … and allocated the output map fresh.
+        black_box(sim.simulate(&truth, &ignition, 0.0, horizon))
+    });
+    let arena_m = bench("SimArena hot path", 30, || {
+        sim.simulate_arena(&truth, &ignition, 0.0, horizon, &mut arena);
+        black_box(arena.map().burned_count_at(horizon))
+    });
+    println!(
+        "\narena speedup on 200x200 workload: {:.2}x (min {:.3} ms -> {:.3} ms)",
+        pre.min_ms / arena_m.min_ms,
+        pre.min_ms,
+        arena_m.min_ms
+    );
 }

@@ -21,14 +21,23 @@
 //!   e8-ablation E8        — k / archive / bestSet / behaviour ablation
 //!   e9-inclusion E9       — result-set composition under drift
 //!   e10-noise   E10       — robustness to observation noise
+//!   workloads   W         — workload corpus × backend sweep (+ BENCH_*.json)
 //! ```
+//!
+//! `all` regenerates every paper artifact (table1 … e10); `workloads`
+//! benchmarks this repo's own engine and must be requested explicitly.
 //!
 //! `--scale` shrinks every per-step evaluation budget proportionally
 //! (default 1.0); `--seeds` sets the replicate count (default 3);
 //! `--backend` selects the scenario-evaluation backend for the
 //! pipeline-driven experiments (results are backend-independent — every
 //! backend produces bit-identical fitness values — so this only changes
-//! wall time; default `serial`).
+//! wall time; default `serial`); `--quick` shrinks the `workloads` sweep
+//! to smoke-test size (the CI configuration).
+//!
+//! `workloads` additionally writes one `BENCH_<workload>.json` per corpus
+//! workload into `--out`, recording evaluation throughput per backend and
+//! the end-to-end pipeline wall time — the cross-PR perf trail.
 
 use ess::fitness::EvalBackend;
 use ess::report::TextTable;
@@ -44,6 +53,7 @@ struct Args {
     out: PathBuf,
     workers: Vec<usize>,
     backend: EvalBackend,
+    quick: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("reports"),
         workers: vec![2, 4],
         backend: EvalBackend::Serial,
+        quick: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("missing value for {flag}"));
@@ -76,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e: parworker::ParseBackendError| e.to_string())?
             }
+            "--quick" => args.quick = true,
             "--workers" => {
                 args.workers = value()?
                     .split(',')
@@ -92,7 +104,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--out DIR]".to_string()
+    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--quick] [--out DIR]".to_string()
 }
 
 fn emit(args: &Args, id: &str, title: &str, table: &TextTable) {
@@ -244,6 +256,18 @@ fn main() -> ExitCode {
             "e10-noise",
             "E10 — robustness to observation noise on the fire lines",
             &exp::e10_noise(&seeds, args.scale, args.backend),
+        );
+        ran = true;
+    }
+
+    // Not part of `all`: the corpus sweep benchmarks this repo's engine,
+    // it is not one of the paper's tables/figures.
+    if args.experiment == "workloads" {
+        emit(
+            &args,
+            "workloads",
+            "W — workload corpus × backend sweep (arena hot path)",
+            &exp::workloads_sweep(&args.workers, args.quick, &args.out),
         );
         ran = true;
     }

@@ -651,6 +651,7 @@ pub fn e7_hybrid(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
                 },
                 inclusion: InclusionPolicy::BestOnly,
                 backend,
+                ..EssNsConfig::default()
             });
             let r = PredictionPipeline::new(backend, seed).run(&case, &mut opt);
             qualities.push(r.mean_quality());
@@ -699,6 +700,7 @@ pub fn e8_ablation(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable
                 algorithm,
                 inclusion: InclusionPolicy::BestOnly,
                 backend,
+                ..EssNsConfig::default()
             });
             let r = PredictionPipeline::new(backend, seed).run(&case, &mut opt);
             qualities.push(r.mean_quality());
@@ -793,6 +795,7 @@ pub fn e9_inclusion(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTabl
                 },
                 inclusion,
                 backend,
+                ..EssNsConfig::default()
             });
             let r = PredictionPipeline::new(backend, seed).run(&case, &mut opt);
             qualities.push(r.mean_quality());
@@ -853,6 +856,148 @@ pub fn e10_noise(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
                     .unwrap_or(q);
                 t.row([f2(flip), method.name().to_string(), f4(q), f4(base - q)]);
             }
+        }
+    }
+    t
+}
+
+/// W — the workload-corpus sweep: every named workload × every evaluation
+/// backend, measuring scenario-evaluation throughput on the arena hot path
+/// and running the full calibration → prediction pipeline once per
+/// workload. Besides the text table, one machine-readable
+/// `BENCH_<workload>.json` file is written per workload into `out`, so the
+/// performance trajectory is trackable across PRs.
+///
+/// `quick` shrinks every workload to ≤ 40 cells per side and trims the
+/// backend list — the CI smoke configuration.
+pub fn workloads_sweep(worker_counts: &[usize], quick: bool, out: &std::path::Path) -> TextTable {
+    use firelib::workload;
+
+    let specs: Vec<workload::WorkloadSpec> = if quick {
+        workload::corpus().iter().map(|s| s.shrunk(40)).collect()
+    } else {
+        workload::corpus()
+    };
+    let mut backends = vec![EvalBackend::Serial];
+    if quick {
+        backends.push(EvalBackend::WorkerPool(2));
+    } else {
+        for &w in worker_counts {
+            backends.push(EvalBackend::WorkerPool(w));
+            backends.push(EvalBackend::Rayon(w));
+        }
+    }
+    let batch = if quick { 12usize } else { 48 };
+    let reps = if quick { 1u32 } else { 3 };
+
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("[warn] could not create {}: {e}", out.display());
+    }
+
+    let mut t = TextTable::new([
+        "workload",
+        "grid",
+        "backend",
+        "eval_ms",
+        "evals_per_sec",
+        "speedup",
+        "pipeline_ms",
+        "quality",
+    ]);
+    for spec in &specs {
+        let build_sw = Stopwatch::start();
+        let case = cases::workload_case(spec);
+        let build_ms = build_sw.elapsed_ms();
+        let grid = format!("{}x{}", spec.rows, spec.cols);
+        let ctx = step1_context(&case);
+
+        // Deterministic evaluation batch shared by every backend (and used
+        // to enforce cross-backend bit-identity right in the sweep).
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xBE_7C4);
+        let genomes: Vec<Vec<f64>> = (0..batch)
+            .map(|_| {
+                (0..firelib::GENE_COUNT)
+                    .map(|_| rng.random::<f64>())
+                    .collect()
+            })
+            .collect();
+
+        // Pipeline once per workload (backend-independent results): a
+        // small, budget-matched ESS-NS end-to-end run.
+        let mut pipeline_opt = Method::EssNs.make(if quick { 0.25 } else { 0.5 });
+        let pipe_sw = Stopwatch::start();
+        let report = PredictionPipeline::new(EvalBackend::Serial, 1).run(&case, &mut *pipeline_opt);
+        let pipeline_ms = pipe_sw.elapsed_ms();
+
+        let mut serial_fitness: Option<Vec<f64>> = None;
+        let mut serial_ms = 0.0f64;
+        let mut json_backends = Vec::new();
+        for &backend in &backends {
+            let mut evaluator = ScenarioEvaluator::new(Arc::clone(&ctx), backend);
+            let warm = evaluator.evaluate(&genomes); // spin up workers, warm arenas
+            let sw = Stopwatch::start();
+            for _ in 0..reps {
+                std::hint::black_box(evaluator.evaluate(&genomes));
+            }
+            let wall_ms = sw.elapsed_ms() / reps as f64;
+            let eval_ms = wall_ms / batch as f64;
+            let eps = 1000.0 / eval_ms;
+            match &serial_fitness {
+                None => {
+                    serial_fitness = Some(warm);
+                    serial_ms = wall_ms;
+                }
+                Some(reference) => assert_eq!(
+                    reference, &warm,
+                    "{}: backend {backend} diverged from serial",
+                    spec.name
+                ),
+            }
+            let speedup = serial_ms / wall_ms;
+            let first = backend == EvalBackend::Serial;
+            t.row([
+                spec.name.to_string(),
+                grid.clone(),
+                backend.name(),
+                f4(eval_ms),
+                f2(eps),
+                f2(speedup),
+                if first { f2(pipeline_ms) } else { "-".into() },
+                if first {
+                    f4(report.mean_quality())
+                } else {
+                    "-".into()
+                },
+            ]);
+            json_backends.push(format!(
+                "    {{\"backend\": \"{}\", \"batch\": {batch}, \"batch_wall_ms\": {:.4}, \"eval_ms\": {:.5}, \"evals_per_sec\": {:.2}, \"speedup_vs_serial\": {:.3}}}",
+                backend.name(),
+                wall_ms,
+                eval_ms,
+                eps,
+                speedup
+            ));
+        }
+
+        let json = format!(
+            "{{\n  \"bench_format\": 1,\n  \"workload\": \"{}\",\n  \"rows\": {},\n  \"cols\": {},\n  \"intervals\": {},\n  \"quick\": {},\n  \"case_build_ms\": {:.3},\n  \"pipeline\": {{\"system\": \"{}\", \"wall_ms\": {:.3}, \"evaluations\": {}, \"mean_quality\": {:.6}}},\n  \"backends\": [\n{}\n  ]\n}}\n",
+            spec.name,
+            spec.rows,
+            spec.cols,
+            case.intervals(),
+            quick,
+            build_ms,
+            report.system,
+            pipeline_ms,
+            report.total_evaluations(),
+            report.mean_quality(),
+            json_backends.join(",\n")
+        );
+        let path = out.join(format!("BENCH_{}.json", spec.name));
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("[written {}]", path.display()),
+            Err(e) => eprintln!("[warn] could not write {}: {e}", path.display()),
         }
     }
     t

@@ -87,6 +87,7 @@ impl Method {
                 },
                 inclusion: InclusionPolicy::BestOnly,
                 backend: EvalBackend::Serial,
+                ..EssNsConfig::default()
             })),
         }
     }

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Configuration of the ESS-NS system.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EssNsConfig {
     /// Algorithm 1 parameters.
     pub algorithm: NoveltyGaConfig,
@@ -29,6 +29,10 @@ pub struct EssNsConfig {
     /// Fig. 3): Serial, the Master/Worker farm, or work stealing. Results
     /// are backend-independent; only wall time changes.
     pub backend: EvalBackend,
+    /// Named workload/case to run on (resolved through [`ess::cases`]: a
+    /// hand-built library case or any workload of the corpus). `None`
+    /// means the caller supplies its own [`ess::cases::BurnCase`].
+    pub workload: Option<String>,
 }
 
 impl Default for EssNsConfig {
@@ -37,6 +41,7 @@ impl Default for EssNsConfig {
             algorithm: NoveltyGaConfig::default(),
             inclusion: InclusionPolicy::BestOnly,
             backend: EvalBackend::Serial,
+            workload: None,
         }
     }
 }
@@ -81,6 +86,18 @@ impl EssNs {
     /// ```
     pub fn pipeline(&self, base_seed: u64) -> PredictionPipeline {
         PredictionPipeline::new(self.config.backend, base_seed)
+    }
+
+    /// Runs the full calibration → prediction pipeline on the workload the
+    /// config names (`EssNsConfig::workload`), end to end: the named case
+    /// is resolved through `ess::cases::by_name` (hand-built library or
+    /// workload corpus), its reference fire is generated, and every
+    /// prediction step runs on the configured backend. Returns `None` when
+    /// no workload is configured or the name is unknown.
+    pub fn run(&self, base_seed: u64) -> Option<ess::pipeline::RunReport> {
+        let case = ess::cases::by_name(self.config.workload.as_deref()?)?;
+        let mut optimizer = self.clone();
+        Some(self.pipeline(base_seed).run(&case, &mut optimizer))
     }
 }
 
@@ -176,6 +193,7 @@ mod tests {
             algorithm: small_algo(),
             inclusion: InclusionPolicy::BestOnly,
             backend: EvalBackend::Serial,
+            ..EssNsConfig::default()
         });
         let mut eval = step_evaluator();
         let out = essns.optimize(&mut eval, 3);
@@ -191,11 +209,13 @@ mod tests {
             algorithm: small_algo(),
             inclusion: InclusionPolicy::BestOnly,
             backend: EvalBackend::Serial,
+            ..EssNsConfig::default()
         });
         let mut with_novel = EssNs::new(EssNsConfig {
             algorithm: small_algo(),
             inclusion: InclusionPolicy::WithNovel { fraction: 0.3 },
             backend: EvalBackend::Serial,
+            ..EssNsConfig::default()
         });
         let mut e1 = step_evaluator();
         let mut e2 = step_evaluator();
@@ -215,6 +235,7 @@ mod tests {
             algorithm: small_algo(),
             inclusion: InclusionPolicy::WithRandom { fraction: 0.5 },
             backend: EvalBackend::Serial,
+            ..EssNsConfig::default()
         });
         let mut eval = step_evaluator();
         let out = essns.optimize(&mut eval, 7);
@@ -237,6 +258,7 @@ mod tests {
             },
             inclusion: InclusionPolicy::BestOnly,
             backend: EvalBackend::Serial,
+            ..EssNsConfig::default()
         });
         let mut ess = EssClassic::new(EssConfig {
             population_size: 16,
@@ -258,12 +280,40 @@ mod tests {
     }
 
     #[test]
+    fn named_workload_runs_end_to_end() {
+        let system = EssNs::new(EssNsConfig {
+            algorithm: NoveltyGaConfig {
+                population_size: 8,
+                offspring: 8,
+                max_generations: 2,
+                best_set_capacity: 6,
+                ..NoveltyGaConfig::default()
+            },
+            workload: Some("meadow_small".to_string()),
+            ..EssNsConfig::default()
+        });
+        let report = system.run(3).expect("corpus workload must resolve");
+        assert_eq!(report.case, "meadow_small");
+        assert_eq!(report.system, "ESS-NS");
+        assert!(report.total_evaluations() > 0);
+        // Unknown names and unset workloads are both graceful.
+        assert!(EssNs::new(EssNsConfig {
+            workload: Some("no_such_workload".to_string()),
+            ..EssNsConfig::default()
+        })
+        .run(1)
+        .is_none());
+        assert!(EssNs::baseline().run(1).is_none());
+    }
+
+    #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
             let mut essns = EssNs::new(EssNsConfig {
                 algorithm: small_algo(),
                 inclusion: InclusionPolicy::BestOnly,
                 backend: EvalBackend::Serial,
+                ..EssNsConfig::default()
             });
             let mut eval = step_evaluator();
             essns.optimize(&mut eval, seed).result_set

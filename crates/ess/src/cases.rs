@@ -10,6 +10,7 @@
 //! the substitution argument).
 
 use firelib::sim::centre_ignition;
+use firelib::workload::WorkloadSpec;
 use firelib::{FireSim, Scenario, Terrain};
 use landscape::{FireLine, Grid};
 use std::sync::Arc;
@@ -311,26 +312,59 @@ pub fn with_observation_noise(case: &BurnCase, flip_prob: f64, seed: u64) -> Bur
     }
 }
 
-/// The full standard case library.
-pub fn standard_cases() -> Vec<BurnCase> {
-    vec![
-        grass_uniform(),
-        chaparral_slope(),
-        shifting_wind(),
-        moisture_front(),
-        two_ridge(),
-    ]
+/// Builds a [`BurnCase`] from a corpus [`WorkloadSpec`]: the spec expands
+/// to terrain + ignition + schedule, the hidden truth is simulated into the
+/// synthetic "real fire" reference lines, and the result plugs into every
+/// pipeline exactly like the hand-built cases. The terrain is shared (one
+/// `Arc` from workload to simulator to every worker).
+pub fn workload_case(spec: &WorkloadSpec) -> BurnCase {
+    let w = spec.build();
+    let sim = Arc::new(w.sim());
+    let fire_lines = w.reference_lines(&sim);
+    BurnCase {
+        name: w.name,
+        description: w.description,
+        sim,
+        times: w.times,
+        fire_lines,
+        truth: w.truth,
+    }
 }
 
-/// Fetches one case by name.
+/// The hand-built library, as one `(name, builder)` table — the single
+/// source [`standard_cases`], [`case_names`] and [`by_name`] all derive
+/// from, so a new case registered here is automatically listed and
+/// resolvable everywhere.
+type CaseBuilder = fn() -> BurnCase;
+
+const LIBRARY: &[(&str, CaseBuilder)] = &[
+    ("grass_uniform", grass_uniform),
+    ("chaparral_slope", chaparral_slope),
+    ("shifting_wind", shifting_wind),
+    ("moisture_front", moisture_front),
+    ("two_ridge", two_ridge),
+];
+
+/// The full standard case library.
+pub fn standard_cases() -> Vec<BurnCase> {
+    LIBRARY.iter().map(|(_, build)| build()).collect()
+}
+
+/// Every case name resolvable through [`by_name`]: the hand-built library
+/// plus the generated workload corpus.
+pub fn case_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = LIBRARY.iter().map(|&(name, _)| name).collect();
+    names.extend(firelib::workload::names());
+    names
+}
+
+/// Fetches one case by name — a hand-built library case or any named
+/// workload of the corpus (`ess::cases` is the single resolution point the
+/// harness, configs and examples go through).
 pub fn by_name(name: &str) -> Option<BurnCase> {
-    match name {
-        "grass_uniform" => Some(grass_uniform()),
-        "chaparral_slope" => Some(chaparral_slope()),
-        "shifting_wind" => Some(shifting_wind()),
-        "moisture_front" => Some(moisture_front()),
-        "two_ridge" => Some(two_ridge()),
-        _ => None,
+    match LIBRARY.iter().find(|&&(n, _)| n == name) {
+        Some((_, build)) => Some(build()),
+        None => firelib::workload::by_name(name).as_ref().map(workload_case),
     }
 }
 
@@ -407,6 +441,22 @@ mod tests {
                 case.final_area() > case.fire_lines[0].burned_area(),
                 "{}: nothing burned",
                 case.name
+            );
+        }
+    }
+
+    #[test]
+    fn case_names_are_unique_across_library_and_corpus() {
+        // `by_name` checks LIBRARY first, so a corpus workload sharing a
+        // library name would be silently shadowed — a collision must fail
+        // here, at registration time, not at resolution time.
+        let names = case_names();
+        let mut seen = std::collections::BTreeSet::new();
+        for name in &names {
+            assert!(
+                seen.insert(name),
+                "case name '{name}' is registered in both the library and \
+                 the workload corpus; by_name would shadow the workload"
             );
         }
     }
@@ -523,6 +573,55 @@ mod tests {
             assert_eq!(by_name(case.name).unwrap().name, case.name);
         }
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn library_names_and_cases_stay_in_lockstep() {
+        // The library table is the single source: standard_cases and
+        // case_names must agree name-for-name, and every library name must
+        // resolve to a case carrying that name.
+        let built: Vec<&str> = standard_cases().iter().map(|c| c.name).collect();
+        let listed: Vec<&str> = case_names()
+            .into_iter()
+            .filter(|n| firelib::workload::by_name(n).is_none())
+            .collect();
+        assert_eq!(built, listed);
+        for name in built {
+            assert_eq!(by_name(name).expect("library name resolves").name, name);
+        }
+    }
+
+    #[test]
+    fn workload_names_resolve_to_cases() {
+        // The smallest corpus workload resolves end-to-end; resolution for
+        // the rest is covered by the (slower) integration tests.
+        let case = by_name("meadow_small").expect("corpus name must resolve");
+        assert_eq!(case.name, "meadow_small");
+        assert!(case.intervals() >= 2);
+        assert!(case.final_area() > case.fire_lines[0].burned_area());
+        assert!(case_names().contains(&"meadow_small"));
+        assert!(case_names().contains(&"grass_uniform"));
+    }
+
+    #[test]
+    fn workload_case_is_pipeline_consistent() {
+        // Reference lines must be nested/growing and the truth a perfect
+        // descriptor of its own interval — same invariants as the hand
+        // built library, now guaranteed by the workload generator.
+        use crate::fitness::StepContext;
+        let case = workload_case(&firelib::workload::meadow_small());
+        for w in case.fire_lines.windows(2) {
+            assert!(w[0].is_subset_of(&w[1]), "workload fire must only grow");
+        }
+        let ctx = StepContext::new(
+            Arc::clone(&case.sim),
+            case.fire_lines[0].clone(),
+            case.fire_lines[1].clone(),
+            case.times[0],
+            case.times[1],
+        );
+        let f = ctx.fitness_of(&case.truth[0]);
+        assert!((f - 1.0).abs() < 1e-9, "truth must score 1, got {f}");
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! This is the `PEA F` block of Figs. 1 and 3 — the work the Workers do.
 
 use evoalg::BatchEvaluator;
-use firelib::{FireSim, Scenario, ScenarioSpace};
-use landscape::{jaccard, FireLine, IgnitionMap};
+use firelib::{FireSim, Scenario, ScenarioSpace, SimArena};
+use landscape::{jaccard_at_time, FireLine, IgnitionMap};
 use parworker::Backend;
 use std::sync::Arc;
 
@@ -85,19 +85,30 @@ impl StepContext {
         self.t1 - self.t0
     }
 
-    /// Simulates one scenario over the interval, writing into `scratch`
-    /// (the Workers' allocation-free hot path), and returns its fitness.
+    /// Simulates one scenario into the worker's private [`SimArena`] and
+    /// returns its Eq. (3) fitness — the Workers' hot path. The arena is
+    /// reused across evaluations and the Jaccard score streams directly off
+    /// the arrival raster, so a steady-state evaluation allocates nothing.
+    pub fn fitness_with(&self, scenario: &Scenario, arena: &mut SimArena) -> f64 {
+        let map = self
+            .sim
+            .simulate_arena(scenario, &self.from, self.t0, self.duration(), arena);
+        jaccard_at_time(&self.target, map, self.t1, Some(&self.from))
+    }
+
+    /// Output-map-reusing variant (kept for callers that hold a bare
+    /// [`IgnitionMap`]; spread/heap scratch is allocated per call —
+    /// [`StepContext::fitness_with`] is the allocation-free path).
     pub fn fitness_into(&self, scenario: &Scenario, scratch: &mut IgnitionMap) -> f64 {
         self.sim
             .simulate_into(scenario, &self.from, self.t0, self.duration(), scratch);
-        let simulated = scratch.fire_line_at(self.t1);
-        jaccard(&self.target, &simulated, Some(&self.from))
+        jaccard_at_time(&self.target, scratch, self.t1, Some(&self.from))
     }
 
     /// Fitness of one scenario (allocating convenience).
     pub fn fitness_of(&self, scenario: &Scenario) -> f64 {
-        let mut scratch = IgnitionMap::unignited(self.from.rows(), self.from.cols());
-        self.fitness_into(scenario, &mut scratch)
+        let mut arena = self.sim.arena();
+        self.fitness_with(scenario, &mut arena)
     }
 
     /// Fitness of an encoded genome.
@@ -124,8 +135,9 @@ pub type DynBackend = Box<dyn Backend<Vec<f64>, f64>>;
 /// boxed form the pipeline uses).
 ///
 /// Every backend runs the same pure work function — decode the genome,
-/// simulate into the worker's private scratch [`IgnitionMap`] via
-/// [`StepContext::fitness_into`] (allocation-free hot loop), score with
+/// simulate into the worker's private [`SimArena`] via
+/// [`StepContext::fitness_with`] (zero steady-state allocations: spread
+/// cache, heap and arrival raster all live in the arena), score with
 /// Eq. (3) — so Serial, WorkerPool and Rayon produce bit-identical fitness
 /// vectors for the same genome batch.
 pub struct ScenarioEvaluator<B: Backend<Vec<f64>, f64> = DynBackend> {
@@ -137,15 +149,15 @@ pub struct ScenarioEvaluator<B: Backend<Vec<f64>, f64> = DynBackend> {
 impl ScenarioEvaluator {
     /// Builds an evaluator over `ctx` on the backend `spec` selects.
     pub fn new(ctx: Arc<StepContext>, spec: EvalBackend) -> Self {
-        let rows = ctx.from_line().rows();
-        let cols = ctx.from_line().cols();
+        let arena_ctx = Arc::clone(&ctx);
         let worker_ctx = Arc::clone(&ctx);
-        // Each worker owns a private scratch map: the per-worker state of
-        // the farm (the `FS` instance of OS-Worker x).
+        // Each worker owns a private SimArena: the per-worker state of the
+        // farm (the `FS` instance of OS-Worker x). The terrain itself is
+        // never copied — every arena shares it through the simulator `Arc`.
         let backend = spec.build(
-            move |_wid| IgnitionMap::unignited(rows, cols),
-            move |scratch: &mut IgnitionMap, genes: Vec<f64>| {
-                worker_ctx.fitness_into(&ScenarioSpace.decode(&genes), scratch)
+            move |_wid| arena_ctx.sim().arena(),
+            move |arena: &mut SimArena, genes: Vec<f64>| {
+                worker_ctx.fitness_with(&ScenarioSpace.decode(&genes), arena)
             },
         );
         Self::with_backend(ctx, backend)
@@ -228,6 +240,37 @@ mod tests {
             ..truth
         };
         assert!(ctx.fitness_of(&wrong) < 0.9);
+    }
+
+    #[test]
+    fn arena_map_and_allocating_paths_agree_exactly() {
+        // Heterogeneous terrain → the per-cell spread path, where the three
+        // fitness entry points could plausibly diverge if the arena refactor
+        // broke bit-identity.
+        let truth = Scenario {
+            wind_speed_mph: 7.0,
+            ..Scenario::reference()
+        };
+        let slope = landscape::Grid::from_fn(19, 19, |r, c| ((r * 3 + c) % 25) as f64);
+        let sim = Arc::new(FireSim::new(
+            Terrain::uniform(19, 19, 100.0).with_slope(slope),
+        ));
+        let from = centre_ignition(19, 19);
+        let target = sim.simulate_fire_line(&truth, &from, 0.0, 60.0);
+        let ctx = StepContext::new(sim.clone(), from, target, 0.0, 60.0);
+        let mut arena = sim.arena();
+        let mut map = IgnitionMap::unignited(19, 19);
+        for wind in [0.0, 4.0, 11.0] {
+            let s = Scenario {
+                wind_speed_mph: wind,
+                ..truth
+            };
+            let a = ctx.fitness_with(&s, &mut arena);
+            let b = ctx.fitness_into(&s, &mut map);
+            let c = ctx.fitness_of(&s);
+            assert_eq!(a, b, "wind {wind}: arena vs into");
+            assert_eq!(a, c, "wind {wind}: arena vs of");
+        }
     }
 
     #[test]

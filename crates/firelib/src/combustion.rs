@@ -234,6 +234,27 @@ impl FuelBed {
     }
 }
 
+/// The precomputed fuel beds of the standard 14-entry NFFL catalog, built
+/// once per process and shared read-only by every simulator.
+///
+/// `FuelBed::new` walks every particle of every model; rebuilding the table
+/// in each `FireSim::new` made simulator construction (and therefore
+/// workload setup and worker spin-up) needlessly quadratic in practice. The
+/// table is immutable, so one `Arc<[FuelBed]>` serves all threads. Indexing
+/// follows the catalog: `beds[code]` is fuel model `code` (0 = NoFuel).
+pub fn standard_beds() -> std::sync::Arc<[FuelBed]> {
+    use std::sync::{Arc, OnceLock};
+    static BEDS: OnceLock<Arc<[FuelBed]>> = OnceLock::new();
+    BEDS.get_or_init(|| {
+        crate::catalog::FuelCatalog::standard()
+            .models()
+            .iter()
+            .map(FuelBed::new)
+            .collect()
+    })
+    .clone()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +263,19 @@ mod tests {
     fn bed(n: u8) -> FuelBed {
         let cat = FuelCatalog::standard();
         FuelBed::new(cat.model(n).unwrap())
+    }
+
+    #[test]
+    fn standard_beds_is_shared_and_catalog_ordered() {
+        let a = standard_beds();
+        let b = standard_beds();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "bed table must be shared");
+        assert_eq!(a.len(), 14);
+        for (code, bed) in a.iter().enumerate() {
+            assert_eq!(bed.model_number as usize, code);
+        }
+        assert!(!a[0].burnable);
+        assert!(a[1].burnable);
     }
 
     #[test]

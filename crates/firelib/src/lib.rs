@@ -39,15 +39,17 @@ pub mod scenario;
 pub mod sim;
 pub mod spread;
 pub mod terrain;
+pub mod workload;
 
 pub use behave::{fire_behaviour, FireBehaviour};
 pub use catalog::{FuelCatalog, FuelLife, FuelModel, FuelParticle};
 pub use combustion::FuelBed;
 pub use moisture::MoistureRegime;
 pub use scenario::{ParamDef, Scenario, ScenarioSpace, GENE_COUNT};
-pub use sim::FireSim;
+pub use sim::{FireSim, SimArena};
 pub use spread::{SpreadInputs, SpreadVector};
 pub use terrain::Terrain;
+pub use workload::{Workload, WorkloadSpec};
 
 /// Feet per minute in one mile per hour (fireLib's wind-speed conversion).
 pub const MPH_TO_FPM: f64 = 88.0;

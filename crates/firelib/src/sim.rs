@@ -14,8 +14,8 @@
 //! fuel towards the neighbour, matching fireLib's per-cell spread
 //! computation. Cells whose own fuel bed cannot burn are never ignited.
 
-use crate::catalog::FuelCatalog;
-use crate::combustion::FuelBed;
+use crate::combustion::{standard_beds, FuelBed};
+use crate::moisture::MoistureRegime;
 use crate::scenario::Scenario;
 use crate::spread::{wind_slope_max, SpreadInputs, SpreadVector};
 use crate::terrain::Terrain;
@@ -23,6 +23,7 @@ use crate::SMIDGEN;
 use landscape::{FireLine, IgnitionMap};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Total-ordering wrapper for ignition times, ordered by
 /// [`f64::total_cmp`] — branch-free and panic-free (times are never NaN by
@@ -44,30 +45,126 @@ impl Ord for Time {
     }
 }
 
+/// The worker-owned simulation arena: every buffer the propagation engine
+/// needs across evaluations, allocated once and reused.
+///
+/// `FireSim` is immutable shared state (terrain + fuel beds behind `Arc`s);
+/// a `SimArena` is the *mutable* counterpart one worker owns privately. It
+/// holds the per-cell directional-spread cache, the Dijkstra heap and the
+/// arrival-time raster. Every buffer is retained at its high-water mark, so
+/// once capacities have grown to cover the scenarios a worker evaluates,
+/// [`FireSim::simulate_arena`] performs **zero further allocations** —
+/// construct one arena per worker (see [`FireSim::arena`]) and reuse it for
+/// every scenario. (The Dijkstra heap's peak size is scenario-dependent: a
+/// scenario with more arrival-time churn than any seen before can grow it
+/// once more, after which that capacity, too, persists.)
+#[derive(Debug, Clone)]
+pub struct SimArena {
+    /// Per-cell directional spread tables (filled only on terrains where
+    /// spread varies with more than the fuel code).
+    per_cell: Vec<[f64; 8]>,
+    /// Per-fuel-code directional spread tables (filled only on fuel-only
+    /// mosaics); inline, so the fast path never touches the heap.
+    per_fuel: [[f64; 8]; 14],
+    /// Dijkstra frontier; drained by every run, capacity persists.
+    heap: BinaryHeap<(Reverse<Time>, u32)>,
+    /// The arrival raster of the most recent evaluation.
+    out: IgnitionMap,
+}
+
+impl SimArena {
+    /// An arena for `rows × cols` rasters, with the heap pre-reserved. The
+    /// per-cell spread cache is reserved lazily (one exact allocation on
+    /// first use) so arenas on uniform and fuel-only terrains — where it is
+    /// never touched — hold no dead capacity.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            per_cell: Vec::new(),
+            per_fuel: [[0.0; 8]; 14],
+            heap: BinaryHeap::with_capacity(rows * cols),
+            out: IgnitionMap::unignited(rows, cols),
+        }
+    }
+
+    /// Raster rows.
+    pub fn rows(&self) -> usize {
+        self.out.rows()
+    }
+
+    /// Raster columns.
+    pub fn cols(&self) -> usize {
+        self.out.cols()
+    }
+
+    /// The arrival map written by the last [`FireSim::simulate_arena`] run.
+    pub fn map(&self) -> &IgnitionMap {
+        &self.out
+    }
+
+    /// Current capacity of the per-cell spread cache (allocation tracking
+    /// for the zero-allocation property tests).
+    pub fn spread_capacity(&self) -> usize {
+        self.per_cell.capacity()
+    }
+
+    /// Current capacity of the Dijkstra heap (allocation tracking).
+    pub fn heap_capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+}
+
+/// How the engine resolves a cell's directional spread table for one run.
+enum Tables<'a> {
+    /// Uniform terrain: one table for the whole map.
+    Uniform([f64; 8]),
+    /// Fuel mosaic with globally uniform slope/aspect/wind: one table per
+    /// fuel code, looked up through the fuel layer.
+    PerFuel(&'a [[f64; 8]; 14], &'a [u8]),
+    /// Fully heterogeneous terrain: one table per cell.
+    PerCell(&'a [[f64; 8]]),
+}
+
 /// The fire propagation simulator for one terrain.
 ///
-/// Construction precomputes the fuel-bed intermediates for all 14 catalog
-/// entries; [`FireSim::simulate`] then evaluates one scenario. A `FireSim`
-/// is cheap to clone and safe to share read-only across worker threads; for
-/// allocation-free inner loops each worker should own one and use
-/// [`FireSim::simulate_into`] with a reusable output map.
+/// A `FireSim` is *immutable shared state*: the terrain and the precomputed
+/// NFFL fuel beds both live behind `Arc`s, so cloning is two reference
+/// bumps and workers never copy a raster. All mutable evaluation state
+/// lives in a worker-owned [`SimArena`]; the allocation-free hot path is
+/// [`FireSim::simulate_arena`].
 #[derive(Debug, Clone)]
 pub struct FireSim {
-    terrain: Terrain,
-    beds: Vec<FuelBed>,
+    terrain: Arc<Terrain>,
+    beds: Arc<[FuelBed]>,
 }
 
 impl FireSim {
-    /// Builds a simulator over `terrain` with the standard NFFL catalog.
+    /// Builds a simulator over `terrain` with the standard NFFL catalog
+    /// (the fuel-bed table is process-wide shared, not rebuilt per call).
     pub fn new(terrain: Terrain) -> Self {
-        let catalog = FuelCatalog::standard();
-        let beds = catalog.models().iter().map(FuelBed::new).collect();
-        Self { terrain, beds }
+        Self::shared(Arc::new(terrain))
+    }
+
+    /// Builds a simulator over an already-shared terrain (no copy).
+    pub fn shared(terrain: Arc<Terrain>) -> Self {
+        Self {
+            terrain,
+            beds: standard_beds(),
+        }
     }
 
     /// The terrain this simulator burns.
     pub fn terrain(&self) -> &Terrain {
         &self.terrain
+    }
+
+    /// The shared terrain handle (cheap to clone into other simulators).
+    pub fn terrain_shared(&self) -> Arc<Terrain> {
+        Arc::clone(&self.terrain)
+    }
+
+    /// A fresh [`SimArena`] sized for this terrain.
+    pub fn arena(&self) -> SimArena {
+        SimArena::new(self.terrain.rows(), self.terrain.cols())
     }
 
     /// Directional spread rates for one cell under `scenario`.
@@ -79,13 +176,34 @@ impl FireSim {
         }
         let slope_deg = self.terrain.slope_at(row, col, scenario.slope_deg);
         let aspect = self.terrain.aspect_at(row, col, scenario.aspect_deg);
+        let (wind_mph, wind_dir) =
+            self.terrain
+                .wind_at(row, col, scenario.wind_speed_mph, scenario.wind_dir_deg);
         let inputs = SpreadInputs {
-            wind_fpm: scenario.wind_speed_mph * crate::MPH_TO_FPM,
-            wind_azimuth: scenario.wind_dir_deg,
+            wind_fpm: wind_mph * crate::MPH_TO_FPM,
+            wind_azimuth: wind_dir,
             slope_steepness: slope_deg.to_radians().tan(),
             aspect_azimuth: aspect,
         };
         wind_slope_max(bed, &scenario.moisture(), &inputs)
+    }
+
+    /// Directional table for fuel model `code` under the scenario's global
+    /// slope/aspect/wind — the per-fuel cache entry. Bit-identical to
+    /// [`FireSim::cell_spread`] on a terrain whose only override layer is
+    /// the fuel mosaic.
+    fn fuel_table(&self, code: usize, scenario: &Scenario, moisture: &MoistureRegime) -> [f64; 8] {
+        let bed = &self.beds[code];
+        if !bed.burnable {
+            return [0.0; 8];
+        }
+        let inputs = SpreadInputs {
+            wind_fpm: scenario.wind_speed_mph * crate::MPH_TO_FPM,
+            wind_azimuth: scenario.wind_dir_deg,
+            slope_steepness: scenario.slope_deg.to_radians().tan(),
+            aspect_azimuth: scenario.aspect_deg,
+        };
+        wind_slope_max(bed, moisture, &inputs).compass_ros()
     }
 
     /// Simulates fire growth from `initial` (cells burning at `t0`) for
@@ -108,14 +226,76 @@ impl FireSim {
         out
     }
 
-    /// Allocation-reusing variant of [`FireSim::simulate`]: `out` is cleared
-    /// and refilled, keeping its buffer (the worker hot path).
+    /// Output-reusing variant of [`FireSim::simulate`]: `out` is cleared
+    /// and refilled, keeping its buffer. Spread-cache and heap scratch are
+    /// still allocated per call — workers that evaluate in a loop should
+    /// hold a [`SimArena`] and call [`FireSim::simulate_arena`] instead.
     pub fn simulate_into(
         &self,
         scenario: &Scenario,
         initial: &FireLine,
         t0: f64,
         duration: f64,
+        out: &mut IgnitionMap,
+    ) {
+        let mut per_cell = Vec::new();
+        let mut per_fuel = [[0.0; 8]; 14];
+        let mut heap = BinaryHeap::new();
+        self.run_dijkstra(
+            scenario,
+            initial,
+            t0,
+            duration,
+            &mut per_cell,
+            &mut per_fuel,
+            &mut heap,
+            out,
+        );
+    }
+
+    /// The allocation-free hot path: simulates into the arena's buffers and
+    /// returns the arrival map. The arena's buffers persist at their
+    /// high-water mark, so repeated calls stop allocating once that mark
+    /// covers the scenarios being evaluated (the property the
+    /// `arena_is_allocation_free_in_steady_state` test pins; see
+    /// [`SimArena`] for the heap caveat).
+    ///
+    /// # Panics
+    /// Panics when the arena or `initial` does not match the terrain shape,
+    /// `t0` is negative/non-finite or `duration` is not positive.
+    pub fn simulate_arena<'a>(
+        &self,
+        scenario: &Scenario,
+        initial: &FireLine,
+        t0: f64,
+        duration: f64,
+        arena: &'a mut SimArena,
+    ) -> &'a IgnitionMap {
+        let SimArena {
+            per_cell,
+            per_fuel,
+            heap,
+            out,
+        } = &mut *arena;
+        self.run_dijkstra(
+            scenario, initial, t0, duration, per_cell, per_fuel, heap, out,
+        );
+        &arena.out
+    }
+
+    /// The Dijkstra minimum-travel-time sweep over reusable buffers; the
+    /// single implementation behind every `simulate*` entry point, so all
+    /// of them are bit-identical by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn run_dijkstra(
+        &self,
+        scenario: &Scenario,
+        initial: &FireLine,
+        t0: f64,
+        duration: f64,
+        per_cell: &mut Vec<[f64; 8]>,
+        per_fuel: &mut [[f64; 8]; 14],
+        heap: &mut BinaryHeap<(Reverse<Time>, u32)>,
         out: &mut IgnitionMap,
     ) {
         let rows = self.terrain.rows();
@@ -140,48 +320,65 @@ impl FireSim {
         );
 
         out.clear();
+        heap.clear();
         let t_end = t0 + duration;
         let cell_ft = self.terrain.cell_size_ft();
 
-        // Directional spread table. With a uniform terrain every cell shares
-        // one table; with overrides we compute per cell (caching by fuel
-        // code would only help when slope/aspect layers are absent too).
-        let uniform: Option<[f64; 8]> = if self.terrain.has_overrides() {
-            None
+        // Resolve the spread-table mode once per run. Uniform terrains share
+        // one table; fuel-only mosaics share one table per fuel code (≤ 14
+        // spread computations instead of rows × cols); anything else gets
+        // the per-cell cache in the arena.
+        let tables: Tables<'_> = if !self.terrain.has_overrides() {
+            Tables::Uniform(self.cell_spread(0, 0, scenario).compass_ros())
+        } else if self.terrain.fuel_is_only_override() {
+            let moisture = scenario.moisture();
+            for (code, table) in per_fuel.iter_mut().enumerate() {
+                *table = self.fuel_table(code, scenario, &moisture);
+            }
+            let fuel = self
+                .terrain
+                .fuel_layer()
+                .expect("fuel_is_only_override implies a fuel layer")
+                .as_slice();
+            Tables::PerFuel(per_fuel, fuel)
         } else {
-            Some(self.cell_spread(0, 0, scenario).compass_ros())
-        };
-        let per_cell: Vec<[f64; 8]> = if uniform.is_some() {
-            Vec::new()
-        } else {
-            let mut v = Vec::with_capacity(rows * cols);
+            per_cell.clear();
+            // No-op for a warmed arena; one exact allocation on the cold
+            // (`simulate_into`) path instead of doubling growth.
+            per_cell.reserve(rows * cols);
             for r in 0..rows {
                 for c in 0..cols {
-                    v.push(self.cell_spread(r, c, scenario).compass_ros());
+                    per_cell.push(self.cell_spread(r, c, scenario).compass_ros());
                 }
             }
-            v
+            Tables::PerCell(per_cell)
         };
         let ros_of = |idx: usize| -> &[f64; 8] {
-            match &uniform {
-                Some(table) => table,
-                None => &per_cell[idx],
+            match &tables {
+                Tables::Uniform(table) => table,
+                Tables::PerFuel(by_code, fuel) => &by_code[fuel[idx] as usize],
+                Tables::PerCell(cells) => &cells[idx],
             }
         };
         // A cell can ignite iff its own bed can burn (no-fuel cells are
-        // firebreaks). With uniform terrain burnability is global.
-        let burnable_at = |r: usize, c: usize| -> bool {
-            let fuel = self.terrain.fuel_at(r, c, scenario.model);
-            self.beds[fuel as usize].burnable
+        // firebreaks). With no fuel layer burnability is global.
+        let fuel_slice = self.terrain.fuel_layer().map(|g| g.as_slice());
+        // Only consult the scenario's model when no fuel layer overrides it
+        // (a layered terrain makes the global model irrelevant, and must not
+        // panic on an out-of-catalog value it never uses).
+        let scenario_burnable = fuel_slice.is_none() && self.beds[scenario.model as usize].burnable;
+        let burnable_at = |idx: usize| -> bool {
+            match fuel_slice {
+                Some(f) => self.beds[f[idx] as usize].burnable,
+                None => scenario_burnable,
+            }
         };
 
-        let mut heap: BinaryHeap<(Reverse<Time>, u32)> = BinaryHeap::new();
-        for (r, c) in initial.burned_cells() {
-            if !burnable_at(r, c) {
+        for (idx, &lit) in initial.mask().as_slice().iter().enumerate() {
+            if !lit || !burnable_at(idx) {
                 continue;
             }
-            let idx = r * cols + c;
-            out.set_time(r, c, t0);
+            out.set_time(idx / cols, idx % cols, t0);
             heap.push((Reverse(Time(t0)), idx as u32));
         }
 
@@ -206,11 +403,12 @@ impl FireSim {
                 if arrival > t_end || arrival >= out.time(nr, nc) - SMIDGEN {
                     continue;
                 }
-                if !burnable_at(nr, nc) {
+                let nidx = nr * cols + nc;
+                if !burnable_at(nidx) {
                     continue;
                 }
                 out.set_time(nr, nc, arrival);
-                heap.push((Reverse(Time(arrival)), (nr * cols + nc) as u32));
+                heap.push((Reverse(Time(arrival)), nidx as u32));
             }
         }
     }
@@ -426,6 +624,101 @@ mod tests {
         reused.set_time(0, 0, 1.0);
         sim.simulate_into(&s, &centre_ignition(15, 15), 0.0, 150.0, &mut reused);
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn arena_matches_simulate_and_is_reusable() {
+        let mut fuel = Grid::filled(17, 17, 1u8);
+        for r in 0..17 {
+            fuel.set(r, 5, 4);
+            fuel.set(r, 11, 0);
+        }
+        let sim = FireSim::new(Terrain::uniform(17, 17, 100.0).with_fuel(fuel));
+        let s = Scenario {
+            wind_speed_mph: 9.0,
+            ..calm_scenario()
+        };
+        let mut arena = sim.arena();
+        for (t0, dur) in [(0.0, 120.0), (10.0, 300.0), (0.0, 50.0)] {
+            let fresh = sim.simulate(&s, &centre_ignition(17, 17), t0, dur);
+            let via_arena = sim.simulate_arena(&s, &centre_ignition(17, 17), t0, dur, &mut arena);
+            assert_eq!(&fresh, via_arena, "t0={t0} dur={dur}");
+        }
+    }
+
+    #[test]
+    fn arena_is_allocation_free_in_steady_state() {
+        // Two table modes: a slope terrain (per-cell path, the worst case
+        // for buffer growth) and a fuel-only mosaic (per-fuel path, whose
+        // tables live inline in the arena). After a warm-up call,
+        // capacities must not move on either.
+        let n = 31usize;
+        let slope = Grid::from_fn(n, n, |r, c| ((r + c) % 30) as f64);
+        let fuel = Grid::from_fn(n, n, |r, c| [1u8, 2, 4][(r + c) % 3]);
+        let sims = [
+            FireSim::new(Terrain::uniform(n, n, 100.0).with_slope(slope)),
+            FireSim::new(Terrain::uniform(n, n, 100.0).with_fuel(fuel)),
+        ];
+        let s = calm_scenario();
+        for sim in &sims {
+            let mut arena = sim.arena();
+            sim.simulate_arena(&s, &centre_ignition(n, n), 0.0, 400.0, &mut arena);
+            let spread_cap = arena.spread_capacity();
+            let heap_cap = arena.heap_capacity();
+            for i in 0..10 {
+                sim.simulate_arena(
+                    &s,
+                    &centre_ignition(n, n),
+                    0.0,
+                    400.0 + i as f64,
+                    &mut arena,
+                );
+                assert_eq!(arena.spread_capacity(), spread_cap, "spread cache grew");
+                assert_eq!(arena.heap_capacity(), heap_cap, "heap storage grew");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_catalog_model_is_ignored_when_fuel_layer_overrides_it() {
+        // With a fuel layer the scenario's global model is never consulted,
+        // so even an out-of-catalog value must not panic.
+        let fuel = Grid::filled(7, 7, 1u8);
+        let sim = FireSim::new(Terrain::uniform(7, 7, 100.0).with_fuel(fuel));
+        let s = Scenario {
+            model: 99,
+            ..calm_scenario()
+        };
+        let map = sim.simulate(&s, &centre_ignition(7, 7), 0.0, 120.0);
+        assert!(map.burned_count_at(120.0) > 1, "layered fuel must burn");
+    }
+
+    #[test]
+    fn cloned_sim_shares_terrain() {
+        let sim = FireSim::new(Terrain::uniform(9, 9, 100.0));
+        let clone = sim.clone();
+        assert!(Arc::ptr_eq(&sim.terrain_shared(), &clone.terrain_shared()));
+    }
+
+    #[test]
+    fn wind_layer_changes_propagation() {
+        let n = 21usize;
+        // Wind dead in the west half, doubled in the east half.
+        let factor = Grid::from_fn(n, n, |_, c| if c < n / 2 { 0.0 } else { 2.0 });
+        let offset = Grid::filled(n, n, 0.0);
+        let sim = FireSim::new(Terrain::uniform(n, n, 100.0).with_wind(factor, offset));
+        let s = Scenario {
+            wind_speed_mph: 12.0,
+            wind_dir_deg: 90.0,
+            ..calm_scenario()
+        };
+        let map = sim.simulate(&s, &centre_ignition(n, n), 0.0, 60.0);
+        let east = map.time(n / 2, n / 2 + 4);
+        let west = map.time(n / 2, n / 2 - 4);
+        assert!(
+            east < west,
+            "downwind east cell must ignite first ({east} vs {west})"
+        );
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct Terrain {
     slope_override: Option<Grid<f64>>,
     /// Aspect override in degrees clockwise from north.
     aspect_override: Option<Grid<f64>>,
+    /// Wind modulation, always set as a pair: a multiplier on the
+    /// scenario's wind speed (terrain channelling/gusts) and an additive
+    /// offset on its direction (degrees).
+    wind_override: Option<(Grid<f64>, Grid<f64>)>,
 }
 
 impl Terrain {
@@ -43,6 +47,7 @@ impl Terrain {
             fuel_override: None,
             slope_override: None,
             aspect_override: None,
+            wind_override: None,
         }
     }
 
@@ -114,12 +119,63 @@ impl Terrain {
         self.cell_size_ft
     }
 
+    /// Adds a per-cell wind modulation layer: the scenario's wind speed is
+    /// multiplied by `speed_factor` and its direction shifted by
+    /// `dir_offset_deg` at each cell, modelling terrain channelling and
+    /// gust fields. The searched *global* wind stays meaningful — terrain
+    /// only modulates it — so calibration over Table I is unaffected.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch, a negative/non-finite speed factor or a
+    /// non-finite direction offset.
+    pub fn with_wind(mut self, speed_factor: Grid<f64>, dir_offset_deg: Grid<f64>) -> Self {
+        assert_eq!(
+            speed_factor.shape(),
+            (self.rows, self.cols),
+            "wind speed-factor layer shape mismatch"
+        );
+        assert_eq!(
+            dir_offset_deg.shape(),
+            (self.rows, self.cols),
+            "wind direction-offset layer shape mismatch"
+        );
+        assert!(
+            speed_factor
+                .as_slice()
+                .iter()
+                .all(|&f| f.is_finite() && f >= 0.0),
+            "wind speed factors must be finite and non-negative"
+        );
+        assert!(
+            dir_offset_deg.as_slice().iter().all(|&d| d.is_finite()),
+            "wind direction offsets must be finite"
+        );
+        self.wind_override = Some((speed_factor, dir_offset_deg));
+        self
+    }
+
     /// `true` when any per-cell override layer is present (the simulator
     /// then computes spread per cell instead of once per scenario).
     pub fn has_overrides(&self) -> bool {
         self.fuel_override.is_some()
             || self.slope_override.is_some()
             || self.aspect_override.is_some()
+            || self.wind_override.is_some()
+    }
+
+    /// `true` when the *only* per-cell layer is the fuel mosaic. Spread then
+    /// depends on the cell solely through its fuel code, so the simulator
+    /// caches one directional table per fuel model instead of one per cell.
+    pub fn fuel_is_only_override(&self) -> bool {
+        self.fuel_override.is_some()
+            && self.slope_override.is_none()
+            && self.aspect_override.is_none()
+            && self.wind_override.is_none()
+    }
+
+    /// The fuel override layer, when present.
+    pub fn fuel_layer(&self) -> Option<&Grid<u8>> {
+        self.fuel_override.as_ref()
     }
 
     /// Effective fuel model of a cell given the scenario's global value.
@@ -144,6 +200,26 @@ impl Terrain {
         self.aspect_override
             .as_ref()
             .map_or(scenario_aspect_deg, |g| g.at(row, col))
+    }
+
+    /// Effective `(wind speed, wind direction)` of a cell given the
+    /// scenario's global wind. Without a wind layer the scenario values pass
+    /// through untouched.
+    #[inline]
+    pub fn wind_at(
+        &self,
+        row: usize,
+        col: usize,
+        scenario_speed: f64,
+        scenario_dir_deg: f64,
+    ) -> (f64, f64) {
+        match &self.wind_override {
+            Some((factor, offset)) => (
+                scenario_speed * factor.at(row, col),
+                normalize_azimuth(scenario_dir_deg + offset.at(row, col)),
+            ),
+            None => (scenario_speed, scenario_dir_deg),
+        }
     }
 }
 
@@ -185,6 +261,44 @@ mod tests {
         assert_eq!(upslope_azimuth(180.0), 0.0);
         assert_eq!(upslope_azimuth(0.0), 180.0);
         assert_eq!(upslope_azimuth(270.0), 90.0);
+    }
+
+    #[test]
+    fn wind_layer_modulates_scenario_wind() {
+        let factor = Grid::from_vec(1, 2, vec![0.5, 2.0]);
+        let offset = Grid::from_vec(1, 2, vec![0.0, 350.0]);
+        let t = Terrain::uniform(1, 2, 50.0).with_wind(factor, offset);
+        assert!(t.has_overrides());
+        assert!(!t.fuel_is_only_override());
+        assert_eq!(t.wind_at(0, 0, 10.0, 90.0), (5.0, 90.0));
+        let (spd, dir) = t.wind_at(0, 1, 10.0, 90.0);
+        assert_eq!(spd, 20.0);
+        assert_eq!(dir, 80.0); // 90 + 350 wraps to 80
+    }
+
+    #[test]
+    fn fuel_only_classification() {
+        let t = Terrain::uniform(2, 2, 50.0).with_fuel(Grid::filled(2, 2, 3u8));
+        assert!(t.fuel_is_only_override());
+        let t2 = Terrain::uniform(2, 2, 50.0)
+            .with_fuel(Grid::filled(2, 2, 3u8))
+            .with_slope(Grid::filled(2, 2, 10.0));
+        assert!(!t2.fuel_is_only_override());
+        assert!(!Terrain::uniform(2, 2, 50.0).fuel_is_only_override());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_wind_factor_rejected() {
+        let _ = Terrain::uniform(1, 1, 50.0)
+            .with_wind(Grid::filled(1, 1, -1.0), Grid::filled(1, 1, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must be finite")]
+    fn non_finite_wind_offset_rejected() {
+        let _ = Terrain::uniform(1, 1, 50.0)
+            .with_wind(Grid::filled(1, 1, 1.0), Grid::filled(1, 1, f64::NAN));
     }
 
     #[test]

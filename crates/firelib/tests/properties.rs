@@ -185,3 +185,104 @@ fn no_teleportation() {
         }
     }
 }
+
+/// Every corpus workload is *valid*: the requested ignitions land in
+/// bounds on burnable ground, a positive fraction of the landscape can
+/// burn, and simulating the hidden truth produces a non-empty, growing
+/// reference fire — so the full calibration → prediction pipeline can run
+/// on every named workload.
+#[test]
+fn every_corpus_workload_is_valid() {
+    use firelib::combustion::standard_beds;
+    let beds = standard_beds();
+    for spec in firelib::workload::corpus() {
+        let w = spec.build();
+        assert_eq!(
+            (w.ignition.rows(), w.ignition.cols()),
+            (w.terrain.rows(), w.terrain.cols()),
+            "{}: ignition raster shape",
+            spec.name
+        );
+        assert_eq!(
+            w.ignition.burned_area(),
+            spec.ignitions,
+            "{}: ignition count",
+            spec.name
+        );
+        for (r, c) in w.ignition.burned_cells() {
+            let code = w.terrain.fuel_at(r, c, w.truth[0].model);
+            assert!(
+                beds[code as usize].burnable,
+                "{}: ignition ({r},{c}) on unburnable fuel {code}",
+                spec.name
+            );
+        }
+        let frac = w.burnable_fraction();
+        assert!(
+            frac > 0.25,
+            "{}: burnable fraction {frac} too low",
+            spec.name
+        );
+        let sim = w.sim();
+        let reference = w.reference_lines(&sim);
+        assert_eq!(reference.len(), w.times.len(), "{}: line count", spec.name);
+        for pair in reference.windows(2) {
+            assert!(
+                pair[0].is_subset_of(&pair[1]),
+                "{}: reference fire regressed",
+                spec.name
+            );
+        }
+        let final_area = reference.last().unwrap().burned_area();
+        assert!(
+            final_area > w.ignition.burned_area(),
+            "{}: reference fire never grew ({} cells)",
+            spec.name,
+            final_area
+        );
+    }
+}
+
+/// `simulate`, `simulate_into` and `simulate_arena` are bit-identical on a
+/// heterogeneous workload (fuel mosaic + gusty wind → the per-cell spread
+/// path), across random scenarios and with the arena reused between them.
+#[test]
+fn simulate_variants_bit_identical_on_heterogeneous_workload() {
+    use landscape::IgnitionMap;
+    let w = firelib::workload::gusty_channel().shrunk(32).build();
+    let sim = w.sim();
+    let mut arena = sim.arena();
+    let mut into_map = IgnitionMap::unignited(w.terrain.rows(), w.terrain.cols());
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = scenario(&mut rng);
+        let fresh = sim.simulate(&s, &w.ignition, 0.0, 90.0);
+        sim.simulate_into(&s, &w.ignition, 0.0, 90.0, &mut into_map);
+        let via_arena = sim.simulate_arena(&s, &w.ignition, 0.0, 90.0, &mut arena);
+        let bits = |m: &IgnitionMap| -> Vec<u64> {
+            m.grid().as_slice().iter().map(|t| t.to_bits()).collect()
+        };
+        assert_eq!(bits(&fresh), bits(&into_map), "seed {seed}: into diverged");
+        assert_eq!(bits(&fresh), bits(via_arena), "seed {seed}: arena diverged");
+    }
+}
+
+/// The same, on a fuel-only mosaic — the per-fuel table-cache fast path
+/// must be indistinguishable from the general path's results.
+#[test]
+fn fuel_cache_path_bit_identical() {
+    let w = firelib::workload::patchwork_mosaic().shrunk(32).build();
+    let sim = w.sim();
+    assert!(
+        sim.terrain().fuel_is_only_override(),
+        "patchwork must take the per-fuel cache path"
+    );
+    let mut arena = sim.arena();
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let s = scenario(&mut rng);
+        let fresh = sim.simulate(&s, &w.ignition, 0.0, 120.0);
+        let via_arena = sim.simulate_arena(&s, &w.ignition, 0.0, 120.0, &mut arena);
+        assert_eq!(&fresh, via_arena, "seed {seed}");
+    }
+}

@@ -14,6 +14,8 @@
 //!   the Statistical Stage and thresholded by the Key Ignition Value;
 //! * [`metrics::jaccard`] — the fitness function of Eq. (3), excluding
 //!   pre-burned cells;
+//! * [`synth`] — seeded procedural raster generators (noise fields, fuel
+//!   mosaics, DEM-style slope/aspect) behind the workload corpus;
 //! * ASCII / CSV raster IO for the examples and the report harness.
 
 pub mod firemap;
@@ -23,10 +25,11 @@ pub mod io;
 pub mod metrics;
 pub mod perimeter;
 pub mod probability;
+pub mod synth;
 
 pub use firemap::{FireLine, IgnitionMap, UNIGNITED};
 pub use geometry::{CellId, Direction8, NEIGHBOUR_OFFSETS};
 pub use grid::Grid;
-pub use metrics::{jaccard, JaccardBreakdown};
+pub use metrics::{jaccard, jaccard_at_time, JaccardBreakdown};
 pub use perimeter::{perimeter_cells, shape_stats, ShapeStats};
 pub use probability::ProbabilityMap;

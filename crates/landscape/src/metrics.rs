@@ -1,6 +1,6 @@
 //! Map-comparison metrics — the fitness function of the ESS family.
 
-use crate::firemap::FireLine;
+use crate::firemap::{FireLine, IgnitionMap};
 use crate::grid::Grid;
 
 /// Cell-level contingency counts behind a Jaccard evaluation.
@@ -97,6 +97,68 @@ pub fn jaccard_breakdown(
         }
     }
     counts
+}
+
+/// [`jaccard`] of `real` against the fire line `simulated` implies at
+/// instant `t`, computed directly from the ignition-time raster.
+///
+/// Equivalent to `jaccard(real, &simulated.fire_line_at(t), preburn)` but
+/// streaming — no burned-mask raster is materialised, which keeps the
+/// per-evaluation hot path of the scenario evaluators allocation-free.
+///
+/// # Panics
+/// Panics when the rasters differ in shape.
+pub fn jaccard_at_time(
+    real: &FireLine,
+    simulated: &IgnitionMap,
+    t: f64,
+    preburn: Option<&FireLine>,
+) -> f64 {
+    assert!(
+        real.mask().same_shape(simulated.grid()),
+        "jaccard: real map and ignition raster differ in shape"
+    );
+    if let Some(p) = preburn {
+        assert!(
+            real.mask().same_shape(p.mask()),
+            "jaccard: preburn mask differs in shape"
+        );
+    }
+    let ra = real.mask().as_slice();
+    let ts = simulated.grid().as_slice();
+    let pre = preburn.map(|p| p.mask().as_slice());
+    let mut hits = 0usize;
+    let mut union = 0usize;
+    let mut tally = |&was_real: &bool, &arrival: &f64, excluded: bool| {
+        if excluded {
+            return;
+        }
+        match (was_real, arrival <= t) {
+            (true, true) => {
+                hits += 1;
+                union += 1;
+            }
+            (true, false) | (false, true) => union += 1,
+            (false, false) => {}
+        }
+    };
+    match pre {
+        Some(pre) => {
+            for ((r, a), &p) in ra.iter().zip(ts).zip(pre) {
+                tally(r, a, p);
+            }
+        }
+        None => {
+            for (r, a) in ra.iter().zip(ts) {
+                tally(r, a, false);
+            }
+        }
+    }
+    if union == 0 {
+        1.0
+    } else {
+        hits as f64 / union as f64
+    }
 }
 
 /// Mean and population standard deviation of a sample.
@@ -222,6 +284,28 @@ mod tests {
         assert_eq!(b.false_alarms, 1);
         assert_eq!(b.excluded, 0);
         assert!((b.index() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_at_time_matches_materialised_fire_line() {
+        use crate::firemap::UNIGNITED;
+        let times = Grid::from_vec(2, 3, vec![0.0, 5.0, UNIGNITED, 2.0, 7.0, 9.0]);
+        let map = IgnitionMap::from_grid(times);
+        let real = fl(2, 3, &[(0, 0), (0, 1), (1, 2)]);
+        let pre = fl(2, 3, &[(0, 0)]);
+        for t in [0.0, 2.0, 5.0, 8.0, 100.0] {
+            let line = map.fire_line_at(t);
+            assert_eq!(
+                jaccard_at_time(&real, &map, t, None),
+                jaccard(&real, &line, None),
+                "t = {t}"
+            );
+            assert_eq!(
+                jaccard_at_time(&real, &map, t, Some(&pre)),
+                jaccard(&real, &line, Some(&pre)),
+                "t = {t} with preburn"
+            );
+        }
     }
 
     #[test]

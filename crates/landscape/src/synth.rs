@@ -1,0 +1,267 @@
+//! Procedural raster synthesis — the landscape generators behind the
+//! workload corpus.
+//!
+//! Real burn campaigns run over heterogeneous landscapes: fuel mosaics,
+//! rolling relief, terrain-channelled wind. The corresponding GIS layers are
+//! not shippable with a reproduction, so this module generates them
+//! *procedurally*: every generator is a pure function of its parameters and
+//! a `u64` seed, so a named workload reproduces bit-identically on every
+//! machine. No RNG dependency is used — determinism comes from an explicit
+//! SplitMix64-style hash over `(seed, cell)`.
+//!
+//! Three families of generators cover the layers `firelib::Terrain` accepts:
+//!
+//! * [`noise_field`] — smooth fractal value noise in `[0, 1]`, the substrate
+//!   for wind-speed modulation and relief;
+//! * [`voronoi_mosaic`] — seeded nearest-site patches, the substrate for
+//!   categorical fuel mosaics;
+//! * [`slope_aspect_from_elevation`] — central-difference slope/aspect
+//!   layers derived from an elevation raster, so relief enters the spread
+//!   model the same way a DEM would.
+
+use crate::geometry::normalize_azimuth;
+use crate::grid::Grid;
+
+/// SplitMix64 finaliser: one well-mixed 64-bit value per input. Public so
+/// every seeded generator in the stack derives from the same hash.
+#[inline]
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic uniform sample in `[0, 1)` for a `(seed, x, y)` lattice
+/// point — the corner value of the value-noise lattice.
+#[inline]
+fn lattice(seed: u64, x: i64, y: i64) -> f64 {
+    let h =
+        mix(seed ^ mix(x as u64).wrapping_add(mix((y as u64).wrapping_mul(0x5851F42D4C957F2D))));
+    // 53 mantissa bits → exact dyadic rational in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Quintic smoothstep (Perlin's fade curve): C² continuous interpolation.
+#[inline]
+fn fade(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// One octave of bilinear value noise at lattice `scale` (cells per lattice
+/// step).
+fn value_noise_at(seed: u64, row: f64, col: f64, scale: f64) -> f64 {
+    let x = col / scale;
+    let y = row / scale;
+    let (x0, y0) = (x.floor(), y.floor());
+    let (fx, fy) = (fade(x - x0), fade(y - y0));
+    let (xi, yi) = (x0 as i64, y0 as i64);
+    let v00 = lattice(seed, xi, yi);
+    let v10 = lattice(seed, xi + 1, yi);
+    let v01 = lattice(seed, xi, yi + 1);
+    let v11 = lattice(seed, xi + 1, yi + 1);
+    let top = v00 + (v10 - v00) * fx;
+    let bot = v01 + (v11 - v01) * fx;
+    top + (bot - top) * fy
+}
+
+/// A smooth fractal (fBm) noise field in `[0, 1]`.
+///
+/// `scale` is the feature size of the base octave in cells; each further
+/// octave halves the feature size and the amplitude. The field is
+/// renormalised to `[0, 1]` after summation.
+///
+/// # Panics
+/// Panics when `scale` is not positive or `octaves` is zero.
+pub fn noise_field(rows: usize, cols: usize, scale: f64, octaves: u32, seed: u64) -> Grid<f64> {
+    assert!(scale > 0.0, "noise scale must be positive");
+    assert!(octaves > 0, "need at least one octave");
+    let mut norm = 0.0;
+    let mut amp = 1.0;
+    for _ in 0..octaves {
+        norm += amp;
+        amp *= 0.5;
+    }
+    Grid::from_fn(rows, cols, |r, c| {
+        let mut v = 0.0;
+        let mut amp = 1.0;
+        let mut s = scale;
+        for o in 0..octaves {
+            v += amp * value_noise_at(seed.wrapping_add(o as u64), r as f64, c as f64, s);
+            amp *= 0.5;
+            s = (s * 0.5).max(1.0);
+        }
+        v / norm
+    })
+}
+
+/// A categorical Voronoi mosaic: `sites` random cells are scattered over
+/// the raster and every cell takes the code of its nearest site, cycling
+/// through `codes`. Produces the blobby fuel patchworks of real vegetation
+/// maps.
+///
+/// # Panics
+/// Panics when `codes` is empty or `sites` is zero.
+pub fn voronoi_mosaic(rows: usize, cols: usize, sites: usize, codes: &[u8], seed: u64) -> Grid<u8> {
+    assert!(!codes.is_empty(), "mosaic needs at least one code");
+    assert!(sites > 0, "mosaic needs at least one site");
+    let site_list: Vec<(f64, f64, u8)> = (0..sites)
+        .map(|i| {
+            let r = lattice(seed ^ 0xA076_1D64_78BD_642F, i as i64, 0) * rows as f64;
+            let c = lattice(seed ^ 0xE703_7ED1_A0B4_28DB, i as i64, 1) * cols as f64;
+            (r, c, codes[i % codes.len()])
+        })
+        .collect();
+    Grid::from_fn(rows, cols, |r, c| {
+        let mut best = f64::INFINITY;
+        let mut code = site_list[0].2;
+        for &(sr, sc, sk) in &site_list {
+            let d = (r as f64 - sr) * (r as f64 - sr) + (c as f64 - sc) * (c as f64 - sc);
+            if d < best {
+                best = d;
+                code = sk;
+            }
+        }
+        code
+    })
+}
+
+/// Slope (degrees) and aspect (degrees clockwise from north, the downslope
+/// direction) derived from an elevation raster by central differences — the
+/// standard DEM → slope/aspect transform.
+///
+/// `cell_size` must be in the same length unit as the elevation values.
+/// Slope is clamped below 90°; flat cells get aspect 0 (any value works:
+/// with zero slope the aspect never influences spread).
+///
+/// # Panics
+/// Panics when `cell_size` is not positive.
+pub fn slope_aspect_from_elevation(
+    elevation: &Grid<f64>,
+    cell_size: f64,
+) -> (Grid<f64>, Grid<f64>) {
+    assert!(cell_size > 0.0, "cell size must be positive");
+    let (rows, cols) = elevation.shape();
+    let at = |r: isize, c: isize| -> f64 {
+        let r = r.clamp(0, rows as isize - 1) as usize;
+        let c = c.clamp(0, cols as isize - 1) as usize;
+        elevation.at(r, c)
+    };
+    let mut slope = Grid::filled(rows, cols, 0.0f64);
+    let mut aspect = Grid::filled(rows, cols, 0.0f64);
+    for r in 0..rows {
+        for c in 0..cols {
+            let (ri, ci) = (r as isize, c as isize);
+            // dz/dx: west → east; dz/dy: north → south (rows grow southward).
+            let dzdx = (at(ri, ci + 1) - at(ri, ci - 1)) / (2.0 * cell_size);
+            let dzdy = (at(ri + 1, ci) - at(ri - 1, ci)) / (2.0 * cell_size);
+            let grad = (dzdx * dzdx + dzdy * dzdy).sqrt();
+            let deg = grad.atan().to_degrees().min(89.9);
+            slope.set(r, c, deg);
+            if grad > 1e-12 {
+                // Downslope direction: negative gradient. atan2(east, north).
+                let az = (-dzdx).atan2(dzdy).to_degrees();
+                aspect.set(r, c, normalize_azimuth(az));
+            }
+        }
+    }
+    (slope, aspect)
+}
+
+/// Rescales a `[0, 1]` field linearly onto `[lo, hi]`.
+pub fn rescale(field: &Grid<f64>, lo: f64, hi: f64) -> Grid<f64> {
+    field.map(|&v| lo + v * (hi - lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let a = noise_field(16, 24, 6.0, 3, 42);
+        let b = noise_field(16, 24, 6.0, 3, 42);
+        let c = noise_field(16, 24, 6.0, 3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn noise_values_in_unit_interval() {
+        let g = noise_field(32, 32, 8.0, 4, 7);
+        assert!(g.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn noise_is_smooth() {
+        // Neighbouring cells of a single 16-cell octave differ by far less
+        // than the full range.
+        let g = noise_field(32, 32, 16.0, 1, 3);
+        for r in 0..32 {
+            for c in 1..32 {
+                assert!(
+                    (g.at(r, c) - g.at(r, c - 1)).abs() < 0.25,
+                    "jump at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mosaic_uses_only_given_codes_and_all_of_them() {
+        let codes = [1u8, 4, 10];
+        let g = voronoi_mosaic(48, 48, 24, &codes, 5);
+        let mut seen = std::collections::BTreeSet::new();
+        for &v in g.as_slice() {
+            assert!(codes.contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), codes.len(), "every code should appear");
+    }
+
+    #[test]
+    fn mosaic_deterministic_per_seed() {
+        let a = voronoi_mosaic(20, 20, 9, &[1, 2], 11);
+        let b = voronoi_mosaic(20, 20, 9, &[1, 2], 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_elevation_gives_zero_slope() {
+        let elev = Grid::filled(8, 8, 100.0);
+        let (slope, _) = slope_aspect_from_elevation(&elev, 50.0);
+        assert!(slope.as_slice().iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn east_dipping_plane_faces_east() {
+        // Elevation falls towards the east: downslope (aspect) is 90°.
+        let elev = Grid::from_fn(8, 8, |_, c| -(c as f64) * 10.0);
+        let (slope, aspect) = slope_aspect_from_elevation(&elev, 10.0);
+        let s = slope.at(4, 4);
+        assert!((s - 45.0).abs() < 1e-9, "slope {s}");
+        assert!((aspect.at(4, 4) - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn south_dipping_plane_faces_south() {
+        // Elevation falls with increasing row (southward): aspect 180°.
+        let elev = Grid::from_fn(8, 8, |r, _| -(r as f64) * 5.0);
+        let (_, aspect) = slope_aspect_from_elevation(&elev, 10.0);
+        assert!((aspect.at(4, 4) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_below_ninety() {
+        let elev = Grid::from_fn(8, 8, |_, c| (c as f64) * 1e6);
+        let (slope, _) = slope_aspect_from_elevation(&elev, 1.0);
+        assert!(slope.as_slice().iter().all(|&s| s < 90.0));
+    }
+
+    #[test]
+    fn rescale_maps_bounds() {
+        let g = Grid::from_vec(1, 3, vec![0.0, 0.5, 1.0]);
+        let r = rescale(&g, 2.0, 4.0);
+        assert_eq!(r.as_slice(), &[2.0, 3.0, 4.0]);
+    }
+}
