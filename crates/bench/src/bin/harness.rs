@@ -22,10 +22,20 @@
 //!   e9-inclusion E9       — result-set composition under drift
 //!   e10-noise   E10       — robustness to observation noise
 //!   workloads   W         — workload corpus × backend sweep (+ BENCH_*.json)
+//!   service     S         — concurrent-session throughput sweep (+ BENCH_service.json)
+//!   serve                 — line-delimited JSON prediction service on stdin/stdout
 //! ```
 //!
-//! `all` regenerates every paper artifact (table1 … e10); `workloads`
-//! benchmarks this repo's own engine and must be requested explicitly.
+//! `all` regenerates every paper artifact (table1 … e10); `workloads` and
+//! `service` benchmark this repo's own engine and must be requested
+//! explicitly.
+//!
+//! `serve` turns the harness into a prediction server: each stdin line is
+//! a JSON request (`{"op":"run","system":"ESS-NS","case":"meadow_small",
+//! ...}`), each stdout line a JSON event; every accepted session
+//! multiplexes the one shared backend selected with `--backend`.
+//! `serve --self-test` runs a canned request script through the same loop
+//! and verifies the summary (the CI smoke configuration).
 //!
 //! `--scale` shrinks every per-step evaluation budget proportionally
 //! (default 1.0); `--seeds` sets the replicate count (default 3);
@@ -54,6 +64,7 @@ struct Args {
     workers: Vec<usize>,
     backend: EvalBackend,
     quick: bool,
+    self_test: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         workers: vec![2, 4],
         backend: EvalBackend::Serial,
         quick: false,
+        self_test: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("missing value for {flag}"));
@@ -88,6 +100,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e: parworker::ParseBackendError| e.to_string())?
             }
             "--quick" => args.quick = true,
+            "--self-test" => args.self_test = true,
             "--workers" => {
                 args.workers = value()?
                     .split(',')
@@ -104,7 +117,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--quick] [--out DIR]".to_string()
+    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|serve|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--quick] [--self-test] [--out DIR]".to_string()
 }
 
 fn emit(args: &Args, id: &str, title: &str, table: &TextTable) {
@@ -137,6 +150,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The prediction server: not an experiment, so it dispatches first.
+    if args.experiment == "serve" {
+        return serve_main(&args);
+    }
+
+    // Misspelled case names fail up front with a one-line error naming the
+    // valid set, instead of panicking mid-experiment or silently skipping.
+    if let Some(unknown) = args
+        .cases
+        .iter()
+        .find(|name| ess::cases::by_name(name).is_none())
+    {
+        eprintln!(
+            "{}\navailable cases: {}",
+            ess::ServiceError::UnknownCase(unknown.clone()),
+            ess::cases::case_names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
     let seeds: Vec<u64> = (0..args.seeds as u64).map(|i| 1000 + i).collect();
     let case_refs: Vec<&str> = args.cases.iter().map(String::as_str).collect();
 
@@ -260,8 +293,8 @@ fn main() -> ExitCode {
         ran = true;
     }
 
-    // Not part of `all`: the corpus sweep benchmarks this repo's engine,
-    // it is not one of the paper's tables/figures.
+    // Not part of `all`: the corpus and serving sweeps benchmark this
+    // repo's engine, they are not among the paper's tables/figures.
     if args.experiment == "workloads" {
         emit(
             &args,
@@ -271,10 +304,69 @@ fn main() -> ExitCode {
         );
         ran = true;
     }
+    if args.experiment == "service" {
+        emit(
+            &args,
+            "service",
+            "S — concurrent sessions over one shared backend (scheduler throughput)",
+            &exp::service_sweep(&args.workers, args.quick, &args.out),
+        );
+        ran = true;
+    }
 
     if !ran {
         eprintln!("unknown experiment '{}'\n{}", args.experiment, usage());
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// `harness serve`: the line-delimited JSON prediction service. Every
+/// accepted session multiplexes the one shared `--backend` pool. With
+/// `--self-test`, a canned request script (8 concurrent sessions across
+/// all four systems, plus error and cancel lines) runs through the same
+/// loop and the summary is verified.
+fn serve_main(args: &Args) -> ExitCode {
+    use ess_service::serve;
+    let stdout = std::io::stdout();
+    if args.self_test {
+        return match serve::self_test(stdout.lock(), args.backend) {
+            Ok(summary) => {
+                eprintln!(
+                    "serve self-test OK on {}: {} accepted, {} finished, {} exhausted, \
+                     {} cancelled, {} errors",
+                    args.backend.name(),
+                    summary.accepted,
+                    summary.finished,
+                    summary.exhausted,
+                    summary.cancelled,
+                    summary.errors
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let stdin = std::io::stdin();
+    match serve::serve(stdin.lock(), stdout.lock(), args.backend) {
+        Ok(summary) => {
+            eprintln!(
+                "served {} sessions on {} ({} finished, {} exhausted, {} cancelled, {} errors)",
+                summary.accepted,
+                args.backend.name(),
+                summary.finished,
+                summary.exhausted,
+                summary.cancelled,
+                summary.errors
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

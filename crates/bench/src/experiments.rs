@@ -11,6 +11,7 @@ use ess::stages::statistical_stage_genomes;
 use ess_ns::{
     BehaviourSpace, EssNs, EssNsConfig, InclusionPolicy, NoveltyGa, NoveltyGaConfig, ScoringPolicy,
 };
+use ess_service::jsonio::Json;
 use evoalg::benchmarks::{deceptive_trap, two_peaks};
 use evoalg::{BatchEvaluator, GaConfig, GaEngine};
 use firelib::sim::centre_ignition;
@@ -932,7 +933,7 @@ pub fn workloads_sweep(worker_counts: &[usize], quick: bool, out: &std::path::Pa
 
         let mut serial_fitness: Option<Vec<f64>> = None;
         let mut serial_ms = 0.0f64;
-        let mut json_backends = Vec::new();
+        let mut json_backends: Vec<Json> = Vec::new();
         for &backend in &backends {
             let mut evaluator = ScenarioEvaluator::new(Arc::clone(&ctx), backend);
             let warm = evaluator.evaluate(&genomes); // spin up workers, warm arenas
@@ -970,36 +971,172 @@ pub fn workloads_sweep(worker_counts: &[usize], quick: bool, out: &std::path::Pa
                     "-".into()
                 },
             ]);
-            json_backends.push(format!(
-                "    {{\"backend\": \"{}\", \"batch\": {batch}, \"batch_wall_ms\": {:.4}, \"eval_ms\": {:.5}, \"evals_per_sec\": {:.2}, \"speedup_vs_serial\": {:.3}}}",
-                backend.name(),
-                wall_ms,
-                eval_ms,
-                eps,
-                speedup
-            ));
+            json_backends.push(
+                Json::obj()
+                    .field("backend", backend.name())
+                    .field("batch", batch)
+                    .field("batch_wall_ms", wall_ms)
+                    .field("eval_ms", eval_ms)
+                    .field("evals_per_sec", eps)
+                    .field("speedup_vs_serial", speedup),
+            );
         }
 
-        let json = format!(
-            "{{\n  \"bench_format\": 1,\n  \"workload\": \"{}\",\n  \"rows\": {},\n  \"cols\": {},\n  \"intervals\": {},\n  \"quick\": {},\n  \"case_build_ms\": {:.3},\n  \"pipeline\": {{\"system\": \"{}\", \"wall_ms\": {:.3}, \"evaluations\": {}, \"mean_quality\": {:.6}}},\n  \"backends\": [\n{}\n  ]\n}}\n",
-            spec.name,
-            spec.rows,
-            spec.cols,
-            case.intervals(),
-            quick,
-            build_ms,
-            report.system,
-            pipeline_ms,
-            report.total_evaluations(),
-            report.mean_quality(),
-            json_backends.join(",\n")
-        );
-        let path = out.join(format!("BENCH_{}.json", spec.name));
-        match std::fs::write(&path, json) {
-            Ok(()) => println!("[written {}]", path.display()),
-            Err(e) => eprintln!("[warn] could not write {}: {e}", path.display()),
+        let json = Json::obj()
+            .field("bench_format", 1u64)
+            .field("workload", spec.name)
+            .field("rows", spec.rows)
+            .field("cols", spec.cols)
+            .field("intervals", case.intervals())
+            .field("quick", quick)
+            .field("case_build_ms", build_ms)
+            .field(
+                "pipeline",
+                Json::obj()
+                    .field("system", report.system)
+                    .field("wall_ms", pipeline_ms)
+                    .field("evaluations", report.total_evaluations())
+                    .field("mean_quality", report.mean_quality()),
+            )
+            .field("backends", Json::Arr(json_backends));
+        write_bench_json(&out.join(format!("BENCH_{}.json", spec.name)), &json);
+    }
+    t
+}
+
+/// Writes one pretty-printed `BENCH_*.json` artifact, warning (not
+/// failing) on I/O problems like every other report writer here.
+fn write_bench_json(path: &std::path::Path, json: &Json) {
+    match std::fs::write(path, json.to_pretty()) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("[warn] could not write {}: {e}", path.display()),
+    }
+}
+
+/// S — the serving throughput sweep: a fixed batch of concurrent sessions
+/// (every registered system × replicates, all on one case) scheduled over
+/// **one** shared evaluation backend, repeated per backend. Reports
+/// sessions/sec and step throughput per backend, checks cross-backend
+/// bit-identity of the scheduled results, and writes `BENCH_service.json`
+/// — the serving layer's cross-PR performance trail.
+///
+/// `quick` shrinks the per-step search budget (the CI smoke
+/// configuration).
+pub fn service_sweep(worker_counts: &[usize], quick: bool, out: &std::path::Path) -> TextTable {
+    use ess_service::{RunSpec, Scheduler, SessionOutcome};
+
+    let case = "meadow_small";
+    let scale = if quick { 0.15 } else { 0.5 };
+    let replicates = 2usize; // 4 systems × 2 = 8 concurrent sessions
+    let mut backends = vec![EvalBackend::Serial];
+    if quick {
+        backends.push(EvalBackend::WorkerPool(2));
+    } else {
+        for &w in worker_counts {
+            backends.push(EvalBackend::WorkerPool(w));
+            backends.push(EvalBackend::Rayon(w));
         }
     }
+
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("[warn] could not create {}: {e}", out.display());
+    }
+
+    let mut t = TextTable::new([
+        "backend",
+        "sessions",
+        "steps",
+        "wall_ms",
+        "sessions_per_sec",
+        "steps_per_sec",
+        "speedup",
+    ]);
+    let mut reference: Option<Vec<(usize, f64)>> = None;
+    let mut serial_ms = 0.0f64;
+    let mut json_backends: Vec<Json> = Vec::new();
+    for &backend in &backends {
+        let mut scheduler = Scheduler::new(backend);
+        for (i, system) in ess_service::systems::all().iter().enumerate() {
+            scheduler
+                .submit(
+                    &RunSpec::new(system.name, case)
+                        .scale(scale)
+                        .seed(4000 + i as u64)
+                        .replicates(replicates),
+                )
+                .expect("sweep spec must resolve");
+        }
+        let sessions = scheduler.live_count();
+        let sw = Stopwatch::start();
+        let outcomes = scheduler.drain();
+        let wall_ms = sw.elapsed_ms();
+
+        let steps: usize = outcomes.iter().map(|(_, o)| o.report().steps.len()).sum();
+        assert!(
+            outcomes.iter().all(|(_, o)| o.is_finished()),
+            "every sweep session must finish"
+        );
+        // Scheduled results are backend-independent: pin it right here.
+        let digest: Vec<(usize, f64)> = outcomes
+            .iter()
+            .map(|(_, o)| match o {
+                SessionOutcome::Finished(r) => (r.steps.len(), r.mean_quality()),
+                SessionOutcome::Exhausted { partial, .. } => {
+                    (partial.steps.len(), partial.mean_quality())
+                }
+            })
+            .collect();
+        match &reference {
+            None => {
+                reference = Some(digest);
+                serial_ms = wall_ms;
+            }
+            Some(expected) => assert_eq!(
+                expected, &digest,
+                "backend {backend} diverged from serial scheduling"
+            ),
+        }
+        let sessions_per_sec = sessions as f64 / (wall_ms / 1000.0);
+        let steps_per_sec = steps as f64 / (wall_ms / 1000.0);
+        let speedup = serial_ms / wall_ms;
+        t.row([
+            backend.name(),
+            sessions.to_string(),
+            steps.to_string(),
+            f2(wall_ms),
+            f2(sessions_per_sec),
+            f2(steps_per_sec),
+            f2(speedup),
+        ]);
+        json_backends.push(
+            Json::obj()
+                .field("backend", backend.name())
+                .field("sessions", sessions)
+                .field("steps", steps)
+                .field("wall_ms", wall_ms)
+                .field("sessions_per_sec", sessions_per_sec)
+                .field("steps_per_sec", steps_per_sec)
+                .field("speedup_vs_serial", speedup),
+        );
+    }
+
+    let json = Json::obj()
+        .field("bench_format", 1u64)
+        .field("suite", "service")
+        .field("case", case)
+        .field("scale", scale)
+        .field("quick", quick)
+        .field("systems", {
+            Json::Arr(
+                ess_service::systems::names()
+                    .into_iter()
+                    .map(Json::from)
+                    .collect(),
+            )
+        })
+        .field("replicates_per_system", replicates)
+        .field("backends", Json::Arr(json_backends));
+    write_bench_json(&out.join("BENCH_service.json"), &json);
     t
 }
 

@@ -1,12 +1,10 @@
-//! The four systems under comparison, configured to comparable
-//! per-step evaluation budgets so quality comparisons are fair.
+//! The four systems under comparison — a thin experiment-facing enum over
+//! the service crate's unified system registry
+//! ([`ess_service::systems`]), which owns the budget-matched canonical
+//! configurations.
 
-use ess::ess_classic::{EssClassic, EssConfig};
-use ess::essim_de::{EssimDe, EssimDeConfig, TuningConfig};
-use ess::essim_ea::{EssimEa, EssimEaConfig};
-use ess::fitness::EvalBackend;
 use ess::pipeline::StepOptimizer;
-use ess_ns::{EssNs, EssNsConfig, InclusionPolicy, NoveltyGaConfig};
+use ess_service::systems;
 
 /// The systems of experiment E1/E2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,58 +36,12 @@ impl Method {
     /// Builds the optimizer with a per-step budget of roughly
     /// `scale × 400` scenario evaluations (the budgets are matched within
     /// ~10 % so the quality comparison is budget-fair; exact counts are
-    /// reported in the E1 table).
+    /// reported in the E1 table). Resolution goes through the unified
+    /// registry, so the harness runs exactly what the service serves.
     pub fn make(&self, scale: f64) -> Box<dyn StepOptimizer> {
-        let s = |v: usize| ((v as f64) * scale).round().max(4.0) as usize;
-        match self {
-            Method::Ess => Box::new(EssClassic::new(EssConfig {
-                population_size: s(32),
-                offspring: s(32),
-                mutation_rate: 0.1,
-                crossover_rate: 0.9,
-                max_generations: 12,
-                fitness_threshold: 0.95,
-            })),
-            Method::EssimEa => Box::new(EssimEa::new(EssimEaConfig {
-                islands: 3,
-                island_population: s(12),
-                offspring: s(12),
-                mutation_rate: 0.1,
-                crossover_rate: 0.9,
-                migration_interval: 3,
-                migrants: 2.min(s(12) - 1),
-                max_generations: 11,
-                fitness_threshold: 0.95,
-            })),
-            Method::EssimDe => Box::new(EssimDe::new(EssimDeConfig {
-                islands: 3,
-                island_population: s(12),
-                differential_weight: 0.8,
-                crossover_rate: 0.9,
-                migration_interval: 3,
-                migrants: 2.min(s(12) - 1),
-                max_generations: 11,
-                fitness_threshold: 0.95,
-                elite_fraction: 0.5,
-                result_set_size: s(24),
-                tuning: TuningConfig::enabled(),
-            })),
-            Method::EssNs => Box::new(EssNs::new(EssNsConfig {
-                algorithm: NoveltyGaConfig {
-                    population_size: s(32),
-                    offspring: s(32),
-                    max_generations: 12,
-                    fitness_threshold: 0.95,
-                    novelty_neighbours: 5,
-                    archive_capacity: 2 * s(32),
-                    best_set_capacity: s(24),
-                    ..NoveltyGaConfig::default()
-                },
-                inclusion: InclusionPolicy::BestOnly,
-                backend: EvalBackend::Serial,
-                ..EssNsConfig::default()
-            })),
-        }
+        systems::by_name(self.name())
+            .expect("every Method is registered")
+            .make(scale)
     }
 }
 
@@ -115,5 +67,14 @@ mod tests {
         for m in Method::ALL {
             let _ = m.make(0.25); // must not panic on small budgets
         }
+    }
+
+    #[test]
+    fn method_enum_and_registry_stay_in_lockstep() {
+        assert_eq!(
+            Method::ALL.iter().map(Method::name).collect::<Vec<_>>(),
+            systems::names(),
+            "Method::ALL and ess_service::systems must list the same systems"
+        );
     }
 }

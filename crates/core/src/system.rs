@@ -11,6 +11,7 @@
 
 use crate::algorithm::{NoveltyGa, NoveltyGaConfig};
 use crate::hybrid::InclusionPolicy;
+use ess::error::ServiceError;
 use ess::fitness::{EvalBackend, ScenarioEvaluator};
 use ess::pipeline::{OptimizeOutcome, PredictionPipeline, StepOptimizer};
 use firelib::{ScenarioSpace, GENE_COUNT};
@@ -92,12 +93,19 @@ impl EssNs {
     /// config names (`EssNsConfig::workload`), end to end: the named case
     /// is resolved through `ess::cases::by_name` (hand-built library or
     /// workload corpus), its reference fire is generated, and every
-    /// prediction step runs on the configured backend. Returns `None` when
-    /// no workload is configured or the name is unknown.
-    pub fn run(&self, base_seed: u64) -> Option<ess::pipeline::RunReport> {
-        let case = ess::cases::by_name(self.config.workload.as_deref()?)?;
+    /// prediction step runs on the configured backend.
+    ///
+    /// # Errors
+    /// [`ServiceError::BadSpec`] when the config names no workload,
+    /// [`ServiceError::UnknownCase`] when the name resolves to nothing.
+    pub fn run(&self, base_seed: u64) -> Result<ess::pipeline::RunReport, ServiceError> {
+        let name = self.config.workload.as_deref().ok_or_else(|| {
+            ServiceError::BadSpec("EssNsConfig::workload names no case to run".into())
+        })?;
+        let case =
+            ess::cases::by_name(name).ok_or_else(|| ServiceError::UnknownCase(name.into()))?;
         let mut optimizer = self.clone();
-        Some(self.pipeline(base_seed).run(&case, &mut optimizer))
+        Ok(self.pipeline(base_seed).run(&case, &mut optimizer))
     }
 }
 
@@ -296,14 +304,21 @@ mod tests {
         assert_eq!(report.case, "meadow_small");
         assert_eq!(report.system, "ESS-NS");
         assert!(report.total_evaluations() > 0);
-        // Unknown names and unset workloads are both graceful.
-        assert!(EssNs::new(EssNsConfig {
+        // Unknown names and unset workloads produce typed one-line errors
+        // instead of a silent skip.
+        let unknown = EssNs::new(EssNsConfig {
             workload: Some("no_such_workload".to_string()),
             ..EssNsConfig::default()
         })
-        .run(1)
-        .is_none());
-        assert!(EssNs::baseline().run(1).is_none());
+        .run(1);
+        assert!(matches!(
+            unknown,
+            Err(ServiceError::UnknownCase(ref name)) if name == "no_such_workload"
+        ));
+        assert!(matches!(
+            EssNs::baseline().run(1),
+            Err(ServiceError::BadSpec(_))
+        ));
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct BurnCase {
     /// Observation instants `t_0 < t_1 < …` (minutes).
     pub times: Vec<f64>,
     /// Real fire lines, one per instant (`fire_lines[i]` at `times[i]`).
-    pub fire_lines: Vec<FireLine>,
+    /// Shared, because the lines are the heavy part of a case (one raster
+    /// per instant): cloning a case — which every session owns — is then
+    /// reference bumps, not raster copies.
+    pub fire_lines: Arc<Vec<FireLine>>,
     /// The hidden truth per interval: `truth[i]` generated
     /// `fire_lines[i+1]` from `fire_lines[i]`. Hidden from optimizers;
     /// exposed for validation and oracle experiments.
@@ -83,7 +86,7 @@ impl BurnCase {
             description,
             sim,
             times,
-            fire_lines,
+            fire_lines: Arc::new(fire_lines),
             truth,
         }
     }
@@ -307,7 +310,7 @@ pub fn with_observation_noise(case: &BurnCase, flip_prob: f64, seed: u64) -> Bur
         description: case.description,
         sim: Arc::clone(&case.sim),
         times: case.times.clone(),
-        fire_lines: noisy,
+        fire_lines: Arc::new(noisy),
         truth: case.truth.clone(),
     }
 }
@@ -326,7 +329,7 @@ pub fn workload_case(spec: &WorkloadSpec) -> BurnCase {
         description: w.description,
         sim,
         times: w.times,
-        fire_lines,
+        fire_lines: Arc::new(fire_lines),
         truth: w.truth,
     }
 }
@@ -535,7 +538,7 @@ mod tests {
         let changed = clean
             .fire_lines
             .iter()
-            .zip(&noisy.fire_lines)
+            .zip(noisy.fire_lines.iter())
             .skip(1)
             .any(|(a, b)| a != b);
         assert!(changed, "30% front noise must perturb the observations");
@@ -552,7 +555,7 @@ mod tests {
     fn zero_noise_is_identity() {
         let clean = tiny_test_case();
         let same = with_observation_noise(&clean, 0.0, 1);
-        for (a, b) in clean.fire_lines.iter().zip(&same.fire_lines) {
+        for (a, b) in clean.fire_lines.iter().zip(same.fire_lines.iter()) {
             assert_eq!(a, b);
         }
     }

@@ -1,0 +1,89 @@
+//! The service-level error taxonomy of the run API.
+//!
+//! Every entry point that resolves names or enforces budgets — the
+//! `service` crate's `RunSpec`/`PredictionSession`, `ess_ns::EssNs::run`,
+//! the bench harness — reports failures through [`ServiceError`] instead
+//! of silently returning `None`, so a misspelled workload or system name
+//! surfaces as a one-line diagnostic rather than a skipped run.
+
+use crate::pipeline::RunReport;
+use std::fmt;
+
+/// Why a session stopped before completing every prediction step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetReason {
+    /// The configured maximum number of prediction steps was reached.
+    MaxSteps,
+    /// The configured scenario-evaluation budget was spent.
+    MaxEvaluations,
+    /// The configured wall-clock deadline passed.
+    Deadline,
+    /// The caller cancelled the session between steps.
+    Cancelled,
+}
+
+impl fmt::Display for BudgetReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetReason::MaxSteps => write!(f, "max-steps"),
+            BudgetReason::MaxEvaluations => write!(f, "max-evaluations"),
+            BudgetReason::Deadline => write!(f, "deadline"),
+            BudgetReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Everything that can go wrong when building or draining a run.
+#[derive(Debug, Clone)]
+pub enum ServiceError {
+    /// The requested system name is not in the registry.
+    UnknownSystem(String),
+    /// The requested case/workload name resolves to nothing.
+    UnknownCase(String),
+    /// The request itself is malformed (zero replicates, non-positive
+    /// scale, empty budget, …).
+    BadSpec(String),
+    /// A budget or cancellation stopped the run before the final step; the
+    /// partial report covers the steps that did complete.
+    BudgetExhausted {
+        /// Which budget fired.
+        reason: BudgetReason,
+        /// The steps completed before exhaustion.
+        partial: Box<RunReport>,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownSystem(name) => write!(f, "unknown system '{name}'"),
+            ServiceError::UnknownCase(name) => write!(f, "unknown case or workload '{name}'"),
+            ServiceError::BadSpec(why) => write!(f, "bad run spec: {why}"),
+            ServiceError::BudgetExhausted { reason, partial } => write!(
+                f,
+                "budget exhausted ({reason}) after {} of the run's steps",
+                partial.steps.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line() {
+        for e in [
+            ServiceError::UnknownSystem("ESS-XX".into()),
+            ServiceError::UnknownCase("no_such".into()),
+            ServiceError::BadSpec("replicates must be positive".into()),
+        ] {
+            let line = e.to_string();
+            assert!(!line.contains('\n'), "error must render as one line");
+            assert!(!line.is_empty());
+        }
+    }
+}

@@ -11,7 +11,7 @@ use evoalg::BatchEvaluator;
 use firelib::{FireSim, Scenario, ScenarioSpace, SimArena};
 use landscape::{jaccard_at_time, FireLine, IgnitionMap};
 use parworker::Backend;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 pub use parworker::EvalBackend;
 
@@ -146,6 +146,121 @@ pub struct ScenarioEvaluator<B: Backend<Vec<f64>, f64> = DynBackend> {
     evaluations: u64,
 }
 
+/// One scenario evaluation on a shared pool: the step context rides along
+/// with the genome, so one pool serves every step of every concurrent
+/// session regardless of which case (and grid size) each is predicting.
+pub type SharedTask = (Arc<StepContext>, Vec<f64>);
+
+/// Per-worker arena store for the shared pool: one [`SimArena`] per grid
+/// shape seen by this worker. Arenas are pure per-call scratch (every
+/// `simulate_arena` refills them), so keying by shape is sound even when
+/// tasks from different simulators interleave on one worker.
+#[derive(Default)]
+struct ArenaCache {
+    arenas: Vec<((usize, usize), SimArena)>,
+}
+
+impl ArenaCache {
+    fn for_shape(&mut self, rows: usize, cols: usize) -> &mut SimArena {
+        match self
+            .arenas
+            .iter()
+            .position(|((r, c), _)| (*r, *c) == (rows, cols))
+        {
+            Some(i) => &mut self.arenas[i].1,
+            None => {
+                self.arenas.push(((rows, cols), SimArena::new(rows, cols)));
+                &mut self.arenas.last_mut().expect("just pushed").1
+            }
+        }
+    }
+}
+
+/// A scenario-evaluation worker pool shared by many concurrent runs — the
+/// serving substrate. Where a per-run [`ScenarioEvaluator::new`] backend
+/// captures one step's context at build time (and therefore spawns fresh
+/// workers every step), the shared pool's task type carries the context,
+/// so one set of worker threads serves every step of every session for
+/// the lifetime of the process.
+///
+/// The work function is the same pure decode → [`StepContext::fitness_with`]
+/// → Eq. (3) path as the per-run backends, so shared and private execution
+/// produce bit-identical fitness vectors. Batches are serialised through a
+/// mutex ([`parworker::Backend::map`] needs `&mut self`); fairness between
+/// sessions is the scheduler's job — one *batch* is the unit of
+/// interleaving.
+pub struct SharedScenarioPool {
+    inner: Mutex<DynSharedBackend>,
+    spec: EvalBackend,
+}
+
+type DynSharedBackend = Box<dyn Backend<SharedTask, f64>>;
+
+impl SharedScenarioPool {
+    /// Builds the pool from a backend spec. The workers own an
+    /// `ArenaCache` each, so mixed-grid traffic reuses scratch per shape.
+    pub fn new(spec: EvalBackend) -> Self {
+        let backend = spec.build(
+            |_wid| ArenaCache::default(),
+            |cache: &mut ArenaCache, (ctx, genes): SharedTask| {
+                let terrain = ctx.sim().terrain();
+                let arena = cache.for_shape(terrain.rows(), terrain.cols());
+                ctx.fitness_with(&ScenarioSpace.decode(&genes), arena)
+            },
+        );
+        Self {
+            inner: Mutex::new(backend),
+            spec,
+        }
+    }
+
+    /// The spec the pool was built from.
+    pub fn spec(&self) -> EvalBackend {
+        self.spec
+    }
+
+    /// Report name of the underlying backend (e.g. `"worker-pool(4)"`).
+    pub fn name(&self) -> String {
+        self.spec.name()
+    }
+
+    /// Degree of parallelism.
+    pub fn workers(&self) -> usize {
+        self.spec.workers()
+    }
+
+    /// Evaluates one batch of genomes against `ctx`, in submission order.
+    pub fn evaluate(&self, ctx: &Arc<StepContext>, genomes: Vec<Vec<f64>>) -> Vec<f64> {
+        let tasks: Vec<SharedTask> = genomes.into_iter().map(|g| (Arc::clone(ctx), g)).collect();
+        self.inner
+            .lock()
+            .expect("shared scenario pool poisoned")
+            .map(tasks)
+    }
+}
+
+/// Adapter that lets a [`ScenarioEvaluator`] run its batches on a
+/// [`SharedScenarioPool`]: implements the plain genome backend contract by
+/// pairing every genome with the evaluator's step context.
+struct SharedPoolBackend {
+    ctx: Arc<StepContext>,
+    pool: Arc<SharedScenarioPool>,
+}
+
+impl Backend<Vec<f64>, f64> for SharedPoolBackend {
+    fn map(&mut self, tasks: Vec<Vec<f64>>) -> Vec<f64> {
+        self.pool.evaluate(&self.ctx, tasks)
+    }
+
+    fn name(&self) -> String {
+        format!("shared:{}", self.pool.name())
+    }
+
+    fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+}
+
 impl ScenarioEvaluator {
     /// Builds an evaluator over `ctx` on the backend `spec` selects.
     pub fn new(ctx: Arc<StepContext>, spec: EvalBackend) -> Self {
@@ -160,6 +275,17 @@ impl ScenarioEvaluator {
                 worker_ctx.fitness_with(&ScenarioSpace.decode(&genes), arena)
             },
         );
+        Self::with_backend(ctx, backend)
+    }
+
+    /// Builds an evaluator over `ctx` that runs its batches on a shared
+    /// [`SharedScenarioPool`] instead of spawning its own workers — the
+    /// serving configuration, where many sessions multiplex one pool.
+    pub fn shared(ctx: Arc<StepContext>, pool: Arc<SharedScenarioPool>) -> Self {
+        let backend: DynBackend = Box::new(SharedPoolBackend {
+            ctx: Arc::clone(&ctx),
+            pool,
+        });
         Self::with_backend(ctx, backend)
     }
 }
@@ -301,6 +427,49 @@ mod tests {
         assert_eq!(fs, fp, "worker-pool backend diverged from serial");
         assert_eq!(fs, fr, "rayon backend diverged from serial");
         assert_eq!(serial.evaluation_count(), 12);
+    }
+
+    #[test]
+    fn shared_pool_matches_private_backends_across_mixed_grids() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        // Two contexts on different grid shapes multiplexed over one pool:
+        // the per-worker arena cache must keep them apart, and fitness must
+        // stay bit-identical to a private serial evaluator.
+        let (small_ctx, _) = known_context();
+        let truth = Scenario {
+            wind_speed_mph: 9.0,
+            ..Scenario::reference()
+        };
+        let sim = Arc::new(FireSim::new(Terrain::uniform(33, 33, 100.0)));
+        let from = centre_ignition(33, 33);
+        let target = sim.simulate_fire_line(&truth, &from, 0.0, 50.0);
+        let big_ctx = Arc::new(StepContext::new(sim, from, target, 0.0, 50.0));
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let genomes: Vec<Vec<f64>> = (0..10)
+            .map(|_| {
+                (0..firelib::GENE_COUNT)
+                    .map(|_| rng.random::<f64>())
+                    .collect()
+            })
+            .collect();
+
+        let pool = Arc::new(SharedScenarioPool::new(EvalBackend::WorkerPool(2)));
+        for ctx in [&small_ctx, &big_ctx] {
+            let mut private = ScenarioEvaluator::new(Arc::clone(ctx), EvalBackend::Serial);
+            let mut on_pool = ScenarioEvaluator::shared(Arc::clone(ctx), Arc::clone(&pool));
+            // Interleave rounds so worker arena caches see both shapes.
+            for _ in 0..2 {
+                assert_eq!(
+                    private.evaluate(&genomes),
+                    on_pool.evaluate(&genomes),
+                    "shared pool diverged from serial"
+                );
+            }
+            assert!(on_pool.backend_name().starts_with("shared:"));
+        }
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.name(), "worker-pool(2)");
     }
 
     #[test]

@@ -20,8 +20,12 @@
 //!   Figs. 1–2 `SS`);
 //! * [`calibration`] — the Calibration Stage's `SKign` search (Fig. 1) and
 //!   the Prediction Stage threshold application (Fig. 2);
-//! * [`pipeline`] — the prediction-step driver shared by every system,
-//!   producing per-step quality/diversity/timing reports;
+//! * [`pipeline`] — the prediction-step driver shared by every system
+//!   (the resumable [`pipeline::StepDriver`] plus the batch
+//!   [`pipeline::PredictionPipeline`] wrapper over it), producing per-step
+//!   quality/diversity/timing reports;
+//! * [`error`] — the [`ServiceError`] taxonomy every name-resolving or
+//!   budget-enforcing entry point reports through;
 //! * [`ess_classic`] — ESS: fitness-driven GA, result = final population;
 //! * [`essim_ea`] — ESSIM-EA: island-model GA with migration and a Monitor
 //!   that selects the best island;
@@ -36,6 +40,7 @@
 
 pub mod calibration;
 pub mod cases;
+pub mod error;
 pub mod ess_classic;
 pub mod essim_de;
 pub mod essim_ea;
@@ -46,8 +51,12 @@ pub mod stages;
 
 pub use calibration::{CalibrationOutcome, PredictionStage};
 pub use cases::BurnCase;
+pub use error::{BudgetReason, ServiceError};
 pub use ess_classic::EssClassic;
 pub use essim_de::{EssimDe, TuningConfig};
 pub use essim_ea::EssimEa;
-pub use fitness::{EvalBackend, ScenarioEvaluator, StepContext};
-pub use pipeline::{OptimizeOutcome, PredictionPipeline, RunReport, StepOptimizer, StepReport};
+pub use fitness::{EvalBackend, ScenarioEvaluator, SharedScenarioPool, StepContext};
+pub use pipeline::{
+    EvalStrategy, OptimizeOutcome, PredictionPipeline, RunReport, StepDriver, StepOptimizer,
+    StepReport,
+};

@@ -20,7 +20,7 @@
 
 use crate::calibration::{skign_search, PredictionStage};
 use crate::cases::BurnCase;
-use crate::fitness::{EvalBackend, ScenarioEvaluator, StepContext};
+use crate::fitness::{EvalBackend, ScenarioEvaluator, SharedScenarioPool, StepContext};
 use crate::stages::statistical_stage_genomes;
 use evoalg::diversity::{self, DiversityReport};
 use parworker::Stopwatch;
@@ -126,6 +126,175 @@ impl RunReport {
     }
 }
 
+/// How a [`StepDriver`] obtains the scenario evaluator for each step:
+/// either by building a fresh backend from a spec per step (the classic
+/// batch behaviour — each run owns its workers), or by borrowing a
+/// [`SharedScenarioPool`] that many concurrent sessions multiplex over
+/// (the serving deployment — one worker pool for the whole process).
+///
+/// Both strategies run the identical pure work function, so for a given
+/// seed the produced reports are bit-identical; only thread ownership and
+/// wall time differ.
+#[derive(Clone)]
+pub enum EvalStrategy {
+    /// Build a private backend from this spec for every step.
+    PerStep(EvalBackend),
+    /// Evaluate on a process-wide shared pool.
+    Shared(Arc<SharedScenarioPool>),
+}
+
+impl EvalStrategy {
+    /// Builds the evaluator for one step's context.
+    fn evaluator(&self, ctx: Arc<StepContext>) -> ScenarioEvaluator {
+        match self {
+            EvalStrategy::PerStep(spec) => ScenarioEvaluator::new(ctx, *spec),
+            EvalStrategy::Shared(pool) => ScenarioEvaluator::shared(ctx, Arc::clone(pool)),
+        }
+    }
+
+    /// Report name of the underlying backend.
+    pub fn backend_name(&self) -> String {
+        match self {
+            EvalStrategy::PerStep(spec) => spec.name(),
+            EvalStrategy::Shared(pool) => format!("shared:{}", pool.name()),
+        }
+    }
+}
+
+/// Derives the per-step RNG seed (SplitMix64 over the packed indices, so
+/// neighbouring steps get uncorrelated streams).
+fn step_seed(base_seed: u64, step: usize) -> u64 {
+    let mut z = base_seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(step as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The resumable step engine under every run: owns the burn case, the
+/// carried `Kign` and the step index, and executes exactly one prediction
+/// step per [`StepDriver::step`] call. [`PredictionPipeline::run`] is a
+/// loop over this driver; the `service` crate's `PredictionSession` drives
+/// the same struct incrementally — one implementation, so the batch and
+/// session paths are bit-identical by construction.
+pub struct StepDriver {
+    case: BurnCase,
+    strategy: EvalStrategy,
+    base_seed: u64,
+    carried_kign: Option<f64>,
+    /// Next interval index to observe (the loop variable `i`; starts at 1).
+    next: usize,
+}
+
+impl StepDriver {
+    /// Builds a driver positioned before the first prediction step.
+    pub fn new(case: BurnCase, strategy: EvalStrategy, base_seed: u64) -> Self {
+        Self {
+            case,
+            strategy,
+            base_seed,
+            carried_kign: None,
+            next: 1,
+        }
+    }
+
+    /// The burn case being predicted.
+    pub fn case(&self) -> &BurnCase {
+        &self.case
+    }
+
+    /// How the driver evaluates scenario batches.
+    pub fn strategy(&self) -> &EvalStrategy {
+        &self.strategy
+    }
+
+    /// Total prediction steps a full run executes (`intervals − 1`).
+    pub fn total_steps(&self) -> usize {
+        self.case.intervals().saturating_sub(1)
+    }
+
+    /// Steps already executed.
+    pub fn completed(&self) -> usize {
+        self.next - 1
+    }
+
+    /// True once every step has run.
+    pub fn is_finished(&self) -> bool {
+        self.next >= self.case.intervals()
+    }
+
+    /// Executes the next prediction step with `optimizer`, or returns
+    /// `None` when the run is complete.
+    ///
+    /// The last interval's observation exists (we know RFL at every
+    /// instant), but predicting *beyond* the final instant would have no
+    /// ground truth; so step `i` ranges over intervals `1..n`, and the
+    /// prediction for `t_{i+1}` is only scored while `i+1` is still an
+    /// observed interval.
+    pub fn step(&mut self, optimizer: &mut dyn StepOptimizer) -> Option<StepReport> {
+        if self.is_finished() {
+            return None;
+        }
+        let i = self.next;
+        let case = &self.case;
+        let sw = Stopwatch::start();
+        // --- Optimization Stage on [t_{i-1}, t_i] ------------------------
+        let observed_ctx = Arc::new(StepContext::new(
+            Arc::clone(&case.sim),
+            case.fire_lines[i - 1].clone(),
+            case.fire_lines[i].clone(),
+            case.times[i - 1],
+            case.times[i],
+        ));
+        let mut evaluator = self.strategy.evaluator(Arc::clone(&observed_ctx));
+        let outcome = optimizer.optimize(&mut evaluator, step_seed(self.base_seed, i));
+
+        // --- Statistical Stage (calibration matrix) ----------------------
+        let cal_matrix = statistical_stage_genomes(&observed_ctx, &outcome.result_set);
+
+        // --- Calibration Stage: SKign on the observed interval -----------
+        let cal = skign_search(
+            &cal_matrix,
+            &case.fire_lines[i],
+            Some(&case.fire_lines[i - 1]),
+        );
+
+        // --- Statistical + Prediction Stage for t_{i+1} ------------------
+        let quality = match self.carried_kign {
+            Some(kign) => {
+                let next_ctx = StepContext::new(
+                    Arc::clone(&case.sim),
+                    case.fire_lines[i].clone(),
+                    case.fire_lines[i + 1].clone(),
+                    case.times[i],
+                    case.times[i + 1],
+                );
+                let pred_matrix = statistical_stage_genomes(&next_ctx, &outcome.result_set);
+                let ps = PredictionStage::new(kign);
+                Some(ps.quality(
+                    &pred_matrix,
+                    &case.fire_lines[i + 1],
+                    Some(&case.fire_lines[i]),
+                ))
+            }
+            None => None,
+        };
+
+        self.carried_kign = Some(cal.kign);
+        self.next = i + 1;
+        Some(StepReport {
+            step: i,
+            quality,
+            kign: cal.kign,
+            calibration_fitness: cal.fitness,
+            os_best_fitness: outcome.best_fitness,
+            diversity: diversity::report(&outcome.result_set),
+            evaluations: outcome.evaluations,
+            generations: outcome.generations,
+            wall_ms: sw.elapsed_ms(),
+        })
+    }
+}
+
 /// The prediction pipeline: drives a [`StepOptimizer`] across every
 /// interval of a burn case.
 pub struct PredictionPipeline {
@@ -140,83 +309,20 @@ impl PredictionPipeline {
         Self { backend, base_seed }
     }
 
-    /// Derives the per-step RNG seed (SplitMix64 over the packed indices,
-    /// so neighbouring steps get uncorrelated streams).
-    fn step_seed(&self, step: usize) -> u64 {
-        let mut z = self
-            .base_seed
-            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(step as u64 + 1));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
+    /// A resumable [`StepDriver`] over `case` with this pipeline's backend
+    /// and seed — the incremental counterpart of [`PredictionPipeline::run`].
+    pub fn driver(&self, case: BurnCase) -> StepDriver {
+        StepDriver::new(case, EvalStrategy::PerStep(self.backend), self.base_seed)
     }
 
-    /// Runs the full predictive process of one system over one case.
+    /// Runs the full predictive process of one system over one case — a
+    /// drained [`StepDriver`].
     pub fn run(&self, case: &BurnCase, optimizer: &mut dyn StepOptimizer) -> RunReport {
         let total = Stopwatch::start();
-        let mut steps = Vec::with_capacity(case.intervals());
-        let mut carried_kign: Option<f64> = None;
-
-        // The last interval's observation exists (we know RFL at every
-        // instant), but predicting *beyond* the final instant would have no
-        // ground truth; so step i ranges over intervals, and the prediction
-        // for t_{i+1} is only scored when i+1 is still an observed interval.
-        for i in 1..case.intervals() {
-            let sw = Stopwatch::start();
-            // --- Optimization Stage on [t_{i-1}, t_i] --------------------
-            let observed_ctx = Arc::new(StepContext::new(
-                Arc::clone(&case.sim),
-                case.fire_lines[i - 1].clone(),
-                case.fire_lines[i].clone(),
-                case.times[i - 1],
-                case.times[i],
-            ));
-            let mut evaluator = ScenarioEvaluator::new(Arc::clone(&observed_ctx), self.backend);
-            let outcome = optimizer.optimize(&mut evaluator, self.step_seed(i));
-
-            // --- Statistical Stage (calibration matrix) ------------------
-            let cal_matrix = statistical_stage_genomes(&observed_ctx, &outcome.result_set);
-
-            // --- Calibration Stage: SKign on the observed interval -------
-            let cal = skign_search(
-                &cal_matrix,
-                &case.fire_lines[i],
-                Some(&case.fire_lines[i - 1]),
-            );
-
-            // --- Statistical + Prediction Stage for t_{i+1} --------------
-            let quality = match carried_kign {
-                Some(kign) => {
-                    let next_ctx = StepContext::new(
-                        Arc::clone(&case.sim),
-                        case.fire_lines[i].clone(),
-                        case.fire_lines[i + 1].clone(),
-                        case.times[i],
-                        case.times[i + 1],
-                    );
-                    let pred_matrix = statistical_stage_genomes(&next_ctx, &outcome.result_set);
-                    let ps = PredictionStage::new(kign);
-                    Some(ps.quality(
-                        &pred_matrix,
-                        &case.fire_lines[i + 1],
-                        Some(&case.fire_lines[i]),
-                    ))
-                }
-                None => None,
-            };
-
-            carried_kign = Some(cal.kign);
-            steps.push(StepReport {
-                step: i,
-                quality,
-                kign: cal.kign,
-                calibration_fitness: cal.fitness,
-                os_best_fitness: outcome.best_fitness,
-                diversity: diversity::report(&outcome.result_set),
-                evaluations: outcome.evaluations,
-                generations: outcome.generations,
-                wall_ms: sw.elapsed_ms(),
-            });
+        let mut driver = self.driver(case.clone());
+        let mut steps = Vec::with_capacity(driver.total_steps());
+        while let Some(step) = driver.step(optimizer) {
+            steps.push(step);
         }
         RunReport {
             system: optimizer.name(),
@@ -350,9 +456,57 @@ mod tests {
     }
 
     #[test]
+    fn driver_steps_match_batch_run_bit_for_bit() {
+        let case = tiny_test_case();
+        let pipeline = PredictionPipeline::new(EvalBackend::Serial, 5);
+        let batch = pipeline.run(&case, &mut RandomSearch { budget: 15 });
+
+        let mut driver = pipeline.driver(case.clone());
+        assert_eq!(driver.total_steps(), case.intervals() - 1);
+        assert!(!driver.is_finished());
+        let mut opt = RandomSearch { budget: 15 };
+        let mut steps = Vec::new();
+        while let Some(s) = driver.step(&mut opt) {
+            assert_eq!(driver.completed(), steps.len() + 1);
+            steps.push(s);
+        }
+        assert!(driver.is_finished());
+        assert!(driver.step(&mut opt).is_none(), "finished driver must idle");
+
+        assert_eq!(steps.len(), batch.steps.len());
+        for (a, b) in steps.iter().zip(&batch.steps) {
+            assert_eq!(a.step, b.step);
+            assert_eq!(a.quality, b.quality);
+            assert_eq!(a.kign, b.kign);
+            assert_eq!(a.calibration_fitness, b.calibration_fitness);
+            assert_eq!(a.os_best_fitness, b.os_best_fitness);
+            assert_eq!(a.evaluations, b.evaluations);
+            assert_eq!(a.generations, b.generations);
+        }
+    }
+
+    #[test]
+    fn shared_strategy_matches_per_step_strategy() {
+        use crate::fitness::SharedScenarioPool;
+        let case = tiny_test_case();
+        let run_with = |strategy: EvalStrategy| {
+            let mut driver = StepDriver::new(case.clone(), strategy, 9);
+            let mut opt = RandomSearch { budget: 12 };
+            let mut out = Vec::new();
+            while let Some(s) = driver.step(&mut opt) {
+                out.push((s.quality, s.kign, s.os_best_fitness));
+            }
+            out
+        };
+        let private = run_with(EvalStrategy::PerStep(EvalBackend::Serial));
+        let pool = Arc::new(SharedScenarioPool::new(EvalBackend::WorkerPool(2)));
+        let shared = run_with(EvalStrategy::Shared(pool));
+        assert_eq!(private, shared, "shared pool diverged from private");
+    }
+
+    #[test]
     fn step_seeds_differ_per_step() {
-        let p = PredictionPipeline::new(EvalBackend::Serial, 42);
-        let seeds: Vec<u64> = (0..10).map(|i| p.step_seed(i)).collect();
+        let seeds: Vec<u64> = (0..10).map(|i| step_seed(42, i)).collect();
         let mut dedup = seeds.clone();
         dedup.sort_unstable();
         dedup.dedup();

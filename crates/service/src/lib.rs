@@ -1,0 +1,46 @@
+//! `ess-service` — prediction as a service: the session-based run API,
+//! the unified system registry, and the multi-session scheduler over one
+//! shared evaluation backend.
+//!
+//! The paper's prediction systems are *online*: each step consumes a newly
+//! observed fire interval and emits the next forecast. The old public API
+//! hid that behind run-to-completion calls — no progress, no cancellation,
+//! no way to interleave runs. This crate is the serving layer that
+//! replaces it:
+//!
+//! * [`systems`] — the registry mirroring `ess::cases`: all four paper
+//!   systems ([`systems::by_name`]) as budget-scalable `StepOptimizer`
+//!   factories;
+//! * [`RunSpec`] — one builder-style request type (system × case ×
+//!   backend × seed × replicates × budgets) subsuming the scattered
+//!   per-system config structs;
+//! * [`PredictionSession`] — the re-entrant step driver:
+//!   [`PredictionSession::advance`] executes one prediction step and
+//!   yields a [`SessionEvent`]; budgets stop runs between steps,
+//!   cancellation and observers come for free, and a drained session is
+//!   bit-identical to the old batch path (same `ess::StepDriver`
+//!   underneath);
+//! * [`Scheduler`] — N concurrent sessions multiplexed fairly
+//!   (round-robin, one step each) over one
+//!   [`ess::fitness::SharedScenarioPool`], so the whole process shares a
+//!   single worker pool instead of spawning one per run per step;
+//! * [`serve`](mod@serve) — the dependency-free line-delimited JSON
+//!   protocol `harness serve` speaks, built on [`jsonio`];
+//! * [`jsonio`] — the hand-rolled JSON writer/reader shared with the
+//!   bench harness's `BENCH_*.json` emission.
+//!
+//! Failures are typed ([`ServiceError`]): unknown system, unknown case,
+//! bad spec, budget exhausted — never a silent `None`.
+
+pub mod jsonio;
+pub mod scheduler;
+pub mod serve;
+pub mod session;
+pub mod spec;
+pub mod systems;
+
+pub use ess::error::{BudgetReason, ServiceError};
+pub use scheduler::{Scheduler, SessionId, SessionOutcome};
+pub use serve::{serve, ServeSummary};
+pub use session::{PredictionSession, SessionEvent};
+pub use spec::{Budget, RunSpec};

@@ -1,0 +1,208 @@
+//! The multi-session scheduler: N concurrent prediction runs multiplexed
+//! fairly over **one** shared evaluation backend.
+//!
+//! Each submitted [`RunSpec`] becomes one [`PredictionSession`] per
+//! replicate, all built on the scheduler's [`SharedScenarioPool`] — the
+//! sessions share the process's worker threads instead of each spawning
+//! their own (the old batch API built a fresh pool per run per step).
+//! [`Scheduler::round`] advances every live session by exactly one
+//! prediction step in submission order, so no session can starve another:
+//! a 12-step run and a 2-step run interleave step-by-step, and the short
+//! one completes while the long one is still going. Cancellation between
+//! steps is a plain method call because nothing blocks: the scheduler is
+//! single-threaded at the session level and parallel at the scenario
+//! level, exactly the paper's Master/Worker shape lifted one level up.
+
+use crate::session::{PredictionSession, SessionEvent};
+use crate::spec::RunSpec;
+use ess::error::{BudgetReason, ServiceError};
+use ess::fitness::{EvalBackend, SharedScenarioPool};
+use ess::pipeline::RunReport;
+use std::sync::Arc;
+
+/// Scheduler-assigned session handle.
+pub type SessionId = u64;
+
+/// How a scheduled session ended.
+#[derive(Debug, Clone)]
+pub enum SessionOutcome {
+    /// All steps ran; the full report.
+    Finished(RunReport),
+    /// A budget or cancellation stopped it; the partial report.
+    Exhausted {
+        /// Which budget fired ([`BudgetReason::Cancelled`] for explicit
+        /// cancellation).
+        reason: BudgetReason,
+        /// Steps completed before the stop.
+        partial: RunReport,
+    },
+}
+
+impl SessionOutcome {
+    /// The report either way (full or partial).
+    pub fn report(&self) -> &RunReport {
+        match self {
+            SessionOutcome::Finished(r) => r,
+            SessionOutcome::Exhausted { partial, .. } => partial,
+        }
+    }
+
+    /// True for [`SessionOutcome::Finished`].
+    pub fn is_finished(&self) -> bool {
+        matches!(self, SessionOutcome::Finished(_))
+    }
+}
+
+/// Fair round-robin multiplexer of prediction sessions over one shared
+/// scenario-evaluation pool.
+pub struct Scheduler {
+    pool: Arc<SharedScenarioPool>,
+    next_id: SessionId,
+    live: Vec<(SessionId, PredictionSession)>,
+    done: Vec<(SessionId, SessionOutcome)>,
+}
+
+impl Scheduler {
+    /// A scheduler whose sessions share one pool built from `spec`.
+    pub fn new(spec: EvalBackend) -> Self {
+        Self::on_pool(Arc::new(SharedScenarioPool::new(spec)))
+    }
+
+    /// A scheduler over an existing shared pool (several schedulers, or a
+    /// scheduler plus ad-hoc sessions, can share one substrate).
+    pub fn on_pool(pool: Arc<SharedScenarioPool>) -> Self {
+        Self {
+            pool,
+            next_id: 1,
+            live: Vec::new(),
+            done: Vec::new(),
+        }
+    }
+
+    /// The shared evaluation pool.
+    pub fn pool(&self) -> &Arc<SharedScenarioPool> {
+        &self.pool
+    }
+
+    /// Submits every replicate of `spec` as a session on the shared pool;
+    /// returns the assigned ids in replicate order.
+    ///
+    /// # Errors
+    /// Unknown-name and bad-spec errors; nothing is enqueued on error.
+    pub fn submit(&mut self, spec: &RunSpec) -> Result<Vec<SessionId>, ServiceError> {
+        let sessions = spec.sessions_on(&self.pool)?;
+        Ok(sessions
+            .into_iter()
+            .map(|s| self.submit_session(s))
+            .collect())
+    }
+
+    /// Enqueues an already-built session (it should share this
+    /// scheduler's pool, but any session is accepted).
+    pub fn submit_session(&mut self, session: PredictionSession) -> SessionId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.push((id, session));
+        id
+    }
+
+    /// Cancels a live session between steps. Returns `false` when the id
+    /// is unknown or the session already finished.
+    pub fn cancel(&mut self, id: SessionId) -> bool {
+        let Some(pos) = self.live.iter().position(|(sid, _)| *sid == id) else {
+            return false;
+        };
+        let (id, mut session) = self.live.remove(pos);
+        session.cancel();
+        self.done.push((
+            id,
+            SessionOutcome::Exhausted {
+                reason: BudgetReason::Cancelled,
+                partial: session.report(),
+            },
+        ));
+        true
+    }
+
+    /// Sessions still running.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Read access to the live sessions (id, session), submission order.
+    pub fn live(&self) -> impl Iterator<Item = (SessionId, &PredictionSession)> {
+        self.live.iter().map(|(id, s)| (*id, s))
+    }
+
+    /// Outcomes of every completed/cancelled session so far.
+    pub fn outcomes(&self) -> &[(SessionId, SessionOutcome)] {
+        &self.done
+    }
+
+    /// Removes and returns every recorded outcome. Long-running callers
+    /// (the serve loop) call this after reading a drain's results so a
+    /// scheduler that lives for the process does not accumulate every
+    /// session's full report forever.
+    pub fn take_outcomes(&mut self) -> Vec<(SessionId, SessionOutcome)> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// Advances every live session by exactly one step (submission order)
+    /// and returns the produced events. Sessions that reach a terminal
+    /// event move to [`Scheduler::outcomes`].
+    pub fn round(&mut self) -> Vec<(SessionId, SessionEvent)> {
+        let mut events = Vec::with_capacity(self.live.len());
+        let mut still_live = Vec::with_capacity(self.live.len());
+        for (id, mut session) in std::mem::take(&mut self.live) {
+            let event = session.advance();
+            match &event {
+                SessionEvent::StepCompleted(_) => still_live.push((id, session)),
+                SessionEvent::Finished(report) => {
+                    self.done
+                        .push((id, SessionOutcome::Finished(report.clone())));
+                }
+                SessionEvent::BudgetExhausted { reason, partial } => {
+                    self.done.push((
+                        id,
+                        SessionOutcome::Exhausted {
+                            reason: *reason,
+                            partial: partial.clone(),
+                        },
+                    ));
+                }
+            }
+            events.push((id, event));
+        }
+        self.live = still_live;
+        events
+    }
+
+    /// Runs rounds until no session is live; `on_event` observes every
+    /// event as it happens (step streaming for the serve protocol).
+    pub fn drain_with(
+        &mut self,
+        mut on_event: impl FnMut(SessionId, &SessionEvent),
+    ) -> &[(SessionId, SessionOutcome)] {
+        while !self.live.is_empty() {
+            for (id, event) in self.round() {
+                on_event(id, &event);
+            }
+        }
+        &self.done
+    }
+
+    /// Runs rounds until no session is live and returns every outcome.
+    pub fn drain(&mut self) -> &[(SessionId, SessionOutcome)] {
+        self.drain_with(|_, _| {})
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("backend", &self.pool.name())
+            .field("live", &self.live.len())
+            .field("done", &self.done.len())
+            .finish()
+    }
+}

@@ -1,0 +1,299 @@
+//! The line-delimited JSON serve protocol.
+//!
+//! One request per input line, one or more event objects per line of
+//! output — dependency-free, so `harness serve` can speak it over
+//! stdin/stdout and tests can drive it through in-memory buffers.
+//!
+//! Requests (`op` selects):
+//!
+//! ```text
+//! {"op":"run","system":"ESS-NS","case":"meadow_small","seed":7,
+//!  "replicates":2,"scale":0.25,"max_steps":3,"max_evaluations":9000,
+//!  "deadline_ms":60000}                  → {"event":"accepted","session":N} per replicate
+//! {"op":"cancel","session":2}            → {"event":"cancelled","session":2}
+//! {"op":"drain"}                         → step/done events, then {"event":"drained",...}
+//! {"op":"quit"}                          → {"event":"bye"} and the loop ends
+//! ```
+//!
+//! Execution always happens on the **server's** shared pool (every session
+//! of every client multiplexes one worker pool — that is the point of the
+//! serving layer), so a request carrying a `backend` field is rejected
+//! rather than silently ignored. End of input implies `drain` (pending
+//! sessions still run) and then `quit`, so piping a canned request file
+//! works without a trailing quit line. Malformed lines produce an
+//! `{"event":"error",...}` line and the loop continues — one bad request
+//! must not take down a server multiplexing other clients' sessions.
+
+use crate::jsonio::Json;
+use crate::scheduler::{Scheduler, SessionOutcome};
+use crate::session::SessionEvent;
+use crate::spec::RunSpec;
+use ess::fitness::EvalBackend;
+use ess::pipeline::RunReport;
+use std::io::{self, BufRead, Write};
+
+/// Counters the serve loop reports when it exits (the `--self-test`
+/// assertions run against these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Sessions accepted.
+    pub accepted: usize,
+    /// Sessions that ran every step.
+    pub finished: usize,
+    /// Sessions stopped by a budget.
+    pub exhausted: usize,
+    /// Sessions cancelled by request.
+    pub cancelled: usize,
+    /// Request lines answered with an error event.
+    pub errors: usize,
+}
+
+/// Runs the serve loop: reads requests from `input` until `quit` or end of
+/// input, writes event lines to `out`, executes every session on one
+/// shared pool built from `backend`.
+///
+/// # Errors
+/// Propagates I/O errors from the transport; protocol-level problems are
+/// reported in-band as `error` events.
+pub fn serve<R: BufRead, W: Write>(
+    input: R,
+    mut out: W,
+    backend: EvalBackend,
+) -> io::Result<ServeSummary> {
+    let mut scheduler = Scheduler::new(backend);
+    let mut summary = ServeSummary::default();
+
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                emit_error(&mut out, &mut summary, &e.to_string())?;
+                continue;
+            }
+        };
+        match request.get("op").and_then(Json::as_str) {
+            Some("run") => match spec_from_request(&request) {
+                Ok(spec) => match scheduler.submit(&spec) {
+                    Ok(ids) => {
+                        for id in ids {
+                            summary.accepted += 1;
+                            emit(
+                                &mut out,
+                                Json::obj()
+                                    .field("event", "accepted")
+                                    .field("session", id)
+                                    .field("system", spec.system_name())
+                                    .field("case", spec.case_name()),
+                            )?;
+                        }
+                    }
+                    Err(e) => emit_error(&mut out, &mut summary, &e.to_string())?,
+                },
+                Err(reason) => emit_error(&mut out, &mut summary, &reason)?,
+            },
+            Some("cancel") => match request.get("session").and_then(Json::as_u64) {
+                Some(id) if scheduler.cancel(id) => {
+                    summary.cancelled += 1;
+                    emit(
+                        &mut out,
+                        Json::obj().field("event", "cancelled").field("session", id),
+                    )?;
+                }
+                Some(id) => emit_error(
+                    &mut out,
+                    &mut summary,
+                    &format!("no live session {id} to cancel"),
+                )?,
+                None => emit_error(&mut out, &mut summary, "cancel needs a session id")?,
+            },
+            Some("drain") => drain(&mut scheduler, &mut out, &mut summary)?,
+            Some("quit") => {
+                emit(&mut out, Json::obj().field("event", "bye"))?;
+                return Ok(summary);
+            }
+            Some(other) => emit_error(&mut out, &mut summary, &format!("unknown op '{other}'"))?,
+            None => emit_error(&mut out, &mut summary, "request needs an 'op' field")?,
+        }
+    }
+    // End of input: run whatever is still pending, then leave.
+    drain(&mut scheduler, &mut out, &mut summary)?;
+    emit(&mut out, Json::obj().field("event", "bye"))?;
+    Ok(summary)
+}
+
+/// Builds a [`RunSpec`] from a `run` request object.
+fn spec_from_request(request: &Json) -> Result<RunSpec, String> {
+    let system = request
+        .get("system")
+        .and_then(Json::as_str)
+        .ok_or("run needs a 'system' string")?;
+    let case = request
+        .get("case")
+        .and_then(Json::as_str)
+        .ok_or("run needs a 'case' string")?;
+    if request.get("backend").is_some() {
+        return Err(
+            "requests cannot pick a backend: sessions share the server's pool \
+             (choose it with `harness serve --backend ...`)"
+                .to_string(),
+        );
+    }
+    let mut spec = RunSpec::new(system, case);
+    if let Some(v) = request.get("seed") {
+        spec = spec.seed(v.as_u64().ok_or("'seed' must be a non-negative integer")?);
+    }
+    if let Some(v) = request.get("replicates") {
+        spec = spec.replicates(
+            v.as_u64()
+                .ok_or("'replicates' must be a positive integer")? as usize,
+        );
+    }
+    if let Some(v) = request.get("scale") {
+        spec = spec.scale(v.as_f64().ok_or("'scale' must be a number")?);
+    }
+    if let Some(v) = request.get("max_steps") {
+        spec = spec.max_steps(v.as_u64().ok_or("'max_steps' must be a positive integer")? as usize);
+    }
+    if let Some(v) = request.get("max_evaluations") {
+        spec = spec.max_evaluations(
+            v.as_u64()
+                .ok_or("'max_evaluations' must be a positive integer")?,
+        );
+    }
+    if let Some(v) = request.get("deadline_ms") {
+        spec = spec.deadline_ms(
+            v.as_u64()
+                .ok_or("'deadline_ms' must be a positive integer")?,
+        );
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+/// Drains the scheduler, streaming step events and per-session summaries.
+fn drain<W: Write>(
+    scheduler: &mut Scheduler,
+    out: &mut W,
+    summary: &mut ServeSummary,
+) -> io::Result<()> {
+    let before = scheduler.outcomes().len();
+    let mut io_result = Ok(());
+    scheduler.drain_with(|id, event| {
+        if io_result.is_err() {
+            return;
+        }
+        io_result = match event {
+            SessionEvent::StepCompleted(step) => emit(
+                out,
+                Json::obj()
+                    .field("event", "step")
+                    .field("session", id)
+                    .field("step", step.step)
+                    .field("quality", step.quality)
+                    .field("kign", step.kign)
+                    .field("evaluations", step.evaluations)
+                    .field("wall_ms", step.wall_ms),
+            ),
+            SessionEvent::Finished(report) => emit(out, done_event(id, "finished", None, report)),
+            SessionEvent::BudgetExhausted { reason, partial } => emit(
+                out,
+                done_event(id, "exhausted", Some(&reason.to_string()), partial),
+            ),
+        };
+    });
+    io_result?;
+    for (_, outcome) in &scheduler.outcomes()[before..] {
+        match outcome {
+            SessionOutcome::Finished(_) => summary.finished += 1,
+            SessionOutcome::Exhausted { .. } => summary.exhausted += 1,
+        }
+    }
+    let drained = scheduler.outcomes().len() - before;
+    // Release the retained reports: a server process drains many times,
+    // and nothing reads an outcome after its `done` event went out.
+    let _ = scheduler.take_outcomes();
+    emit(
+        out,
+        Json::obj()
+            .field("event", "drained")
+            .field("sessions", drained),
+    )
+}
+
+/// One `done` line per completed session.
+fn done_event(id: u64, status: &str, reason: Option<&str>, report: &RunReport) -> Json {
+    Json::obj()
+        .field("event", "done")
+        .field("session", id)
+        .field("status", status)
+        .field("reason", reason.map(str::to_string))
+        .field("system", report.system)
+        .field("case", report.case)
+        .field("steps", report.steps.len())
+        .field("mean_quality", report.mean_quality())
+        .field("total_evaluations", report.total_evaluations())
+        .field("wall_ms", report.total_ms)
+}
+
+/// The canned request script of [`self_test`]: eight sessions (every
+/// registered system × two replicates) multiplexed over one pool, plus a
+/// deliberate unknown-system line, an unknown-case line and a
+/// cancellation, so the error and cancel paths are exercised too.
+pub fn self_test_script() -> String {
+    [
+        r#"{"op":"run","system":"ESS","case":"meadow_small","seed":11,"replicates":2,"scale":0.15}"#,
+        r#"{"op":"run","system":"ESSIM-EA","case":"meadow_small","seed":12,"replicates":2,"scale":0.15,"max_steps":1}"#,
+        r#"{"op":"run","system":"ESSIM-DE","case":"meadow_small","seed":13,"replicates":2,"scale":0.15,"max_steps":1}"#,
+        r#"{"op":"run","system":"ESS-NS","case":"meadow_small","seed":14,"replicates":2,"scale":0.15}"#,
+        r#"{"op":"run","system":"ESS-9000","case":"meadow_small"}"#,
+        r#"{"op":"run","system":"ESS","case":"lost_valley"}"#,
+        r#"{"op":"cancel","session":8}"#,
+        r#"{"op":"drain"}"#,
+        r#"{"op":"quit"}"#,
+        "",
+    ]
+    .join("\n")
+}
+
+/// Runs [`self_test_script`] through the serve loop on `backend`, writing
+/// the protocol output to `out`, and checks the summary against the
+/// script's known shape. The CI smoke job runs this via
+/// `harness serve --self-test`.
+///
+/// # Errors
+/// A one-line description of the first mismatch (or transport failure).
+pub fn self_test<W: Write>(out: W, backend: EvalBackend) -> Result<ServeSummary, String> {
+    let script = self_test_script();
+    let summary = serve(script.as_bytes(), out, backend).map_err(|e| format!("serve I/O: {e}"))?;
+    let expect = |label: &str, got: usize, want: usize| {
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("self-test: expected {want} {label}, got {got}"))
+        }
+    };
+    expect("accepted sessions", summary.accepted, 8)?;
+    expect("error events", summary.errors, 2)?;
+    expect("cancelled sessions", summary.cancelled, 1)?;
+    expect("exhausted sessions", summary.exhausted, 4)?;
+    expect("finished sessions", summary.finished, 3)?;
+    Ok(summary)
+}
+
+fn emit<W: Write>(out: &mut W, event: Json) -> io::Result<()> {
+    writeln!(out, "{event}")
+}
+
+fn emit_error<W: Write>(out: &mut W, summary: &mut ServeSummary, message: &str) -> io::Result<()> {
+    summary.errors += 1;
+    emit(
+        out,
+        Json::obj()
+            .field("event", "error")
+            .field("message", message),
+    )
+}

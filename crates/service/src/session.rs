@@ -1,0 +1,258 @@
+//! Re-entrant prediction sessions: the online run API.
+//!
+//! A [`PredictionSession`] wraps the `ess` crate's resumable
+//! [`StepDriver`] together with its optimizer, a [`Budget`] and observer
+//! callbacks. Each [`PredictionSession::advance`] call executes **one**
+//! prediction step (one observed fire interval consumed, one forecast
+//! emitted) and yields a [`SessionEvent`], so callers can interleave many
+//! runs, stream progress, stop early, or cancel between steps — none of
+//! which the old run-to-completion `run()` allowed. Draining a session to
+//! its terminal event is exactly the batch path (same driver, same seeds),
+//! so batch and session reports are bit-identical by construction.
+
+use crate::spec::Budget;
+use ess::cases::BurnCase;
+use ess::error::{BudgetReason, ServiceError};
+use ess::pipeline::{EvalStrategy, RunReport, StepDriver, StepOptimizer, StepReport};
+use parworker::Stopwatch;
+use std::time::Instant;
+
+/// What one [`PredictionSession::advance`] call produced.
+#[derive(Debug, Clone)]
+pub enum SessionEvent {
+    /// One prediction step ran to completion; the session is still live.
+    StepCompleted(StepReport),
+    /// Every step has run; the full report. Terminal — further `advance`
+    /// calls return this same event.
+    Finished(RunReport),
+    /// A budget fired (or the session was cancelled) before the final
+    /// step; the partial report covers the completed steps. Terminal.
+    BudgetExhausted {
+        /// Which budget stopped the run.
+        reason: BudgetReason,
+        /// Steps completed before exhaustion.
+        partial: RunReport,
+    },
+}
+
+impl SessionEvent {
+    /// True for [`SessionEvent::Finished`] and
+    /// [`SessionEvent::BudgetExhausted`].
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, SessionEvent::StepCompleted(_))
+    }
+}
+
+/// Observer callback invoked after every fresh event (steps and the
+/// terminal event; replayed terminal events do not re-notify).
+pub type Observer = Box<dyn FnMut(&SessionEvent)>;
+
+/// A resumable prediction run over one burn case.
+pub struct PredictionSession {
+    driver: StepDriver,
+    optimizer: Box<dyn StepOptimizer>,
+    budget: Budget,
+    steps: Vec<StepReport>,
+    evaluations_spent: u64,
+    driven_ms: f64,
+    started: Option<Instant>,
+    terminal: Option<SessionEvent>,
+    observers: Vec<Observer>,
+}
+
+impl PredictionSession {
+    /// Builds a session positioned before the first prediction step.
+    /// `strategy` decides whether the session owns its workers
+    /// ([`EvalStrategy::PerStep`]) or multiplexes a shared pool
+    /// ([`EvalStrategy::Shared`] — the scheduler configuration).
+    pub fn new(
+        case: BurnCase,
+        optimizer: Box<dyn StepOptimizer>,
+        strategy: EvalStrategy,
+        base_seed: u64,
+        budget: Budget,
+    ) -> Self {
+        Self {
+            driver: StepDriver::new(case, strategy, base_seed),
+            optimizer,
+            budget,
+            steps: Vec::new(),
+            evaluations_spent: 0,
+            driven_ms: 0.0,
+            started: None,
+            terminal: None,
+            observers: Vec::new(),
+        }
+    }
+
+    /// The system being run.
+    pub fn system(&self) -> &'static str {
+        self.optimizer.name()
+    }
+
+    /// The case being predicted.
+    pub fn case_name(&self) -> &'static str {
+        self.driver.case().name
+    }
+
+    /// Steps completed so far.
+    pub fn steps(&self) -> &[StepReport] {
+        &self.steps
+    }
+
+    /// Total steps a full run would execute.
+    pub fn total_steps(&self) -> usize {
+        self.driver.total_steps()
+    }
+
+    /// Scenario evaluations spent so far.
+    pub fn evaluations_spent(&self) -> u64 {
+        self.evaluations_spent
+    }
+
+    /// True once the session reached a terminal event (finished, budget
+    /// exhausted, or cancelled).
+    pub fn is_done(&self) -> bool {
+        self.terminal.is_some()
+    }
+
+    /// Registers an observer notified after every fresh event.
+    pub fn observe(&mut self, observer: impl FnMut(&SessionEvent) + 'static) {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// Snapshot of the run so far (the full report once finished).
+    /// `total_ms` counts time spent inside `advance` only, so multiplexed
+    /// sessions are not billed for time spent waiting on their peers.
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            system: self.optimizer.name(),
+            case: self.driver.case().name,
+            steps: self.steps.clone(),
+            total_ms: self.driven_ms,
+        }
+    }
+
+    /// Executes the next prediction step (or reports why it cannot run):
+    ///
+    /// * [`SessionEvent::StepCompleted`] — one more step ran;
+    /// * [`SessionEvent::Finished`] — all steps had already run;
+    /// * [`SessionEvent::BudgetExhausted`] — a budget fired first.
+    ///
+    /// Terminal events are sticky: once finished/exhausted/cancelled,
+    /// every further call returns the same event without running anything.
+    pub fn advance(&mut self) -> SessionEvent {
+        if let Some(done) = &self.terminal {
+            return done.clone();
+        }
+        let sw = Stopwatch::start();
+        let started = *self.started.get_or_insert_with(Instant::now);
+
+        if self.driver.is_finished() {
+            return self.settle(sw, None);
+        }
+        if let Some(reason) = self.budget_fired(started) {
+            return self.settle(sw, Some(reason));
+        }
+
+        let step = self
+            .driver
+            .step(self.optimizer.as_mut())
+            .expect("driver not finished");
+        self.evaluations_spent += step.evaluations;
+        self.steps.push(step.clone());
+        self.driven_ms += sw.elapsed_ms();
+        let event = SessionEvent::StepCompleted(step);
+        self.notify(&event);
+        event
+    }
+
+    /// Cancels the session between steps: the terminal event becomes
+    /// [`SessionEvent::BudgetExhausted`] with [`BudgetReason::Cancelled`]
+    /// and the partial report of the steps completed so far. Cancelling a
+    /// session that already reached a terminal event is a no-op.
+    pub fn cancel(&mut self) {
+        if self.terminal.is_none() {
+            let event = SessionEvent::BudgetExhausted {
+                reason: BudgetReason::Cancelled,
+                partial: self.report(),
+            };
+            self.notify(&event);
+            self.terminal = Some(event);
+        }
+    }
+
+    /// Drives the session to its terminal event — the batch path.
+    ///
+    /// # Errors
+    /// [`ServiceError::BudgetExhausted`] when a budget (or cancellation)
+    /// stopped the run before the final step.
+    pub fn drain(&mut self) -> Result<RunReport, ServiceError> {
+        loop {
+            match self.advance() {
+                SessionEvent::StepCompleted(_) => continue,
+                SessionEvent::Finished(report) => return Ok(report),
+                SessionEvent::BudgetExhausted { reason, partial } => {
+                    return Err(ServiceError::BudgetExhausted {
+                        reason,
+                        partial: Box::new(partial),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Checks the budgets that can stop the *next* step from starting.
+    fn budget_fired(&self, started: Instant) -> Option<BudgetReason> {
+        if let Some(max) = self.budget.max_steps {
+            if self.steps.len() >= max {
+                return Some(BudgetReason::MaxSteps);
+            }
+        }
+        if let Some(max) = self.budget.max_evaluations {
+            if self.evaluations_spent >= max {
+                return Some(BudgetReason::MaxEvaluations);
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if started.elapsed() >= deadline {
+                return Some(BudgetReason::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Records the terminal event (`None` reason = finished), bills the
+    /// time, notifies observers.
+    fn settle(&mut self, sw: Stopwatch, reason: Option<BudgetReason>) -> SessionEvent {
+        self.driven_ms += sw.elapsed_ms();
+        let event = match reason {
+            None => SessionEvent::Finished(self.report()),
+            Some(reason) => SessionEvent::BudgetExhausted {
+                reason,
+                partial: self.report(),
+            },
+        };
+        self.notify(&event);
+        self.terminal = Some(event.clone());
+        event
+    }
+
+    fn notify(&mut self, event: &SessionEvent) {
+        for observer in &mut self.observers {
+            observer(event);
+        }
+    }
+}
+
+impl std::fmt::Debug for PredictionSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictionSession")
+            .field("system", &self.system())
+            .field("case", &self.case_name())
+            .field("completed", &self.steps.len())
+            .field("total_steps", &self.total_steps())
+            .field("done", &self.is_done())
+            .finish_non_exhaustive()
+    }
+}

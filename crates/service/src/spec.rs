@@ -1,0 +1,317 @@
+//! [`RunSpec`]: the one request type of the run API.
+//!
+//! A spec names a system (resolved through [`crate::systems::by_name`])
+//! and a case (resolved through `ess::cases::by_name` — hand-built library
+//! or workload corpus), picks an execution backend, seed, replicate count,
+//! budget scale, and optional stopping budgets. It subsumes the scattered
+//! per-system config wiring the old entry points needed: every way of
+//! running a prediction — batch, session, scheduler, serve protocol —
+//! starts from one of these.
+
+use crate::session::PredictionSession;
+use crate::systems;
+use ess::cases::{self, BurnCase};
+use ess::error::ServiceError;
+use ess::fitness::{EvalBackend, SharedScenarioPool};
+use ess::pipeline::{EvalStrategy, RunReport};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Stopping budgets enforced *between* prediction steps (a running step is
+/// never interrupted, so a budget can be overshot by at most one step).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Budget {
+    /// Stop after this many prediction steps.
+    pub max_steps: Option<usize>,
+    /// Stop once this many scenario evaluations were spent.
+    pub max_evaluations: Option<u64>,
+    /// Stop once this much wall-clock time passed since the first
+    /// `advance` call.
+    pub deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// No budgets: run every step.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// True when no budget is set.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// A builder-style run request: system × case × backend × seed ×
+/// replicates × budgets.
+///
+/// ```no_run
+/// use ess_service::RunSpec;
+///
+/// let report = RunSpec::new("ESS-NS", "meadow_small")
+///     .backend("worker-pool:4".parse().unwrap())
+///     .seed(7)
+///     .scale(0.5)
+///     .max_steps(3)
+///     .run()
+///     .unwrap();
+/// println!("{}: mean quality {:.4}", report.case, report.mean_quality());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    system: String,
+    case: String,
+    backend: EvalBackend,
+    seed: u64,
+    replicates: usize,
+    scale: f64,
+    budget: Budget,
+}
+
+impl RunSpec {
+    /// A spec for `system` on `case` with the defaults: serial backend,
+    /// seed 1, one replicate, unit budget scale, no stopping budgets.
+    pub fn new(system: impl Into<String>, case: impl Into<String>) -> Self {
+        Self {
+            system: system.into(),
+            case: case.into(),
+            backend: EvalBackend::Serial,
+            seed: 1,
+            replicates: 1,
+            scale: 1.0,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Execution backend for standalone sessions (ignored when building on
+    /// a shared pool — the pool already chose).
+    pub fn backend(mut self, backend: EvalBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Base RNG seed of replicate 0; replicate `r` derives its own stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of independent replicates (≥ 1).
+    pub fn replicates(mut self, replicates: usize) -> Self {
+        self.replicates = replicates;
+        self
+    }
+
+    /// Evaluation-budget scale (the per-step search budget is roughly
+    /// `scale × 400` evaluations).
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Stop after `n` prediction steps.
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.budget.max_steps = Some(n);
+        self
+    }
+
+    /// Stop once `n` scenario evaluations were spent.
+    pub fn max_evaluations(mut self, n: u64) -> Self {
+        self.budget.max_evaluations = Some(n);
+        self
+    }
+
+    /// Stop after `ms` wall-clock milliseconds of driving.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.budget.deadline = Some(Duration::from_millis(ms));
+        self
+    }
+
+    /// The requested system name.
+    pub fn system_name(&self) -> &str {
+        &self.system
+    }
+
+    /// The requested case name.
+    pub fn case_name(&self) -> &str {
+        &self.case
+    }
+
+    /// The configured budgets.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// The configured replicate count.
+    pub fn replicate_count(&self) -> usize {
+        self.replicates
+    }
+
+    /// The most replicates one spec may request. Sessions are materialised
+    /// eagerly (each owns its case and optimizer), so an unbounded count
+    /// would let a single serve request allocate the server to death; runs
+    /// wanting more statistical replicates than this submit more specs.
+    pub const MAX_REPLICATES: usize = 1024;
+
+    /// Validates the non-name fields.
+    ///
+    /// # Errors
+    /// [`ServiceError::BadSpec`] on zero or more than
+    /// [`RunSpec::MAX_REPLICATES`] replicates, a non-positive or
+    /// non-finite scale, or a zero budget (a budget of 0 can never admit a
+    /// step, which is always a mistake — omit the budget instead).
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.replicates == 0 {
+            return Err(ServiceError::BadSpec("replicates must be ≥ 1".into()));
+        }
+        if self.replicates > Self::MAX_REPLICATES {
+            return Err(ServiceError::BadSpec(format!(
+                "replicates must be ≤ {} (got {})",
+                Self::MAX_REPLICATES,
+                self.replicates
+            )));
+        }
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return Err(ServiceError::BadSpec(format!(
+                "scale must be a positive number, got {}",
+                self.scale
+            )));
+        }
+        if self.budget.max_steps == Some(0) {
+            return Err(ServiceError::BadSpec("max_steps must be ≥ 1".into()));
+        }
+        if self.budget.max_evaluations == Some(0) {
+            return Err(ServiceError::BadSpec("max_evaluations must be ≥ 1".into()));
+        }
+        if self.budget.deadline == Some(Duration::ZERO) {
+            return Err(ServiceError::BadSpec("deadline must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Resolves both names and validates the spec.
+    fn resolve(&self) -> Result<(&'static systems::SystemSpec, BurnCase), ServiceError> {
+        self.validate()?;
+        let system = systems::resolve(&self.system)?;
+        let case = cases::by_name(&self.case)
+            .ok_or_else(|| ServiceError::UnknownCase(self.case.clone()))?;
+        Ok((system, case))
+    }
+
+    /// Seed of replicate `r` (replicate 0 uses the spec seed unchanged, so
+    /// single-replicate sessions reproduce the batch path bit for bit).
+    fn replicate_seed(&self, replicate: usize) -> u64 {
+        self.seed
+            .wrapping_add((replicate as u64).wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Builds the replicate-0 session on its own private backend.
+    pub fn session(&self) -> Result<PredictionSession, ServiceError> {
+        let (system, case) = self.resolve()?;
+        Ok(self.assemble(system, case, EvalStrategy::PerStep(self.backend), 0))
+    }
+
+    /// Builds one session per replicate, each on its own private backend.
+    pub fn sessions(&self) -> Result<Vec<PredictionSession>, ServiceError> {
+        self.sessions_with(|| EvalStrategy::PerStep(self.backend))
+    }
+
+    /// Builds one session per replicate, all multiplexing `pool` — the
+    /// scheduler configuration: no new worker threads are spawned.
+    pub fn sessions_on(
+        &self,
+        pool: &Arc<SharedScenarioPool>,
+    ) -> Result<Vec<PredictionSession>, ServiceError> {
+        self.sessions_with(|| EvalStrategy::Shared(Arc::clone(pool)))
+    }
+
+    fn sessions_with(
+        &self,
+        strategy: impl Fn() -> EvalStrategy,
+    ) -> Result<Vec<PredictionSession>, ServiceError> {
+        let (system, case) = self.resolve()?;
+        Ok((0..self.replicates)
+            .map(|r| self.assemble(system, case.clone(), strategy(), r))
+            .collect())
+    }
+
+    fn assemble(
+        &self,
+        system: &systems::SystemSpec,
+        case: BurnCase,
+        strategy: EvalStrategy,
+        replicate: usize,
+    ) -> PredictionSession {
+        PredictionSession::new(
+            case,
+            system.make(self.scale),
+            strategy,
+            self.replicate_seed(replicate),
+            self.budget,
+        )
+    }
+
+    /// The batch entry point: builds the replicate-0 session and drains
+    /// it. This is the old `run()`-to-completion API, now a thin wrapper
+    /// over a drained session.
+    ///
+    /// # Errors
+    /// Name/spec errors from building, or
+    /// [`ServiceError::BudgetExhausted`] when a budget stopped the run
+    /// early (the partial report rides in the error).
+    pub fn run(&self) -> Result<RunReport, ServiceError> {
+        self.session()?.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_builder_chain() {
+        let spec = RunSpec::new("ESS-NS", "meadow_small")
+            .seed(9)
+            .replicates(3)
+            .scale(0.5)
+            .max_steps(2)
+            .max_evaluations(1000)
+            .deadline_ms(5000)
+            .backend(EvalBackend::WorkerPool(2));
+        assert_eq!(spec.system_name(), "ESS-NS");
+        assert_eq!(spec.case_name(), "meadow_small");
+        assert_eq!(spec.replicate_count(), 3);
+        assert_eq!(spec.budget().max_steps, Some(2));
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.replicate_seed(0), 9);
+        assert_ne!(spec.replicate_seed(1), 9);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_bad_spec() {
+        let base = RunSpec::new("ESS", "grass_uniform");
+        for bad in [
+            base.clone().replicates(0),
+            base.clone().replicates(RunSpec::MAX_REPLICATES + 1),
+            base.clone().scale(0.0),
+            base.clone().scale(f64::NAN),
+            base.clone().max_steps(0),
+            base.clone().max_evaluations(0),
+        ] {
+            assert!(matches!(bad.validate(), Err(ServiceError::BadSpec(_))));
+            assert!(matches!(bad.run(), Err(ServiceError::BadSpec(_))));
+        }
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_typed_errors() {
+        assert!(matches!(
+            RunSpec::new("ESS-XL", "meadow_small").session(),
+            Err(ServiceError::UnknownSystem(ref n)) if n == "ESS-XL"
+        ));
+        assert!(matches!(
+            RunSpec::new("ESS", "atlantis_burn").session(),
+            Err(ServiceError::UnknownCase(ref n)) if n == "atlantis_burn"
+        ));
+    }
+}

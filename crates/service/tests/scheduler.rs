@@ -1,0 +1,150 @@
+//! Scheduler fairness/soundness: many sessions on one shared worker pool
+//! all finish, produce exactly the reports of serial runs, interleave
+//! fairly, and survive mid-flight cancellation without deadlock.
+
+use ess::fitness::EvalBackend;
+use ess::pipeline::StepReport;
+use ess_service::{systems, RunSpec, Scheduler, SessionEvent, SessionOutcome};
+
+const CASE: &str = "meadow_small";
+const SCALE: f64 = 0.25;
+
+fn fingerprint(s: &StepReport) -> (usize, Option<f64>, f64, f64, u64) {
+    (s.step, s.quality, s.kign, s.os_best_fitness, s.evaluations)
+}
+
+fn spec_for(system: &str, seed: u64) -> RunSpec {
+    RunSpec::new(system, CASE).scale(SCALE).seed(seed)
+}
+
+#[test]
+fn eight_concurrent_sessions_match_their_serial_runs() {
+    // 4 systems × 2 replicates multiplexed over one 2-worker pool.
+    let mut scheduler = Scheduler::new(EvalBackend::WorkerPool(2));
+    let mut submitted = Vec::new();
+    for system in systems::all() {
+        let ids = scheduler
+            .submit(&spec_for(system.name, 21).replicates(2))
+            .expect("spec resolves");
+        assert_eq!(ids.len(), 2);
+        for (replicate, id) in ids.into_iter().enumerate() {
+            submitted.push((id, system.name, replicate));
+        }
+    }
+    assert_eq!(scheduler.live_count(), 8);
+
+    let outcomes = scheduler.drain().to_vec();
+    assert_eq!(outcomes.len(), 8);
+    assert!(outcomes.iter().all(|(_, o)| o.is_finished()));
+
+    // Each scheduled run must equal the same replicate run serially on a
+    // private backend (sessions() builds per-replicate seeds the same way).
+    for (id, system, replicate) in submitted {
+        let serial = spec_for(system, 21)
+            .replicates(2)
+            .sessions()
+            .expect("spec resolves")
+            .remove(replicate)
+            .drain()
+            .expect("serial run finishes");
+        let outcome = &outcomes
+            .iter()
+            .find(|(oid, _)| *oid == id)
+            .expect("outcome present")
+            .1;
+        let shared = outcome.report();
+        assert_eq!(shared.system, system);
+        assert_eq!(shared.steps.len(), serial.steps.len());
+        for (a, b) in shared.steps.iter().zip(&serial.steps) {
+            assert_eq!(
+                fingerprint(a),
+                fingerprint(b),
+                "{system} replicate {replicate} diverged on the shared pool"
+            );
+        }
+    }
+}
+
+#[test]
+fn rounds_are_fair_one_step_per_live_session() {
+    let mut scheduler = Scheduler::new(EvalBackend::WorkerPool(2));
+    for seed in [1u64, 2, 3] {
+        scheduler
+            .submit(&spec_for("ESS-NS", seed))
+            .expect("spec ok");
+    }
+    let mut rounds = 0usize;
+    while scheduler.live_count() > 0 {
+        let live_before = scheduler.live_count();
+        let events = scheduler.round();
+        rounds += 1;
+        // Every live session got exactly one event this round.
+        assert_eq!(events.len(), live_before);
+        // Progress within one round never differs by more than one step.
+        let progress: Vec<usize> = scheduler.live().map(|(_, s)| s.steps().len()).collect();
+        if let (Some(min), Some(max)) = (progress.iter().min(), progress.iter().max()) {
+            assert!(max - min <= 1, "unfair round: {progress:?}");
+        }
+        assert!(rounds < 100, "scheduler failed to converge");
+    }
+    assert_eq!(scheduler.outcomes().len(), 3);
+    // Long-lived servers reclaim outcome memory between drains.
+    assert_eq!(scheduler.take_outcomes().len(), 3);
+    assert!(scheduler.outcomes().is_empty());
+}
+
+#[test]
+fn cancelling_mid_flight_neither_deadlocks_nor_perturbs_peers() {
+    let mut scheduler = Scheduler::new(EvalBackend::WorkerPool(2));
+    let victim = scheduler.submit(&spec_for("ESS", 9)).expect("ok")[0];
+    let survivor = scheduler.submit(&spec_for("ESS-NS", 9)).expect("ok")[0];
+
+    // One fair round, then cancel the first session mid-flight.
+    let events = scheduler.round();
+    assert!(events
+        .iter()
+        .all(|(_, e)| matches!(e, SessionEvent::StepCompleted(_))));
+    assert!(scheduler.cancel(victim));
+    assert!(!scheduler.cancel(victim), "double cancel must be a no-op");
+    assert_eq!(scheduler.live_count(), 1);
+
+    let outcomes = scheduler.drain().to_vec();
+    assert_eq!(outcomes.len(), 2);
+    let victim_outcome = &outcomes.iter().find(|(id, _)| *id == victim).unwrap().1;
+    match victim_outcome {
+        SessionOutcome::Exhausted { partial, .. } => assert_eq!(partial.steps.len(), 1),
+        other => panic!("cancelled session reported {other:?}"),
+    }
+    let survivor_outcome = &outcomes.iter().find(|(id, _)| *id == survivor).unwrap().1;
+    assert!(survivor_outcome.is_finished());
+
+    // The survivor still matches its serial run exactly.
+    let serial = spec_for("ESS-NS", 9).run().expect("serial run");
+    for (a, b) in survivor_outcome.report().steps.iter().zip(&serial.steps) {
+        assert_eq!(fingerprint(a), fingerprint(b));
+    }
+}
+
+#[test]
+fn bad_submissions_enqueue_nothing() {
+    let mut scheduler = Scheduler::new(EvalBackend::Serial);
+    assert!(scheduler.submit(&RunSpec::new("ESS-X", CASE)).is_err());
+    assert!(scheduler.submit(&RunSpec::new("ESS", "atlantis")).is_err());
+    assert!(scheduler.submit(&spec_for("ESS", 1).replicates(0)).is_err());
+    assert_eq!(scheduler.live_count(), 0);
+    assert!(scheduler.drain().is_empty());
+}
+
+#[test]
+fn serve_protocol_self_test_passes_on_a_shared_pool() {
+    let mut transcript = Vec::new();
+    let summary = ess_service::serve::self_test(&mut transcript, EvalBackend::WorkerPool(2))
+        .expect("self test");
+    assert_eq!(summary.accepted, 8);
+    let text = String::from_utf8(transcript).expect("utf-8 protocol");
+    // Every line of the transcript is a parseable JSON event object.
+    for line in text.lines() {
+        let event = ess_service::jsonio::Json::parse(line).expect("valid event line");
+        assert!(event.get("event").is_some(), "event field missing: {line}");
+    }
+}

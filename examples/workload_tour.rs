@@ -50,7 +50,8 @@ fn main() {
     // --- 3. Calibrate + predict on a named workload -------------------------
     // `EssNsConfig::workload` names a corpus workload (or a hand-built
     // library case); `EssNs::run` resolves it and runs the Fig. 3 pipeline
-    // end to end on the configured backend.
+    // end to end on the configured backend. A misspelled name comes back
+    // as `Err(ServiceError::UnknownCase)`, not a silent skip.
     let system = EssNs::new(EssNsConfig {
         workload: Some("twin_fronts".to_string()),
         ..EssNsConfig::default()

@@ -5,9 +5,11 @@
 //! Re-exports every workspace crate so the examples and integration tests
 //! have a single import root. Start with [`ess_ns`] (the paper's
 //! contribution: Algorithm 1 and the ESS-NS system), then [`ess`] (the
-//! prediction framework and baselines), [`firelib`] (the fire simulator),
-//! [`evoalg`] (the EA substrate), [`parworker`] (the Master/Worker engine)
-//! and [`landscape`] (rasters and metrics).
+//! prediction framework and baselines), [`ess_service`] (the serving
+//! layer: sessions, the system registry, the multi-session scheduler),
+//! [`firelib`] (the fire simulator), [`evoalg`] (the EA substrate),
+//! [`parworker`] (the Master/Worker engine) and [`landscape`] (rasters
+//! and metrics).
 //!
 //! ```no_run
 //! use essns_repro::ess::{cases, fitness::EvalBackend};
@@ -26,6 +28,7 @@
 
 pub use ess;
 pub use ess_ns;
+pub use ess_service;
 pub use evoalg;
 pub use firelib;
 pub use landscape;
