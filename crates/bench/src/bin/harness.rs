@@ -23,12 +23,13 @@
 //!   e10-noise   E10       — robustness to observation noise
 //!   workloads   W         — workload corpus × backend sweep (+ BENCH_*.json)
 //!   service     S         — concurrent-session throughput sweep (+ BENCH_service.json)
+//!   novelty     N         — novelty-engine sweep: pop × archive × engine (+ BENCH_novelty.json)
 //!   serve                 — line-delimited JSON prediction service on stdin/stdout
 //! ```
 //!
-//! `all` regenerates every paper artifact (table1 … e10); `workloads` and
-//! `service` benchmark this repo's own engine and must be requested
-//! explicitly.
+//! `all` regenerates every paper artifact (table1 … e10); `workloads`,
+//! `service` and `novelty` benchmark this repo's own engine and must be
+//! requested explicitly.
 //!
 //! `serve` turns the harness into a prediction server: each stdin line is
 //! a JSON request (`{"op":"run","system":"ESS-NS","case":"meadow_small",
@@ -117,7 +118,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|serve|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--quick] [--self-test] [--out DIR]".to_string()
+    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|serve|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--quick] [--self-test] [--out DIR]".to_string()
 }
 
 fn emit(args: &Args, id: &str, title: &str, table: &TextTable) {
@@ -310,6 +311,15 @@ fn main() -> ExitCode {
             "service",
             "S — concurrent sessions over one shared backend (scheduler throughput)",
             &exp::service_sweep(&args.workers, args.quick, &args.out),
+        );
+        ran = true;
+    }
+    if args.experiment == "novelty" {
+        emit(
+            &args,
+            "novelty",
+            "N — novelty-scoring engines: population × archive × engine (1-D behaviour)",
+            &exp::novelty_sweep(&args.workers, args.quick, &args.out),
         );
         ran = true;
     }

@@ -1004,6 +1004,135 @@ pub fn workloads_sweep(worker_counts: &[usize], quick: bool, out: &std::path::Pa
     t
 }
 
+/// N — the novelty-scoring engine sweep: population × archive × engine,
+/// on the paper's 1-D fitness behaviour, measuring batched ρ(x)
+/// throughput (scores/sec) for the brute-force reference, the sorted-scan
+/// index, and the backend-parallel variants of both. Cross-path
+/// bit-identity is asserted inline for every configuration, and for the
+/// configurations with noveltySet ≥ 2000 the sorted-scan index must beat
+/// brute force by ≥ 3× (the refactor's acceptance bar). Writes
+/// `BENCH_novelty.json` into `out` — the novelty subsystem's cross-PR
+/// performance trail.
+///
+/// `quick` trims the size grid and the repetition count (the CI smoke
+/// configuration); the ≥ 2000 acceptance configuration is kept even then,
+/// because brute force at that size is still only a few milliseconds.
+pub fn novelty_sweep(worker_counts: &[usize], quick: bool, out: &std::path::Path) -> TextTable {
+    use evoalg::{BehaviourMatrix, NoveltyEngine};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    // (population ∪ offspring subjects, archive rows) grid.
+    let sizes: &[(usize, usize)] = if quick {
+        &[(256, 256), (1024, 1024)]
+    } else {
+        &[(256, 256), (1024, 1024), (2048, 2048), (4096, 4096)]
+    };
+    let k = 5usize;
+    let reps = if quick { 3u32 } else { 10 };
+    let mut engines = vec![NoveltyEngine::brute_force(), NoveltyEngine::indexed()];
+    if quick {
+        engines.push(NoveltyEngine::brute_force().with_workers(2));
+        engines.push(NoveltyEngine::indexed().with_workers(2));
+    } else {
+        for &w in worker_counts {
+            engines.push(NoveltyEngine::brute_force().with_workers(w));
+            engines.push(NoveltyEngine::indexed().with_workers(w));
+        }
+    }
+
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("[warn] could not create {}: {e}", out.display());
+    }
+
+    let mut t = TextTable::new([
+        "population",
+        "archive",
+        "k",
+        "engine",
+        "batch_ms",
+        "scores_per_sec",
+        "speedup_vs_brute",
+    ]);
+    let mut json_sizes: Vec<Json> = Vec::new();
+    for &(subjects, archive) in sizes {
+        // The paper's 1-D fitness behaviour: one value per row, subjects
+        // first (population ∪ offspring), archive rows appended.
+        let mut rng = StdRng::seed_from_u64(0x5C0_7E5);
+        let mut reference = BehaviourMatrix::with_dim(1);
+        for _ in 0..subjects + archive {
+            reference.push(&[rng.random::<f64>()]);
+        }
+
+        let mut brute_scores: Option<Vec<f64>> = None;
+        let mut brute_ms = 0.0f64;
+        let mut json_engines: Vec<Json> = Vec::new();
+        for engine in &engines {
+            let warm = engine.novelty_scores(&reference, subjects, k);
+            let sw = Stopwatch::start();
+            for _ in 0..reps {
+                std::hint::black_box(engine.novelty_scores(&reference, subjects, k));
+            }
+            let batch_ms = sw.elapsed_ms() / reps as f64;
+            let scores_per_sec = subjects as f64 / (batch_ms / 1000.0);
+            match &brute_scores {
+                None => {
+                    brute_scores = Some(warm);
+                    brute_ms = batch_ms;
+                }
+                // The refactor's contract, enforced right in the sweep:
+                // every engine produces f64-bit-identical scores.
+                Some(reference_scores) => assert_eq!(
+                    reference_scores, &warm,
+                    "pop {subjects} archive {archive}: engine {engine} diverged from brute force"
+                ),
+            }
+            let speedup = brute_ms / batch_ms;
+            t.row([
+                subjects.to_string(),
+                archive.to_string(),
+                k.to_string(),
+                engine.name(),
+                f4(batch_ms),
+                f2(scores_per_sec),
+                f2(speedup),
+            ]);
+            if subjects + archive >= 2000 && *engine == NoveltyEngine::indexed() {
+                assert!(
+                    speedup >= 3.0,
+                    "sorted-scan must give ≥3× scores/sec over brute force at \
+                     noveltySet ≥ 2000 (pop {subjects} ∪ archive {archive}: {speedup:.2}×)"
+                );
+            }
+            json_engines.push(
+                Json::obj()
+                    .field("engine", engine.name())
+                    .field("batch_ms", batch_ms)
+                    .field("scores_per_sec", scores_per_sec)
+                    .field("speedup_vs_brute", speedup)
+                    .field("identical_to_brute", true),
+            );
+        }
+        json_sizes.push(
+            Json::obj()
+                .field("population", subjects)
+                .field("archive", archive)
+                .field("novelty_set", subjects + archive)
+                .field("k", k)
+                .field("dim", 1u64)
+                .field("engines", Json::Arr(json_engines)),
+        );
+    }
+
+    let json = Json::obj()
+        .field("bench_format", 1u64)
+        .field("suite", "novelty")
+        .field("quick", quick)
+        .field("reps", reps)
+        .field("configs", Json::Arr(json_sizes));
+    write_bench_json(&out.join("BENCH_novelty.json"), &json);
+    t
+}
+
 /// Writes one pretty-printed `BENCH_*.json` artifact, warning (not
 /// failing) on I/O problems like every other report writer here.
 fn write_bench_json(path: &std::path::Path, json: &Json) {

@@ -36,13 +36,20 @@
 //!   evaluated individuals that can never be recorded) is a strict
 //!   superset that matches the stated contract. `BestSet` dedupes, so this
 //!   costs nothing.
+//!
+//! Lines 11–14 run as one *batched* pass: the noveltySet is assembled in
+//! a generation-reused flat [`evoalg::BehaviourMatrix`] (each individual
+//! described exactly once; the archive contributes its incrementally
+//! maintained matrix via one bulk copy), and ρ(x) for every subject is
+//! computed by the configured [`evoalg::NoveltyEngine`] — indexed kNN,
+//! optionally fanned out over scoring workers, always bit-identical to
+//! the brute-force reference `novelty_score`.
 
 use crate::hybrid::{BehaviourSpace, ScoringPolicy};
 use evoalg::individual::{Individual, Population};
-use evoalg::novelty::novelty_score;
 use evoalg::operators::{one_point_crossover, uniform_mutation};
 use evoalg::selection::{elitist_merge_indices, roulette};
-use evoalg::{BatchEvaluator, BestSet, NoveltyArchive};
+use evoalg::{BatchEvaluator, BehaviourMatrix, BestSet, NoveltyArchive, NoveltyEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -77,6 +84,10 @@ pub struct NoveltyGaConfig {
     pub scoring: ScoringPolicy,
     /// Behaviour space for Eq. (1)/(2) (fitness for the baseline).
     pub behaviour: BehaviourSpace,
+    /// How ρ(x) batches are computed: kNN index strategy × scoring worker
+    /// count. Every engine yields bit-identical scores — this knob trades
+    /// master-side wall time only.
+    pub novelty: NoveltyEngine,
     /// RNG seed.
     pub seed: u64,
 }
@@ -96,6 +107,7 @@ impl Default for NoveltyGaConfig {
             archive_threshold: None,
             scoring: ScoringPolicy::PureNovelty,
             behaviour: BehaviourSpace::Fitness,
+            novelty: NoveltyEngine::default(),
             seed: 0,
         }
     }
@@ -201,6 +213,9 @@ impl NoveltyGa {
         let mut evaluations = 0u64;
         let mut history = Vec::new();
         let mut stop_reason = StopReason::GenerationBudget;
+        // The noveltySet buffer, reused across generations: one flat block
+        // holding population ∪ offspring ∪ archive descriptors.
+        let mut novelty_set = BehaviourMatrix::with_dim(cfg.behaviour.dim(self.dims));
 
         // Line 6: the two stopping conditions.
         while generations < cfg.max_generations {
@@ -217,18 +232,30 @@ impl NoveltyGa {
             evaluations += Self::evaluate_missing(&mut population, evaluator);
             evaluations += Self::evaluate_missing(&mut offspring, evaluator);
 
-            // Line 11: noveltySet ← population ∪ offspring ∪ archive.
-            let mut behaviours: Vec<Vec<f64>> =
-                Vec::with_capacity(population.len() + offspring.len() + archive.len());
+            // Line 11: noveltySet ← population ∪ offspring ∪ archive,
+            // rebuilt in the reused flat buffer. Each individual is
+            // described exactly once per generation — the archive offers
+            // below reuse these rows — and the archive's descriptors
+            // arrive with one bulk copy of its incrementally maintained
+            // matrix (no per-entry clone).
+            novelty_set.clear();
+            novelty_set.reserve_rows(population.len() + offspring.len() + archive.len());
             for ind in population.members().iter().chain(offspring.members()) {
-                behaviours.push(cfg.behaviour.describe(&ind.genes, ind.fitness));
+                cfg.behaviour
+                    .describe_into(&ind.genes, ind.fitness, &mut novelty_set);
             }
-            behaviours.extend(archive.behaviours());
+            novelty_set.extend_from(archive.behaviour_matrix());
 
-            // Lines 12–14: novelty of each ind ∈ population ∪ offspring.
+            // Lines 12–14: ρ(x) of each ind ∈ population ∪ offspring, as
+            // one batch on the configured engine (indexed kNN, optionally
+            // chunk-parallel; bit-identical to brute force either way).
+            // The index is prepared once and shared with the NSLC batch.
             let subjects = population.len() + offspring.len();
-            for idx in 0..subjects {
-                let rho = novelty_score(idx, &behaviours, cfg.novelty_neighbours);
+            let prepared = cfg.novelty.index.prepare(&novelty_set);
+            let scores =
+                cfg.novelty
+                    .novelty_scores_prepared(&prepared, subjects, cfg.novelty_neighbours);
+            for (idx, rho) in scores.into_iter().enumerate() {
                 // The sentinel for an empty reference cannot occur here
                 // (the reference always holds ≥ N+m−1 ≥ 3 entries), but
                 // clamp defensively for custom behaviour spaces.
@@ -252,13 +279,13 @@ impl NoveltyGa {
                     .map(|m| m.fitness)
                     .collect();
                 all_fitness.extend(archive.entries().iter().map(|e| e.fitness));
-                for idx in 0..subjects {
-                    let lc = evoalg::novelty::local_competition_score(
-                        idx,
-                        &behaviours,
-                        &all_fitness,
-                        cfg.novelty_neighbours,
-                    );
+                let lcs = cfg.novelty.local_competition_scores_prepared(
+                    &prepared,
+                    &all_fitness,
+                    subjects,
+                    cfg.novelty_neighbours,
+                );
+                for (idx, lc) in lcs.into_iter().enumerate() {
                     if idx < population.len() {
                         population.members_mut()[idx].local_comp = lc;
                     } else {
@@ -269,10 +296,11 @@ impl NoveltyGa {
 
             // Line 15: updateArchive(archive, offspring) — offspring enter
             // by novelty; replacement inside the archive is novelty-only.
-            for ind in offspring.members() {
+            // Descriptors are the rows already built for the noveltySet.
+            for (j, ind) in offspring.members().iter().enumerate() {
                 archive.offer(
                     &ind.genes,
-                    &cfg.behaviour.describe(&ind.genes, ind.fitness),
+                    novelty_set.row(population.len() + j),
                     ind.novelty,
                     ind.fitness,
                 );
@@ -703,6 +731,48 @@ mod tests {
             gated.archive.len(),
             open.archive.len()
         );
+    }
+
+    #[test]
+    fn novelty_engines_are_bit_identical_end_to_end() {
+        // The whole point of the engine knob: sorted-scan, brute-force and
+        // chunk-parallel scoring must drive the exact same search — same
+        // bestSet, same archive, same final population, per seed.
+        use evoalg::NoveltyIndex;
+        let run_with = |novelty: NoveltyEngine, behaviour| {
+            let cfg = NoveltyGaConfig {
+                max_generations: 10,
+                fitness_threshold: 2.0,
+                novelty,
+                behaviour,
+                seed: 21,
+                ..NoveltyGaConfig::default()
+            };
+            let (out, _) = run_on(|g| two_peaks(g, 0.6), cfg, 5);
+            (
+                out.best_set.genomes(),
+                out.best_set.fitness_values(),
+                out.final_population.genomes(),
+                out.archive.entries().to_vec(),
+            )
+        };
+        for behaviour in [BehaviourSpace::Fitness, BehaviourSpace::Genotype] {
+            let reference = run_with(NoveltyEngine::brute_force(), behaviour);
+            for engine in [
+                NoveltyEngine::indexed(),
+                NoveltyEngine::indexed().with_workers(3),
+                NoveltyEngine {
+                    index: NoveltyIndex::ChunkedBruteForce,
+                    workers: 2,
+                },
+            ] {
+                assert_eq!(
+                    run_with(engine, behaviour),
+                    reference,
+                    "engine {engine} diverged from brute force ({behaviour:?})"
+                );
+            }
+        }
     }
 
     #[test]

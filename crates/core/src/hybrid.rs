@@ -108,6 +108,32 @@ impl BehaviourSpace {
             }
         }
     }
+
+    /// Writes the descriptor straight into a flat
+    /// [`evoalg::BehaviourMatrix`] row — the allocation-free path the
+    /// engine uses to build each generation's noveltySet. Values are
+    /// identical to [`BehaviourSpace::describe`].
+    pub fn describe_into(&self, genes: &[f64], fitness: f64, out: &mut evoalg::BehaviourMatrix) {
+        match self {
+            BehaviourSpace::Fitness => out.push(&[fitness]),
+            BehaviourSpace::Genotype => {
+                let norm = (genes.len() as f64).sqrt();
+                for (slot, &g) in out.push_uninit(genes.len()).iter_mut().zip(genes) {
+                    *slot = g / norm;
+                }
+            }
+        }
+    }
+
+    /// Descriptor dimension for `genome_dims`-gene genomes (1 for the
+    /// paper's fitness behaviour — the case the sorted-scan kNN index
+    /// accelerates).
+    pub fn dim(&self, genome_dims: usize) -> usize {
+        match self {
+            BehaviourSpace::Fitness => 1,
+            BehaviourSpace::Genotype => genome_dims,
+        }
+    }
 }
 
 /// How the result set handed to the Statistical Stage is composed.
@@ -219,6 +245,20 @@ mod tests {
             (d - 1.0).abs() < 1e-12,
             "corner-to-corner should be 1, got {d}"
         );
+    }
+
+    #[test]
+    fn describe_into_matches_describe_bit_for_bit() {
+        let genes = [0.3, 0.7, 0.1];
+        for (space, fitness) in [
+            (BehaviourSpace::Fitness, 0.42),
+            (BehaviourSpace::Genotype, 0.9),
+        ] {
+            let mut m = evoalg::BehaviourMatrix::new();
+            space.describe_into(&genes, fitness, &mut m);
+            assert_eq!(m.row(0), space.describe(&genes, fitness).as_slice());
+            assert_eq!(m.dim(), space.dim(genes.len()));
+        }
     }
 
     #[test]

@@ -47,6 +47,25 @@ impl Default for EssNsConfig {
     }
 }
 
+impl EssNsConfig {
+    /// Sets the novelty-scoring engine (kNN index strategy × scoring
+    /// workers) — the master-side counterpart of [`EssNsConfig::backend`].
+    /// Scenario evaluation parallelises the workers' fire simulations;
+    /// this knob parallelises (and indexes) the master's ρ(x) batches.
+    /// The engine lives on [`NoveltyGaConfig::novelty`]; this builder just
+    /// surfaces it at the system level. Results are engine-independent
+    /// (bit-identical scores); only wall time changes.
+    pub fn with_novelty(mut self, engine: evoalg::NoveltyEngine) -> Self {
+        self.algorithm.novelty = engine;
+        self
+    }
+
+    /// The configured novelty-scoring engine.
+    pub fn novelty_engine(&self) -> evoalg::NoveltyEngine {
+        self.algorithm.novelty
+    }
+}
+
 /// The ESS-NS optimizer (drop-in [`StepOptimizer`], like the baselines).
 #[derive(Debug, Clone)]
 pub struct EssNs {

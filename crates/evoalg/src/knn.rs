@@ -1,0 +1,734 @@
+//! Indexed, batched, optionally parallel novelty scoring.
+//!
+//! Algorithm 1 scores ρ(x) (Eq. (1)) for every member of
+//! population ∪ offspring against the full noveltySet each generation —
+//! the one master-side O(n²) hot path of ESS-NS. This module turns that
+//! into a subsystem with three independent knobs:
+//!
+//! * **Layout** — scoring runs over a flat
+//!   [`BehaviourMatrix`](crate::behaviour::BehaviourMatrix) (one
+//!   contiguous block) instead of `Vec<Vec<f64>>`;
+//! * **Index** — [`NoveltyIndex`] picks the kNN strategy:
+//!   [`NoveltyIndex::SortedScan`] sorts the 1-D behaviour values once per
+//!   generation and finds each subject's k nearest neighbours with a
+//!   two-pointer walk (O(n log n + n·k) instead of O(n²)) — the paper's
+//!   Eq. (2) fitness behaviour is exactly this 1-D case —
+//!   while [`NoveltyIndex::ChunkedBruteForce`] handles any dimension;
+//! * **Execution** — [`NoveltyEngine`] batches the per-subject scores and
+//!   can fan chunks of subjects out over
+//!   [`parworker::scoped_chunk_map_ranges`] (the same self-scheduling
+//!   discipline as the scenario-evaluation pools).
+//!
+//! **Bit-identity guarantee.** Every strategy × worker-count combination
+//! returns exactly (`f64`-bit-equal) the values of the brute-force
+//! reference functions [`crate::novelty::novelty_score`],
+//! [`crate::novelty::novelty_score_external`] and
+//! [`crate::novelty::local_competition_score`]. This holds by
+//! construction, not by tolerance: all paths compute distances with the
+//! same expressions, reduce the same k-smallest multiset through the
+//! shared canonical `mean_of_k_smallest` (ascending summation), and
+//! resolve distance ties in the same `(distance, index)` order (see
+//! `crates/evoalg/tests/properties.rs`). Backend-parallel scoring is a
+//! pure fan-out of per-subject calls, so worker count changes wall time
+//! only. One guarded edge: the sorted-scan walk needs finite behaviour
+//! values (its frontier comparisons are plain `<=`), so
+//! [`NoveltyIndex::prepare`] *rejects* non-finite 1-D descriptors loudly
+//! rather than diverging silently; brute force stays NaN-tolerant and
+//! reference-identical.
+
+use crate::behaviour::BehaviourMatrix;
+use crate::novelty::{beaten_fraction, behaviour_distance, mean_of_k_smallest};
+use std::fmt;
+use std::str::FromStr;
+
+/// The kNN strategy behind batch novelty scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NoveltyIndex {
+    /// Sort the behaviour values once, then find each subject's k nearest
+    /// neighbours with a two-pointer walk outward from its sorted
+    /// position. Applies to 1-D behaviours (the paper's fitness-difference
+    /// measure of Eq. (2)); for higher-dimensional behaviour spaces it
+    /// falls back to [`NoveltyIndex::ChunkedBruteForce`].
+    #[default]
+    SortedScan,
+    /// Exhaustive pairwise distances for any behaviour dimension, scored
+    /// subject-by-subject so the engine can hand out contiguous subject
+    /// chunks to workers.
+    ChunkedBruteForce,
+}
+
+impl NoveltyIndex {
+    /// Builds the per-generation index state over `reference` (for
+    /// [`NoveltyIndex::SortedScan`] on 1-D data: the sorted order of the
+    /// rows; otherwise nothing). Prepare once per generation, score many.
+    ///
+    /// # Panics
+    /// Panics when the sorted-scan path meets a non-finite behaviour
+    /// value: the two-pointer walk's frontier comparisons rely on finite
+    /// distances, and silently diverging from the brute-force reference
+    /// (whose `total_cmp` selection tolerates NaN) would break the
+    /// bit-identity contract. Finite descriptors are the engines'
+    /// contract anyway (fitness is asserted finite at evaluation); use
+    /// [`NoveltyIndex::ChunkedBruteForce`] for non-finite exotica.
+    pub fn prepare<'a>(&self, reference: &'a BehaviourMatrix) -> PreparedIndex<'a> {
+        let sorted = match self {
+            NoveltyIndex::SortedScan if reference.dim() == 1 && !reference.is_empty() => {
+                assert!(
+                    reference.as_flat().iter().all(|v| v.is_finite()),
+                    "sorted-scan requires finite behaviour values"
+                );
+                let mut order: Vec<u32> = (0..reference.len() as u32).collect();
+                // Total order (value, index): deterministic under ties.
+                order.sort_unstable_by(|&a, &b| {
+                    reference.row(a as usize)[0]
+                        .total_cmp(&reference.row(b as usize)[0])
+                        .then(a.cmp(&b))
+                });
+                let mut position = vec![0u32; reference.len()];
+                for (rank, &row) in order.iter().enumerate() {
+                    position[row as usize] = rank as u32;
+                }
+                Some(SortedOrder { order, position })
+            }
+            _ => None,
+        };
+        PreparedIndex { reference, sorted }
+    }
+}
+
+impl fmt::Display for NoveltyIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoveltyIndex::SortedScan => write!(f, "sorted-scan"),
+            NoveltyIndex::ChunkedBruteForce => write!(f, "brute-force"),
+        }
+    }
+}
+
+/// The 1-D index state: rows sorted by `(value, index)` plus the inverse
+/// permutation.
+struct SortedOrder {
+    order: Vec<u32>,
+    position: Vec<u32>,
+}
+
+/// A [`NoveltyIndex`] prepared over one reference set; shared read-only by
+/// every scoring worker of the generation.
+pub struct PreparedIndex<'a> {
+    reference: &'a BehaviourMatrix,
+    sorted: Option<SortedOrder>,
+}
+
+impl PreparedIndex<'_> {
+    /// The reference set this index was built over.
+    pub fn reference(&self) -> &BehaviourMatrix {
+        self.reference
+    }
+
+    /// ρ(x) of reference row `subject` against all other rows —
+    /// bit-identical to [`crate::novelty::novelty_score`].
+    pub fn novelty_of(&self, subject: usize, k: usize) -> f64 {
+        self.novelty_of_with(subject, k, &mut Vec::new())
+    }
+
+    /// [`PreparedIndex::novelty_of`] with a caller-owned distance scratch
+    /// buffer (reused across a chunk of subjects).
+    pub fn novelty_of_with(&self, subject: usize, k: usize, scratch: &mut Vec<f64>) -> f64 {
+        assert!(
+            subject < self.reference.len(),
+            "subject index out of bounds"
+        );
+        assert!(k > 0, "k must be positive");
+        scratch.clear();
+        match &self.sorted {
+            Some(sorted) => {
+                let n = self.reference.len();
+                if n <= 1 {
+                    return f64::MAX; // no neighbours: the sentinel of the reference path
+                }
+                let k = k.min(n - 1);
+                let me = self.reference.row(subject)[0];
+                let pos = sorted.position[subject] as usize;
+                self.merge_nearest_1d(sorted, me, pos, pos + 1, k, |d, _| scratch.push(d));
+                mean_of_k_smallest(scratch, k)
+            }
+            None => {
+                let me = self.reference.row(subject);
+                for (j, row) in self.reference.rows().enumerate() {
+                    if j != subject {
+                        scratch.push(behaviour_distance(me, row));
+                    }
+                }
+                mean_of_k_smallest(scratch, k)
+            }
+        }
+    }
+
+    /// ρ(x) for a behaviour that is *not* a reference row — bit-identical
+    /// to [`crate::novelty::novelty_score_external`].
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch against a non-empty reference (the
+    /// same contract `behaviour_distance` enforces on the brute path).
+    pub fn novelty_of_external(&self, behaviour: &[f64], k: usize) -> f64 {
+        assert!(k > 0, "k must be positive");
+        assert!(
+            self.reference.is_empty() || behaviour.len() == self.reference.dim(),
+            "behaviour descriptors must have equal dimension"
+        );
+        let mut scratch = Vec::new();
+        match &self.sorted {
+            Some(sorted) => {
+                let n = self.reference.len();
+                let k = k.min(n);
+                let x = behaviour[0];
+                // First sorted rank whose value is >= x: the walk starts at
+                // the insertion point, with no row excluded.
+                let start = sorted
+                    .order
+                    .partition_point(|&row| self.reference.row(row as usize)[0] < x);
+                self.merge_nearest_1d(sorted, x, start, start, k, |d, _| scratch.push(d));
+                mean_of_k_smallest(&mut scratch, k)
+            }
+            None => {
+                for row in self.reference.rows() {
+                    scratch.push(behaviour_distance(behaviour, row));
+                }
+                mean_of_k_smallest(&mut scratch, k)
+            }
+        }
+    }
+
+    /// Local-competition score of reference row `subject` — bit-identical
+    /// to [`crate::novelty::local_competition_score`].
+    pub fn local_competition_of(&self, subject: usize, fitnesses: &[f64], k: usize) -> f64 {
+        self.local_competition_of_with(subject, fitnesses, k, &mut Vec::new())
+    }
+
+    /// [`PreparedIndex::local_competition_of`] with a caller-owned
+    /// neighbour scratch buffer.
+    pub fn local_competition_of_with(
+        &self,
+        subject: usize,
+        fitnesses: &[f64],
+        k: usize,
+        scratch: &mut Vec<(f64, usize)>,
+    ) -> f64 {
+        assert!(
+            subject < self.reference.len(),
+            "subject index out of bounds"
+        );
+        assert_eq!(
+            self.reference.len(),
+            fitnesses.len(),
+            "one fitness per behaviour"
+        );
+        assert!(k > 0, "k must be positive");
+        let n = self.reference.len();
+        if n <= 1 {
+            return 1.0; // no niche: trivially dominant
+        }
+        let k = k.min(n - 1);
+        scratch.clear();
+        match &self.sorted {
+            Some(sorted) => {
+                let me = self.reference.row(subject)[0];
+                let pos = sorted.position[subject] as usize;
+                let (mut left, mut right) =
+                    self.merge_nearest_1d(sorted, me, pos, pos + 1, k, |d, row| {
+                        scratch.push((d, row))
+                    });
+                // The walk emits non-decreasing distances, so the k-th
+                // neighbour distance is the last one. Distance ties
+                // straddling that boundary must resolve by the canonical
+                // (distance, index) order, not by walk direction: pull in
+                // *every* remaining candidate at exactly that distance,
+                // then select and cut.
+                let boundary = scratch[k - 1].0;
+                while left > 0 {
+                    let row = sorted.order[left - 1] as usize;
+                    let d = dist_1d(me, self.reference.row(row)[0]);
+                    if d != boundary {
+                        break;
+                    }
+                    scratch.push((d, row));
+                    left -= 1;
+                }
+                while right < n {
+                    let row = sorted.order[right] as usize;
+                    let d = dist_1d(me, self.reference.row(row)[0]);
+                    if d != boundary {
+                        break;
+                    }
+                    scratch.push((d, row));
+                    right += 1;
+                }
+            }
+            None => {
+                let me = self.reference.row(subject);
+                for (j, row) in self.reference.rows().enumerate() {
+                    if j != subject {
+                        scratch.push((behaviour_distance(me, row), j));
+                    }
+                }
+            }
+        }
+        // (distance, index) is a strict total order, so partial selection
+        // of the first k determines a unique niche set — no full sort
+        // needed (the tally is order-independent).
+        if scratch.len() > k {
+            scratch.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        }
+        beaten_fraction(&scratch[..k], fitnesses, fitnesses[subject])
+    }
+
+    /// The 1-D two-pointer neighbour walk: starting with the candidate
+    /// ranks `left - 1` (downward) and `right` (upward), repeatedly takes
+    /// the closer of the two frontier rows until `k` neighbours were
+    /// emitted (distances come out non-decreasing). Rows at rank
+    /// `left..right` are excluded — the subject itself, or nothing for an
+    /// external query. Returns the final `(left, right)` frontier.
+    fn merge_nearest_1d(
+        &self,
+        sorted: &SortedOrder,
+        me: f64,
+        left: usize,
+        right: usize,
+        k: usize,
+        mut emit: impl FnMut(f64, usize),
+    ) -> (usize, usize) {
+        let n = self.reference.len();
+        let (mut left, mut right) = (left, right);
+        for _ in 0..k {
+            let down = (left > 0)
+                .then(|| dist_1d(me, self.reference.row(sorted.order[left - 1] as usize)[0]));
+            let up = (right < n)
+                .then(|| dist_1d(me, self.reference.row(sorted.order[right] as usize)[0]));
+            match (down, up) {
+                (Some(d), Some(u)) if d <= u => {
+                    left -= 1;
+                    emit(d, sorted.order[left] as usize);
+                }
+                (_, Some(u)) => {
+                    emit(u, sorted.order[right] as usize);
+                    right += 1;
+                }
+                (Some(d), None) => {
+                    left -= 1;
+                    emit(d, sorted.order[left] as usize);
+                }
+                (None, None) => unreachable!("k is clamped to the neighbour count"),
+            }
+        }
+        (left, right)
+    }
+}
+
+/// 1-D behaviour distance, written as the exact expression
+/// [`behaviour_distance`] evaluates for one-element descriptors (a
+/// one-term square sum under a square root), so the sorted path's
+/// distances are bit-equal to the brute-force path's.
+#[inline]
+fn dist_1d(a: f64, b: f64) -> f64 {
+    ((a - b) * (a - b)).sqrt()
+}
+
+/// The batch novelty-scoring engine: a [`NoveltyIndex`] plus a scoring
+/// worker count — the runtime knob `EssNsConfig`/`RunSpec` surface.
+/// Parses from strings (`sorted`, `brute`, `sorted:4`, …), like
+/// `parworker::EvalBackend`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoveltyEngine {
+    /// kNN strategy.
+    pub index: NoveltyIndex,
+    /// Scoring threads (1 = score in the master, the classic layout).
+    pub workers: usize,
+}
+
+impl Default for NoveltyEngine {
+    /// Indexed, master-side scoring: always at least as fast as brute
+    /// force and bit-identical to it, so it is the default everywhere.
+    fn default() -> Self {
+        Self {
+            index: NoveltyIndex::SortedScan,
+            workers: 1,
+        }
+    }
+}
+
+impl NoveltyEngine {
+    /// The pre-refactor reference configuration: exhaustive pairwise
+    /// scoring in the master.
+    pub fn brute_force() -> Self {
+        Self {
+            index: NoveltyIndex::ChunkedBruteForce,
+            workers: 1,
+        }
+    }
+
+    /// The indexed default ([`NoveltyIndex::SortedScan`], master-side).
+    pub fn indexed() -> Self {
+        Self::default()
+    }
+
+    /// Sets the scoring worker count.
+    ///
+    /// # Panics
+    /// Panics when `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "novelty engine needs at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Report name (`"sorted-scan"`, `"brute-force:4"`, …).
+    pub fn name(&self) -> String {
+        self.to_string()
+    }
+
+    /// ρ(x) of reference rows `0..subjects` against the whole reference
+    /// set, in subject order — Algorithm 1 lines 12–14 as one batch. The
+    /// index is prepared once; subjects are then scored in contiguous
+    /// chunks, fanned out over scoped workers when `workers > 1`.
+    ///
+    /// `result[i]` is bit-identical to
+    /// `novelty_score(i, reference_rows, k)` for every strategy and
+    /// worker count.
+    ///
+    /// # Panics
+    /// Panics when `subjects > reference.len()` or `k == 0`.
+    pub fn novelty_scores(
+        &self,
+        reference: &BehaviourMatrix,
+        subjects: usize,
+        k: usize,
+    ) -> Vec<f64> {
+        self.novelty_scores_prepared(&self.index.prepare(reference), subjects, k)
+    }
+
+    /// [`NoveltyEngine::novelty_scores`] over an already-prepared index —
+    /// the entry point for callers that score several batches (ρ and
+    /// local competition) against one generation's noveltySet without
+    /// rebuilding the index each time.
+    ///
+    /// # Panics
+    /// Panics when `subjects` exceeds the prepared reference's rows or
+    /// `k == 0`.
+    pub fn novelty_scores_prepared(
+        &self,
+        prepared: &PreparedIndex<'_>,
+        subjects: usize,
+        k: usize,
+    ) -> Vec<f64> {
+        assert!(
+            subjects <= prepared.reference().len(),
+            "subjects must be reference rows"
+        );
+        assert!(k > 0, "k must be positive");
+        parworker::scoped_chunk_map_ranges(
+            self.workers.max(1),
+            subjects,
+            self.chunk_size(subjects),
+            |range| {
+                let mut scratch = Vec::new();
+                range
+                    .map(|i| prepared.novelty_of_with(i, k, &mut scratch))
+                    .collect()
+            },
+        )
+    }
+
+    /// Local-competition scores of reference rows `0..subjects`, batched
+    /// like [`NoveltyEngine::novelty_scores`]; `result[i]` is
+    /// bit-identical to `local_competition_score(i, rows, fitnesses, k)`.
+    ///
+    /// # Panics
+    /// Panics when `subjects > reference.len()`, on a fitness-length
+    /// mismatch, or `k == 0`.
+    pub fn local_competition_scores(
+        &self,
+        reference: &BehaviourMatrix,
+        fitnesses: &[f64],
+        subjects: usize,
+        k: usize,
+    ) -> Vec<f64> {
+        self.local_competition_scores_prepared(
+            &self.index.prepare(reference),
+            fitnesses,
+            subjects,
+            k,
+        )
+    }
+
+    /// [`NoveltyEngine::local_competition_scores`] over an
+    /// already-prepared index (see
+    /// [`NoveltyEngine::novelty_scores_prepared`]).
+    ///
+    /// # Panics
+    /// Panics when `subjects` exceeds the prepared reference's rows, on a
+    /// fitness-length mismatch, or `k == 0`.
+    pub fn local_competition_scores_prepared(
+        &self,
+        prepared: &PreparedIndex<'_>,
+        fitnesses: &[f64],
+        subjects: usize,
+        k: usize,
+    ) -> Vec<f64> {
+        assert!(
+            subjects <= prepared.reference().len(),
+            "subjects must be reference rows"
+        );
+        assert_eq!(
+            prepared.reference().len(),
+            fitnesses.len(),
+            "one fitness per behaviour"
+        );
+        assert!(k > 0, "k must be positive");
+        parworker::scoped_chunk_map_ranges(
+            self.workers.max(1),
+            subjects,
+            self.chunk_size(subjects),
+            |range| {
+                let mut scratch = Vec::new();
+                range
+                    .map(|i| prepared.local_competition_of_with(i, fitnesses, k, &mut scratch))
+                    .collect()
+            },
+        )
+    }
+
+    /// Chunk granularity: roughly four chunks per worker so the
+    /// self-scheduler can balance irregular subjects, floored so tiny
+    /// batches do not pay fan-out overhead.
+    fn chunk_size(&self, subjects: usize) -> usize {
+        subjects.div_ceil(self.workers.max(1) * 4).clamp(16, 512)
+    }
+}
+
+impl fmt::Display for NoveltyEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.workers > 1 {
+            write!(f, "{}:{}", self.index, self.workers)
+        } else {
+            write!(f, "{}", self.index)
+        }
+    }
+}
+
+/// Error from parsing a [`NoveltyEngine`] spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNoveltyEngineError(String);
+
+impl fmt::Display for ParseNoveltyEngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid novelty engine '{}' (expected sorted | brute, optionally :N workers)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseNoveltyEngineError {}
+
+impl FromStr for NoveltyEngine {
+    type Err = ParseNoveltyEngineError;
+
+    /// Parses `sorted` / `sorted-scan` / `indexed` and `brute` /
+    /// `brute-force` / `chunked`, each with an optional `:N` worker
+    /// suffix (e.g. `sorted:4`). The `Display` form round-trips.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let spec = s.trim();
+        let (kind, workers) = match spec.split_once(':') {
+            Some((kind, n)) => {
+                let workers: usize = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseNoveltyEngineError(s.into()))?;
+                if workers == 0 {
+                    return Err(ParseNoveltyEngineError(s.into()));
+                }
+                (kind, workers)
+            }
+            None => (spec, 1),
+        };
+        let index = match kind.trim().to_ascii_lowercase().as_str() {
+            "sorted" | "sorted-scan" | "indexed" => NoveltyIndex::SortedScan,
+            "brute" | "brute-force" | "chunked" => NoveltyIndex::ChunkedBruteForce,
+            _ => return Err(ParseNoveltyEngineError(s.into())),
+        };
+        Ok(NoveltyEngine { index, workers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::novelty::{local_competition_score, novelty_score, novelty_score_external};
+
+    fn matrix_1d(vals: &[f64]) -> BehaviourMatrix {
+        let rows: Vec<[f64; 1]> = vals.iter().map(|&v| [v]).collect();
+        BehaviourMatrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn sorted_scan_matches_reference_on_paper_example() {
+        let m = matrix_1d(&[0.5, 0.4, 0.7, 0.9]);
+        let prepared = NoveltyIndex::SortedScan.prepare(&m);
+        assert!((prepared.novelty_of(0, 2) - 0.15).abs() < 1e-15);
+        let rows = m.to_rows();
+        for i in 0..4 {
+            assert_eq!(prepared.novelty_of(i, 2), novelty_score(i, &rows, 2));
+        }
+    }
+
+    #[test]
+    fn brute_force_index_matches_reference_in_2d() {
+        let m = BehaviourMatrix::from_rows(&[[0.1, 0.9], [0.2, 0.8], [0.9, 0.1], [0.5, 0.5]]);
+        let prepared = NoveltyIndex::ChunkedBruteForce.prepare(&m);
+        let rows = m.to_rows();
+        for i in 0..4 {
+            assert_eq!(prepared.novelty_of(i, 2), novelty_score(i, &rows, 2));
+        }
+    }
+
+    #[test]
+    fn sorted_scan_falls_back_to_brute_force_beyond_1d() {
+        let m = BehaviourMatrix::from_rows(&[[0.1, 0.9], [0.2, 0.8], [0.9, 0.1]]);
+        let prepared = NoveltyIndex::SortedScan.prepare(&m);
+        let rows = m.to_rows();
+        for i in 0..3 {
+            assert_eq!(prepared.novelty_of(i, 1), novelty_score(i, &rows, 1));
+        }
+    }
+
+    #[test]
+    fn external_scores_match_reference() {
+        let m = matrix_1d(&[0.0, 0.25, 0.5, 1.0]);
+        let rows = m.to_rows();
+        for index in [NoveltyIndex::SortedScan, NoveltyIndex::ChunkedBruteForce] {
+            let prepared = index.prepare(&m);
+            for q in [-0.5, 0.0, 0.3, 0.5, 2.0] {
+                assert_eq!(
+                    prepared.novelty_of_external(&[q], 2),
+                    novelty_score_external(&[q], &rows, 2),
+                    "{index} query {q}"
+                );
+            }
+        }
+        // Empty reference: sentinel.
+        let empty = BehaviourMatrix::new();
+        let prepared = NoveltyIndex::SortedScan.prepare(&empty);
+        assert_eq!(prepared.novelty_of_external(&[0.3], 3), f64::MAX);
+    }
+
+    #[test]
+    fn local_competition_matches_reference_under_heavy_ties() {
+        // Duplicated behaviour values force distance ties at every k
+        // boundary — the case where tie order decides the niche.
+        let m = matrix_1d(&[0.5, 0.5, 0.5, 0.4, 0.6, 0.5, 0.4]);
+        let fits = [0.9, 0.1, 0.5, 0.7, 0.2, 0.8, 0.3];
+        let rows = m.to_rows();
+        for index in [NoveltyIndex::SortedScan, NoveltyIndex::ChunkedBruteForce] {
+            let prepared = index.prepare(&m);
+            for k in 1..=7 {
+                for subject in 0..rows.len() {
+                    assert_eq!(
+                        prepared.local_competition_of(subject, &fits, k),
+                        local_competition_score(subject, &rows, &fits, k),
+                        "{index} subject {subject} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_batches_match_per_subject_scores_for_any_worker_count() {
+        let m = matrix_1d(&[0.31, 0.7, 0.7, 0.12, 0.94, 0.7, 0.02, 0.55]);
+        let fits: Vec<f64> = (0..8).map(|i| (i as f64) / 7.0).collect();
+        let rows = m.to_rows();
+        for index in [NoveltyIndex::SortedScan, NoveltyIndex::ChunkedBruteForce] {
+            for workers in [1, 2, 4] {
+                let engine = NoveltyEngine { index, workers };
+                let rho = engine.novelty_scores(&m, 8, 3);
+                let lc = engine.local_competition_scores(&m, &fits, 8, 3);
+                for i in 0..8 {
+                    assert_eq!(rho[i], novelty_score(i, &rows, 3), "{engine} rho {i}");
+                    assert_eq!(
+                        lc[i],
+                        local_competition_score(i, &rows, &fits, 3),
+                        "{engine} lc {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_row_reference_keeps_sentinels() {
+        let m = matrix_1d(&[0.3]);
+        for index in [NoveltyIndex::SortedScan, NoveltyIndex::ChunkedBruteForce] {
+            let prepared = index.prepare(&m);
+            assert_eq!(prepared.novelty_of(0, 3), f64::MAX);
+            assert_eq!(prepared.local_competition_of(0, &[0.5], 3), 1.0);
+        }
+    }
+
+    #[test]
+    fn engine_specs_parse_and_round_trip() {
+        assert_eq!(
+            "sorted".parse::<NoveltyEngine>().unwrap(),
+            NoveltyEngine::indexed()
+        );
+        assert_eq!(
+            "brute".parse::<NoveltyEngine>().unwrap(),
+            NoveltyEngine::brute_force()
+        );
+        assert_eq!(
+            "SORTED-SCAN:4".parse::<NoveltyEngine>().unwrap(),
+            NoveltyEngine::indexed().with_workers(4)
+        );
+        assert_eq!(
+            "chunked:2".parse::<NoveltyEngine>().unwrap(),
+            NoveltyEngine::brute_force().with_workers(2)
+        );
+        for engine in [
+            NoveltyEngine::indexed(),
+            NoveltyEngine::brute_force(),
+            NoveltyEngine::indexed().with_workers(8),
+        ] {
+            assert_eq!(engine.name().parse::<NoveltyEngine>().unwrap(), engine);
+        }
+        assert!("kdtree".parse::<NoveltyEngine>().is_err());
+        assert!("sorted:0".parse::<NoveltyEngine>().is_err());
+        assert!("sorted:x".parse::<NoveltyEngine>().is_err());
+    }
+
+    #[test]
+    fn brute_force_tolerates_nan_like_the_reference() {
+        // NaN descriptors are out of the engines' contract, but the brute
+        // path must still mirror the reference's total_cmp semantics.
+        let m = matrix_1d(&[f64::NAN, 1.0, 2.0, 5.0]);
+        let rows = m.to_rows();
+        let prepared = NoveltyIndex::ChunkedBruteForce.prepare(&m);
+        for subject in 0..4 {
+            let got = prepared.novelty_of(subject, 2);
+            let expected = novelty_score(subject, &rows, 2);
+            assert!(got == expected || (got.is_nan() && expected.is_nan()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite behaviour values")]
+    fn sorted_scan_rejects_nan_instead_of_diverging() {
+        let m = matrix_1d(&[f64::NAN, 1.0, 2.0, 5.0]);
+        let _ = NoveltyIndex::SortedScan.prepare(&m);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = NoveltyEngine::indexed().with_workers(0);
+    }
+}

@@ -17,7 +17,15 @@
 //!   the ESSIM-DE metaheuristic);
 //! * [`novelty`] — the Novelty Search kit: the novelty score ρ(x) of
 //!   Eq. (1), behaviour distances including the paper's fitness-difference
-//!   measure of Eq. (2), and the novelty [`novelty::NoveltyArchive`];
+//!   measure of Eq. (2), and the novelty [`novelty::NoveltyArchive`]
+//!   (which maintains its descriptors incrementally in the flat layout);
+//! * [`behaviour`] — [`behaviour::BehaviourMatrix`], the flat
+//!   structure-of-arrays descriptor store every novelty path reads;
+//! * [`knn`] — the batched novelty-scoring subsystem:
+//!   [`knn::NoveltyIndex`] (sorted-scan / chunked brute-force kNN
+//!   strategies, bit-identical to the reference functions by
+//!   construction) and [`knn::NoveltyEngine`] (the batch driver that can
+//!   fan subject chunks out over `parworker` scoped workers);
 //! * [`bestset`] — the bounded max-fitness memory `bestSet` that
 //!   Algorithm 1 returns;
 //! * [`diversity`] — population diversity statistics (E2 of the experiment
@@ -29,20 +37,24 @@
 //! fitness evaluation is abstracted behind [`BatchEvaluator`] so callers
 //! can plug the parallel Master/Worker engine in.
 
+pub mod behaviour;
 pub mod benchmarks;
 pub mod bestset;
 pub mod de;
 pub mod diversity;
 pub mod ga;
 pub mod individual;
+pub mod knn;
 pub mod novelty;
 pub mod operators;
 pub mod selection;
 
+pub use behaviour::BehaviourMatrix;
 pub use bestset::BestSet;
 pub use de::{DeConfig, DeEngine};
 pub use ga::{GaConfig, GaEngine, GenStats};
 pub use individual::{Individual, Population};
+pub use knn::{NoveltyEngine, NoveltyIndex, ParseNoveltyEngineError, PreparedIndex};
 pub use novelty::{novelty_score, novelty_score_external, NoveltyArchive};
 
 /// Batch fitness evaluation: maps a slice of genomes to their fitness

@@ -8,6 +8,25 @@
 //! measure. To support the ablation experiments the behaviour is a general
 //! `f64` vector with Euclidean distance; the paper's measure is the 1-D
 //! case `[fitness]`.
+//!
+//! The per-subject functions here ([`novelty_score`],
+//! [`novelty_score_external`], [`local_competition_score`]) are the
+//! **brute-force reference semantics**; the batched
+//! [`crate::knn::NoveltyIndex`] strategies reproduce them bit-identically
+//! over a flat [`crate::behaviour::BehaviourMatrix`]. Two canonical
+//! choices make that identity hold *by construction* rather than by luck:
+//! the k smallest distances are summed in ascending `total_cmp` order (so
+//! any algorithm that finds the same k-smallest multiset produces the
+//! same `f64` sum), and local-competition neighbours are ordered by
+//! `(distance, index)` (so distance ties at the k-th-neighbour boundary
+//! resolve the same way in every implementation). The reference functions
+//! adopt these canonical orders themselves — a deliberate semantic choice
+//! that can shift a score by an ulp (and a tied niche member) relative to
+//! the earlier partial-selection order; nothing pins those last bits, and
+//! with one shared reduction every scoring path in the workspace agrees
+//! exactly.
+
+use crate::behaviour::BehaviourMatrix;
 
 /// Euclidean distance between two behaviour descriptors.
 ///
@@ -85,26 +104,42 @@ pub fn local_competition_score(
     );
     assert!(k > 0, "k must be positive");
     let me = &behaviours[subject];
-    let mut neighbours: Vec<(f64, f64)> = behaviours
+    let mut neighbours: Vec<(f64, usize)> = behaviours
         .iter()
-        .zip(fitnesses)
         .enumerate()
         .filter(|&(i, _)| i != subject)
-        .map(|(_, (b, &f))| (behaviour_distance(me, b), f))
+        .map(|(i, b)| (behaviour_distance(me, b), i))
         .collect();
     if neighbours.is_empty() {
         return 1.0; // no niche: trivially dominant
     }
     let k = k.min(neighbours.len());
-    neighbours.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
-    let beaten = neighbours[..k]
-        .iter()
-        .filter(|&&(_, f)| f < fitnesses[subject])
-        .count();
-    beaten as f64 / k as f64
+    // Canonical neighbour order: (distance, index). The index tiebreak
+    // makes the chosen niche deterministic under distance ties, so every
+    // kNN strategy counts the exact same neighbours.
+    neighbours.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    beaten_fraction(&neighbours[..k], fitnesses, fitnesses[subject])
 }
 
-fn mean_of_k_smallest(dists: &mut [f64], k: usize) -> f64 {
+/// The local-competition tally over an already-selected niche: the
+/// fraction of `niche` (as `(distance, index)` pairs) whose fitness is
+/// strictly below `subject_fitness`.
+pub(crate) fn beaten_fraction(
+    niche: &[(f64, usize)],
+    fitnesses: &[f64],
+    subject_fitness: f64,
+) -> f64 {
+    let beaten = niche
+        .iter()
+        .filter(|&&(_, i)| fitnesses[i] < subject_fitness)
+        .count();
+    beaten as f64 / niche.len() as f64
+}
+
+/// Mean of the `k` smallest values of `dists` (clamping `k`), summed in
+/// ascending `total_cmp` order — the canonical reduction every novelty
+/// path shares, so that equal k-smallest multisets give bit-equal means.
+pub(crate) fn mean_of_k_smallest(dists: &mut [f64], k: usize) -> f64 {
     if dists.is_empty() {
         // No reference at all: maximally novel by convention (first
         // individual ever scored). Eq. (1) is undefined here; returning the
@@ -112,18 +147,20 @@ fn mean_of_k_smallest(dists: &mut [f64], k: usize) -> f64 {
         return f64::MAX;
     }
     let k = k.min(dists.len());
-    // Partial selection of the k smallest distances.
+    // Partial selection of the k smallest distances, then the canonical
+    // ascending summation order.
     dists.select_nth_unstable_by(k - 1, f64::total_cmp);
+    dists[..k].sort_unstable_by(f64::total_cmp);
     dists[..k].iter().sum::<f64>() / k as f64
 }
 
-/// One archived novel solution.
+/// One archived novel solution. Its behaviour descriptor lives in the
+/// archive's flat [`BehaviourMatrix`] (same index), not in the entry —
+/// see [`NoveltyArchive::behaviour_matrix`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArchiveEntry {
     /// The genome.
     pub genes: Vec<f64>,
-    /// Its behaviour descriptor.
-    pub behaviour: Vec<f64>,
     /// The novelty score it held when (last) offered to the archive.
     pub novelty: f64,
     /// The fitness it was recorded at (kept so local-competition scoring
@@ -144,6 +181,12 @@ pub struct NoveltyArchive {
     capacity: usize,
     threshold: Option<f64>,
     entries: Vec<ArchiveEntry>,
+    /// The stored behaviour descriptors, maintained *incrementally* in the
+    /// flat layout the novelty computation consumes (row `i` ↔
+    /// `entries[i]`): admissions push a row, replacements overwrite one, so
+    /// building each generation's noveltySet is a single bulk copy instead
+    /// of a per-entry `Vec<Vec<f64>>` clone.
+    behaviours: BehaviourMatrix,
 }
 
 impl NoveltyArchive {
@@ -157,6 +200,7 @@ impl NoveltyArchive {
             capacity,
             threshold: None,
             entries: Vec::with_capacity(capacity),
+            behaviours: BehaviourMatrix::new(),
         }
     }
 
@@ -188,10 +232,31 @@ impl NoveltyArchive {
         &self.entries
     }
 
-    /// The stored behaviour descriptors, cloned into the shape the novelty
-    /// computation takes.
+    /// The stored behaviour descriptors as a borrowed flat matrix (row `i`
+    /// describes `entries()[i]`) — the zero-copy view the novelty paths
+    /// consume; append it to a noveltySet with
+    /// [`BehaviourMatrix::extend_from`] (one bulk copy).
+    pub fn behaviour_matrix(&self) -> &BehaviourMatrix {
+        &self.behaviours
+    }
+
+    /// The behaviour descriptor of `entries()[index]`.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of bounds.
+    pub fn behaviour_of(&self, index: usize) -> &[f64] {
+        self.behaviours.row(index)
+    }
+
+    /// The stored behaviour descriptors, cloned into the nested shape the
+    /// novelty computation used to take.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates one Vec per entry per call; use the borrowed \
+                `behaviour_matrix()` view instead"
+    )]
     pub fn behaviours(&self) -> Vec<Vec<f64>> {
-        self.entries.iter().map(|e| e.behaviour.clone()).collect()
+        self.behaviours.to_rows()
     }
 
     /// Offers a candidate. Returns `true` when it entered the archive:
@@ -210,10 +275,10 @@ impl NoveltyArchive {
         if self.entries.len() < self.capacity {
             self.entries.push(ArchiveEntry {
                 genes: genes.to_vec(),
-                behaviour: behaviour.to_vec(),
                 novelty,
                 fitness,
             });
+            self.behaviours.push(behaviour);
             return true;
         }
         let (min_idx, min_novelty) = self
@@ -226,10 +291,10 @@ impl NoveltyArchive {
         if novelty > min_novelty {
             self.entries[min_idx] = ArchiveEntry {
                 genes: genes.to_vec(),
-                behaviour: behaviour.to_vec(),
                 novelty,
                 fitness,
             };
+            self.behaviours.set_row(min_idx, behaviour);
             true
         } else {
             false
@@ -379,11 +444,20 @@ mod tests {
     }
 
     #[test]
-    fn behaviours_projection_matches_entries() {
-        let mut a = NoveltyArchive::new(4);
+    fn behaviour_matrix_tracks_entries_incrementally() {
+        let mut a = NoveltyArchive::new(2);
         a.offer(&[1.0, 2.0], &[0.7], 1.0, 0.9);
         a.offer(&[3.0, 4.0], &[0.2], 2.0, 0.1);
-        assert_eq!(a.behaviours(), vec![vec![0.7], vec![0.2]]);
+        assert_eq!(a.behaviour_matrix().to_rows(), vec![vec![0.7], vec![0.2]]);
+        assert_eq!(a.behaviour_of(1), &[0.2]);
+        // Replacement overwrites the evicted entry's row in place.
+        assert!(a.offer(&[5.0, 6.0], &[0.9], 3.0, 0.5));
+        assert_eq!(a.behaviour_matrix().to_rows(), vec![vec![0.9], vec![0.2]]);
+        assert_eq!(a.entries()[0].genes, vec![5.0, 6.0]);
+        // The deprecated nested projection stays consistent with the view.
+        #[allow(deprecated)]
+        let nested = a.behaviours();
+        assert_eq!(nested, a.behaviour_matrix().to_rows());
     }
 
     #[test]

@@ -25,17 +25,22 @@
 //! * [`backend::SerialBackend`] — the in-master 1-worker baseline of E3.
 //! * [`pool::scoped_par_map`] — a one-shot scoped fork/join map for
 //!   borrowed data.
+//! * [`chunk::scoped_chunk_map`] — the self-scheduling scoped chunk map
+//!   (StealPool's dynamic scheduling over borrowed data); the batch
+//!   novelty-scoring path of the `evoalg` crate runs on it.
 //! * [`channel`] — the dependency-free MPMC channel under the farm.
 //! * [`stats`] — wall-clock / busy-time instrumentation feeding the
 //!   speedup experiment (E3).
 
 pub mod backend;
 pub mod channel;
+pub mod chunk;
 pub mod pool;
 pub mod stats;
 pub mod steal;
 
 pub use backend::{Backend, EvalBackend, ParseBackendError, SerialBackend};
+pub use chunk::{scoped_chunk_map, scoped_chunk_map_ranges};
 pub use pool::{scoped_par_map, WorkerPool};
 pub use stats::{PoolStats, SpeedupRow, Stopwatch};
 pub use steal::StealPool;

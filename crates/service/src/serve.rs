@@ -143,6 +143,17 @@ fn spec_from_request(request: &Json) -> Result<RunSpec, String> {
         );
     }
     let mut spec = RunSpec::new(system, case);
+    if let Some(v) = request.get("novelty") {
+        // Unlike `backend`, the novelty engine is safe to pick per request:
+        // it runs master-side in the session and its scores are
+        // engine-independent, so it never touches the shared pool.
+        let engine = v
+            .as_str()
+            .ok_or("'novelty' must be a string like \"sorted\", \"brute\" or \"sorted:4\"")?
+            .parse()
+            .map_err(|e: ess_ns::ParseNoveltyEngineError| e.to_string())?;
+        spec = spec.novelty(engine);
+    }
     if let Some(v) = request.get("seed") {
         spec = spec.seed(v.as_u64().ok_or("'seed' must be a non-negative integer")?);
     }

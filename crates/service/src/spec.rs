@@ -2,8 +2,9 @@
 //!
 //! A spec names a system (resolved through [`crate::systems::by_name`])
 //! and a case (resolved through `ess::cases::by_name` — hand-built library
-//! or workload corpus), picks an execution backend, seed, replicate count,
-//! budget scale, and optional stopping budgets. It subsumes the scattered
+//! or workload corpus), picks an execution backend, a novelty-scoring
+//! engine, seed, replicate count, budget scale, and optional stopping
+//! budgets. It subsumes the scattered
 //! per-system config wiring the old entry points needed: every way of
 //! running a prediction — batch, session, scheduler, serve protocol —
 //! starts from one of these.
@@ -14,6 +15,7 @@ use ess::cases::{self, BurnCase};
 use ess::error::ServiceError;
 use ess::fitness::{EvalBackend, SharedScenarioPool};
 use ess::pipeline::{EvalStrategy, RunReport};
+use ess_ns::NoveltyEngine;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -62,6 +64,7 @@ pub struct RunSpec {
     system: String,
     case: String,
     backend: EvalBackend,
+    novelty: NoveltyEngine,
     seed: u64,
     replicates: usize,
     scale: f64,
@@ -76,6 +79,7 @@ impl RunSpec {
             system: system.into(),
             case: case.into(),
             backend: EvalBackend::Serial,
+            novelty: NoveltyEngine::default(),
             seed: 1,
             replicates: 1,
             scale: 1.0,
@@ -88,6 +92,21 @@ impl RunSpec {
     pub fn backend(mut self, backend: EvalBackend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Novelty-scoring engine (kNN index strategy × master-side scoring
+    /// workers), honoured by novelty-search systems and ignored by the
+    /// fitness-driven baselines. Results are engine-independent
+    /// (bit-identical novelty scores); only wall time changes — so unlike
+    /// [`RunSpec::backend`], this knob applies on shared pools too.
+    pub fn novelty(mut self, engine: NoveltyEngine) -> Self {
+        self.novelty = engine;
+        self
+    }
+
+    /// The configured novelty engine.
+    pub fn novelty_engine(&self) -> NoveltyEngine {
+        self.novelty
     }
 
     /// Base RNG seed of replicate 0; replicate `r` derives its own stream.
@@ -244,7 +263,7 @@ impl RunSpec {
     ) -> PredictionSession {
         PredictionSession::new(
             case,
-            system.make(self.scale),
+            system.make_tuned(self.scale, self.novelty),
             strategy,
             self.replicate_seed(replicate),
             self.budget,
@@ -277,8 +296,17 @@ mod tests {
             .max_steps(2)
             .max_evaluations(1000)
             .deadline_ms(5000)
-            .backend(EvalBackend::WorkerPool(2));
+            .backend(EvalBackend::WorkerPool(2))
+            .novelty(NoveltyEngine::brute_force().with_workers(2));
         assert_eq!(spec.system_name(), "ESS-NS");
+        assert_eq!(
+            spec.novelty_engine(),
+            NoveltyEngine::brute_force().with_workers(2)
+        );
+        assert_eq!(
+            RunSpec::new("ESS", "meadow_small").novelty_engine(),
+            NoveltyEngine::default()
+        );
         assert_eq!(spec.case_name(), "meadow_small");
         assert_eq!(spec.replicate_count(), 3);
         assert_eq!(spec.budget().max_steps, Some(2));

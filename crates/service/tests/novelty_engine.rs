@@ -1,0 +1,60 @@
+//! Novelty-engine equivalence at the service level: for every registered
+//! paper system, seeded runs must be bit-identical across the brute-force
+//! reference, the sorted-scan index, and backend-parallel scoring — the
+//! acceptance bar of the novelty-scoring refactor. The fitness-driven
+//! baselines do no novelty bookkeeping (the knob must be inert there);
+//! for ESS-NS the engines genuinely diverge in code path, so any drift in
+//! the kNN semantics shows up as a digest mismatch here.
+
+use ess_ns::NoveltyEngine;
+use ess_service::{systems, RunSpec};
+
+/// One step's deterministic fields: (step, quality, kign, calibration
+/// fitness, best fitness, evaluations, generations).
+type StepDigest = (usize, Option<f64>, f64, f64, f64, u64, u32);
+
+/// Everything deterministic about a run (wall-clock fields excluded).
+fn digest(spec: &RunSpec) -> Vec<StepDigest> {
+    let report = spec.run().expect("sweep spec must run");
+    report
+        .steps
+        .iter()
+        .map(|s| {
+            (
+                s.step,
+                s.quality,
+                s.kign,
+                s.calibration_fitness,
+                s.os_best_fitness,
+                s.evaluations,
+                s.generations,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn all_systems_are_bit_identical_across_novelty_engines() {
+    for system in systems::all() {
+        let spec = |engine: NoveltyEngine| {
+            RunSpec::new(system.name, "meadow_small")
+                .scale(0.2)
+                .seed(11)
+                .novelty(engine)
+        };
+        let reference = digest(&spec(NoveltyEngine::brute_force()));
+        assert!(!reference.is_empty(), "{}: empty run", system.name);
+        for engine in [
+            NoveltyEngine::indexed(),
+            NoveltyEngine::indexed().with_workers(2),
+            NoveltyEngine::brute_force().with_workers(2),
+        ] {
+            assert_eq!(
+                digest(&spec(engine)),
+                reference,
+                "{}: engine {engine} diverged from brute force",
+                system.name
+            );
+        }
+    }
+}
