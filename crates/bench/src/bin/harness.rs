@@ -24,6 +24,7 @@
 //!   workloads   W         — workload corpus × backend sweep (+ BENCH_*.json)
 //!   service     S         — concurrent-session throughput sweep (+ BENCH_service.json)
 //!   novelty     N         — novelty-engine sweep: pop × archive × engine (+ BENCH_novelty.json)
+//!   loadgen     L         — protocol-v2 load generation per scheduling policy (+ BENCH_serve_v2.json)
 //!   serve                 — line-delimited JSON prediction service on stdin/stdout
 //! ```
 //!
@@ -32,11 +33,17 @@
 //! requested explicitly.
 //!
 //! `serve` turns the harness into a prediction server: each stdin line is
-//! a JSON request (`{"op":"run","system":"ESS-NS","case":"meadow_small",
-//! ...}`), each stdout line a JSON event; every accepted session
-//! multiplexes the one shared backend selected with `--backend`.
-//! `serve --self-test` runs a canned request script through the same loop
-//! and verifies the summary (the CI smoke configuration).
+//! a JSON request — protocol v1 (`{"op":"run",...}`) or protocol v2
+//! (`{"v":2,"id":N,"kind":"run",...}`, with streaming progress frames,
+//! checkpoint/resume and bounded `advance`) — each stdout line a JSON
+//! event; every accepted session multiplexes the one shared backend
+//! selected with `--backend`, scheduled under `--policy` (round-robin,
+//! weighted-fair-share or deadline-first).
+//! `serve --self-test` runs the canned v1 script through the same loop
+//! and verifies the summary; `serve --self-test-v2` runs the recorded v2
+//! multi-client script, kills one session mid-script, resumes it from its
+//! snapshot, and diffs the final reports against the uninterrupted golden
+//! transcript (the CI smoke configurations).
 //!
 //! `--scale` shrinks every per-step evaluation budget proportionally
 //! (default 1.0); `--seeds` sets the replicate count (default 3);
@@ -64,8 +71,10 @@ struct Args {
     out: PathBuf,
     workers: Vec<usize>,
     backend: EvalBackend,
+    policy: ess_service::PolicyKind,
     quick: bool,
     self_test: bool,
+    self_test_v2: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -85,8 +94,10 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("reports"),
         workers: vec![2, 4],
         backend: EvalBackend::Serial,
+        policy: ess_service::PolicyKind::RoundRobin,
         quick: false,
         self_test: false,
+        self_test_v2: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("missing value for {flag}"));
@@ -100,8 +111,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e: parworker::ParseBackendError| e.to_string())?
             }
+            "--policy" => {
+                args.policy = value()?
+                    .parse()
+                    .map_err(|e: ess_service::policy::ParsePolicyError| e.to_string())?
+            }
             "--quick" => args.quick = true,
             "--self-test" => args.self_test = true,
+            "--self-test-v2" => args.self_test_v2 = true,
             "--workers" => {
                 args.workers = value()?
                     .split(',')
@@ -118,7 +135,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|serve|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--quick] [--self-test] [--out DIR]".to_string()
+    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|loadgen|serve|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--policy round-robin|weighted-fair-share|deadline-first] [--quick] [--self-test] [--self-test-v2] [--out DIR]".to_string()
 }
 
 fn emit(args: &Args, id: &str, title: &str, table: &TextTable) {
@@ -323,6 +340,15 @@ fn main() -> ExitCode {
         );
         ran = true;
     }
+    if args.experiment == "loadgen" {
+        emit(
+            &args,
+            "loadgen",
+            "L — protocol-v2 load generation: N clients × M sessions per scheduling policy",
+            &ess_benches::loadgen::loadgen_sweep(args.quick, &args.out),
+        );
+        ran = true;
+    }
 
     if !ran {
         eprintln!("unknown experiment '{}'\n{}", args.experiment, usage());
@@ -360,16 +386,35 @@ fn serve_main(args: &Args) -> ExitCode {
             }
         };
     }
+    if args.self_test_v2 {
+        return match ess_benches::loadgen::serve_v2_self_test(args.backend) {
+            Ok(transcript) => {
+                println!("{transcript}");
+                eprintln!(
+                    "serve v2 self-test OK on {}: kill/resume transcript matches golden",
+                    args.backend.name()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let stdin = std::io::stdin();
-    match serve::serve(stdin.lock(), stdout.lock(), args.backend) {
+    match serve::serve_with(stdin.lock(), stdout.lock(), args.backend, args.policy) {
         Ok(summary) => {
             eprintln!(
-                "served {} sessions on {} ({} finished, {} exhausted, {} cancelled, {} errors)",
+                "served {} sessions on {} under {} ({} finished, {} exhausted, {} cancelled, \
+                 {} restored, {} errors)",
                 summary.accepted,
                 args.backend.name(),
+                args.policy,
                 summary.finished,
                 summary.exhausted,
                 summary.cancelled,
+                summary.restored,
                 summary.errors
             );
             ExitCode::SUCCESS

@@ -1135,7 +1135,7 @@ pub fn novelty_sweep(worker_counts: &[usize], quick: bool, out: &std::path::Path
 
 /// Writes one pretty-printed `BENCH_*.json` artifact, warning (not
 /// failing) on I/O problems like every other report writer here.
-fn write_bench_json(path: &std::path::Path, json: &Json) {
+pub(crate) fn write_bench_json(path: &std::path::Path, json: &Json) {
     match std::fs::write(path, json.to_pretty()) {
         Ok(()) => println!("[written {}]", path.display()),
         Err(e) => eprintln!("[warn] could not write {}: {e}", path.display()),

@@ -11,6 +11,7 @@
 //! choice only moves wall time.
 
 pub mod experiments;
+pub mod loadgen;
 pub mod methods;
 pub mod microbench;
 

@@ -52,7 +52,7 @@ pub trait StepOptimizer {
 }
 
 /// Per-step record: everything the E-series experiments report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepReport {
     /// Step index `i` (the step observed `[t_{i-1}, t_i]`).
     pub step: usize,
@@ -195,6 +195,51 @@ impl StepDriver {
             carried_kign: None,
             next: 1,
         }
+    }
+
+    /// Rebuilds a driver positioned *after* `completed` prediction steps,
+    /// carrying `carried_kign` from the last completed step — the
+    /// checkpoint/resume hook. Per-step seeds are a pure function of
+    /// `base_seed` and the step index ([`step_seed`]) and every optimizer
+    /// builds a fresh engine per step, so a restored driver replays the
+    /// exact seed stream the uninterrupted run would have used: the
+    /// remaining steps are bit-identical by construction.
+    ///
+    /// # Panics
+    /// Panics when `completed` exceeds the case's step count, or when
+    /// `carried_kign` presence disagrees with `completed` (steps ≥ 1 have
+    /// always calibrated a `Kign`; step 0 never has).
+    pub fn restore(
+        case: BurnCase,
+        strategy: EvalStrategy,
+        base_seed: u64,
+        completed: usize,
+        carried_kign: Option<f64>,
+    ) -> Self {
+        let total = case.intervals().saturating_sub(1);
+        assert!(
+            completed <= total,
+            "cannot restore {completed} completed steps on a {total}-step case"
+        );
+        assert_eq!(
+            carried_kign.is_some(),
+            completed >= 1,
+            "carried Kign must be present exactly when steps have completed"
+        );
+        Self {
+            case,
+            strategy,
+            base_seed,
+            carried_kign,
+            next: completed + 1,
+        }
+    }
+
+    /// The `Kign` calibrated by the last completed step (`None` before the
+    /// first step) — the only cross-step optimizer-independent state, so a
+    /// checkpoint is `(base_seed, completed, carried_kign)`.
+    pub fn carried_kign(&self) -> Option<f64> {
+        self.carried_kign
     }
 
     /// The burn case being predicted.
@@ -502,6 +547,67 @@ mod tests {
         let pool = Arc::new(SharedScenarioPool::new(EvalBackend::WorkerPool(2)));
         let shared = run_with(EvalStrategy::Shared(pool));
         assert_eq!(private, shared, "shared pool diverged from private");
+    }
+
+    #[test]
+    fn restored_driver_replays_the_remaining_steps_bit_for_bit() {
+        let case = tiny_test_case();
+        let full = |seed| {
+            let mut driver = StepDriver::new(
+                case.clone(),
+                EvalStrategy::PerStep(EvalBackend::Serial),
+                seed,
+            );
+            let mut opt = RandomSearch { budget: 15 };
+            let mut out = Vec::new();
+            while let Some(s) = driver.step(&mut opt) {
+                out.push((s.quality, s.kign, s.os_best_fitness, s.evaluations));
+            }
+            out
+        };
+        let reference = full(11);
+        for checkpoint in 0..reference.len() {
+            let mut driver =
+                StepDriver::new(case.clone(), EvalStrategy::PerStep(EvalBackend::Serial), 11);
+            let mut opt = RandomSearch { budget: 15 };
+            for _ in 0..checkpoint {
+                driver.step(&mut opt).expect("prefix step");
+            }
+            // Restore a *fresh* driver (and a fresh optimizer) from the
+            // checkpoint coordinates alone.
+            let mut resumed = StepDriver::restore(
+                case.clone(),
+                EvalStrategy::PerStep(EvalBackend::Serial),
+                11,
+                driver.completed(),
+                driver.carried_kign(),
+            );
+            assert_eq!(resumed.completed(), checkpoint);
+            let mut opt = RandomSearch { budget: 15 };
+            let mut tail = Vec::new();
+            while let Some(s) = resumed.step(&mut opt) {
+                tail.push((s.quality, s.kign, s.os_best_fitness, s.evaluations));
+            }
+            assert_eq!(
+                tail,
+                reference[checkpoint..],
+                "resume at step {checkpoint} diverged"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot restore")]
+    fn restore_rejects_too_many_completed_steps() {
+        let case = tiny_test_case();
+        let total = case.intervals() - 1;
+        let _ = StepDriver::restore(
+            case.clone(),
+            EvalStrategy::PerStep(EvalBackend::Serial),
+            1,
+            total + 1,
+            Some(0.5),
+        );
     }
 
     #[test]

@@ -12,35 +12,50 @@
 //!   systems ([`systems::by_name`]) as budget-scalable `StepOptimizer`
 //!   factories;
 //! * [`RunSpec`] — one builder-style request type (system × case ×
-//!   backend × seed × replicates × budgets) subsuming the scattered
-//!   per-system config structs;
+//!   backend × seed × replicates × weight × budgets) subsuming the
+//!   scattered per-system config structs, JSON-serializable for the wire
+//!   ([`RunSpec::to_json`]/[`RunSpec::from_json`]);
 //! * [`PredictionSession`] — the re-entrant step driver:
 //!   [`PredictionSession::advance`] executes one prediction step and
 //!   yields a [`SessionEvent`]; budgets stop runs between steps,
 //!   cancellation and observers come for free, and a drained session is
 //!   bit-identical to the old batch path (same `ess::StepDriver`
 //!   underneath);
-//! * [`Scheduler`] — N concurrent sessions multiplexed fairly
-//!   (round-robin, one step each) over one
-//!   [`ess::fitness::SharedScenarioPool`], so the whole process shares a
-//!   single worker pool instead of spawning one per run per step;
-//! * [`serve`](mod@serve) — the dependency-free line-delimited JSON
-//!   protocol `harness serve` speaks, built on [`jsonio`];
+//! * [`SessionSnapshot`] — checkpoint/resume:
+//!   [`PredictionSession::snapshot`] serializes a live run's
+//!   deterministic coordinates through [`jsonio`], and restoring replays
+//!   the driver's seed stream so the continuation is bit-identical to
+//!   never having stopped;
+//! * [`Scheduler`] — N concurrent sessions multiplexed over one
+//!   [`ess::fitness::SharedScenarioPool`] under a pluggable
+//!   [`SchedulePolicy`] ([`policy`]: round-robin, weighted fair share,
+//!   deadline first), so the whole process shares a single worker pool
+//!   instead of spawning one per run per step;
+//! * [`serve`](mod@serve) — the dependency-free line-delimited JSON loop
+//!   `harness serve` speaks: protocol v1 (PR 3, still served unchanged)
+//!   plus protocol v2 ([`proto`] — versioned typed envelopes, streaming
+//!   `progress` frames, snapshot/restore, bounded `advance`);
 //! * [`jsonio`] — the hand-rolled JSON writer/reader shared with the
 //!   bench harness's `BENCH_*.json` emission.
 //!
-//! Failures are typed ([`ServiceError`]): unknown system, unknown case,
-//! bad spec, budget exhausted — never a silent `None`.
+//! The typed client for protocol v2 lives in the sibling `ess-client`
+//! crate. Failures are typed ([`ServiceError`]): unknown system, unknown
+//! case, bad spec, budget exhausted — never a silent `None`.
 
 pub mod jsonio;
+pub mod policy;
+pub mod proto;
 pub mod scheduler;
 pub mod serve;
 pub mod session;
+pub mod snapshot;
 pub mod spec;
 pub mod systems;
 
 pub use ess::error::{BudgetReason, ServiceError};
-pub use scheduler::{Scheduler, SessionId, SessionOutcome};
-pub use serve::{serve, ServeSummary};
+pub use policy::{PolicyKind, SchedulePolicy, SessionMeta};
+pub use scheduler::{DrainSignal, Scheduler, SessionId, SessionOutcome};
+pub use serve::{serve, serve_with, ServeSummary};
 pub use session::{PredictionSession, SessionEvent};
+pub use snapshot::SessionSnapshot;
 pub use spec::{Budget, RunSpec};

@@ -5,14 +5,18 @@
 //! replicate, all built on the scheduler's [`SharedScenarioPool`] — the
 //! sessions share the process's worker threads instead of each spawning
 //! their own (the old batch API built a fresh pool per run per step).
-//! [`Scheduler::round`] advances every live session by exactly one
-//! prediction step in submission order, so no session can starve another:
-//! a 12-step run and a 2-step run interleave step-by-step, and the short
-//! one completes while the long one is still going. Cancellation between
+//! [`Scheduler::round`] advances the sessions its [`SchedulePolicy`]
+//! plans — by default every live session, one step each, in submission
+//! order ([`crate::policy::RoundRobin`]), so no session can starve
+//! another: a 12-step run and a 2-step run interleave step-by-step, and
+//! the short one completes while the long one is still going. Other
+//! policies (weighted fair share, deadline first) reorder or throttle the
+//! rounds without changing any session's results. Cancellation between
 //! steps is a plain method call because nothing blocks: the scheduler is
 //! single-threaded at the session level and parallel at the scenario
 //! level, exactly the paper's Master/Worker shape lifted one level up.
 
+use crate::policy::{PolicyKind, SchedulePolicy, SessionMeta};
 use crate::session::{PredictionSession, SessionEvent};
 use crate::spec::RunSpec;
 use ess::error::{BudgetReason, ServiceError};
@@ -53,30 +57,67 @@ impl SessionOutcome {
     }
 }
 
-/// Fair round-robin multiplexer of prediction sessions over one shared
+/// What a [`Scheduler::drain_controlled`] callback tells the scheduler to
+/// do after each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainSignal {
+    /// Keep draining.
+    Continue,
+    /// Cancel this session after the current round (cancelling the
+    /// session the event belongs to, or any other live one, is equally
+    /// valid — unknown or already-finished ids are ignored).
+    Cancel(SessionId),
+}
+
+/// Policy-driven multiplexer of prediction sessions over one shared
 /// scenario-evaluation pool.
 pub struct Scheduler {
     pool: Arc<SharedScenarioPool>,
+    policy: Box<dyn SchedulePolicy>,
     next_id: SessionId,
     live: Vec<(SessionId, PredictionSession)>,
     done: Vec<(SessionId, SessionOutcome)>,
 }
 
 impl Scheduler {
-    /// A scheduler whose sessions share one pool built from `spec`.
+    /// A round-robin scheduler whose sessions share one pool built from
+    /// `spec`.
     pub fn new(spec: EvalBackend) -> Self {
-        Self::on_pool(Arc::new(SharedScenarioPool::new(spec)))
+        Self::with_policy(spec, PolicyKind::RoundRobin)
     }
 
-    /// A scheduler over an existing shared pool (several schedulers, or a
-    /// scheduler plus ad-hoc sessions, can share one substrate).
+    /// A scheduler running `policy` over one pool built from `spec`.
+    pub fn with_policy(spec: EvalBackend, policy: PolicyKind) -> Self {
+        Self::on_pool_with(Arc::new(SharedScenarioPool::new(spec)), policy.build())
+    }
+
+    /// A round-robin scheduler over an existing shared pool (several
+    /// schedulers, or a scheduler plus ad-hoc sessions, can share one
+    /// substrate).
     pub fn on_pool(pool: Arc<SharedScenarioPool>) -> Self {
+        Self::on_pool_with(pool, PolicyKind::RoundRobin.build())
+    }
+
+    /// A scheduler running any [`SchedulePolicy`] object over an existing
+    /// shared pool — the fully pluggable constructor.
+    pub fn on_pool_with(pool: Arc<SharedScenarioPool>, policy: Box<dyn SchedulePolicy>) -> Self {
         Self {
             pool,
+            policy,
             next_id: 1,
             live: Vec::new(),
             done: Vec::new(),
         }
+    }
+
+    /// Report name of the scheduling policy in force.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Swaps the scheduling policy between rounds.
+    pub fn set_policy(&mut self, policy: Box<dyn SchedulePolicy>) {
+        self.policy = policy;
     }
 
     /// The shared evaluation pool.
@@ -147,16 +188,44 @@ impl Scheduler {
         std::mem::take(&mut self.done)
     }
 
-    /// Advances every live session by exactly one step (submission order)
-    /// and returns the produced events. Sessions that reach a terminal
-    /// event move to [`Scheduler::outcomes`].
+    /// What the policy may observe about the live sessions, submission
+    /// order (parallel to the internal live list).
+    fn metas(&self) -> Vec<SessionMeta> {
+        self.live
+            .iter()
+            .map(|(id, s)| SessionMeta {
+                id: *id,
+                completed: s.steps().len(),
+                total_steps: s.total_steps(),
+                evaluations_spent: s.evaluations_spent(),
+                weight: s.weight(),
+                deadline: s.deadline_remaining(),
+            })
+            .collect()
+    }
+
+    /// Runs one scheduling round: asks the policy which live sessions to
+    /// advance (by one step each, in plan order) and returns the produced
+    /// events. Sessions that reach a terminal event move to
+    /// [`Scheduler::outcomes`]. Out-of-range or duplicate plan entries are
+    /// ignored, and an empty plan falls back to advancing the oldest
+    /// session — a misbehaving policy cannot stall a drain.
     pub fn round(&mut self) -> Vec<(SessionId, SessionEvent)> {
-        let mut events = Vec::with_capacity(self.live.len());
-        let mut still_live = Vec::with_capacity(self.live.len());
-        for (id, mut session) in std::mem::take(&mut self.live) {
-            let event = session.advance();
+        if self.live.is_empty() {
+            return Vec::new();
+        }
+        let mut plan = self.policy.plan(&self.metas());
+        let mut seen = vec![false; self.live.len()];
+        plan.retain(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true));
+        if plan.is_empty() {
+            plan.push(0);
+        }
+        let mut events = Vec::with_capacity(plan.len());
+        for i in plan {
+            let id = self.live[i].0;
+            let event = self.live[i].1.advance();
             match &event {
-                SessionEvent::StepCompleted(_) => still_live.push((id, session)),
+                SessionEvent::StepCompleted(_) => {}
                 SessionEvent::Finished(report) => {
                     self.done
                         .push((id, SessionOutcome::Finished(report.clone())));
@@ -173,7 +242,7 @@ impl Scheduler {
             }
             events.push((id, event));
         }
-        self.live = still_live;
+        self.live.retain(|(_, s)| !s.is_done());
         events
     }
 
@@ -183,9 +252,29 @@ impl Scheduler {
         &mut self,
         mut on_event: impl FnMut(SessionId, &SessionEvent),
     ) -> &[(SessionId, SessionOutcome)] {
+        self.drain_controlled(|id, event| {
+            on_event(id, event);
+            DrainSignal::Continue
+        })
+    }
+
+    /// [`Scheduler::drain_with`] where the callback can also steer the
+    /// drain: returning [`DrainSignal::Cancel`] cancels the named session
+    /// after the current round (its outcome is recorded as cancelled with
+    /// the steps completed so far; every other session drains normally).
+    pub fn drain_controlled(
+        &mut self,
+        mut on_event: impl FnMut(SessionId, &SessionEvent) -> DrainSignal,
+    ) -> &[(SessionId, SessionOutcome)] {
         while !self.live.is_empty() {
+            let mut cancels = Vec::new();
             for (id, event) in self.round() {
-                on_event(id, &event);
+                if let DrainSignal::Cancel(victim) = on_event(id, &event) {
+                    cancels.push(victim);
+                }
+            }
+            for victim in cancels {
+                self.cancel(victim);
             }
         }
         &self.done
@@ -201,6 +290,7 @@ impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
             .field("backend", &self.pool.name())
+            .field("policy", &self.policy.name())
             .field("live", &self.live.len())
             .field("done", &self.done.len())
             .finish()

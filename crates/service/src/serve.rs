@@ -1,10 +1,19 @@
-//! The line-delimited JSON serve protocol.
+//! The line-delimited JSON serve loop: protocol v1 and v2 over one
+//! transport.
 //!
-//! One request per input line, one or more event objects per line of
+//! One request per input line, one or more JSON objects per line of
 //! output — dependency-free, so `harness serve` can speak it over
 //! stdin/stdout and tests can drive it through in-memory buffers.
 //!
-//! Requests (`op` selects):
+//! **Version sniff:** a line whose object carries `"v":2` is a protocol-v2
+//! request ([`crate::proto`] — typed envelopes, streaming progress frames,
+//! checkpoint/resume); a line with an `"op"` member is a v1 request (the
+//! PR 3 dialect, served unchanged so old clients and the `--self-test`
+//! script keep working). Events for v1-submitted sessions stay in the v1
+//! dialect; v2-submitted sessions get v2 frames — the two dialects share
+//! the scheduler but never mix shapes for one session.
+//!
+//! v1 requests (`op` selects):
 //!
 //! ```text
 //! {"op":"run","system":"ESS-NS","case":"meadow_small","seed":7,
@@ -15,28 +24,40 @@
 //! {"op":"quit"}                          → {"event":"bye"} and the loop ends
 //! ```
 //!
+//! v2 requests are documented in [`crate::proto`]; the headline additions
+//! are `advance` (run a bounded number of scheduler rounds, so clients can
+//! interleave control with execution), `snapshot`/`restore`
+//! (checkpoint/resume via [`crate::SessionSnapshot`]), and per-session
+//! `progress` streaming for sessions submitted with `"watch":true`.
+//!
 //! Execution always happens on the **server's** shared pool (every session
 //! of every client multiplexes one worker pool — that is the point of the
-//! serving layer), so a request carrying a `backend` field is rejected
-//! rather than silently ignored. End of input implies `drain` (pending
-//! sessions still run) and then `quit`, so piping a canned request file
-//! works without a trailing quit line. Malformed lines produce an
-//! `{"event":"error",...}` line and the loop continues — one bad request
-//! must not take down a server multiplexing other clients' sessions.
+//! serving layer), so a v1 request carrying a `backend` field is rejected
+//! and a v2 spec's `backend` member is ignored. The scheduling discipline
+//! is chosen per serve invocation ([`PolicyKind`], the harness `--policy`
+//! flag). End of input implies `drain` (pending sessions still run) and
+//! then `quit`, so piping a canned request file works without a trailing
+//! quit line. Malformed lines produce an error event/frame and the loop
+//! continues — one bad request must not take down a server multiplexing
+//! other clients' sessions.
 
 use crate::jsonio::Json;
-use crate::scheduler::{Scheduler, SessionOutcome};
+use crate::policy::PolicyKind;
+use crate::proto::{DoneFrame, Frame, Reply, Request, RequestKind};
+use crate::scheduler::{Scheduler, SessionId, SessionOutcome};
 use crate::session::SessionEvent;
 use crate::spec::RunSpec;
+use ess::error::BudgetReason;
 use ess::fitness::EvalBackend;
 use ess::pipeline::RunReport;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, Write};
 
 /// Counters the serve loop reports when it exits (the `--self-test`
 /// assertions run against these).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Sessions accepted.
+    /// Sessions accepted (v1 + v2, including restored ones).
     pub accepted: usize,
     /// Sessions that ran every step.
     pub finished: usize,
@@ -44,37 +65,120 @@ pub struct ServeSummary {
     pub exhausted: usize,
     /// Sessions cancelled by request.
     pub cancelled: usize,
-    /// Request lines answered with an error event.
+    /// Request lines answered with an error event/frame.
     pub errors: usize,
+    /// Snapshots handed out (v2).
+    pub snapshots: usize,
+    /// Sessions restored from a snapshot (v2).
+    pub restored: usize,
 }
 
-/// Runs the serve loop: reads requests from `input` until `quit` or end of
-/// input, writes event lines to `out`, executes every session on one
-/// shared pool built from `backend`.
+/// Per-connection v2 bookkeeping: which sessions speak v2, which of those
+/// stream progress, and their cumulative (evaluations, best fitness)
+/// counters for the progress frames.
+#[derive(Default)]
+struct V2State {
+    sessions: HashSet<SessionId>,
+    watched: HashSet<SessionId>,
+    totals: HashMap<SessionId, (u64, f64)>,
+}
+
+impl V2State {
+    fn admit(&mut self, id: SessionId, watch: bool, evaluations: u64, best: f64) {
+        self.sessions.insert(id);
+        if watch {
+            self.watched.insert(id);
+        }
+        self.totals.insert(id, (evaluations, best));
+    }
+
+    fn retire(&mut self, id: SessionId) {
+        self.sessions.remove(&id);
+        self.watched.remove(&id);
+        self.totals.remove(&id);
+    }
+}
+
+/// Runs the serve loop with the default round-robin policy: reads
+/// requests from `input` until `quit` or end of input, writes event lines
+/// to `out`, executes every session on one shared pool built from
+/// `backend`.
 ///
 /// # Errors
 /// Propagates I/O errors from the transport; protocol-level problems are
-/// reported in-band as `error` events.
+/// reported in-band as error events/frames.
 pub fn serve<R: BufRead, W: Write>(
+    input: R,
+    out: W,
+    backend: EvalBackend,
+) -> io::Result<ServeSummary> {
+    serve_with(input, out, backend, PolicyKind::RoundRobin)
+}
+
+/// [`serve`] with an explicit scheduling policy — the `harness serve
+/// --policy` entry point.
+///
+/// # Errors
+/// Propagates I/O errors from the transport; protocol-level problems are
+/// reported in-band as error events/frames.
+pub fn serve_with<R: BufRead, W: Write>(
     input: R,
     mut out: W,
     backend: EvalBackend,
+    policy: PolicyKind,
 ) -> io::Result<ServeSummary> {
-    let mut scheduler = Scheduler::new(backend);
+    let mut scheduler = Scheduler::with_policy(backend, policy);
     let mut summary = ServeSummary::default();
+    let mut v2 = V2State::default();
+    let (mut saw_v1, mut saw_v2) = (false, false);
 
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
+        // Errors on lines that name no dialect (unparseable bytes, objects
+        // with neither "v" nor "op") answer in whichever dialect the
+        // connection has spoken — v2 frames on a pure-v2 connection, the
+        // legacy v1 event otherwise — and never flip the dialect flags.
+        let v2_only = |saw_v1: bool, saw_v2: bool| saw_v2 && !saw_v1;
         let request = match Json::parse(&line) {
             Ok(v) => v,
             Err(e) => {
-                emit_error(&mut out, &mut summary, &e.to_string())?;
+                if v2_only(saw_v1, saw_v2) {
+                    emit_v2_error(&mut out, &mut summary, 0, &e.to_string())?;
+                } else {
+                    emit_error(&mut out, &mut summary, &e.to_string())?;
+                }
                 continue;
             }
         };
+        if request.get("v").is_some() {
+            // Protocol v2: typed envelopes.
+            saw_v2 = true;
+            let id = request.get("id").and_then(Json::as_u64).unwrap_or(0);
+            match Request::from_json(&request) {
+                Ok(req) => {
+                    if handle_v2(&mut scheduler, &mut out, &mut summary, &mut v2, req)? {
+                        return Ok(summary);
+                    }
+                }
+                Err(reason) => emit_v2_error(&mut out, &mut summary, id, &reason)?,
+            }
+            continue;
+        }
+        if request.get("op").is_none() {
+            // Neither dialect's envelope: report it without treating the
+            // connection as having spoken v1.
+            let message = "request needs an 'op' field (v1) or '\"v\":2' (v2)";
+            if v2_only(saw_v1, saw_v2) {
+                emit_v2_error(&mut out, &mut summary, 0, message)?;
+            } else {
+                emit_error(&mut out, &mut summary, message)?;
+            }
+            continue;
+        }
+        saw_v1 = true;
         match request.get("op").and_then(Json::as_str) {
             Some("run") => match spec_from_request(&request) {
                 Ok(spec) => match scheduler.submit(&spec) {
@@ -98,6 +202,9 @@ pub fn serve<R: BufRead, W: Write>(
             Some("cancel") => match request.get("session").and_then(Json::as_u64) {
                 Some(id) if scheduler.cancel(id) => {
                     summary.cancelled += 1;
+                    // The session may have been submitted under v2 on this
+                    // same connection: drop its streaming state either way.
+                    v2.retire(id);
                     emit(
                         &mut out,
                         Json::obj().field("event", "cancelled").field("session", id),
@@ -110,113 +217,166 @@ pub fn serve<R: BufRead, W: Write>(
                 )?,
                 None => emit_error(&mut out, &mut summary, "cancel needs a session id")?,
             },
-            Some("drain") => drain(&mut scheduler, &mut out, &mut summary)?,
+            Some("drain") => {
+                let (_, drained) =
+                    run_rounds(&mut scheduler, &mut out, &mut summary, &mut v2, None)?;
+                emit(
+                    &mut out,
+                    Json::obj()
+                        .field("event", "drained")
+                        .field("sessions", drained),
+                )?;
+            }
             Some("quit") => {
                 emit(&mut out, Json::obj().field("event", "bye"))?;
                 return Ok(summary);
             }
             Some(other) => emit_error(&mut out, &mut summary, &format!("unknown op '{other}'"))?,
-            None => emit_error(&mut out, &mut summary, "request needs an 'op' field")?,
+            None => emit_error(&mut out, &mut summary, "'op' must be a string")?,
         }
     }
-    // End of input: run whatever is still pending, then leave.
-    drain(&mut scheduler, &mut out, &mut summary)?;
-    emit(&mut out, Json::obj().field("event", "bye"))?;
+    // End of input: run whatever is still pending, then leave. On a
+    // connection that only ever spoke v2, the implied drain/quit answer
+    // in v2 frames too (correlation id 0 — there was no request line);
+    // any v1 traffic keeps the legacy v1 shapes so old pipelines and
+    // greps are undisturbed.
+    let (_, drained) = run_rounds(&mut scheduler, &mut out, &mut summary, &mut v2, None)?;
+    if saw_v2 && !saw_v1 {
+        reply(&mut out, 0, Reply::Drained { sessions: drained })?;
+        reply(&mut out, 0, Reply::Bye)?;
+    } else {
+        emit(
+            &mut out,
+            Json::obj()
+                .field("event", "drained")
+                .field("sessions", drained),
+        )?;
+        emit(&mut out, Json::obj().field("event", "bye"))?;
+    }
     Ok(summary)
 }
 
-/// Builds a [`RunSpec`] from a `run` request object.
-fn spec_from_request(request: &Json) -> Result<RunSpec, String> {
-    let system = request
-        .get("system")
-        .and_then(Json::as_str)
-        .ok_or("run needs a 'system' string")?;
-    let case = request
-        .get("case")
-        .and_then(Json::as_str)
-        .ok_or("run needs a 'case' string")?;
-    if request.get("backend").is_some() {
-        return Err(
-            "requests cannot pick a backend: sessions share the server's pool \
-             (choose it with `harness serve --backend ...`)"
-                .to_string(),
-        );
-    }
-    let mut spec = RunSpec::new(system, case);
-    if let Some(v) = request.get("novelty") {
-        // Unlike `backend`, the novelty engine is safe to pick per request:
-        // it runs master-side in the session and its scores are
-        // engine-independent, so it never touches the shared pool.
-        let engine = v
-            .as_str()
-            .ok_or("'novelty' must be a string like \"sorted\", \"brute\" or \"sorted:4\"")?
-            .parse()
-            .map_err(|e: ess_ns::ParseNoveltyEngineError| e.to_string())?;
-        spec = spec.novelty(engine);
-    }
-    if let Some(v) = request.get("seed") {
-        spec = spec.seed(v.as_u64().ok_or("'seed' must be a non-negative integer")?);
-    }
-    if let Some(v) = request.get("replicates") {
-        spec = spec.replicates(
-            v.as_u64()
-                .ok_or("'replicates' must be a positive integer")? as usize,
-        );
-    }
-    if let Some(v) = request.get("scale") {
-        spec = spec.scale(v.as_f64().ok_or("'scale' must be a number")?);
-    }
-    if let Some(v) = request.get("max_steps") {
-        spec = spec.max_steps(v.as_u64().ok_or("'max_steps' must be a positive integer")? as usize);
-    }
-    if let Some(v) = request.get("max_evaluations") {
-        spec = spec.max_evaluations(
-            v.as_u64()
-                .ok_or("'max_evaluations' must be a positive integer")?,
-        );
-    }
-    if let Some(v) = request.get("deadline_ms") {
-        spec = spec.deadline_ms(
-            v.as_u64()
-                .ok_or("'deadline_ms' must be a positive integer")?,
-        );
-    }
-    spec.validate().map_err(|e| e.to_string())?;
-    Ok(spec)
-}
-
-/// Drains the scheduler, streaming step events and per-session summaries.
-fn drain<W: Write>(
+/// Handles one v2 request; returns `true` when the loop should end.
+fn handle_v2<W: Write>(
     scheduler: &mut Scheduler,
     out: &mut W,
     summary: &mut ServeSummary,
-) -> io::Result<()> {
-    let before = scheduler.outcomes().len();
-    let mut io_result = Ok(());
-    scheduler.drain_with(|id, event| {
-        if io_result.is_err() {
-            return;
+    v2: &mut V2State,
+    req: Request,
+) -> io::Result<bool> {
+    let id = req.id;
+    match req.kind {
+        RequestKind::Run { spec, watch } => {
+            // The spec's `backend` member is ignored here: sessions share
+            // the server's pool. (v1 rejects the field instead; v2 keeps
+            // it because snapshots legitimately carry it.)
+            match scheduler.submit(&spec) {
+                Ok(ids) => {
+                    summary.accepted += ids.len();
+                    for &sid in &ids {
+                        v2.admit(sid, watch, 0, f64::NEG_INFINITY);
+                    }
+                    reply(out, id, Reply::Accepted { sessions: ids })?;
+                }
+                Err(e) => emit_v2_error(out, summary, id, &e.to_string())?,
+            }
         }
-        io_result = match event {
-            SessionEvent::StepCompleted(step) => emit(
+        RequestKind::Restore { snapshot, watch } => match snapshot.restore_on(scheduler.pool()) {
+            Ok(session) => {
+                let evaluations = session.evaluations_spent();
+                let best = session
+                    .steps()
+                    .iter()
+                    .map(|s| s.os_best_fitness)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let sid = scheduler.submit_session(session);
+                summary.accepted += 1;
+                summary.restored += 1;
+                v2.admit(sid, watch, evaluations, best);
+                reply(
+                    out,
+                    id,
+                    Reply::Accepted {
+                        sessions: vec![sid],
+                    },
+                )?;
+            }
+            Err(e) => emit_v2_error(out, summary, id, &e.to_string())?,
+        },
+        RequestKind::Advance { rounds } => {
+            let (ran, _) = run_rounds(scheduler, out, summary, v2, Some(rounds))?;
+            reply(
                 out,
-                Json::obj()
-                    .field("event", "step")
-                    .field("session", id)
-                    .field("step", step.step)
-                    .field("quality", step.quality)
-                    .field("kign", step.kign)
-                    .field("evaluations", step.evaluations)
-                    .field("wall_ms", step.wall_ms),
-            ),
-            SessionEvent::Finished(report) => emit(out, done_event(id, "finished", None, report)),
-            SessionEvent::BudgetExhausted { reason, partial } => emit(
-                out,
-                done_event(id, "exhausted", Some(&reason.to_string()), partial),
-            ),
-        };
-    });
-    io_result?;
+                id,
+                Reply::Advanced {
+                    rounds: ran,
+                    live: scheduler.live_count(),
+                },
+            )?;
+        }
+        RequestKind::Snapshot { session } => {
+            match scheduler.live().find(|(sid, _)| *sid == session) {
+                Some((_, live)) => match live.snapshot() {
+                    Ok(snapshot) => {
+                        summary.snapshots += 1;
+                        reply(out, id, Reply::Snapshot { session, snapshot })?;
+                    }
+                    Err(e) => emit_v2_error(out, summary, id, &e.to_string())?,
+                },
+                None => emit_v2_error(
+                    out,
+                    summary,
+                    id,
+                    &format!("no live session {session} to snapshot"),
+                )?,
+            }
+        }
+        RequestKind::Cancel { session } => {
+            if scheduler.cancel(session) {
+                summary.cancelled += 1;
+                v2.retire(session);
+                reply(out, id, Reply::Cancelled { session })?;
+            } else {
+                emit_v2_error(
+                    out,
+                    summary,
+                    id,
+                    &format!("no live session {session} to cancel"),
+                )?;
+            }
+        }
+        RequestKind::Drain => {
+            let (_, drained) = run_rounds(scheduler, out, summary, v2, None)?;
+            reply(out, id, Reply::Drained { sessions: drained })?;
+        }
+        RequestKind::Quit => {
+            reply(out, id, Reply::Bye)?;
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Runs scheduler rounds (all of them, or at most `max_rounds`),
+/// streaming every event in its session's dialect, and folds the newly
+/// completed outcomes into the summary. Returns (rounds run, sessions
+/// that reached a terminal event).
+fn run_rounds<W: Write>(
+    scheduler: &mut Scheduler,
+    out: &mut W,
+    summary: &mut ServeSummary,
+    v2: &mut V2State,
+    max_rounds: Option<usize>,
+) -> io::Result<(usize, usize)> {
+    let before = scheduler.outcomes().len();
+    let mut rounds = 0usize;
+    while scheduler.live_count() > 0 && max_rounds.is_none_or(|m| rounds < m) {
+        let events = scheduler.round();
+        rounds += 1;
+        for (id, event) in events {
+            emit_session_event(out, v2, id, &event)?;
+        }
+    }
     for (_, outcome) in &scheduler.outcomes()[before..] {
         match outcome {
             SessionOutcome::Finished(_) => summary.finished += 1,
@@ -227,15 +387,112 @@ fn drain<W: Write>(
     // Release the retained reports: a server process drains many times,
     // and nothing reads an outcome after its `done` event went out.
     let _ = scheduler.take_outcomes();
-    emit(
-        out,
-        Json::obj()
-            .field("event", "drained")
-            .field("sessions", drained),
-    )
+    Ok((rounds, drained))
 }
 
-/// One `done` line per completed session.
+/// Streams one session event in the dialect the session was submitted
+/// under.
+fn emit_session_event<W: Write>(
+    out: &mut W,
+    v2: &mut V2State,
+    id: SessionId,
+    event: &SessionEvent,
+) -> io::Result<()> {
+    if !v2.sessions.contains(&id) {
+        return emit_v1_event(out, id, event);
+    }
+    match event {
+        SessionEvent::StepCompleted(step) => {
+            let (evaluations, best) = {
+                let t = v2.totals.entry(id).or_insert((0, f64::NEG_INFINITY));
+                t.0 += step.evaluations;
+                t.1 = t.1.max(step.os_best_fitness);
+                *t
+            };
+            if v2.watched.contains(&id) {
+                emit(
+                    out,
+                    Frame::Progress {
+                        session: id,
+                        step: step.step,
+                        evaluations,
+                        best,
+                    }
+                    .to_json(),
+                )?;
+            }
+            Ok(())
+        }
+        SessionEvent::Finished(report) => {
+            v2.retire(id);
+            emit(out, done_frame(id, "finished", None, report).to_json())
+        }
+        SessionEvent::BudgetExhausted { reason, partial } => {
+            v2.retire(id);
+            let status = match reason {
+                BudgetReason::Cancelled => "cancelled",
+                _ => "exhausted",
+            };
+            emit(
+                out,
+                done_frame(id, status, Some(&reason.to_string()), partial).to_json(),
+            )
+        }
+    }
+}
+
+/// One v1 event line per session event — the PR 3 shapes, unchanged.
+fn emit_v1_event<W: Write>(out: &mut W, id: SessionId, event: &SessionEvent) -> io::Result<()> {
+    match event {
+        SessionEvent::StepCompleted(step) => emit(
+            out,
+            Json::obj()
+                .field("event", "step")
+                .field("session", id)
+                .field("step", step.step)
+                .field("quality", step.quality)
+                .field("kign", step.kign)
+                .field("evaluations", step.evaluations)
+                .field("wall_ms", step.wall_ms),
+        ),
+        SessionEvent::Finished(report) => emit(out, done_event(id, "finished", None, report)),
+        SessionEvent::BudgetExhausted { reason, partial } => emit(
+            out,
+            done_event(id, "exhausted", Some(&reason.to_string()), partial),
+        ),
+    }
+}
+
+/// Builds a [`RunSpec`] from a v1 `run` request object, preserving the
+/// v1 dialect's error texts (clients have always seen "run needs …", not
+/// the spec parser's "spec needs …").
+fn spec_from_request(request: &Json) -> Result<RunSpec, String> {
+    if request.get("backend").is_some() {
+        return Err(
+            "requests cannot pick a backend: sessions share the server's pool \
+             (choose it with `harness serve --backend ...`)"
+                .to_string(),
+        );
+    }
+    RunSpec::from_json(request).map_err(|e| e.replace("spec needs", "run needs"))
+}
+
+/// The v2 terminal frame for one completed session.
+fn done_frame(id: SessionId, status: &str, reason: Option<&str>, report: &RunReport) -> Frame {
+    Frame::Done(DoneFrame {
+        session: id,
+        status: status.to_string(),
+        reason: reason.map(str::to_string),
+        system: report.system.to_string(),
+        case: report.case.to_string(),
+        steps: report.steps.len(),
+        mean_quality: report.mean_quality(),
+        total_evaluations: report.total_evaluations(),
+        wall_ms: report.total_ms,
+    })
+}
+
+/// One v1 `done` line per completed session.
 fn done_event(id: u64, status: &str, reason: Option<&str>, report: &RunReport) -> Json {
     Json::obj()
         .field("event", "done")
@@ -306,5 +563,25 @@ fn emit_error<W: Write>(out: &mut W, summary: &mut ServeSummary, message: &str) 
         Json::obj()
             .field("event", "error")
             .field("message", message),
+    )
+}
+
+fn reply<W: Write>(out: &mut W, id: u64, reply: Reply) -> io::Result<()> {
+    emit(out, Frame::Reply { id, reply }.to_json())
+}
+
+fn emit_v2_error<W: Write>(
+    out: &mut W,
+    summary: &mut ServeSummary,
+    id: u64,
+    message: &str,
+) -> io::Result<()> {
+    summary.errors += 1;
+    reply(
+        out,
+        id,
+        Reply::Error {
+            message: message.to_string(),
+        },
     )
 }

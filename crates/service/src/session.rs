@@ -10,12 +10,23 @@
 //! its terminal event is exactly the batch path (same driver, same seeds),
 //! so batch and session reports are bit-identical by construction.
 
-use crate::spec::Budget;
+use crate::snapshot::SessionSnapshot;
+use crate::spec::{Budget, RunSpec};
 use ess::cases::BurnCase;
 use ess::error::{BudgetReason, ServiceError};
 use ess::pipeline::{EvalStrategy, RunReport, StepDriver, StepOptimizer, StepReport};
 use parworker::Stopwatch;
 use std::time::Instant;
+
+/// Where a session came from: the spec that built it and which replicate
+/// it is — everything a [`SessionSnapshot`] needs to rebuild the run.
+#[derive(Debug, Clone)]
+pub(crate) struct Provenance {
+    /// The originating request.
+    pub spec: RunSpec,
+    /// Replicate index within the request.
+    pub replicate: usize,
+}
 
 /// What one [`PredictionSession::advance`] call produced.
 #[derive(Debug, Clone)]
@@ -52,12 +63,14 @@ pub struct PredictionSession {
     driver: StepDriver,
     optimizer: Box<dyn StepOptimizer>,
     budget: Budget,
+    weight: f64,
     steps: Vec<StepReport>,
     evaluations_spent: u64,
     driven_ms: f64,
     started: Option<Instant>,
     terminal: Option<SessionEvent>,
     observers: Vec<Observer>,
+    provenance: Option<Provenance>,
 }
 
 impl PredictionSession {
@@ -76,13 +89,103 @@ impl PredictionSession {
             driver: StepDriver::new(case, strategy, base_seed),
             optimizer,
             budget,
+            weight: 1.0,
             steps: Vec::new(),
             evaluations_spent: 0,
             driven_ms: 0.0,
             started: None,
             terminal: None,
             observers: Vec::new(),
+            provenance: None,
         }
+    }
+
+    /// Rebuilds a session from checkpoint state: a driver already
+    /// positioned after the completed steps, the accumulated reports, and
+    /// the provenance the snapshot will need again. The deadline clock
+    /// restarts on the first post-restore `advance` — wall time spent
+    /// before the checkpoint is billed via `driven_ms`, not the deadline.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restored(
+        driver: StepDriver,
+        optimizer: Box<dyn StepOptimizer>,
+        budget: Budget,
+        weight: f64,
+        steps: Vec<StepReport>,
+        driven_ms: f64,
+        provenance: Provenance,
+    ) -> Self {
+        let evaluations_spent = steps.iter().map(|s| s.evaluations).sum();
+        Self {
+            driver,
+            optimizer,
+            budget,
+            weight,
+            steps,
+            evaluations_spent,
+            driven_ms,
+            started: None,
+            terminal: None,
+            observers: Vec::new(),
+            provenance: Some(provenance),
+        }
+    }
+
+    /// Tags the session with the spec (and replicate index) that built it,
+    /// enabling [`PredictionSession::snapshot`].
+    pub(crate) fn set_provenance(&mut self, spec: RunSpec, replicate: usize) {
+        self.weight = spec.share_weight();
+        self.provenance = Some(Provenance { spec, replicate });
+    }
+
+    /// Fair-share weight (1 unless the originating spec set one) — the
+    /// knob `WeightedFairShare` scheduling reads.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The stopping budgets in force.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Wall-clock time left before the deadline budget fires (`None`
+    /// without a deadline budget; the full budget before the first
+    /// `advance` starts the clock). This is what deadline-aware
+    /// scheduling should order by — the raw budget misjudges urgency once
+    /// sessions have started at different times.
+    pub fn deadline_remaining(&self) -> Option<std::time::Duration> {
+        let deadline = self.budget.deadline?;
+        let elapsed = self
+            .started
+            .map(|s| s.elapsed())
+            .unwrap_or(std::time::Duration::ZERO);
+        Some(deadline.saturating_sub(elapsed))
+    }
+
+    /// Serializable checkpoint of the run so far: the originating spec,
+    /// the replicate index, and every completed [`StepReport`]. Restoring
+    /// the snapshot replays the driver's deterministic seed stream, so the
+    /// continuation is bit-identical to never having stopped.
+    ///
+    /// # Errors
+    /// [`ServiceError::BadSpec`] for sessions built without a [`RunSpec`]
+    /// (hand-assembled via [`PredictionSession::new`]) — they have no
+    /// serializable provenance to rebuild from.
+    pub fn snapshot(&self) -> Result<SessionSnapshot, ServiceError> {
+        let p = self.provenance.as_ref().ok_or_else(|| {
+            ServiceError::BadSpec(
+                "session was built without a RunSpec, so it has no serializable \
+                 provenance to snapshot (build it through RunSpec::session*)"
+                    .into(),
+            )
+        })?;
+        Ok(SessionSnapshot::new(
+            p.spec.clone(),
+            p.replicate,
+            self.steps.clone(),
+            self.driven_ms,
+        ))
     }
 
     /// The system being run.

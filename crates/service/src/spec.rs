@@ -9,12 +9,13 @@
 //! running a prediction — batch, session, scheduler, serve protocol —
 //! starts from one of these.
 
-use crate::session::PredictionSession;
+use crate::jsonio::Json;
+use crate::session::{PredictionSession, Provenance};
 use crate::systems;
 use ess::cases::{self, BurnCase};
 use ess::error::ServiceError;
 use ess::fitness::{EvalBackend, SharedScenarioPool};
-use ess::pipeline::{EvalStrategy, RunReport};
+use ess::pipeline::{EvalStrategy, RunReport, StepDriver, StepReport};
 use ess_ns::NoveltyEngine;
 use std::sync::Arc;
 use std::time::Duration;
@@ -68,6 +69,7 @@ pub struct RunSpec {
     seed: u64,
     replicates: usize,
     scale: f64,
+    weight: f64,
     budget: Budget,
 }
 
@@ -83,6 +85,7 @@ impl RunSpec {
             seed: 1,
             replicates: 1,
             scale: 1.0,
+            weight: 1.0,
             budget: Budget::unlimited(),
         }
     }
@@ -126,6 +129,25 @@ impl RunSpec {
     pub fn scale(mut self, scale: f64) -> Self {
         self.scale = scale;
         self
+    }
+
+    /// Fair-share weight (> 0, default 1): under weighted-fair-share
+    /// scheduling, a weight-2 session receives twice the step rate of a
+    /// weight-1 peer. Other policies ignore it; results never depend on
+    /// it.
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// The configured fair-share weight.
+    pub fn share_weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The configured execution backend (for standalone sessions).
+    pub fn backend_spec(&self) -> EvalBackend {
+        self.backend
     }
 
     /// Stop after `n` prediction steps.
@@ -177,23 +199,30 @@ impl RunSpec {
     /// # Errors
     /// [`ServiceError::BadSpec`] on zero or more than
     /// [`RunSpec::MAX_REPLICATES`] replicates, a non-positive or
-    /// non-finite scale, or a zero budget (a budget of 0 can never admit a
-    /// step, which is always a mistake — omit the budget instead).
+    /// non-finite scale or weight, or a zero budget (a budget of 0 can
+    /// never admit a step, which is always a mistake — omit the budget
+    /// instead). Every message names the offending field.
     pub fn validate(&self) -> Result<(), ServiceError> {
         if self.replicates == 0 {
             return Err(ServiceError::BadSpec("replicates must be ≥ 1".into()));
         }
         if self.replicates > Self::MAX_REPLICATES {
             return Err(ServiceError::BadSpec(format!(
-                "replicates must be ≤ {} (got {})",
+                "replicates must be ≤ {} (got {}); submit more specs to run additional replicates",
                 Self::MAX_REPLICATES,
                 self.replicates
             )));
         }
         if !(self.scale.is_finite() && self.scale > 0.0) {
             return Err(ServiceError::BadSpec(format!(
-                "scale must be a positive number, got {}",
+                "scale must be a positive, finite number (got {})",
                 self.scale
+            )));
+        }
+        if !(self.weight.is_finite() && self.weight > 0.0) {
+            return Err(ServiceError::BadSpec(format!(
+                "weight must be a positive, finite number (got {})",
+                self.weight
             )));
         }
         if self.budget.max_steps == Some(0) {
@@ -261,13 +290,168 @@ impl RunSpec {
         strategy: EvalStrategy,
         replicate: usize,
     ) -> PredictionSession {
-        PredictionSession::new(
+        let mut session = PredictionSession::new(
             case,
             system.make_tuned(self.scale, self.novelty),
             strategy,
             self.replicate_seed(replicate),
             self.budget,
-        )
+        );
+        session.set_provenance(self.clone(), replicate);
+        session
+    }
+
+    /// Rebuilds the session a snapshot describes: a driver positioned
+    /// after `steps.len()` completed steps (carrying the last step's
+    /// `Kign`), a fresh optimizer, and the accumulated reports — the
+    /// checkpoint/resume engine behind
+    /// [`crate::SessionSnapshot::restore_with`].
+    ///
+    /// # Errors
+    /// Name/spec errors from resolution, plus [`ServiceError::BadSpec`]
+    /// when the checkpoint does not fit the case (more completed steps
+    /// than the case has, non-sequential step indices) or `replicate`
+    /// exceeds the spec's replicate count.
+    pub(crate) fn restore_session(
+        &self,
+        replicate: usize,
+        steps: Vec<StepReport>,
+        driven_ms: f64,
+        strategy: EvalStrategy,
+    ) -> Result<PredictionSession, ServiceError> {
+        let (system, case) = self.resolve()?;
+        if replicate >= self.replicates {
+            return Err(ServiceError::BadSpec(format!(
+                "snapshot replicate {} out of range for a {}-replicate spec",
+                replicate, self.replicates
+            )));
+        }
+        let total = case.intervals().saturating_sub(1);
+        if steps.len() > total {
+            return Err(ServiceError::BadSpec(format!(
+                "snapshot has {} completed steps but case '{}' runs only {}",
+                steps.len(),
+                self.case,
+                total
+            )));
+        }
+        if let Some((i, s)) = steps.iter().enumerate().find(|(i, s)| s.step != i + 1) {
+            return Err(ServiceError::BadSpec(format!(
+                "snapshot steps must be sequential from 1 (entry {} reports step {})",
+                i, s.step
+            )));
+        }
+        let carried_kign = steps.last().map(|s| s.kign);
+        let driver = StepDriver::restore(
+            case,
+            strategy,
+            self.replicate_seed(replicate),
+            steps.len(),
+            carried_kign,
+        );
+        Ok(PredictionSession::restored(
+            driver,
+            system.make_tuned(self.scale, self.novelty),
+            self.budget,
+            self.weight,
+            steps,
+            driven_ms,
+            Provenance {
+                spec: self.clone(),
+                replicate,
+            },
+        ))
+    }
+
+    /// Serializes the spec as the protocol-v2 / snapshot JSON object. The
+    /// `Display` names of the backend and novelty engine round-trip
+    /// through their `FromStr` impls, and unset budgets serialize as
+    /// `null`, so `RunSpec::from_json(spec.to_json())` reproduces the spec
+    /// exactly.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("system", self.system.as_str())
+            .field("case", self.case.as_str())
+            .field("backend", self.backend.name())
+            .field("novelty", self.novelty.name())
+            .field("seed", self.seed)
+            .field("replicates", self.replicates)
+            .field("scale", self.scale)
+            .field("weight", self.weight)
+            .field("max_steps", self.budget.max_steps)
+            .field("max_evaluations", self.budget.max_evaluations)
+            .field(
+                "deadline_ms",
+                self.budget.deadline.map(|d| d.as_millis() as u64),
+            )
+    }
+
+    /// Parses a spec object (a v1 `run` request body, a v2 `spec` payload,
+    /// or a snapshot's embedded spec — unknown members and `null` budgets
+    /// are ignored) and validates it.
+    ///
+    /// # Errors
+    /// A one-line description naming the offending field.
+    pub fn from_json(v: &Json) -> Result<RunSpec, String> {
+        let present = |key: &str| v.get(key).filter(|j| !matches!(j, Json::Null));
+        let system = present("system")
+            .and_then(Json::as_str)
+            .ok_or("spec needs a 'system' string")?;
+        let case = present("case")
+            .and_then(Json::as_str)
+            .ok_or("spec needs a 'case' string")?;
+        let mut spec = RunSpec::new(system, case);
+        if let Some(b) = present("backend") {
+            let name = b
+                .as_str()
+                .ok_or("'backend' must be a string like \"serial\" or \"worker-pool:4\"")?;
+            spec = spec.backend(
+                name.parse()
+                    .map_err(|e: parworker::ParseBackendError| e.to_string())?,
+            );
+        }
+        if let Some(n) = present("novelty") {
+            let name = n
+                .as_str()
+                .ok_or("'novelty' must be a string like \"sorted\", \"brute\" or \"sorted:4\"")?;
+            spec = spec.novelty(
+                name.parse()
+                    .map_err(|e: ess_ns::ParseNoveltyEngineError| e.to_string())?,
+            );
+        }
+        if let Some(x) = present("seed") {
+            spec = spec.seed(x.as_u64().ok_or("'seed' must be a non-negative integer")?);
+        }
+        if let Some(x) = present("replicates") {
+            spec = spec.replicates(
+                x.as_u64()
+                    .ok_or("'replicates' must be a positive integer")? as usize,
+            );
+        }
+        if let Some(x) = present("scale") {
+            spec = spec.scale(x.as_f64().ok_or("'scale' must be a number")?);
+        }
+        if let Some(x) = present("weight") {
+            spec = spec.weight(x.as_f64().ok_or("'weight' must be a number")?);
+        }
+        if let Some(x) = present("max_steps") {
+            spec = spec
+                .max_steps(x.as_u64().ok_or("'max_steps' must be a positive integer")? as usize);
+        }
+        if let Some(x) = present("max_evaluations") {
+            spec = spec.max_evaluations(
+                x.as_u64()
+                    .ok_or("'max_evaluations' must be a positive integer")?,
+            );
+        }
+        if let Some(x) = present("deadline_ms") {
+            spec = spec.deadline_ms(
+                x.as_u64()
+                    .ok_or("'deadline_ms' must be a positive integer")?,
+            );
+        }
+        spec.validate().map_err(|e| e.to_string())?;
+        Ok(spec)
     }
 
     /// The batch entry point: builds the replicate-0 session and drains
@@ -322,12 +506,104 @@ mod tests {
             base.clone().replicates(0),
             base.clone().replicates(RunSpec::MAX_REPLICATES + 1),
             base.clone().scale(0.0),
+            base.clone().scale(-1.0),
             base.clone().scale(f64::NAN),
+            base.clone().scale(f64::INFINITY),
+            base.clone().weight(0.0),
+            base.clone().weight(-2.0),
+            base.clone().weight(f64::NAN),
+            base.clone().weight(f64::INFINITY),
             base.clone().max_steps(0),
             base.clone().max_evaluations(0),
         ] {
             assert!(matches!(bad.validate(), Err(ServiceError::BadSpec(_))));
             assert!(matches!(bad.run(), Err(ServiceError::BadSpec(_))));
+        }
+    }
+
+    #[test]
+    fn validation_errors_are_one_line_and_name_the_field() {
+        let base = RunSpec::new("ESS", "grass_uniform");
+        for (bad, field) in [
+            (base.clone().scale(0.0), "scale"),
+            (base.clone().scale(f64::NEG_INFINITY), "scale"),
+            (base.clone().weight(f64::NAN), "weight"),
+            (base.clone().replicates(0), "replicates"),
+            (base.clone().max_steps(0), "max_steps"),
+            (base.clone().max_evaluations(0), "max_evaluations"),
+            (base.clone().deadline_ms(0), "deadline"),
+        ] {
+            let message = bad.validate().expect_err("must reject").to_string();
+            assert!(
+                message.contains(field),
+                "message must name '{field}': {message}"
+            );
+            assert!(!message.contains('\n'), "must be one line: {message}");
+        }
+    }
+
+    #[test]
+    fn replicate_cap_message_states_cap_and_workaround() {
+        let err = RunSpec::new("ESS", "grass_uniform")
+            .replicates(RunSpec::MAX_REPLICATES + 1)
+            .validate()
+            .expect_err("over the cap");
+        assert_eq!(
+            err.to_string(),
+            "bad run spec: replicates must be ≤ 1024 (got 1025); \
+             submit more specs to run additional replicates"
+        );
+    }
+
+    #[test]
+    fn spec_json_round_trips_exactly() {
+        let full = RunSpec::new("ESS-NS", "meadow_small")
+            .backend(EvalBackend::WorkerPool(4))
+            .novelty(NoveltyEngine::brute_force().with_workers(2))
+            .seed(99)
+            .replicates(3)
+            .scale(0.375)
+            .weight(2.5)
+            .max_steps(4)
+            .max_evaluations(10_000)
+            .deadline_ms(30_000);
+        let minimal = RunSpec::new("ESS", "grass_uniform");
+        for spec in [full, minimal] {
+            let round = RunSpec::from_json(&spec.to_json()).expect("own json parses");
+            assert_eq!(round, spec);
+            // And through the actual wire text, not just the value tree.
+            let text = spec.to_json().to_string();
+            let reparsed =
+                RunSpec::from_json(&Json::parse(&text).expect("valid text")).expect("parses");
+            assert_eq!(reparsed, spec);
+        }
+    }
+
+    #[test]
+    fn from_json_names_the_offending_field() {
+        for (line, needle) in [
+            (r#"{"case":"meadow_small"}"#, "'system'"),
+            (r#"{"system":"ESS"}"#, "'case'"),
+            (
+                r#"{"system":"ESS","case":"meadow_small","seed":-4}"#,
+                "'seed'",
+            ),
+            (
+                r#"{"system":"ESS","case":"meadow_small","scale":"big"}"#,
+                "'scale'",
+            ),
+            (
+                r#"{"system":"ESS","case":"meadow_small","weight":0}"#,
+                "weight",
+            ),
+            (
+                r#"{"system":"ESS","case":"meadow_small","backend":"gpu:9"}"#,
+                "backend",
+            ),
+        ] {
+            let err = RunSpec::from_json(&Json::parse(line).expect("valid json"))
+                .expect_err("must reject");
+            assert!(err.contains(needle), "{line} → {err}");
         }
     }
 

@@ -1,10 +1,13 @@
 //! Scheduler fairness/soundness: many sessions on one shared worker pool
 //! all finish, produce exactly the reports of serial runs, interleave
-//! fairly, and survive mid-flight cancellation without deadlock.
+//! fairly, and survive mid-flight cancellation without deadlock — under
+//! every scheduling policy.
 
 use ess::fitness::EvalBackend;
 use ess::pipeline::StepReport;
-use ess_service::{systems, RunSpec, Scheduler, SessionEvent, SessionOutcome};
+use ess_service::{
+    systems, DrainSignal, PolicyKind, RunSpec, Scheduler, SessionEvent, SessionOutcome,
+};
 
 const CASE: &str = "meadow_small";
 const SCALE: f64 = 0.25;
@@ -123,6 +126,132 @@ fn cancelling_mid_flight_neither_deadlocks_nor_perturbs_peers() {
     for (a, b) in survivor_outcome.report().steps.iter().zip(&serial.steps) {
         assert_eq!(fingerprint(a), fingerprint(b));
     }
+}
+
+#[test]
+fn drain_callback_can_cancel_a_session_mid_drain() {
+    let mut scheduler = Scheduler::new(EvalBackend::WorkerPool(2));
+    let victim = scheduler.submit(&spec_for("ESS", 31)).expect("ok")[0];
+    let bystander = scheduler.submit(&spec_for("ESS-NS", 31)).expect("ok")[0];
+    let trigger = scheduler.submit(&spec_for("ESSIM-EA", 31)).expect("ok")[0];
+
+    // When the trigger session completes its second step, the callback
+    // cancels the victim — from *inside* the drain.
+    let mut cancelled_at = None;
+    let outcomes = scheduler
+        .drain_controlled(|id, event| {
+            if id == trigger {
+                if let SessionEvent::StepCompleted(step) = event {
+                    if step.step == 2 && cancelled_at.is_none() {
+                        cancelled_at = Some(step.step);
+                        return DrainSignal::Cancel(victim);
+                    }
+                }
+            }
+            DrainSignal::Continue
+        })
+        .to_vec();
+    assert_eq!(cancelled_at, Some(2), "trigger condition must have fired");
+    assert_eq!(outcomes.len(), 3, "drain terminates with every outcome");
+
+    // The victim is recorded as cancelled with the steps it had run.
+    let victim_outcome = &outcomes.iter().find(|(id, _)| *id == victim).unwrap().1;
+    match victim_outcome {
+        SessionOutcome::Exhausted { reason, partial } => {
+            assert_eq!(
+                reason.to_string(),
+                "cancelled",
+                "outcome must be recorded as cancelled"
+            );
+            assert_eq!(partial.steps.len(), 2, "cancelled after round 2");
+        }
+        other => panic!("victim reported {other:?}"),
+    }
+
+    // Remaining sessions are unaffected: both finish and match serial.
+    for (id, system) in [(bystander, "ESS-NS"), (trigger, "ESSIM-EA")] {
+        let outcome = &outcomes.iter().find(|(oid, _)| *oid == id).unwrap().1;
+        assert!(outcome.is_finished(), "{system} must finish");
+        let serial = spec_for(system, 31).run().expect("serial run");
+        for (a, b) in outcome.report().steps.iter().zip(&serial.steps) {
+            assert_eq!(fingerprint(a), fingerprint(b), "{system} perturbed");
+        }
+    }
+}
+
+#[test]
+fn every_policy_produces_identical_reports() {
+    let run_under = |policy: PolicyKind| {
+        let mut scheduler = Scheduler::with_policy(EvalBackend::WorkerPool(2), policy);
+        for (i, system) in systems::all().iter().enumerate() {
+            scheduler
+                .submit(
+                    &spec_for(system.name, 40 + i as u64)
+                        .weight(1.0 + i as f64)
+                        .deadline_ms(600_000),
+                )
+                .expect("spec resolves");
+        }
+        let mut outcomes: Vec<_> = scheduler
+            .drain()
+            .iter()
+            .map(|(_, o)| {
+                let r = o.report();
+                (
+                    r.system,
+                    r.steps.iter().map(fingerprint).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        outcomes.sort_by_key(|(system, _)| *system);
+        outcomes
+    };
+    let reference = run_under(PolicyKind::RoundRobin);
+    for policy in [PolicyKind::WeightedFairShare, PolicyKind::DeadlineFirst] {
+        assert_eq!(
+            run_under(policy),
+            reference,
+            "{policy} changed results — policies must only reorder work"
+        );
+    }
+}
+
+#[test]
+fn weighted_fair_share_tracks_weight_ratios_mid_drain() {
+    let mut scheduler =
+        Scheduler::with_policy(EvalBackend::WorkerPool(2), PolicyKind::WeightedFairShare);
+    let light = scheduler
+        .submit(&spec_for("ESS-NS", 50).weight(1.0))
+        .expect("ok")[0];
+    let heavy = scheduler
+        .submit(&spec_for("ESS-NS", 51).weight(2.0))
+        .expect("ok")[0];
+
+    // Run rounds while both are live and track their step counts: the
+    // weight-2 session must stay ~2× ahead of the weight-1 session.
+    let mut max_light_lead = 0isize;
+    while scheduler.live_count() == 2 {
+        scheduler.round();
+        let count = |wanted| {
+            scheduler
+                .live()
+                .find(|(id, _)| *id == wanted)
+                .map(|(_, s)| s.steps().len() as isize)
+        };
+        if let (Some(l), Some(h)) = (count(light), count(heavy)) {
+            // Virtual times l/1 and h/2 stay within one step of each
+            // other, so h ≈ 2l while both run.
+            let skew = (l - h / 2).abs();
+            assert!(skew <= 1, "virtual-time skew {skew} (light {l}, heavy {h})");
+            max_light_lead = max_light_lead.max(l - h);
+        }
+    }
+    assert!(
+        max_light_lead <= 0,
+        "the heavy session must never trail the light one"
+    );
+    scheduler.drain();
+    assert_eq!(scheduler.outcomes().len(), 2);
 }
 
 #[test]

@@ -6,7 +6,8 @@
 //! have a single import root. Start with [`ess_ns`] (the paper's
 //! contribution: Algorithm 1 and the ESS-NS system), then [`ess`] (the
 //! prediction framework and baselines), [`ess_service`] (the serving
-//! layer: sessions, the system registry, the multi-session scheduler),
+//! layer: sessions, snapshots, scheduling policies, the protocol-v2
+//! serve loop), [`ess_client`] (the typed protocol-v2 client),
 //! [`firelib`] (the fire simulator), [`evoalg`] (the EA substrate),
 //! [`parworker`] (the Master/Worker engine) and [`landscape`] (rasters
 //! and metrics).
@@ -27,6 +28,7 @@
 //! ```
 
 pub use ess;
+pub use ess_client;
 pub use ess_ns;
 pub use ess_service;
 pub use evoalg;
