@@ -25,6 +25,7 @@
 //!   service     S         — concurrent-session throughput sweep (+ BENCH_service.json)
 //!   novelty     N         — novelty-engine sweep: pop × archive × engine (+ BENCH_novelty.json)
 //!   loadgen     L         — protocol-v2 load generation per scheduling policy (+ BENCH_serve_v2.json)
+//!   fusion      F         — cross-session batch fusion vs per-session rounds (+ BENCH_fusion.json)
 //!   serve                 — line-delimited JSON prediction service on stdin/stdout
 //! ```
 //!
@@ -73,6 +74,7 @@ struct Args {
     backend: EvalBackend,
     policy: ess_service::PolicyKind,
     quick: bool,
+    fused: bool,
     self_test: bool,
     self_test_v2: bool,
 }
@@ -96,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
         backend: EvalBackend::Serial,
         policy: ess_service::PolicyKind::RoundRobin,
         quick: false,
+        fused: false,
         self_test: false,
         self_test_v2: false,
     };
@@ -117,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e: ess_service::policy::ParsePolicyError| e.to_string())?
             }
             "--quick" => args.quick = true,
+            "--fused" => args.fused = true,
             "--self-test" => args.self_test = true,
             "--self-test-v2" => args.self_test_v2 = true,
             "--workers" => {
@@ -135,7 +139,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|loadgen|serve|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--policy round-robin|weighted-fair-share|deadline-first] [--quick] [--self-test] [--self-test-v2] [--out DIR]".to_string()
+    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|loadgen|fusion|serve|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--policy round-robin|weighted-fair-share|deadline-first] [--quick] [--fused] [--self-test] [--self-test-v2] [--out DIR]".to_string()
 }
 
 fn emit(args: &Args, id: &str, title: &str, table: &TextTable) {
@@ -349,6 +353,15 @@ fn main() -> ExitCode {
         );
         ran = true;
     }
+    if args.experiment == "fusion" {
+        emit(
+            &args,
+            "fusion",
+            "F — cross-session batch fusion: fused vs unfused rounds per session count",
+            &exp::fusion_sweep(args.quick, &args.out),
+        );
+        ran = true;
+    }
 
     if !ran {
         eprintln!("unknown experiment '{}'\n{}", args.experiment, usage());
@@ -403,13 +416,20 @@ fn serve_main(args: &Args) -> ExitCode {
         };
     }
     let stdin = std::io::stdin();
-    match serve::serve_with(stdin.lock(), stdout.lock(), args.backend, args.policy) {
+    match serve::serve_configured(
+        stdin.lock(),
+        stdout.lock(),
+        args.backend,
+        args.policy,
+        args.fused,
+    ) {
         Ok(summary) => {
             eprintln!(
-                "served {} sessions on {} under {} ({} finished, {} exhausted, {} cancelled, \
+                "served {} sessions on {}{} under {} ({} finished, {} exhausted, {} cancelled, \
                  {} restored, {} errors)",
                 summary.accepted,
                 args.backend.name(),
+                if args.fused { " (fused rounds)" } else { "" },
                 args.policy,
                 summary.finished,
                 summary.exhausted,

@@ -9,7 +9,9 @@
 //! identical workload under every [`PolicyKind`], asserts the per-session
 //! reports are **identical across policies** (scheduling must move
 //! latency, never results), and writes `BENCH_serve_v2.json` with
-//! sessions/sec, events/sec and the observed fairness skew per policy.
+//! sessions/sec, events/sec and the observed fairness skew per policy —
+//! plus a fused-vs-unfused section comparing evals/sec at 1, 4, 16 and 64
+//! concurrent sessions with the cross-path identity asserted in-run.
 //!
 //! [`serve_v2_self_test`] is the CI smoke: a recorded multi-client-shaped
 //! script (all four systems, watched) runs once uninterrupted to produce
@@ -24,7 +26,7 @@ use ess_client::pipe::{duplex, PipeReader, PipeWriter};
 use ess_client::{Client, ClientError};
 use ess_service::jsonio::Json;
 use ess_service::proto::{DoneFrame, Frame, Reply};
-use ess_service::serve::serve_with;
+use ess_service::serve::{serve_configured, serve_with};
 use ess_service::{PolicyKind, RunSpec};
 use parworker::Stopwatch;
 use std::collections::{BTreeMap, HashMap};
@@ -97,16 +99,21 @@ struct PolicyRun {
     virtual_skew: f64,
 }
 
-/// Runs the whole scripted workload once under `policy`.
+/// Runs the whole scripted workload once under `policy`; with `fused` on,
+/// the server's scheduler rounds fuse every planned session's evaluation
+/// batches into shared-pool mega-batches.
 fn run_policy(
     policy: PolicyKind,
     scripts: &[Vec<RunSpec>],
     backend: EvalBackend,
+    fused: bool,
 ) -> Result<PolicyRun, String> {
     let clients = scripts.len();
     let (req_w, req_r) = duplex();
     let (resp_w, resp_r) = duplex();
-    let server = thread::spawn(move || serve_with(BufReader::new(req_r), resp_w, backend, policy));
+    let server = thread::spawn(move || {
+        serve_configured(BufReader::new(req_r), resp_w, backend, policy, fused)
+    });
 
     // Demultiplexer: one pipe per client (the coordinator is client
     // `clients`), routing replies by id namespace and async frames by
@@ -295,6 +302,9 @@ fn run_policy(
 /// # Panics
 /// Panics when a policy run fails or when any policy's reports diverge
 /// from round-robin's — both are protocol bugs, not workload noise.
+/// The session counts the quick fused-vs-unfused section sweeps.
+const QUICK_FUSED_COUNTS: [usize; 3] = [1, 4, 16];
+
 pub fn loadgen_sweep(quick: bool, out: &std::path::Path) -> TextTable {
     let (clients, specs_per_client, scale) = if quick { (2, 2, 0.12) } else { (4, 3, 0.25) };
     let backend = EvalBackend::WorkerPool(2);
@@ -319,7 +329,7 @@ pub fn loadgen_sweep(quick: bool, out: &std::path::Path) -> TextTable {
     let mut reference: Option<BTreeMap<(usize, usize, usize), Fingerprint>> = None;
     let mut json_policies: Vec<Json> = Vec::new();
     for policy in PolicyKind::ALL {
-        let run = run_policy(policy, &scripts, backend)
+        let run = run_policy(policy, &scripts, backend, false)
             .unwrap_or_else(|e| panic!("loadgen under {policy}: {e}"));
         match &reference {
             None => reference = Some(run.reports.clone()),
@@ -363,6 +373,65 @@ pub fn loadgen_sweep(quick: bool, out: &std::path::Path) -> TextTable {
         );
     }
 
+    // Fused-vs-unfused mode: the identical single-client workload at each
+    // concurrency level, once with per-session rounds and once with the
+    // scheduler fusing every planned session's batches into shared-pool
+    // mega-batches. Results must be bit-identical — fusion may only move
+    // throughput — and that identity is asserted right here, inside the
+    // run the CI smoke job executes.
+    let counts: &[usize] = if quick {
+        &QUICK_FUSED_COUNTS
+    } else {
+        &[1, 4, 16, 64]
+    };
+    let mut json_fused: Vec<Json> = Vec::new();
+    for &sessions in counts {
+        let scripts = concurrency_scripts(sessions, scale);
+        let unfused = run_policy(PolicyKind::RoundRobin, &scripts, backend, false)
+            .unwrap_or_else(|e| panic!("loadgen unfused at {sessions} sessions: {e}"));
+        let fused = run_policy(PolicyKind::RoundRobin, &scripts, backend, true)
+            .unwrap_or_else(|e| panic!("loadgen fused at {sessions} sessions: {e}"));
+        assert_eq!(
+            unfused.reports, fused.reports,
+            "fused rounds changed session results at {sessions} sessions — \
+             fusion must only move throughput"
+        );
+        let evals: u64 = unfused.reports.values().map(|f| f.5).sum();
+        let speedup = unfused.wall_ms / fused.wall_ms;
+        for (mode, run) in [("unfused", &unfused), ("fused", &fused)] {
+            let secs = run.wall_ms / 1000.0;
+            t.row([
+                format!("{mode}@{sessions}"),
+                "1".into(),
+                run.sessions.to_string(),
+                run.steps.to_string(),
+                run.frames.to_string(),
+                f2(run.wall_ms),
+                f2(run.sessions as f64 / secs),
+                f2(run.frames as f64 / secs),
+                run.raw_skew.to_string(),
+                f2(run.virtual_skew),
+            ]);
+        }
+        json_fused.push(
+            Json::obj()
+                .field("sessions", sessions)
+                .field("evaluations", evals)
+                .field("unfused_wall_ms", unfused.wall_ms)
+                .field("fused_wall_ms", fused.wall_ms)
+                .field(
+                    "unfused_evals_per_sec",
+                    evals as f64 / (unfused.wall_ms / 1000.0),
+                )
+                .field(
+                    "fused_evals_per_sec",
+                    evals as f64 / (fused.wall_ms / 1000.0),
+                )
+                .field("fused_speedup", speedup)
+                .field("reports_identical", true),
+        );
+    }
+
     let json = Json::obj()
         .field("bench_format", 1u64)
         .field("suite", "serve_v2_loadgen")
@@ -372,9 +441,24 @@ pub fn loadgen_sweep(quick: bool, out: &std::path::Path) -> TextTable {
         .field("backend", backend.name())
         .field("clients", clients)
         .field("specs_per_client", specs_per_client)
-        .field("policies", Json::Arr(json_policies));
+        .field("policies", Json::Arr(json_policies))
+        .field("fused_mode", Json::Arr(json_fused));
     write_bench_json(&out.join("BENCH_serve_v2.json"), &json);
     t
+}
+
+/// One client submitting exactly `sessions` single-replicate specs — the
+/// concurrency axis of the fused-vs-unfused comparison.
+fn concurrency_scripts(sessions: usize, scale: f64) -> Vec<Vec<RunSpec>> {
+    let systems = ess_service::systems::names();
+    vec![(0..sessions)
+        .map(|i| {
+            RunSpec::new(systems[i % systems.len()], "meadow_small")
+                .seed(11_000 + i as u64)
+                .scale(scale)
+                .replicates(1)
+        })
+        .collect()]
 }
 
 /// The v2 smoke: runs the recorded multi-client-shaped script (all four
@@ -487,11 +571,17 @@ mod tests {
     fn quick_loadgen_sweep_is_policy_invariant() {
         let dir = std::env::temp_dir().join("ess_loadgen_test");
         let table = loadgen_sweep(true, &dir);
-        assert_eq!(table.len(), PolicyKind::ALL.len());
+        // One row per policy, then an unfused/fused pair per session count.
+        assert_eq!(
+            table.len(),
+            PolicyKind::ALL.len() + 2 * QUICK_FUSED_COUNTS.len()
+        );
         let bench = std::fs::read_to_string(dir.join("BENCH_serve_v2.json"))
             .expect("bench artifact written");
         assert!(bench.contains("\"sessions_per_sec\""));
         assert!(bench.contains("\"reports_identical_to_round_robin\": true"));
+        assert!(bench.contains("\"reports_identical\": true"));
+        assert!(bench.contains("\"fused_speedup\""));
     }
 
     #[test]

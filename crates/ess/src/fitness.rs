@@ -7,10 +7,11 @@
 //! at the start ("previously burned cells are not considered", §III-B).
 //! This is the `PEA F` block of Figs. 1 and 3 — the work the Workers do.
 
-use evoalg::BatchEvaluator;
+use evoalg::{BatchEvaluator, GenomeMatrix};
 use firelib::{FireSim, Scenario, ScenarioSpace, SimArena};
 use landscape::{jaccard_at_time, FireLine, IgnitionMap};
 use parworker::Backend;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 pub use parworker::EvalBackend;
@@ -146,10 +147,12 @@ pub struct ScenarioEvaluator<B: Backend<Vec<f64>, f64> = DynBackend> {
     evaluations: u64,
 }
 
-/// One scenario evaluation on a shared pool: the step context rides along
-/// with the genome, so one pool serves every step of every concurrent
-/// session regardless of which case (and grid size) each is predicting.
-pub type SharedTask = (Arc<StepContext>, Vec<f64>);
+/// One scenario evaluation on a shared pool: the step context and the flat
+/// genome batch ride along with a row index, so one pool serves every step
+/// of every concurrent session regardless of which case (and grid size)
+/// each is predicting — and every task in a batch shares the batch's
+/// single [`GenomeMatrix`] allocation instead of owning a genome `Vec`.
+pub type SharedTask = (Arc<StepContext>, Arc<GenomeMatrix>, usize);
 
 /// Per-worker arena store for the shared pool: one [`SimArena`] per grid
 /// shape seen by this worker. Arenas are pure per-call scratch (every
@@ -176,6 +179,25 @@ impl ArenaCache {
     }
 }
 
+/// The pure per-genome work function every shared-pool path runs: decode
+/// the genome, simulate into the cached arena for the context's grid
+/// shape, score with Eq. (3). Worker dispatch, inline fallback and fused
+/// mega-batches all funnel through this one function, which is what makes
+/// their results bit-identical.
+fn score(cache: &mut ArenaCache, ctx: &StepContext, genes: &[f64]) -> f64 {
+    let terrain = ctx.sim().terrain();
+    let arena = cache.for_shape(terrain.rows(), terrain.cols());
+    ctx.fitness_with(&ScenarioSpace.decode(genes), arena)
+}
+
+/// Default small-batch threshold of the shared pool: batches at or below
+/// this many genomes run inline on the calling thread. Pool dispatch
+/// (task fan-out, worker wake-ups, result collection) costs more than it
+/// buys at the typical per-step batch size of ~12 genomes, where the
+/// worker pool measured *slower* than serial (0.875× on
+/// `archipelago_large`) before this fallback existed.
+pub const DEFAULT_INLINE_THRESHOLD: usize = 16;
+
 /// A scenario-evaluation worker pool shared by many concurrent runs — the
 /// serving substrate. Where a per-run [`ScenarioEvaluator::new`] backend
 /// captures one step's context at build time (and therefore spawns fresh
@@ -191,10 +213,19 @@ impl ArenaCache {
 /// interleaving.
 pub struct SharedScenarioPool {
     inner: Mutex<DynSharedBackend>,
+    /// Arena cache for the inline small-batch path. Never held together
+    /// with `inner` — the two paths are disjoint — so no lock nesting.
+    fallback: Mutex<ArenaCache>,
+    /// Batches at or below this size skip pool dispatch (see
+    /// [`DEFAULT_INLINE_THRESHOLD`]); `usize::MAX` on a serial spec,
+    /// where dispatch can never win.
+    inline_threshold: AtomicUsize,
     spec: EvalBackend,
 }
 
 type DynSharedBackend = Box<dyn Backend<SharedTask, f64>>;
+
+const POOL_POISONED: &str = "shared scenario pool poisoned";
 
 impl SharedScenarioPool {
     /// Builds the pool from a backend spec. The workers own an
@@ -202,14 +233,19 @@ impl SharedScenarioPool {
     pub fn new(spec: EvalBackend) -> Self {
         let backend = spec.build(
             |_wid| ArenaCache::default(),
-            |cache: &mut ArenaCache, (ctx, genes): SharedTask| {
-                let terrain = ctx.sim().terrain();
-                let arena = cache.for_shape(terrain.rows(), terrain.cols());
-                ctx.fitness_with(&ScenarioSpace.decode(&genes), arena)
+            |cache: &mut ArenaCache, (ctx, batch, row): SharedTask| {
+                score(cache, &ctx, batch.row(row))
             },
         );
+        let inline = if spec.workers() <= 1 {
+            usize::MAX
+        } else {
+            DEFAULT_INLINE_THRESHOLD
+        };
         Self {
             inner: Mutex::new(backend),
+            fallback: Mutex::new(ArenaCache::default()),
+            inline_threshold: AtomicUsize::new(inline),
             spec,
         }
     }
@@ -229,13 +265,98 @@ impl SharedScenarioPool {
         self.spec.workers()
     }
 
-    /// Evaluates one batch of genomes against `ctx`, in submission order.
+    /// The current inline small-batch threshold.
+    pub fn inline_threshold(&self) -> usize {
+        self.inline_threshold.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the inline small-batch threshold (`0` forces every batch
+    /// through pool dispatch — used by the regression benches to compare
+    /// the two paths).
+    pub fn set_inline_threshold(&self, threshold: usize) {
+        self.inline_threshold.store(threshold, Ordering::Relaxed);
+    }
+
+    /// Evaluates one flat batch of genomes against `ctx`, in row order —
+    /// the preferred entry point.
+    ///
+    /// Batches at or below [`SharedScenarioPool::inline_threshold`] run
+    /// serially on the calling thread instead of paying pool dispatch,
+    /// which loses to inline execution at typical per-step batch sizes.
+    /// Both paths run the same pure work function in the same order, so
+    /// results are bit-identical.
+    pub fn evaluate_matrix(&self, ctx: &Arc<StepContext>, genomes: &GenomeMatrix) -> Vec<f64> {
+        if genomes.len() <= self.inline_threshold() {
+            let mut cache = self.fallback.lock().expect(POOL_POISONED);
+            return genomes.rows().map(|g| score(&mut cache, ctx, g)).collect();
+        }
+        let batch = Arc::new(genomes.clone());
+        let tasks: Vec<SharedTask> = (0..batch.len())
+            .map(|row| (Arc::clone(ctx), Arc::clone(&batch), row))
+            .collect();
+        self.inner.lock().expect(POOL_POISONED).map(tasks)
+    }
+
+    /// Evaluates many sessions' pending batches as **one fused mega-batch**
+    /// — the scheduler-round entry point. All rows are copied into a
+    /// single contiguous [`GenomeMatrix`] (one allocation regardless of
+    /// how many sessions fused) and submitted to the backend as one
+    /// batch, so parallelism amortises over the round's total row count
+    /// rather than any single session's batch size. Results are scattered
+    /// back per input batch: `out[i]` is bit-identical to what
+    /// `evaluate_matrix(&batches[i].0, batches[i].1)` would return, and
+    /// an empty input batch yields an empty output.
+    ///
+    /// # Panics
+    /// Panics when the batches disagree on genome dimension.
+    pub fn evaluate_fused(&self, batches: &[(Arc<StepContext>, &GenomeMatrix)]) -> Vec<Vec<f64>> {
+        let total: usize = batches.iter().map(|(_, g)| g.len()).sum();
+        let flat: Vec<f64> = if total <= self.inline_threshold() {
+            let mut cache = self.fallback.lock().expect(POOL_POISONED);
+            let mut flat = Vec::with_capacity(total);
+            for (ctx, g) in batches {
+                for genes in g.rows() {
+                    flat.push(score(&mut cache, ctx, genes));
+                }
+            }
+            flat
+        } else {
+            let mut mega = match batches.iter().find(|(_, g)| !g.is_empty()) {
+                Some((_, g)) => GenomeMatrix::with_dim(g.dim()),
+                None => GenomeMatrix::new(),
+            };
+            mega.reserve_rows(total);
+            for (_, g) in batches {
+                mega.extend_from(g);
+            }
+            let mega = Arc::new(mega);
+            let mut tasks: Vec<SharedTask> = Vec::with_capacity(total);
+            let mut row = 0;
+            for (ctx, g) in batches {
+                for _ in 0..g.len() {
+                    tasks.push((Arc::clone(ctx), Arc::clone(&mega), row));
+                    row += 1;
+                }
+            }
+            self.inner.lock().expect(POOL_POISONED).map(tasks)
+        };
+        let mut out = Vec::with_capacity(batches.len());
+        let mut offset = 0;
+        for (_, g) in batches {
+            out.push(flat[offset..offset + g.len()].to_vec());
+            offset += g.len();
+        }
+        out
+    }
+
+    /// Evaluates one nested batch of genomes against `ctx`, in submission
+    /// order.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `evaluate_matrix` with a flat `GenomeMatrix` batch"
+    )]
     pub fn evaluate(&self, ctx: &Arc<StepContext>, genomes: Vec<Vec<f64>>) -> Vec<f64> {
-        let tasks: Vec<SharedTask> = genomes.into_iter().map(|g| (Arc::clone(ctx), g)).collect();
-        self.inner
-            .lock()
-            .expect("shared scenario pool poisoned")
-            .map(tasks)
+        self.evaluate_matrix(ctx, &GenomeMatrix::from_rows(&genomes))
     }
 }
 
@@ -249,7 +370,10 @@ struct SharedPoolBackend {
 
 impl Backend<Vec<f64>, f64> for SharedPoolBackend {
     fn map(&mut self, tasks: Vec<Vec<f64>>) -> Vec<f64> {
-        self.pool.evaluate(&self.ctx, tasks)
+        // Flatten once: the whole batch becomes one allocation, and the
+        // pool's tasks borrow rows from it instead of owning genome Vecs.
+        self.pool
+            .evaluate_matrix(&self.ctx, &GenomeMatrix::from_rows(&tasks))
     }
 
     fn name(&self) -> String {
@@ -470,6 +594,89 @@ mod tests {
         }
         assert_eq!(pool.workers(), 2);
         assert_eq!(pool.name(), "worker-pool(2)");
+    }
+
+    #[test]
+    fn small_batches_run_inline_and_match_dispatch() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let (ctx, _) = known_context();
+        let mut rng = StdRng::seed_from_u64(11);
+        let batch = GenomeMatrix::from_rows(
+            &(0..10)
+                .map(|_| {
+                    (0..firelib::GENE_COUNT)
+                        .map(|_| rng.random::<f64>())
+                        .collect::<Vec<f64>>()
+                })
+                .collect::<Vec<_>>(),
+        );
+        let pool = SharedScenarioPool::new(EvalBackend::WorkerPool(2));
+        assert_eq!(pool.inline_threshold(), DEFAULT_INLINE_THRESHOLD);
+        // 10 ≤ 16: the default threshold routes this batch inline.
+        let inline = pool.evaluate_matrix(&ctx, &batch);
+        // Threshold 0 forces the same batch through pool dispatch.
+        pool.set_inline_threshold(0);
+        let dispatched = pool.evaluate_matrix(&ctx, &batch);
+        assert_eq!(inline, dispatched, "inline fallback diverged from dispatch");
+        // A serial pool always stays inline.
+        assert_eq!(
+            SharedScenarioPool::new(EvalBackend::Serial).inline_threshold(),
+            usize::MAX
+        );
+    }
+
+    #[test]
+    fn fused_batches_match_per_session_evaluation() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let (small_ctx, _) = known_context();
+        let truth = Scenario {
+            wind_speed_mph: 9.0,
+            ..Scenario::reference()
+        };
+        let sim = Arc::new(FireSim::new(Terrain::uniform(33, 33, 100.0)));
+        let from = centre_ignition(33, 33);
+        let target = sim.simulate_fire_line(&truth, &from, 0.0, 50.0);
+        let big_ctx = Arc::new(StepContext::new(sim, from, target, 0.0, 50.0));
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut gen_batch = |n: usize| {
+            GenomeMatrix::from_rows(
+                &(0..n)
+                    .map(|_| {
+                        (0..firelib::GENE_COUNT)
+                            .map(|_| rng.random::<f64>())
+                            .collect::<Vec<f64>>()
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let (a, b) = (gen_batch(5), gen_batch(20));
+        let empty = GenomeMatrix::new();
+
+        let pool = SharedScenarioPool::new(EvalBackend::WorkerPool(2));
+        // Total 25 > 16: the fused call takes the dispatch path while the
+        // per-session references below stay inline — the identity must
+        // hold across that asymmetry.
+        let fused = pool.evaluate_fused(&[
+            (Arc::clone(&small_ctx), &a),
+            (Arc::clone(&big_ctx), &b),
+            (Arc::clone(&small_ctx), &empty),
+        ]);
+        assert_eq!(fused.len(), 3);
+        assert_eq!(fused[0], pool.evaluate_matrix(&small_ctx, &a));
+        assert_eq!(fused[1], pool.evaluate_matrix(&big_ctx, &b));
+        assert!(fused[2].is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_nested_evaluate_matches_matrix_path() {
+        let (ctx, truth) = known_context();
+        let genes = ScenarioSpace.encode(&truth);
+        let pool = SharedScenarioPool::new(EvalBackend::Serial);
+        let nested = pool.evaluate(&ctx, vec![genes.to_vec()]);
+        let flat = pool.evaluate_matrix(&ctx, &GenomeMatrix::from_rows(&[genes]));
+        assert_eq!(nested, flat);
     }
 
     #[test]

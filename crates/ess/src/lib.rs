@@ -16,6 +16,9 @@
 //!   [`fitness::ScenarioEvaluator`], which runs batches on any
 //!   [`parworker::Backend`] (Serial / WorkerPool / Rayon, selected at
 //!   runtime by [`parworker::EvalBackend`]);
+//! * [`fusion`] — cross-session batch fusion: per-session lanes park
+//!   their evaluation batches with a round coordinator, which fuses them
+//!   into one mega-batch on the shared pool and scatters results back;
 //! * [`stages`] — the Statistical Stage (probability-matrix aggregation,
 //!   Figs. 1–2 `SS`);
 //! * [`calibration`] — the Calibration Stage's `SKign` search (Fig. 1) and
@@ -45,6 +48,7 @@ pub mod ess_classic;
 pub mod essim_de;
 pub mod essim_ea;
 pub mod fitness;
+pub mod fusion;
 pub mod pipeline;
 pub mod report;
 pub mod stages;
@@ -55,7 +59,10 @@ pub use error::{BudgetReason, ServiceError};
 pub use ess_classic::EssClassic;
 pub use essim_de::{EssimDe, TuningConfig};
 pub use essim_ea::EssimEa;
-pub use fitness::{EvalBackend, ScenarioEvaluator, SharedScenarioPool, StepContext};
+pub use fitness::{
+    EvalBackend, ScenarioEvaluator, SharedScenarioPool, StepContext, DEFAULT_INLINE_THRESHOLD,
+};
+pub use fusion::{run_coordinator, FusionLane, LaneGuard, LaneMsg};
 pub use pipeline::{
     EvalStrategy, OptimizeOutcome, PredictionPipeline, RunReport, StepDriver, StepOptimizer,
     StepReport,

@@ -42,7 +42,9 @@ pub struct OptimizeOutcome {
 
 /// A pluggable Optimization Stage. Implementations own their metaheuristic
 /// configuration; the pipeline provides the per-step evaluation context.
-pub trait StepOptimizer {
+/// `Send` so a scheduler can drive concurrent sessions' steps on worker
+/// threads (the fused evaluation round).
+pub trait StepOptimizer: Send {
     /// System name (report key, e.g. `"ESS-NS"`).
     fn name(&self) -> &'static str;
 
@@ -276,6 +278,22 @@ impl StepDriver {
     /// prediction for `t_{i+1}` is only scored while `i+1` is still an
     /// observed interval.
     pub fn step(&mut self, optimizer: &mut dyn StepOptimizer) -> Option<StepReport> {
+        let strategy = self.strategy.clone();
+        self.step_with(optimizer, |ctx| strategy.evaluator(ctx))
+    }
+
+    /// [`StepDriver::step`] with the evaluator supplied by the caller —
+    /// the fused-round entry point, where the scheduler hands each
+    /// session an evaluator whose backend parks batches with the round's
+    /// fusion coordinator instead of dispatching them itself. Everything
+    /// else (seeding, stages, reporting) is the `step` body, so a fused
+    /// step is bit-identical to an unfused one whenever the supplied
+    /// evaluator scores batches identically.
+    pub fn step_with(
+        &mut self,
+        optimizer: &mut dyn StepOptimizer,
+        make_evaluator: impl FnOnce(Arc<StepContext>) -> ScenarioEvaluator,
+    ) -> Option<StepReport> {
         if self.is_finished() {
             return None;
         }
@@ -290,7 +308,7 @@ impl StepDriver {
             case.times[i - 1],
             case.times[i],
         ));
-        let mut evaluator = self.strategy.evaluator(Arc::clone(&observed_ctx));
+        let mut evaluator = make_evaluator(Arc::clone(&observed_ctx));
         let outcome = optimizer.optimize(&mut evaluator, step_seed(self.base_seed, i));
 
         // --- Statistical Stage (calibration matrix) ----------------------

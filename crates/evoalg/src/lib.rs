@@ -43,6 +43,7 @@ pub mod bestset;
 pub mod de;
 pub mod diversity;
 pub mod ga;
+pub mod genome;
 pub mod individual;
 pub mod knn;
 pub mod novelty;
@@ -53,6 +54,7 @@ pub use behaviour::BehaviourMatrix;
 pub use bestset::BestSet;
 pub use de::{DeConfig, DeEngine};
 pub use ga::{GaConfig, GaEngine, GenStats};
+pub use genome::GenomeMatrix;
 pub use individual::{Individual, Population};
 pub use knn::{NoveltyEngine, NoveltyIndex, ParseNoveltyEngineError, PreparedIndex};
 pub use novelty::{novelty_score, novelty_score_external, NoveltyArchive};
@@ -69,6 +71,16 @@ pub trait BatchEvaluator {
     /// tracks it (used for evaluation-budget experiments).
     fn evaluations(&self) -> u64 {
         0
+    }
+
+    /// Evaluates a flat [`GenomeMatrix`] batch — the preferred entry point
+    /// for callers that already hold their genomes in the flat layout (one
+    /// allocation per batch). The default projects to nested rows and
+    /// calls [`BatchEvaluator::evaluate`]; implementations with a native
+    /// flat path (the `ess` crate's shared scenario pool) override it to
+    /// skip the projection.
+    fn evaluate_matrix(&mut self, genomes: &GenomeMatrix) -> Vec<f64> {
+        self.evaluate(&genomes.to_rows())
     }
 }
 

@@ -17,9 +17,12 @@
 use crate::combustion::{standard_beds, FuelBed};
 use crate::moisture::MoistureRegime;
 use crate::scenario::Scenario;
-use crate::spread::{wind_slope_max, SpreadInputs, SpreadVector};
+use crate::spread::{
+    no_wind_no_slope, wind_slope_from_ros0, wind_slope_max, SpreadInputs, SpreadVector,
+};
 use crate::terrain::Terrain;
 use crate::SMIDGEN;
+use landscape::geometry::normalize_azimuth;
 use landscape::{FireLine, IgnitionMap};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -60,9 +63,10 @@ impl Ord for Time {
 /// once more, after which that capacity, too, persists.)
 #[derive(Debug, Clone)]
 pub struct SimArena {
-    /// Per-cell directional spread tables (filled only on terrains where
-    /// spread varies with more than the fuel code).
-    per_cell: Vec<[f64; 8]>,
+    /// Per-cell spread scratch: the directional tables plus the flat SoA
+    /// gather buffers that feed them (filled only on terrains where spread
+    /// varies with more than the fuel code).
+    spread: SpreadScratch,
     /// Per-fuel-code directional spread tables (filled only on fuel-only
     /// mosaics); inline, so the fast path never touches the heap.
     per_fuel: [[f64; 8]; 14],
@@ -72,14 +76,48 @@ pub struct SimArena {
     out: IgnitionMap,
 }
 
+/// Scratch for the fully heterogeneous (per-cell) spread path, laid out as
+/// structure-of-arrays: each terrain input is gathered into its own flat
+/// raster-order buffer once per run, then the spread kernel walks the
+/// buffers linearly. Keeping the inputs in separate contiguous arrays (and
+/// hoisting the layer-presence branches out of the cell loop) is what lets
+/// the compiler vectorize the gather loops and keeps the kernel loop free
+/// of per-cell `Option` checks.
+#[derive(Debug, Clone, Default)]
+struct SpreadScratch {
+    /// The output: per-cell directional spread tables.
+    per_cell: Vec<[f64; 8]>,
+    /// Effective fuel code per cell.
+    codes: Vec<u8>,
+    /// Slope steepness (`tan` of the slope angle) per cell.
+    steep: Vec<f64>,
+    /// Aspect azimuth (degrees) per cell.
+    aspect: Vec<f64>,
+    /// Midflame wind speed (ft/min) per cell.
+    wind_fpm: Vec<f64>,
+    /// Wind azimuth (degrees) per cell.
+    wind_az: Vec<f64>,
+}
+
+impl SpreadScratch {
+    /// Total capacity across the gather buffers (allocation tracking).
+    fn gather_capacity(&self) -> usize {
+        self.codes.capacity()
+            + self.steep.capacity()
+            + self.aspect.capacity()
+            + self.wind_fpm.capacity()
+            + self.wind_az.capacity()
+    }
+}
+
 impl SimArena {
     /// An arena for `rows × cols` rasters, with the heap pre-reserved. The
-    /// per-cell spread cache is reserved lazily (one exact allocation on
-    /// first use) so arenas on uniform and fuel-only terrains — where it is
-    /// never touched — hold no dead capacity.
+    /// per-cell spread scratch is reserved lazily (one exact allocation per
+    /// buffer on first use) so arenas on uniform and fuel-only terrains —
+    /// where it is never touched — hold no dead capacity.
     pub fn new(rows: usize, cols: usize) -> Self {
         Self {
-            per_cell: Vec::new(),
+            spread: SpreadScratch::default(),
             per_fuel: [[0.0; 8]; 14],
             heap: BinaryHeap::with_capacity(rows * cols),
             out: IgnitionMap::unignited(rows, cols),
@@ -104,7 +142,13 @@ impl SimArena {
     /// Current capacity of the per-cell spread cache (allocation tracking
     /// for the zero-allocation property tests).
     pub fn spread_capacity(&self) -> usize {
-        self.per_cell.capacity()
+        self.spread.per_cell.capacity()
+    }
+
+    /// Total capacity of the flat SoA gather buffers feeding the per-cell
+    /// spread kernel (allocation tracking for the zero-allocation tests).
+    pub fn gather_capacity(&self) -> usize {
+        self.spread.gather_capacity()
     }
 
     /// Current capacity of the Dijkstra heap (allocation tracking).
@@ -206,6 +250,113 @@ impl FireSim {
         wind_slope_max(bed, moisture, &inputs).compass_ros()
     }
 
+    /// Fills the per-cell directional-spread tables for a fully
+    /// heterogeneous terrain via the flat SoA path. Three phases:
+    ///
+    /// 1. **Gather** — resolve each override layer into its own contiguous
+    ///    raster-order buffer, hoisting the layer-presence branch (and the
+    ///    per-layer transforms: `tan`, mph→fpm, azimuth wrap) out of the
+    ///    cell loop into simple vectorizable map/splat loops.
+    /// 2. **Hoist** — [`no_wind_no_slope`] runs the fuel-particle loops and
+    ///    depends only on (fuel code, moisture), so compute it once per
+    ///    catalog model (≤ 14 calls) instead of once per cell.
+    /// 3. **Kernel** — one linear pass over the flat buffers running only
+    ///    the wind/slope half of the spread math per cell.
+    ///
+    /// Bit-identity with the old per-cell [`FireSim::cell_spread`] loop:
+    /// the gathered inputs are computed by the same expressions the
+    /// [`Terrain`] accessors use, `no_wind_no_slope` is pure in (bed,
+    /// moisture), and [`wind_slope_max`] is exactly `no_wind_no_slope`
+    /// composed with [`wind_slope_from_ros0`] — pinned by the arena
+    /// regression suite.
+    fn fill_per_cell(&self, scenario: &Scenario, scratch: &mut SpreadScratch) {
+        let t = &*self.terrain;
+        let n = t.rows() * t.cols();
+
+        // Every buffer is cleared then refilled to exactly `n`; `reserve`
+        // is a no-op for a warmed arena and one exact allocation on the
+        // cold (`simulate_into`) path instead of doubling growth.
+        let codes = &mut scratch.codes;
+        codes.clear();
+        codes.reserve(n);
+        match t.fuel_layer() {
+            Some(g) => codes.extend_from_slice(g.as_slice()),
+            None => codes.resize(n, scenario.model),
+        }
+
+        let steep = &mut scratch.steep;
+        steep.clear();
+        steep.reserve(n);
+        match t.slope_layer() {
+            Some(g) => steep.extend(g.as_slice().iter().map(|&d| d.to_radians().tan())),
+            None => steep.resize(n, scenario.slope_deg.to_radians().tan()),
+        }
+
+        let aspect = &mut scratch.aspect;
+        aspect.clear();
+        aspect.reserve(n);
+        match t.aspect_layer() {
+            Some(g) => aspect.extend_from_slice(g.as_slice()),
+            None => aspect.resize(n, scenario.aspect_deg),
+        }
+
+        let wind_fpm = &mut scratch.wind_fpm;
+        let wind_az = &mut scratch.wind_az;
+        wind_fpm.clear();
+        wind_az.clear();
+        wind_fpm.reserve(n);
+        wind_az.reserve(n);
+        match t.wind_layer() {
+            Some((factor, offset)) => {
+                wind_fpm.extend(
+                    factor
+                        .as_slice()
+                        .iter()
+                        .map(|&f| (scenario.wind_speed_mph * f) * crate::MPH_TO_FPM),
+                );
+                wind_az.extend(
+                    offset
+                        .as_slice()
+                        .iter()
+                        .map(|&o| normalize_azimuth(scenario.wind_dir_deg + o)),
+                );
+            }
+            None => {
+                wind_fpm.resize(n, scenario.wind_speed_mph * crate::MPH_TO_FPM);
+                wind_az.resize(n, scenario.wind_dir_deg);
+            }
+        }
+
+        let moisture = scenario.moisture();
+        let mut base = [(0.0f64, 0.0f64); 14];
+        for (bed, slot) in self.beds.iter().zip(base.iter_mut()) {
+            *slot = no_wind_no_slope(bed, &moisture);
+        }
+
+        let per_cell = &mut scratch.per_cell;
+        per_cell.clear();
+        per_cell.reserve(n);
+        for idx in 0..n {
+            let code = codes[idx] as usize;
+            // Unburnable beds hoist to `(0.0, 0.0)`, so the `ros0` guard
+            // covers both the unburnable and the extinguished case — the
+            // same two paths `cell_spread` resolves to `no_spread`.
+            let (ros0, rx_int) = base[code];
+            let v = if ros0 <= SMIDGEN {
+                SpreadVector::no_spread()
+            } else {
+                let inputs = SpreadInputs {
+                    wind_fpm: wind_fpm[idx],
+                    wind_azimuth: wind_az[idx],
+                    slope_steepness: steep[idx],
+                    aspect_azimuth: aspect[idx],
+                };
+                wind_slope_from_ros0(&self.beds[code], ros0, rx_int, &inputs)
+            };
+            per_cell.push(v.compass_ros());
+        }
+    }
+
     /// Simulates fire growth from `initial` (cells burning at `t0`) for
     /// `duration` minutes, returning the ignition-time map. Cells the fire
     /// does not reach within the horizon hold [`landscape::UNIGNITED`];
@@ -238,7 +389,7 @@ impl FireSim {
         duration: f64,
         out: &mut IgnitionMap,
     ) {
-        let mut per_cell = Vec::new();
+        let mut spread = SpreadScratch::default();
         let mut per_fuel = [[0.0; 8]; 14];
         let mut heap = BinaryHeap::new();
         self.run_dijkstra(
@@ -246,7 +397,7 @@ impl FireSim {
             initial,
             t0,
             duration,
-            &mut per_cell,
+            &mut spread,
             &mut per_fuel,
             &mut heap,
             out,
@@ -272,14 +423,12 @@ impl FireSim {
         arena: &'a mut SimArena,
     ) -> &'a IgnitionMap {
         let SimArena {
-            per_cell,
+            spread,
             per_fuel,
             heap,
             out,
         } = &mut *arena;
-        self.run_dijkstra(
-            scenario, initial, t0, duration, per_cell, per_fuel, heap, out,
-        );
+        self.run_dijkstra(scenario, initial, t0, duration, spread, per_fuel, heap, out);
         &arena.out
     }
 
@@ -293,7 +442,7 @@ impl FireSim {
         initial: &FireLine,
         t0: f64,
         duration: f64,
-        per_cell: &mut Vec<[f64; 8]>,
+        spread: &mut SpreadScratch,
         per_fuel: &mut [[f64; 8]; 14],
         heap: &mut BinaryHeap<(Reverse<Time>, u32)>,
         out: &mut IgnitionMap,
@@ -342,16 +491,8 @@ impl FireSim {
                 .as_slice();
             Tables::PerFuel(per_fuel, fuel)
         } else {
-            per_cell.clear();
-            // No-op for a warmed arena; one exact allocation on the cold
-            // (`simulate_into`) path instead of doubling growth.
-            per_cell.reserve(rows * cols);
-            for r in 0..rows {
-                for c in 0..cols {
-                    per_cell.push(self.cell_spread(r, c, scenario).compass_ros());
-                }
-            }
-            Tables::PerCell(per_cell)
+            self.fill_per_cell(scenario, spread);
+            Tables::PerCell(&spread.per_cell)
         };
         let ros_of = |idx: usize| -> &[f64; 8] {
             match &tables {
@@ -664,6 +805,7 @@ mod tests {
             let mut arena = sim.arena();
             sim.simulate_arena(&s, &centre_ignition(n, n), 0.0, 400.0, &mut arena);
             let spread_cap = arena.spread_capacity();
+            let gather_cap = arena.gather_capacity();
             let heap_cap = arena.heap_capacity();
             for i in 0..10 {
                 sim.simulate_arena(
@@ -674,6 +816,7 @@ mod tests {
                     &mut arena,
                 );
                 assert_eq!(arena.spread_capacity(), spread_cap, "spread cache grew");
+                assert_eq!(arena.gather_capacity(), gather_cap, "gather buffers grew");
                 assert_eq!(arena.heap_capacity(), heap_cap, "heap storage grew");
             }
         }

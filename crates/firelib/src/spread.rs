@@ -174,6 +174,24 @@ pub fn wind_slope_max(
     inputs: &SpreadInputs,
 ) -> SpreadVector {
     let (ros0, rx_int) = no_wind_no_slope(bed, moisture);
+    wind_slope_from_ros0(bed, ros0, rx_int, inputs)
+}
+
+/// The wind/slope half of [`wind_slope_max`], taking a precomputed
+/// `(ros0, rx_int)` pair from [`no_wind_no_slope`].
+///
+/// `no_wind_no_slope` iterates the bed's fuel particles and depends only
+/// on the fuel code and the moisture regime — not on the cell — so a
+/// per-cell sweep over a fuel mosaic can hoist it to one call per fuel
+/// model and run just this function per cell (the `SimArena` SoA kernel).
+/// [`wind_slope_max`] composes the two halves verbatim, so the split is
+/// bit-identical by construction.
+pub fn wind_slope_from_ros0(
+    bed: &FuelBed,
+    ros0: f64,
+    rx_int: f64,
+    inputs: &SpreadInputs,
+) -> SpreadVector {
     if ros0 <= SMIDGEN {
         return SpreadVector::no_spread();
     }

@@ -178,6 +178,24 @@ impl Terrain {
         self.fuel_override.as_ref()
     }
 
+    /// The slope override layer (degrees), when present. Exposed so the
+    /// simulator's SoA gather can walk the raster linearly instead of
+    /// branching per cell in [`Terrain::slope_at`].
+    pub fn slope_layer(&self) -> Option<&Grid<f64>> {
+        self.slope_override.as_ref()
+    }
+
+    /// The aspect override layer (degrees, pre-normalized), when present.
+    pub fn aspect_layer(&self) -> Option<&Grid<f64>> {
+        self.aspect_override.as_ref()
+    }
+
+    /// The wind modulation layers `(speed_factor, dir_offset_deg)`, when
+    /// present.
+    pub fn wind_layer(&self) -> Option<(&Grid<f64>, &Grid<f64>)> {
+        self.wind_override.as_ref().map(|(f, o)| (f, o))
+    }
+
     /// Effective fuel model of a cell given the scenario's global value.
     #[inline]
     pub fn fuel_at(&self, row: usize, col: usize, scenario_fuel: u8) -> u8 {

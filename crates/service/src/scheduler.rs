@@ -17,11 +17,13 @@
 //! level, exactly the paper's Master/Worker shape lifted one level up.
 
 use crate::policy::{PolicyKind, SchedulePolicy, SessionMeta};
-use crate::session::{PredictionSession, SessionEvent};
+use crate::session::{PredictionSession, SessionEvent, StepPlan};
 use crate::spec::RunSpec;
 use ess::error::{BudgetReason, ServiceError};
-use ess::fitness::{EvalBackend, SharedScenarioPool};
-use ess::pipeline::RunReport;
+use ess::fitness::{DynBackend, EvalBackend, ScenarioEvaluator, SharedScenarioPool};
+use ess::fusion::{run_coordinator, FusionLane, LaneGuard};
+use ess::pipeline::{RunReport, StepReport};
+use parworker::Stopwatch;
 use std::sync::Arc;
 
 /// Scheduler-assigned session handle.
@@ -77,6 +79,7 @@ pub struct Scheduler {
     next_id: SessionId,
     live: Vec<(SessionId, PredictionSession)>,
     done: Vec<(SessionId, SessionOutcome)>,
+    fused: bool,
 }
 
 impl Scheduler {
@@ -107,7 +110,23 @@ impl Scheduler {
             next_id: 1,
             live: Vec::new(),
             done: Vec::new(),
+            fused: false,
         }
+    }
+
+    /// Switches batch fusion on or off (off by default). A fused round
+    /// runs every planned session's step concurrently on lane threads
+    /// whose evaluation batches are fused into one mega-batch per wave on
+    /// the shared pool ([`ess::fusion`]) — same events, same reports, bit
+    /// for bit, but the backend sees `sessions × population` scenarios per
+    /// submission instead of `population`.
+    pub fn set_fused(&mut self, fused: bool) {
+        self.fused = fused;
+    }
+
+    /// Whether rounds fuse session batches.
+    pub fn is_fused(&self) -> bool {
+        self.fused
     }
 
     /// Report name of the scheduling policy in force.
@@ -204,42 +223,169 @@ impl Scheduler {
             .collect()
     }
 
-    /// Runs one scheduling round: asks the policy which live sessions to
-    /// advance (by one step each, in plan order) and returns the produced
-    /// events. Sessions that reach a terminal event move to
-    /// [`Scheduler::outcomes`]. Out-of-range or duplicate plan entries are
-    /// ignored, and an empty plan falls back to advancing the oldest
-    /// session — a misbehaving policy cannot stall a drain.
-    pub fn round(&mut self) -> Vec<(SessionId, SessionEvent)> {
-        if self.live.is_empty() {
-            return Vec::new();
-        }
+    /// The policy's plan with the shared sanitation applied: out-of-range
+    /// and duplicate entries are dropped, and an empty plan falls back to
+    /// the oldest session — a misbehaving policy cannot stall a drain.
+    fn planned_indices(&mut self) -> Vec<usize> {
         let mut plan = self.policy.plan(&self.metas());
         let mut seen = vec![false; self.live.len()];
         plan.retain(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true));
         if plan.is_empty() {
             plan.push(0);
         }
+        plan
+    }
+
+    /// Books a terminal event into [`Scheduler::outcomes`].
+    fn record_outcome(&mut self, id: SessionId, event: &SessionEvent) {
+        match event {
+            SessionEvent::StepCompleted(_) => {}
+            SessionEvent::Finished(report) => {
+                self.done
+                    .push((id, SessionOutcome::Finished(report.clone())));
+            }
+            SessionEvent::BudgetExhausted { reason, partial } => {
+                self.done.push((
+                    id,
+                    SessionOutcome::Exhausted {
+                        reason: *reason,
+                        partial: partial.clone(),
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Runs one scheduling round: asks the policy which live sessions to
+    /// advance (by one step each, in plan order) and returns the produced
+    /// events. Sessions that reach a terminal event move to
+    /// [`Scheduler::outcomes`]. Out-of-range or duplicate plan entries are
+    /// ignored, and an empty plan falls back to advancing the oldest
+    /// session — a misbehaving policy cannot stall a drain.
+    ///
+    /// With [`Scheduler::set_fused`] on, the planned steps run
+    /// concurrently with their evaluation batches fused — events (in plan
+    /// order), reports and outcomes are bit-identical either way.
+    pub fn round(&mut self) -> Vec<(SessionId, SessionEvent)> {
+        if self.live.is_empty() {
+            return Vec::new();
+        }
+        if self.fused {
+            return self.round_fused();
+        }
+        let plan = self.planned_indices();
         let mut events = Vec::with_capacity(plan.len());
         for i in plan {
             let id = self.live[i].0;
             let event = self.live[i].1.advance();
-            match &event {
-                SessionEvent::StepCompleted(_) => {}
-                SessionEvent::Finished(report) => {
-                    self.done
-                        .push((id, SessionOutcome::Finished(report.clone())));
-                }
-                SessionEvent::BudgetExhausted { reason, partial } => {
-                    self.done.push((
-                        id,
-                        SessionOutcome::Exhausted {
-                            reason: *reason,
-                            partial: partial.clone(),
-                        },
-                    ));
+            self.record_outcome(id, &event);
+            events.push((id, event));
+        }
+        self.live.retain(|(_, s)| !s.is_done());
+        events
+    }
+
+    /// The fused round: plan → fuse → scatter.
+    ///
+    /// 1. **Plan** every scheduled session on this thread
+    ///    ([`PredictionSession::plan_step`] — sticky terminals, finished
+    ///    runs and fired budgets settle immediately, exactly as `advance`
+    ///    would).
+    /// 2. **Fuse**: each `Ready` session's step runs on its own scoped
+    ///    lane thread ([`PredictionSession::step_parts`] moves only the
+    ///    driver and optimizer across; observers stay here), with a
+    ///    [`FusionLane`] backend that parks each evaluation batch with the
+    ///    round coordinator running on this thread. The coordinator fuses
+    ///    the parked batches into one mega-batch per wave on the shared
+    ///    pool and scatters the fitness vectors back, so every lane sees
+    ///    private-evaluator semantics.
+    /// 3. **Scatter** the step reports back in plan order via
+    ///    [`PredictionSession::complete_step`], which notifies observers
+    ///    and books budgets on the scheduler thread.
+    fn round_fused(&mut self) -> Vec<(SessionId, SessionEvent)> {
+        enum Planned {
+            Settled(SessionEvent),
+            Runnable { live_idx: usize, slot: usize },
+        }
+
+        let plan = self.planned_indices();
+        let mut entries: Vec<(SessionId, Planned)> = Vec::with_capacity(plan.len());
+        let mut runnable: Vec<usize> = Vec::new();
+        for i in plan {
+            let id = self.live[i].0;
+            match self.live[i].1.plan_step() {
+                StepPlan::Settled(event) => entries.push((id, Planned::Settled(event))),
+                StepPlan::Ready => {
+                    let slot = runnable.len();
+                    entries.push((id, Planned::Runnable { live_idx: i, slot }));
+                    runnable.push(i);
                 }
             }
+        }
+
+        let mut stepped: Vec<Option<(StepReport, f64)>> = Vec::new();
+        stepped.resize_with(runnable.len(), || None);
+        if !runnable.is_empty() {
+            let mut slot_of: Vec<Option<usize>> = vec![None; self.live.len()];
+            for (slot, &i) in runnable.iter().enumerate() {
+                slot_of[i] = Some(slot);
+            }
+            // Disjoint mutable borrows of the runnable sessions; the
+            // sessions stay in place, only their step halves cross into
+            // the lane threads.
+            let lanes: Vec<(usize, &mut PredictionSession)> = self
+                .live
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, (_, s))| slot_of[i].map(|slot| (slot, s)))
+                .collect();
+            let lane_count = lanes.len();
+            let (tx, rx) = std::sync::mpsc::channel();
+            let (report_tx, report_rx) = std::sync::mpsc::channel();
+            std::thread::scope(|scope| {
+                for (slot, session) in lanes {
+                    let lane = tx.clone();
+                    let reports = report_tx.clone();
+                    let (driver, optimizer) = session.step_parts();
+                    scope.spawn(move || {
+                        // However this thread exits — step done, step
+                        // panicked, no evaluator ever built — tell the
+                        // coordinator the lane is finished, or its peers
+                        // would wait on a flush forever.
+                        let _done = LaneGuard::new(lane.clone());
+                        let sw = Stopwatch::start();
+                        let step = driver.step_with(optimizer, move |ctx| {
+                            let backend: DynBackend =
+                                Box::new(FusionLane::new(Arc::clone(&ctx), lane));
+                            ScenarioEvaluator::with_backend(ctx, backend)
+                        });
+                        let elapsed = sw.elapsed_ms();
+                        if let Some(step) = step {
+                            let _ = reports.send((slot, step, elapsed));
+                        }
+                    });
+                }
+                drop(tx);
+                drop(report_tx);
+                run_coordinator(&self.pool, &rx, lane_count);
+            });
+            for (slot, step, elapsed) in report_rx.try_iter() {
+                stepped[slot] = Some((step, elapsed));
+            }
+        }
+
+        let mut events = Vec::with_capacity(entries.len());
+        for (id, planned) in entries {
+            let event = match planned {
+                Planned::Settled(event) => event,
+                Planned::Runnable { live_idx, slot } => {
+                    let (step, elapsed) = stepped[slot]
+                        .take()
+                        .expect("a planned Ready step always produces a report");
+                    self.live[live_idx].1.complete_step(step, elapsed)
+                }
+            };
+            self.record_outcome(id, &event);
             events.push((id, event));
         }
         self.live.retain(|(_, s)| !s.is_done());

@@ -123,11 +123,32 @@ pub fn serve<R: BufRead, W: Write>(
 /// reported in-band as error events/frames.
 pub fn serve_with<R: BufRead, W: Write>(
     input: R,
-    mut out: W,
+    out: W,
     backend: EvalBackend,
     policy: PolicyKind,
 ) -> io::Result<ServeSummary> {
+    serve_configured(input, out, backend, policy, false)
+}
+
+/// [`serve_with`] plus the fusion switch: with `fused` on, every
+/// scheduler round runs its planned sessions' steps concurrently and
+/// fuses their evaluation batches into one shared-pool mega-batch per
+/// wave ([`Scheduler::set_fused`]) — the protocol stream is identical,
+/// event for event, because fused rounds are bit-identical to unfused
+/// ones. The `harness serve --fused` entry point.
+///
+/// # Errors
+/// Propagates I/O errors from the transport; protocol-level problems are
+/// reported in-band as error events/frames.
+pub fn serve_configured<R: BufRead, W: Write>(
+    input: R,
+    mut out: W,
+    backend: EvalBackend,
+    policy: PolicyKind,
+    fused: bool,
+) -> io::Result<ServeSummary> {
     let mut scheduler = Scheduler::with_policy(backend, policy);
+    scheduler.set_fused(fused);
     let mut summary = ServeSummary::default();
     let mut v2 = V2State::default();
     let (mut saw_v1, mut saw_v2) = (false, false);

@@ -54,6 +54,20 @@ impl SessionEvent {
     }
 }
 
+/// Outcome of [`PredictionSession::plan_step`]: either the session can run
+/// one step, or it settled without running one.
+#[derive(Debug)]
+pub enum StepPlan {
+    /// The next step may run (via [`PredictionSession::step_parts`] +
+    /// [`PredictionSession::complete_step`], or simply by calling
+    /// [`PredictionSession::advance`]).
+    Ready,
+    /// The session settled without running a step — it was already
+    /// terminal, had finished every step, or a budget fired first. The
+    /// event is what `advance` would have returned.
+    Settled(SessionEvent),
+}
+
 /// Observer callback invoked after every fresh event (steps and the
 /// terminal event; replayed terminal events do not re-notify).
 pub type Observer = Box<dyn FnMut(&SessionEvent)>;
@@ -245,26 +259,65 @@ impl PredictionSession {
     /// Terminal events are sticky: once finished/exhausted/cancelled,
     /// every further call returns the same event without running anything.
     pub fn advance(&mut self) -> SessionEvent {
+        match self.plan_step() {
+            StepPlan::Settled(event) => event,
+            StepPlan::Ready => {
+                let sw = Stopwatch::start();
+                let step = self
+                    .driver
+                    .step(self.optimizer.as_mut())
+                    .expect("planned step cannot be finished");
+                let elapsed = sw.elapsed_ms();
+                self.complete_step(step, elapsed)
+            }
+        }
+    }
+
+    /// The pre-step half of [`PredictionSession::advance`]: replays a
+    /// sticky terminal event, starts the deadline clock, settles a
+    /// finished run or a fired budget — or declares the next step
+    /// runnable. A fused scheduler round plans every session first, runs
+    /// the `Ready` ones' steps on worker threads via
+    /// [`PredictionSession::step_parts`], and books the results with
+    /// [`PredictionSession::complete_step`]; `plan → run → complete` is
+    /// `advance` exactly, just with the step relocated.
+    pub fn plan_step(&mut self) -> StepPlan {
         if let Some(done) = &self.terminal {
-            return done.clone();
+            return StepPlan::Settled(done.clone());
         }
         let sw = Stopwatch::start();
         let started = *self.started.get_or_insert_with(Instant::now);
 
         if self.driver.is_finished() {
-            return self.settle(sw, None);
+            return StepPlan::Settled(self.settle(sw, None));
         }
         if let Some(reason) = self.budget_fired(started) {
-            return self.settle(sw, Some(reason));
+            return StepPlan::Settled(self.settle(sw, Some(reason)));
         }
+        StepPlan::Ready
+    }
 
-        let step = self
-            .driver
-            .step(self.optimizer.as_mut())
-            .expect("driver not finished");
+    /// Disjoint mutable access to the driver and its optimizer, so a
+    /// planned step can run on a worker thread (both halves are `Send`;
+    /// observers and bookkeeping stay behind on the session).
+    pub fn step_parts(&mut self) -> (&mut StepDriver, &mut dyn StepOptimizer) {
+        (&mut self.driver, self.optimizer.as_mut())
+    }
+
+    /// The post-step half of [`PredictionSession::advance`]: books a step
+    /// executed externally (evaluation counts, report, billed time) and
+    /// notifies observers. `elapsed_ms` is the wall time the step itself
+    /// took, so multiplexed sessions are still not billed for peers.
+    ///
+    /// A session cancelled between plan and complete keeps its terminal
+    /// event and discards the step — the cancellation won the race.
+    pub fn complete_step(&mut self, step: StepReport, elapsed_ms: f64) -> SessionEvent {
+        if let Some(done) = &self.terminal {
+            return done.clone();
+        }
         self.evaluations_spent += step.evaluations;
         self.steps.push(step.clone());
-        self.driven_ms += sw.elapsed_ms();
+        self.driven_ms += elapsed_ms;
         let event = SessionEvent::StepCompleted(step);
         self.notify(&event);
         event
