@@ -26,6 +26,7 @@
 //!   novelty     N         — novelty-engine sweep: pop × archive × engine (+ BENCH_novelty.json)
 //!   loadgen     L         — protocol-v2 load generation per scheduling policy (+ BENCH_serve_v2.json)
 //!   fusion      F         — cross-session batch fusion vs per-session rounds (+ BENCH_fusion.json)
+//!   landscape   K         — heap vs bucket simulation kernels on the XL corpus (+ BENCH_landscape.json)
 //!   serve                 — line-delimited JSON prediction service on stdin/stdout
 //! ```
 //!
@@ -139,7 +140,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|loadgen|fusion|serve|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--policy round-robin|weighted-fair-share|deadline-first] [--quick] [--fused] [--self-test] [--self-test-v2] [--out DIR]".to_string()
+    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|loadgen|fusion|landscape|serve|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--policy round-robin|weighted-fair-share|deadline-first] [--quick] [--fused] [--self-test] [--self-test-v2] [--out DIR]".to_string()
 }
 
 fn emit(args: &Args, id: &str, title: &str, table: &TextTable) {
@@ -359,6 +360,15 @@ fn main() -> ExitCode {
             "fusion",
             "F — cross-session batch fusion: fused vs unfused rounds per session count",
             &exp::fusion_sweep(args.quick, &args.out),
+        );
+        ran = true;
+    }
+    if args.experiment == "landscape" {
+        emit(
+            &args,
+            "landscape",
+            "K — simulation kernels on the XL landscape corpus (heap vs bucket, serial vs pool)",
+            &exp::landscape_sweep(args.quick, &args.out),
         );
         ran = true;
     }

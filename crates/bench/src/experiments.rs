@@ -1472,6 +1472,303 @@ pub fn fusion_sweep(quick: bool, out: &std::path::Path) -> TextTable {
     t
 }
 
+/// K — the landscape kernel sweep: reference heap kernel vs the monotone
+/// bucket-queue kernel on the 200×200 corpus flagship plus the XL
+/// (1000×1000+) tier, single-threaded and across a scoped worker pool.
+/// Kernel bit-identity is asserted in-run on every workload (per-scenario
+/// raster digests over exact f64 bits), and the bucket arena's scratch
+/// footprint is reported against the old eager `rows*cols` heap
+/// preallocation. Writes `BENCH_landscape.json` into `out` — the
+/// simulation kernel's cross-PR performance trail.
+///
+/// Full-mode acceptance, asserted in-run: the bucket kernel reaches ≥ 3×
+/// single-threaded evals/sec on the two per-cell XL workloads
+/// (`ridge_valley_xl`, `breaks_mosaic_xl`), regresses nowhere (≥ 1× on the
+/// archipelagos), and its XL scratch stays ≥ 4× below the eager baseline.
+/// The pool-vs-serial backend comparison is recorded always and never
+/// gates (it needs `available_parallelism ≥ 2` to mean anything).
+///
+/// `quick` shrinks every workload to ≤ 64 cells per side and trims the
+/// batch — digest identity is still asserted; the perf bars are not (the
+/// CI smoke configuration).
+pub fn landscape_sweep(quick: bool, out: &std::path::Path) -> TextTable {
+    use firelib::sim::Kernel;
+    use firelib::workload;
+    use landscape::IgnitionMap;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    let specs: Vec<workload::WorkloadSpec> = {
+        let mut v = vec![workload::archipelago_large()];
+        v.extend(workload::xl_corpus());
+        if quick {
+            v = v.iter().map(|s| s.shrunk(64)).collect();
+        }
+        v
+    };
+    let batch = if quick { 3usize } else { 6 };
+    let reps = if quick { 1u32 } else { 3 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = cores.clamp(2, 8);
+
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("[warn] could not create {}: {e}", out.display());
+    }
+
+    /// FNV-1a over the exact bit patterns of every arrival time: two rasters
+    /// share a digest iff they are f64-bit-identical.
+    fn digest_map(map: &IgnitionMap) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &t in map.grid().as_slice() {
+            h ^= t.to_bits();
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    let mut t = TextTable::new([
+        "workload",
+        "grid",
+        "tier",
+        "heap_eval_ms",
+        "bucket_eval_ms",
+        "kernel_x",
+        "pool_x",
+        "scratch_kb",
+        "raster_kb",
+    ]);
+    let mut json_workloads: Vec<Json> = Vec::new();
+    for spec in &specs {
+        let xl = workload::xl_names().contains(&spec.name);
+        let w = spec.build();
+        let sim = w.sim();
+        let (rows, cols) = (w.terrain.rows(), w.terrain.cols());
+        let cells = rows * cols;
+        let t0 = w.times[0];
+        let dt = w.times[1] - w.times[0];
+
+        // A deterministic scenario batch around the workload's truth: the
+        // base plus seeded wind perturbations, the calibration-stage access
+        // pattern in miniature.
+        let base = w.truth[0];
+        let mut rng = StdRng::seed_from_u64(0x1A2D ^ spec.seed);
+        let scenarios: Vec<Scenario> = (0..batch)
+            .map(|i| {
+                if i == 0 {
+                    base
+                } else {
+                    Scenario {
+                        wind_speed_mph: (base.wind_speed_mph
+                            + (rng.random::<f64>() * 2.0 - 1.0) * 2.0)
+                            .clamp(0.0, 80.0),
+                        wind_dir_deg: landscape::geometry::normalize_azimuth(
+                            base.wind_dir_deg + (rng.random::<f64>() * 2.0 - 1.0) * 30.0,
+                        ),
+                        ..base
+                    }
+                }
+            })
+            .collect();
+
+        // Correctness pass (also the warm-up): per-scenario digests must
+        // match bit-for-bit between the kernels.
+        let mut heap_arena = sim.arena();
+        let mut bucket_arena = sim.arena();
+        let heap_digests: Vec<u64> = scenarios
+            .iter()
+            .map(|s| {
+                digest_map(sim.simulate_arena_kernel(
+                    s,
+                    &w.ignition,
+                    t0,
+                    dt,
+                    &mut heap_arena,
+                    Kernel::Heap,
+                ))
+            })
+            .collect();
+        let bucket_digests: Vec<u64> = scenarios
+            .iter()
+            .map(|s| {
+                digest_map(sim.simulate_arena_kernel(
+                    s,
+                    &w.ignition,
+                    t0,
+                    dt,
+                    &mut bucket_arena,
+                    Kernel::Bucket,
+                ))
+            })
+            .collect();
+        assert_eq!(
+            heap_digests, bucket_digests,
+            "{}: bucket kernel diverged from the heap reference",
+            spec.name
+        );
+
+        // Timed passes on the warmed arenas: best-of-reps full-batch wall.
+        let time_kernel = |kernel: Kernel, arena: &mut firelib::SimArena| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let sw = Stopwatch::start();
+                for s in &scenarios {
+                    std::hint::black_box(sim.simulate_arena_kernel(
+                        s,
+                        &w.ignition,
+                        t0,
+                        dt,
+                        arena,
+                        kernel,
+                    ));
+                }
+                best = best.min(sw.elapsed_ms());
+            }
+            best
+        };
+        let heap_ms = time_kernel(Kernel::Heap, &mut heap_arena);
+        let bucket_ms = time_kernel(Kernel::Bucket, &mut bucket_arena);
+        let heap_eps = batch as f64 / (heap_ms / 1000.0);
+        let bucket_eps = batch as f64 / (bucket_ms / 1000.0);
+        let kernel_x = heap_ms / bucket_ms;
+
+        // The arena footprint after a full batch: scratch (queues, gather
+        // buffers, window tables, span bookkeeping) versus the mandatory
+        // arrival raster, against the old eager heap preallocation.
+        let scratch = bucket_arena.scratch_bytes();
+        let raster = bucket_arena.raster_bytes();
+        let eager = cells * 16; // BinaryHeap<(Reverse<Time>, u32)> at rows*cols
+        drop(heap_arena);
+
+        // Pool backend: the same batch chunked over scoped threads, one
+        // private arena per worker (the worker-pool deployment shape).
+        // Digest identity across backends is asserted; the speedup is
+        // recorded but never gates (single-core hosts run this too).
+        let chunk = scenarios.len().div_ceil(workers);
+        let mut pool_best = f64::INFINITY;
+        let mut pool_digests: Vec<u64> = Vec::new();
+        for _ in 0..reps {
+            let mut digests = vec![0u64; scenarios.len()];
+            let sw = Stopwatch::start();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk_scenarios in scenarios.chunks(chunk) {
+                    let sim = &sim;
+                    let w = &w;
+                    handles.push(scope.spawn(move || {
+                        let mut arena = sim.arena();
+                        chunk_scenarios
+                            .iter()
+                            .map(|s| {
+                                digest_map(sim.simulate_arena(s, &w.ignition, t0, dt, &mut arena))
+                            })
+                            .collect::<Vec<u64>>()
+                    }));
+                }
+                let mut off = 0usize;
+                for handle in handles {
+                    let part = handle.join().expect("landscape pool worker panicked");
+                    digests[off..off + part.len()].copy_from_slice(&part);
+                    off += part.len();
+                }
+            });
+            pool_best = pool_best.min(sw.elapsed_ms());
+            pool_digests = digests;
+        }
+        assert_eq!(
+            heap_digests, pool_digests,
+            "{}: pooled bucket runs diverged from the reference",
+            spec.name
+        );
+        let pool_x = bucket_ms / pool_best;
+
+        if !quick {
+            match spec.name {
+                // The two per-cell XL workloads are where active-front
+                // bounding must pay: ≥ 3× single-threaded evals/sec.
+                "ridge_valley_xl" | "breaks_mosaic_xl" => assert!(
+                    kernel_x >= 3.0,
+                    "{}: bucket kernel must reach 3x the heap kernel ({kernel_x:.2}x)",
+                    spec.name
+                ),
+                // No regression anywhere else (the per-fuel archipelagos).
+                "archipelago_large" | "archipelago_xl" => assert!(
+                    kernel_x >= 1.0,
+                    "{}: bucket kernel regressed vs heap ({kernel_x:.2}x)",
+                    spec.name
+                ),
+                _ => {}
+            }
+            if xl {
+                assert!(
+                    scratch * 4 <= eager,
+                    "{}: arena scratch {scratch} B not 4x below the eager \
+                     rows*cols heap baseline {eager} B",
+                    spec.name
+                );
+            }
+        }
+
+        t.row([
+            spec.name.to_string(),
+            format!("{rows}x{cols}"),
+            if xl { "xl".into() } else { "corpus".into() },
+            f4(heap_ms / batch as f64),
+            f4(bucket_ms / batch as f64),
+            f2(kernel_x),
+            f2(pool_x),
+            (scratch / 1024).to_string(),
+            (raster / 1024).to_string(),
+        ]);
+        json_workloads.push(
+            Json::obj()
+                .field("workload", spec.name)
+                .field("rows", rows)
+                .field("cols", cols)
+                .field("tier", if xl { "xl" } else { "corpus" })
+                .field("batch", batch)
+                .field("interval_minutes", dt)
+                .field(
+                    "heap",
+                    Json::obj()
+                        .field("eval_ms", heap_ms / batch as f64)
+                        .field("evals_per_sec", heap_eps)
+                        .field("cells_per_sec", cells as f64 * heap_eps),
+                )
+                .field(
+                    "bucket",
+                    Json::obj()
+                        .field("eval_ms", bucket_ms / batch as f64)
+                        .field("evals_per_sec", bucket_eps)
+                        .field("cells_per_sec", cells as f64 * bucket_eps),
+                )
+                .field("kernel_speedup", kernel_x)
+                .field("digest_identical", true)
+                .field("pool_workers", workers)
+                .field("pool_batch_ms", pool_best)
+                .field("pool_speedup_vs_serial", pool_x)
+                .field("pool_digest_identical", true)
+                .field("peak_scratch_bytes", scratch)
+                .field("raster_bytes", raster)
+                .field("eager_heap_baseline_bytes", eager)
+                .field(
+                    "scratch_under_eager_x",
+                    eager as f64 / scratch.max(1) as f64,
+                ),
+        );
+    }
+
+    let json = Json::obj()
+        .field("bench_format", 1u64)
+        .field("suite", "landscape")
+        .field("quick", quick)
+        .field("reps", reps)
+        .field("cores", cores)
+        .field("pool_workers", workers)
+        .field("perf_asserted", !quick)
+        .field("workloads", Json::Arr(json_workloads));
+    write_bench_json(&out.join("BENCH_landscape.json"), &json);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

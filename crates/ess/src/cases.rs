@@ -354,10 +354,13 @@ pub fn standard_cases() -> Vec<BurnCase> {
 }
 
 /// Every case name resolvable through [`by_name`]: the hand-built library
-/// plus the generated workload corpus.
+/// plus the generated workload corpus (standard tier and the XL landscape
+/// tier — the latter expand to megacell rasters, so resolving one builds a
+/// case measured in seconds, not milliseconds).
 pub fn case_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = LIBRARY.iter().map(|&(name, _)| name).collect();
     names.extend(firelib::workload::names());
+    names.extend(firelib::workload::xl_names());
     names
 }
 

@@ -1,0 +1,200 @@
+//! Ensemble burn-probability forecasts over workloads.
+//!
+//! The ROADMAP's ensemble direction starts here: instead of one truth
+//! trajectory, run `N` *perturbed-seed replicates* of a workload — each
+//! replicate jitters the per-interval truth scenarios with a deterministic,
+//! seed-derived perturbation (wind gusting, direction veer, fuel-moisture
+//! measurement error) — and fold the final fire lines into a
+//! [`ProbabilityMap`]: each cell's value is the fraction of replicates that
+//! burned it, i.e. an ignition-probability surface under input uncertainty.
+//! The fold reuses the Statistical Stage's aggregation structure verbatim,
+//! so thresholding with a Key Ignition Value yields an ensemble fire-line
+//! forecast exactly like the per-step predictions do.
+//!
+//! Everything is a pure function of `(spec, replicates, seed)`: same
+//! inputs, bit-identical probability map, on any machine.
+
+use firelib::scenario::PARAM_DEFS;
+use firelib::workload::WorkloadSpec;
+use firelib::Scenario;
+use landscape::{FireLine, ProbabilityMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum wind-speed perturbation per replicate (mph, either sign).
+const WIND_SPEED_JITTER_MPH: f64 = 1.5;
+/// Maximum wind-direction perturbation per replicate (degrees, either sign).
+const WIND_DIR_JITTER_DEG: f64 = 15.0;
+/// Maximum 1-hour dead-moisture perturbation per replicate (percent).
+const M1_JITTER_PCT: f64 = 1.0;
+
+/// One ensemble forecast: the folded probability surface plus the replicate
+/// artifacts it was folded from (exposed so callers — and the pin tests —
+/// can audit exactly which trajectories produced the surface).
+#[derive(Debug, Clone)]
+pub struct EnsembleForecast {
+    /// Per-cell burn probability over the replicates.
+    pub probability: ProbabilityMap,
+    /// The perturbed truth of each replicate, one scenario per interval.
+    pub truths: Vec<Vec<Scenario>>,
+    /// The final fire line of each replicate (the lines that were folded).
+    pub final_lines: Vec<FireLine>,
+}
+
+/// The perturbed truth trajectory of one replicate: every interval's
+/// scenario gets seed-derived jitter on wind speed, wind direction and
+/// 1-hour dead moisture, clamped to the Table I parameter ranges so each
+/// replicate stays a valid scenario. Deterministic in
+/// `(truth, replicate, seed)`.
+pub fn perturbed_truth(truth: &[Scenario], replicate: u32, seed: u64) -> Vec<Scenario> {
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (replicate as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut centred = |spread: f64| (rng.random::<f64>() * 2.0 - 1.0) * spread;
+    truth
+        .iter()
+        .map(|s| Scenario {
+            wind_speed_mph: (s.wind_speed_mph + centred(WIND_SPEED_JITTER_MPH))
+                .clamp(PARAM_DEFS[1].lo, PARAM_DEFS[1].hi),
+            wind_dir_deg: landscape::geometry::normalize_azimuth(
+                s.wind_dir_deg + centred(WIND_DIR_JITTER_DEG),
+            ),
+            m1_pct: (s.m1_pct + centred(M1_JITTER_PCT)).clamp(PARAM_DEFS[3].lo, PARAM_DEFS[3].hi),
+            ..*s
+        })
+        .collect()
+}
+
+/// Runs `replicates` perturbed-truth replicates of `spec` and folds their
+/// final fire lines into a burn-probability map.
+///
+/// # Panics
+/// Panics when `replicates` is zero (an empty ensemble has no surface).
+pub fn ensemble_probability(spec: &WorkloadSpec, replicates: usize, seed: u64) -> EnsembleForecast {
+    assert!(replicates > 0, "an ensemble needs at least one replicate");
+    let w = spec.build();
+    let sim = w.sim();
+    let mut probability = ProbabilityMap::new(w.terrain.rows(), w.terrain.cols());
+    let mut truths = Vec::with_capacity(replicates);
+    let mut final_lines = Vec::with_capacity(replicates);
+    for k in 0..replicates {
+        let truth = perturbed_truth(&w.truth, k as u32, seed);
+        let lines = w.lines_for(&sim, &truth);
+        let last = lines.last().expect("lines_for is non-empty").clone();
+        probability.accumulate(&last);
+        truths.push(truth);
+        final_lines.push(last);
+    }
+    EnsembleForecast {
+        probability,
+        truths,
+        final_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> WorkloadSpec {
+        firelib::workload::meadow_small().shrunk(24)
+    }
+
+    #[test]
+    fn three_replicate_fold_matches_hand_computation() {
+        // Pin the fold: recompute the three replicate trajectories by hand
+        // (same primitives, called explicitly) and count, cell by cell, how
+        // many replicates burned each cell. The ensemble's probability must
+        // be exactly count/3 everywhere.
+        let spec = small_spec();
+        let fc = ensemble_probability(&spec, 3, 42);
+        assert_eq!(fc.probability.samples(), 3);
+        assert_eq!(fc.final_lines.len(), 3);
+
+        let w = spec.build();
+        let sim = w.sim();
+        let mut hand_lines = Vec::new();
+        for k in 0..3u32 {
+            let truth = perturbed_truth(&w.truth, k, 42);
+            assert_eq!(truth, fc.truths[k as usize], "replicate {k} truth");
+            let lines = w.lines_for(&sim, &truth);
+            hand_lines.push(lines.last().unwrap().clone());
+        }
+        let rows = w.terrain.rows();
+        let cols = w.terrain.cols();
+        for r in 0..rows {
+            for c in 0..cols {
+                let count = hand_lines.iter().filter(|l| l.is_burned(r, c)).count();
+                let expected = count as f64 / 3.0;
+                assert!(
+                    (fc.probability.probability(r, c) - expected).abs() < 1e-15,
+                    "cell ({r},{c}): expected {expected}, got {}",
+                    fc.probability.probability(r, c)
+                );
+            }
+        }
+        // The ignition cell burns in every replicate (probability exactly 1),
+        // and an untouched far corner in none (probability exactly 0).
+        let (ir, ic) = {
+            let mut it = None;
+            for r in 0..rows {
+                for c in 0..cols {
+                    if w.ignition.is_burned(r, c) {
+                        it = Some((r, c));
+                    }
+                }
+            }
+            it.expect("workload has an ignition")
+        };
+        assert_eq!(fc.probability.probability(ir, ic), 1.0);
+        let spread: Vec<f64> = fc.probability.distinct_levels();
+        assert!(spread.iter().all(|p| {
+            let scaled = p * 3.0;
+            (scaled - scaled.round()).abs() < 1e-12
+        }));
+    }
+
+    #[test]
+    fn ensemble_is_deterministic_per_seed() {
+        let spec = small_spec();
+        let a = ensemble_probability(&spec, 3, 7);
+        let b = ensemble_probability(&spec, 3, 7);
+        let c = ensemble_probability(&spec, 3, 8);
+        assert_eq!(a.probability, b.probability);
+        assert_eq!(a.truths, b.truths);
+        assert_ne!(
+            a.truths, c.truths,
+            "different seeds must perturb differently"
+        );
+    }
+
+    #[test]
+    fn replicates_stay_valid_scenarios() {
+        let spec = small_spec();
+        let fc = ensemble_probability(&spec, 5, 123);
+        for (k, truth) in fc.truths.iter().enumerate() {
+            for (i, s) in truth.iter().enumerate() {
+                assert!(s.is_valid(), "replicate {k} interval {i} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn thresholding_the_ensemble_yields_a_forecast_line() {
+        let spec = small_spec();
+        let fc = ensemble_probability(&spec, 4, 9);
+        let consensus = fc.probability.threshold(1.0);
+        let any = fc.probability.threshold(1e-9);
+        assert!(consensus.is_subset_of(&any), "consensus ⊆ union");
+        assert!(consensus.burned_area() >= 1, "ignition burns everywhere");
+        for line in &fc.final_lines {
+            assert!(consensus.is_subset_of(line), "consensus ⊆ every replicate");
+            assert!(line.is_subset_of(&any), "every replicate ⊆ union");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replicate")]
+    fn zero_replicates_rejected() {
+        let _ = ensemble_probability(&small_spec(), 0, 1);
+    }
+}

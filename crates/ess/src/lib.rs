@@ -38,11 +38,14 @@
 //! * [`cases`] — synthetic controlled burn cases with a *hidden* true
 //!   scenario (optionally drifting over time), standing in for the field
 //!   burn maps of the original evaluations (see DESIGN.md §1);
+//! * [`ensemble`] — ensemble burn-probability forecasts: N perturbed-seed
+//!   replicates of a workload folded into a [`landscape::ProbabilityMap`];
 //! * [`report`] — aligned text tables and CSV writers for the experiment
 //!   harness.
 
 pub mod calibration;
 pub mod cases;
+pub mod ensemble;
 pub mod error;
 pub mod ess_classic;
 pub mod essim_de;
@@ -55,6 +58,7 @@ pub mod stages;
 
 pub use calibration::{CalibrationOutcome, PredictionStage};
 pub use cases::BurnCase;
+pub use ensemble::{ensemble_probability, perturbed_truth, EnsembleForecast};
 pub use error::{BudgetReason, ServiceError};
 pub use ess_classic::EssClassic;
 pub use essim_de::{EssimDe, TuningConfig};

@@ -5,9 +5,37 @@
 //! any burning neighbour until a fixpoint is reached. Because every
 //! cell-to-cell traversal time is non-negative and fixed for a given
 //! scenario, that fixpoint is exactly the shortest-path (minimum travel
-//! time) solution, which we compute directly with a Dijkstra sweep — same
-//! result, deterministic, and `O(n log n)` instead of repeated full-map
-//! sweeps.
+//! time) solution, which we compute directly with a shortest-path sweep —
+//! same result, deterministic, and frontier-proportional instead of
+//! repeated full-map sweeps.
+//!
+//! Two kernels implement the sweep:
+//!
+//! * [`Kernel::Heap`] — the reference implementation: a classic Dijkstra
+//!   over a `BinaryHeap<(Reverse<Time>, u32)>` touching the whole raster
+//!   (full gather, full output reset). Simple, kept as the oracle every
+//!   other path is pinned against.
+//! * [`Kernel::Bucket`] — the landscape-scale hot path: a monotone
+//!   bucket-queue (Dial-style) wavefront sweep with **active-front
+//!   bounding**. Arrival times live in `[t0, t0 + duration]`, so the
+//!   frontier is kept in an array of buckets keyed by quantized arrival
+//!   time (O(1) push, cache-friendly per-bucket drains); the raster keeps
+//!   exact `f64` arrival times — buckets only order the frontier. Spread
+//!   inputs are gathered and the output raster reset only inside the
+//!   window the fire can actually reach within the horizon, so one
+//!   evaluation costs proportional-to-burned-area instead of O(rows×cols).
+//!
+//! The two kernels are **bit-identical by construction**: within a bucket
+//! the frontier is drained through a mini-heap ordered exactly like the
+//! global heap's `(Reverse<Time>, u32)` tuple order (ascending time, ties
+//! by descending cell index), and every traversal cost is positive, so an
+//! entry pushed while draining bucket `k` can never belong to a bucket
+//! `< k` (quantization is monotone in the arrival time). The realized pop
+//! sequence is therefore the same strict total order the binary heap
+//! realizes, which makes the whole execution — every relaxation decision,
+//! every `SMIDGEN`-tolerance comparison, every raster write — literally
+//! identical. The `kernel_equivalence` property suite pins this with exact
+//! `f64` raster comparisons.
 //!
 //! The traversal time of the edge from a burning cell to a neighbour is
 //! `distance / ros_source(azimuth)`, i.e. the fire crosses the source cell's
@@ -23,7 +51,7 @@ use crate::spread::{
 use crate::terrain::Terrain;
 use crate::SMIDGEN;
 use landscape::geometry::normalize_azimuth;
-use landscape::{FireLine, IgnitionMap};
+use landscape::{FireLine, IgnitionMap, UNIGNITED};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -48,37 +76,270 @@ impl Ord for Time {
     }
 }
 
+/// Which propagation kernel a `simulate_arena_kernel` call runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Reference Dijkstra over a binary heap, full-raster gather and reset.
+    Heap,
+    /// Monotone bucket-queue wavefront sweep with active-front bounding —
+    /// the default hot path; bit-identical to [`Kernel::Heap`].
+    Bucket,
+}
+
+/// Number of arrival-time buckets the monotone queue quantizes the horizon
+/// into. More buckets → smaller per-bucket mini-heaps; the array itself is
+/// reset in O(`BUCKETS`) per run, which is negligible against any real
+/// sweep.
+const BUCKETS: usize = 2048;
+
+/// Monotone bucket queue (Dial's algorithm) over the arrival-time horizon
+/// `[t0, t0 + duration]`, with one twist that buys exactness: the bucket
+/// currently being drained is kept as a binary mini-heap ordered by the
+/// *same* total order the reference `BinaryHeap<(Reverse<Time>, u32)>`
+/// pops in (ascending time via `total_cmp`, ties by descending index).
+/// Future buckets are plain unsorted `Vec`s — O(1) push — and are
+/// heapified once when the drain cursor reaches them.
+///
+/// Every traversal cost is positive, so a push performed while draining
+/// bucket `k` has an arrival time ≥ the time of some entry in bucket `k`,
+/// and quantization (`floor((t - t0) · inv_delta)`) is monotone in `t`
+/// under f64 rounding (subtraction and multiplication by a positive
+/// constant are monotone). Pushes therefore never target a past bucket,
+/// and the realized global pop order is the strict `(time, index)` total
+/// order — identical to the reference heap's, entry for entry.
+#[derive(Debug, Clone, Default)]
+struct BucketQueue {
+    /// Future frontier entries, bucketed by quantized arrival time.
+    buckets: Vec<Vec<(f64, u32)>>,
+    /// The bucket currently being drained, as a mini-heap in pop order.
+    cur: Vec<(f64, u32)>,
+    /// Index of the bucket `cur` was filled from; pushes quantizing to
+    /// `<= cursor` (only possible for `== cursor`) join the mini-heap.
+    cursor: usize,
+    /// Entries currently queued across `cur` and all future buckets.
+    len: usize,
+    base: f64,
+    inv_delta: f64,
+}
+
+impl BucketQueue {
+    /// `true` when `a` pops before `b` under the reference heap's order:
+    /// smaller time first, equal times broken by larger cell index.
+    #[inline]
+    fn before(a: (f64, u32), b: (f64, u32)) -> bool {
+        match a.0.total_cmp(&b.0) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.1 > b.1,
+        }
+    }
+
+    /// Prepares the queue for one run over `[t0, t0 + duration]`. Bucket
+    /// `Vec`s keep their capacity across runs (the allocation-free
+    /// steady-state property).
+    fn reset(&mut self, t0: f64, duration: f64) {
+        if self.buckets.len() != BUCKETS {
+            self.buckets.resize_with(BUCKETS, Vec::new);
+        }
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.cur.clear();
+        self.cursor = 0;
+        self.len = 0;
+        self.base = t0;
+        self.inv_delta = (BUCKETS - 1) as f64 / duration;
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: f64) -> usize {
+        // t >= base always (seeds carry t0, relaxations only increase), so
+        // the cast truncates a non-negative value; clamp covers t == t_end.
+        (((t - self.base) * self.inv_delta) as usize).min(BUCKETS - 1)
+    }
+
+    #[inline]
+    fn push(&mut self, t: f64, idx: u32) {
+        self.len += 1;
+        let b = self.bucket_of(t);
+        if b <= self.cursor {
+            self.cur.push((t, idx));
+            let mut i = self.cur.len() - 1;
+            while i > 0 {
+                let p = (i - 1) / 2;
+                if Self::before(self.cur[i], self.cur[p]) {
+                    self.cur.swap(i, p);
+                    i = p;
+                } else {
+                    break;
+                }
+            }
+        } else {
+            self.buckets[b].push((t, idx));
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.cur.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let mut best = l;
+            let r = l + 1;
+            if r < n && Self::before(self.cur[r], self.cur[l]) {
+                best = r;
+            }
+            if Self::before(self.cur[best], self.cur[i]) {
+                self.cur.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.cur.is_empty() {
+            loop {
+                // len > 0 and every queued entry lives in cur or a bucket
+                // > cursor, so a non-empty bucket exists ahead of the cursor.
+                self.cursor += 1;
+                debug_assert!(self.cursor < BUCKETS, "bucket queue lost entries");
+                if !self.buckets[self.cursor].is_empty() {
+                    // Move elements out rather than swap the `Vec`s so every
+                    // bucket keeps its own high-water capacity (swapping
+                    // shuffles capacities between slots and defeats the
+                    // steady-state allocation-free property).
+                    self.cur.append(&mut self.buckets[self.cursor]);
+                    break;
+                }
+            }
+            for i in (0..self.cur.len() / 2).rev() {
+                self.sift_down(i);
+            }
+        }
+        self.len -= 1;
+        let top = self.cur[0];
+        let last = self.cur.pop().expect("cur is non-empty");
+        if !self.cur.is_empty() {
+            self.cur[0] = last;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    /// Heap bytes currently held across all bucket storage.
+    fn bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(f64, u32)>();
+        let entries: usize =
+            self.cur.capacity() + self.buckets.iter().map(Vec::capacity).sum::<usize>();
+        entries * entry + self.buckets.capacity() * std::mem::size_of::<Vec<(f64, u32)>>()
+    }
+}
+
+/// The rectangular active-front window of one bucket-kernel run: the
+/// ignition bounding box expanded by the farthest distance the fire can
+/// travel within the horizon (Chebyshev metric — every neighbour step,
+/// diagonal included, advances at most one Chebyshev unit and costs at
+/// least `cell_ft / ros_cap` minutes).
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl Window {
+    #[inline]
+    fn contains(&self, r: usize, c: usize) -> bool {
+        r.wrapping_sub(self.r0) < self.rows && c.wrapping_sub(self.c0) < self.cols
+    }
+
+    /// Row-major index into window-local storage.
+    #[inline]
+    fn local(&self, r: usize, c: usize) -> usize {
+        (r - self.r0) * self.cols + (c - self.c0)
+    }
+
+    fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// Which cells of the arena's arrival raster may differ from `UNIGNITED`
+/// after the previous run — the next run resets exactly this set instead
+/// of the whole raster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dirty {
+    /// Fresh raster (or already reset): all cells hold `UNIGNITED`.
+    Clean,
+    /// Unknown write set (reference kernel ran): full reset required.
+    All,
+    /// Bucket run: writes confined to the per-row spans recorded in
+    /// `span_lo`/`span_hi` for `rows` window rows starting at `r0`, plus
+    /// the explicit `stray` overflow list.
+    Spans { r0: usize, rows: usize },
+}
+
 /// The worker-owned simulation arena: every buffer the propagation engine
 /// needs across evaluations, allocated once and reused.
 ///
 /// `FireSim` is immutable shared state (terrain + fuel beds behind `Arc`s);
 /// a `SimArena` is the *mutable* counterpart one worker owns privately. It
-/// holds the per-cell directional-spread cache, the Dijkstra heap and the
-/// arrival-time raster. Every buffer is retained at its high-water mark, so
-/// once capacities have grown to cover the scenarios a worker evaluates,
-/// [`FireSim::simulate_arena`] performs **zero further allocations** —
-/// construct one arena per worker (see [`FireSim::arena`]) and reuse it for
-/// every scenario. (The Dijkstra heap's peak size is scenario-dependent: a
-/// scenario with more arrival-time churn than any seen before can grow it
-/// once more, after which that capacity, too, persists.)
+/// holds the per-cell directional-spread cache, the frontier queues and the
+/// arrival-time raster. Construction is O(1): nothing is allocated until
+/// the first run, and from then on every buffer is retained at its
+/// high-water mark, so once capacities have grown to cover the scenarios a
+/// worker evaluates, [`FireSim::simulate_arena`] performs **zero further
+/// allocations** — construct one arena per worker (see [`FireSim::arena`])
+/// and reuse it for every scenario. On the default bucket kernel the
+/// high-water mark tracks the *active-front window*, not the raster: a
+/// short burn on a 1000×1000 map holds window-sized scratch plus the
+/// (mandatory) full arrival raster, instead of the former eager
+/// `rows*cols` heap reservation.
 #[derive(Debug, Clone)]
 pub struct SimArena {
+    rows: usize,
+    cols: usize,
     /// Per-cell spread scratch: the directional tables plus the flat SoA
     /// gather buffers that feed them (filled only on terrains where spread
-    /// varies with more than the fuel code).
+    /// varies with more than the fuel code; window-sized on the bucket
+    /// kernel).
     spread: SpreadScratch,
     /// Per-fuel-code directional spread tables (filled only on fuel-only
     /// mosaics); inline, so the fast path never touches the heap.
     per_fuel: [[f64; 8]; 14],
-    /// Dijkstra frontier; drained by every run, capacity persists.
+    /// Reference-kernel Dijkstra frontier; empty unless [`Kernel::Heap`]
+    /// runs, capacity persists.
     heap: BinaryHeap<(Reverse<Time>, u32)>,
-    /// The arrival raster of the most recent evaluation.
-    out: IgnitionMap,
+    /// Bucket-kernel frontier.
+    queue: BucketQueue,
+    /// Burnable ignition cells of the current run (index scratch).
+    seeds: Vec<u32>,
+    /// Per-window-row dirty column spans of the last bucket run
+    /// (inclusive; `lo > hi` means the row was never written).
+    span_lo: Vec<u32>,
+    span_hi: Vec<u32>,
+    /// Cells written outside the active window (possible only through
+    /// floating-point slack in the spread-rate bound; reset individually).
+    stray: Vec<u32>,
+    /// What the next run must reset before writing.
+    dirty: Dirty,
+    /// The arrival raster of the most recent evaluation; allocated on
+    /// first use.
+    out: Option<IgnitionMap>,
 }
 
 /// Scratch for the fully heterogeneous (per-cell) spread path, laid out as
 /// structure-of-arrays: each terrain input is gathered into its own flat
-/// raster-order buffer once per run, then the spread kernel walks the
+/// buffer once per run (raster-order on the reference kernel,
+/// window-order on the bucket kernel), then the spread kernel walks the
 /// buffers linearly. Keeping the inputs in separate contiguous arrays (and
 /// hoisting the layer-presence branches out of the cell loop) is what lets
 /// the compiler vectorize the gather loops and keeps the kernel loop free
@@ -108,35 +369,62 @@ impl SpreadScratch {
             + self.wind_fpm.capacity()
             + self.wind_az.capacity()
     }
+
+    /// Heap bytes currently held across all spread buffers.
+    fn bytes(&self) -> usize {
+        self.per_cell.capacity() * std::mem::size_of::<[f64; 8]>()
+            + self.codes.capacity()
+            + (self.steep.capacity()
+                + self.aspect.capacity()
+                + self.wind_fpm.capacity()
+                + self.wind_az.capacity())
+                * std::mem::size_of::<f64>()
+    }
 }
 
 impl SimArena {
-    /// An arena for `rows × cols` rasters, with the heap pre-reserved. The
-    /// per-cell spread scratch is reserved lazily (one exact allocation per
-    /// buffer on first use) so arenas on uniform and fuel-only terrains —
-    /// where it is never touched — hold no dead capacity.
+    /// An arena for `rows × cols` rasters. Construction allocates nothing
+    /// — every buffer (arrival raster included) is grown on first use and
+    /// then retained at its high-water mark — so arenas for shapes that
+    /// are never evaluated cost no memory (the per-worker `ArenaCache`
+    /// keys arenas by shape).
     pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "arena dimensions must be non-zero");
         Self {
+            rows,
+            cols,
             spread: SpreadScratch::default(),
             per_fuel: [[0.0; 8]; 14],
-            heap: BinaryHeap::with_capacity(rows * cols),
-            out: IgnitionMap::unignited(rows, cols),
+            heap: BinaryHeap::new(),
+            queue: BucketQueue::default(),
+            seeds: Vec::new(),
+            span_lo: Vec::new(),
+            span_hi: Vec::new(),
+            stray: Vec::new(),
+            dirty: Dirty::Clean,
+            out: None,
         }
     }
 
     /// Raster rows.
     pub fn rows(&self) -> usize {
-        self.out.rows()
+        self.rows
     }
 
     /// Raster columns.
     pub fn cols(&self) -> usize {
-        self.out.cols()
+        self.cols
     }
 
     /// The arrival map written by the last [`FireSim::simulate_arena`] run.
+    ///
+    /// # Panics
+    /// Panics when no simulation has run in this arena yet (the raster is
+    /// allocated lazily on first use).
     pub fn map(&self) -> &IgnitionMap {
-        &self.out
+        self.out
+            .as_ref()
+            .expect("SimArena::map: no simulation has run in this arena yet")
     }
 
     /// Current capacity of the per-cell spread cache (allocation tracking
@@ -151,9 +439,35 @@ impl SimArena {
         self.spread.gather_capacity()
     }
 
-    /// Current capacity of the Dijkstra heap (allocation tracking).
+    /// Current capacity of the reference-kernel Dijkstra heap (allocation
+    /// tracking).
     pub fn heap_capacity(&self) -> usize {
         self.heap.capacity()
+    }
+
+    /// Heap bytes currently held by every scratch structure in the arena
+    /// — frontier queues, SoA gather buffers, per-cell tables, dirty-span
+    /// bookkeeping — **excluding** the arrival raster itself (which is the
+    /// mandatory output, reported by [`SimArena::raster_bytes`]). This is
+    /// the number the landscape bench tracks against the old eager
+    /// `rows*cols` heap preallocation.
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.heap.capacity() * size_of::<(Reverse<Time>, u32)>()
+            + self.queue.bytes()
+            + self.spread.bytes()
+            + (self.span_lo.capacity()
+                + self.span_hi.capacity()
+                + self.stray.capacity()
+                + self.seeds.capacity())
+                * size_of::<u32>()
+    }
+
+    /// Heap bytes held by the arrival raster (0 until the first run).
+    pub fn raster_bytes(&self) -> usize {
+        self.out
+            .as_ref()
+            .map_or(0, |m| m.rows() * m.cols() * std::mem::size_of::<f64>())
     }
 }
 
@@ -164,7 +478,9 @@ enum Tables<'a> {
     /// Fuel mosaic with globally uniform slope/aspect/wind: one table per
     /// fuel code, looked up through the fuel layer.
     PerFuel(&'a [[f64; 8]; 14], &'a [u8]),
-    /// Fully heterogeneous terrain: one table per cell.
+    /// Fully heterogeneous terrain: one table per cell. On the reference
+    /// kernel the slice is raster-order over the whole map; on the bucket
+    /// kernel it is window-order (see [`Window::local`]).
     PerCell(&'a [[f64; 8]]),
 }
 
@@ -250,18 +566,113 @@ impl FireSim {
         wind_slope_max(bed, moisture, &inputs).compass_ros()
     }
 
+    /// The per-catalog-model `(ros0, reaction intensity)` hoist:
+    /// [`no_wind_no_slope`] runs the fuel-particle loops and depends only
+    /// on (fuel code, moisture), so it is computed once per model (≤ 14
+    /// calls) instead of once per cell.
+    fn hoisted_base(&self, moisture: &MoistureRegime) -> [(f64, f64); 14] {
+        let mut base = [(0.0f64, 0.0f64); 14];
+        for (bed, slot) in self.beds.iter().zip(base.iter_mut()) {
+            *slot = no_wind_no_slope(bed, moisture);
+        }
+        base
+    }
+
+    /// An upper bound (ft/min) on the spread rate any cell of this terrain
+    /// can reach under `scenario`, used to size the active-front window.
+    /// O(catalog size) per call: the terrain caches its per-layer maxima
+    /// (fuel-code mask, max slope, max wind factor) at construction.
+    ///
+    /// Soundness: for every cell, `ros_at_azimuth ≤ ros_max` and the
+    /// spread analysis yields `ros_max ≤ ros0 · (1 + φ_w + φ_s)` — the
+    /// wind-only and slope-only branches are exactly that, the combined
+    /// branch vector-adds to `ros0 + rv` with
+    /// `rv = √((slp + wnd·cosθ)² + (wnd·sinθ)²) ≤ slp + wnd`, and the
+    /// effective-wind cap only lowers `ros_max`. `φ_w = k·U^b` and
+    /// `φ_s = k·tan²` are monotone in wind speed and slope, so evaluating
+    /// them at the terrain-wide maxima bounds every cell. (The bucket
+    /// kernel additionally tolerates the bound being off by floating-point
+    /// slack: cells popped outside the gathered window fall back to an
+    /// exact lazy per-cell table.)
+    pub fn spread_rate_bound(&self, scenario: &Scenario) -> f64 {
+        let mask = self.terrain.fuel_code_mask(scenario.model);
+        if mask == 0 {
+            return 0.0;
+        }
+        let moisture = scenario.moisture();
+        let wind_fpm = self.terrain.max_wind_speed(scenario.wind_speed_mph) * crate::MPH_TO_FPM;
+        let steep = self
+            .terrain
+            .max_slope_deg(scenario.slope_deg)
+            .to_radians()
+            .tan();
+        let mut cap = 0.0f64;
+        for (code, bed) in self.beds.iter().enumerate() {
+            if mask & (1 << code) == 0 || !bed.burnable {
+                continue;
+            }
+            let (ros0, _) = no_wind_no_slope(bed, &moisture);
+            if ros0 <= SMIDGEN {
+                continue;
+            }
+            let phi_w = if wind_fpm <= SMIDGEN {
+                0.0
+            } else {
+                bed.wind_k * wind_fpm.powf(bed.wind_b)
+            };
+            let phi_s = if steep <= SMIDGEN {
+                0.0
+            } else {
+                bed.slope_k * steep * steep
+            };
+            cap = cap.max(ros0 * (1.0 + phi_w + phi_s));
+        }
+        cap
+    }
+
+    /// The wind/slope half of the spread math, one linear pass over the
+    /// gathered SoA buffers: `scratch.per_cell[i]` becomes the directional
+    /// table of the cell whose inputs sit at index `i`.
+    fn spread_kernel(
+        scratch: &mut SpreadScratch,
+        beds: &[FuelBed],
+        base: &[(f64, f64); 14],
+        n: usize,
+    ) {
+        let per_cell = &mut scratch.per_cell;
+        per_cell.clear();
+        per_cell.reserve(n);
+        for idx in 0..n {
+            let code = scratch.codes[idx] as usize;
+            // Unburnable beds hoist to `(0.0, 0.0)`, so the `ros0` guard
+            // covers both the unburnable and the extinguished case — the
+            // same two paths `cell_spread` resolves to `no_spread`.
+            let (ros0, rx_int) = base[code];
+            let v = if ros0 <= SMIDGEN {
+                SpreadVector::no_spread()
+            } else {
+                let inputs = SpreadInputs {
+                    wind_fpm: scratch.wind_fpm[idx],
+                    wind_azimuth: scratch.wind_az[idx],
+                    slope_steepness: scratch.steep[idx],
+                    aspect_azimuth: scratch.aspect[idx],
+                };
+                wind_slope_from_ros0(&beds[code], ros0, rx_int, &inputs)
+            };
+            per_cell.push(v.compass_ros());
+        }
+    }
+
     /// Fills the per-cell directional-spread tables for a fully
-    /// heterogeneous terrain via the flat SoA path. Three phases:
+    /// heterogeneous terrain via the flat SoA path, whole raster. Three
+    /// phases:
     ///
     /// 1. **Gather** — resolve each override layer into its own contiguous
     ///    raster-order buffer, hoisting the layer-presence branch (and the
     ///    per-layer transforms: `tan`, mph→fpm, azimuth wrap) out of the
     ///    cell loop into simple vectorizable map/splat loops.
-    /// 2. **Hoist** — [`no_wind_no_slope`] runs the fuel-particle loops and
-    ///    depends only on (fuel code, moisture), so compute it once per
-    ///    catalog model (≤ 14 calls) instead of once per cell.
-    /// 3. **Kernel** — one linear pass over the flat buffers running only
-    ///    the wind/slope half of the spread math per cell.
+    /// 2. **Hoist** — [`FireSim::hoisted_base`].
+    /// 3. **Kernel** — [`FireSim::spread_kernel`].
     ///
     /// Bit-identity with the old per-cell [`FireSim::cell_spread`] loop:
     /// the gathered inputs are computed by the same expressions the
@@ -328,33 +739,150 @@ impl FireSim {
         }
 
         let moisture = scenario.moisture();
-        let mut base = [(0.0f64, 0.0f64); 14];
-        for (bed, slot) in self.beds.iter().zip(base.iter_mut()) {
-            *slot = no_wind_no_slope(bed, &moisture);
+        let base = self.hoisted_base(&moisture);
+        Self::spread_kernel(scratch, &self.beds, &base, n);
+    }
+
+    /// Window-bounded variant of [`FireSim::fill_per_cell`]: gathers and
+    /// computes tables only for the cells inside `win`, in window-row
+    /// order. Each gathered value is produced by the exact expression the
+    /// full-raster gather uses on the same cell (the loops walk per-row
+    /// sub-slices of the same layers), so the window tables are
+    /// bit-identical to the corresponding full-raster entries.
+    fn fill_per_cell_window(
+        &self,
+        scenario: &Scenario,
+        scratch: &mut SpreadScratch,
+        win: &Window,
+        base: &[(f64, f64); 14],
+    ) {
+        let t = &*self.terrain;
+        let cols = t.cols();
+        let n = win.cells();
+
+        let codes = &mut scratch.codes;
+        codes.clear();
+        codes.reserve(n);
+        match t.fuel_layer() {
+            Some(g) => {
+                let s = g.as_slice();
+                for wr in 0..win.rows {
+                    let off = (win.r0 + wr) * cols + win.c0;
+                    codes.extend_from_slice(&s[off..off + win.cols]);
+                }
+            }
+            None => codes.resize(n, scenario.model),
         }
 
-        let per_cell = &mut scratch.per_cell;
-        per_cell.clear();
-        per_cell.reserve(n);
-        for idx in 0..n {
-            let code = codes[idx] as usize;
-            // Unburnable beds hoist to `(0.0, 0.0)`, so the `ros0` guard
-            // covers both the unburnable and the extinguished case — the
-            // same two paths `cell_spread` resolves to `no_spread`.
-            let (ros0, rx_int) = base[code];
-            let v = if ros0 <= SMIDGEN {
-                SpreadVector::no_spread()
-            } else {
-                let inputs = SpreadInputs {
-                    wind_fpm: wind_fpm[idx],
-                    wind_azimuth: wind_az[idx],
-                    slope_steepness: steep[idx],
-                    aspect_azimuth: aspect[idx],
-                };
-                wind_slope_from_ros0(&self.beds[code], ros0, rx_int, &inputs)
-            };
-            per_cell.push(v.compass_ros());
+        let steep = &mut scratch.steep;
+        steep.clear();
+        steep.reserve(n);
+        match t.slope_layer() {
+            Some(g) => {
+                let s = g.as_slice();
+                for wr in 0..win.rows {
+                    let off = (win.r0 + wr) * cols + win.c0;
+                    steep.extend(s[off..off + win.cols].iter().map(|&d| d.to_radians().tan()));
+                }
+            }
+            None => steep.resize(n, scenario.slope_deg.to_radians().tan()),
         }
+
+        let aspect = &mut scratch.aspect;
+        aspect.clear();
+        aspect.reserve(n);
+        match t.aspect_layer() {
+            Some(g) => {
+                let s = g.as_slice();
+                for wr in 0..win.rows {
+                    let off = (win.r0 + wr) * cols + win.c0;
+                    aspect.extend_from_slice(&s[off..off + win.cols]);
+                }
+            }
+            None => aspect.resize(n, scenario.aspect_deg),
+        }
+
+        let wind_fpm = &mut scratch.wind_fpm;
+        let wind_az = &mut scratch.wind_az;
+        wind_fpm.clear();
+        wind_az.clear();
+        wind_fpm.reserve(n);
+        wind_az.reserve(n);
+        match t.wind_layer() {
+            Some((factor, offset)) => {
+                let (fs, os) = (factor.as_slice(), offset.as_slice());
+                for wr in 0..win.rows {
+                    let off = (win.r0 + wr) * cols + win.c0;
+                    wind_fpm.extend(
+                        fs[off..off + win.cols]
+                            .iter()
+                            .map(|&f| (scenario.wind_speed_mph * f) * crate::MPH_TO_FPM),
+                    );
+                    wind_az.extend(
+                        os[off..off + win.cols]
+                            .iter()
+                            .map(|&o| normalize_azimuth(scenario.wind_dir_deg + o)),
+                    );
+                }
+            }
+            None => {
+                wind_fpm.resize(n, scenario.wind_speed_mph * crate::MPH_TO_FPM);
+                wind_az.resize(n, scenario.wind_dir_deg);
+            }
+        }
+
+        Self::spread_kernel(scratch, &self.beds, base, n);
+    }
+
+    /// Lazy single-cell fallback for bucket-kernel pops that land outside
+    /// the gathered window (possible only through floating-point slack in
+    /// [`FireSim::spread_rate_bound`]). Resolves the cell's inputs with
+    /// the exact expressions the SoA gather uses and runs the same
+    /// wind/slope kernel, so the result is bit-identical to the table the
+    /// full gather would have produced — pinned by the
+    /// `fallback_cell_table_matches_gathered_fill` test.
+    fn cell_table_at(
+        &self,
+        r: usize,
+        c: usize,
+        scenario: &Scenario,
+        base: &[(f64, f64); 14],
+    ) -> [f64; 8] {
+        let t = &*self.terrain;
+        let idx = r * t.cols() + c;
+        let code = match t.fuel_layer() {
+            Some(g) => g.as_slice()[idx],
+            None => scenario.model,
+        } as usize;
+        let (ros0, rx_int) = base[code];
+        if ros0 <= SMIDGEN {
+            return SpreadVector::no_spread().compass_ros();
+        }
+        let steep = match t.slope_layer() {
+            Some(g) => g.as_slice()[idx].to_radians().tan(),
+            None => scenario.slope_deg.to_radians().tan(),
+        };
+        let aspect = match t.aspect_layer() {
+            Some(g) => g.as_slice()[idx],
+            None => scenario.aspect_deg,
+        };
+        let (wind_fpm, wind_azimuth) = match t.wind_layer() {
+            Some((f, o)) => (
+                (scenario.wind_speed_mph * f.as_slice()[idx]) * crate::MPH_TO_FPM,
+                normalize_azimuth(scenario.wind_dir_deg + o.as_slice()[idx]),
+            ),
+            None => (
+                scenario.wind_speed_mph * crate::MPH_TO_FPM,
+                scenario.wind_dir_deg,
+            ),
+        };
+        let inputs = SpreadInputs {
+            wind_fpm,
+            wind_azimuth,
+            slope_steepness: steep,
+            aspect_azimuth: aspect,
+        };
+        wind_slope_from_ros0(&self.beds[code], ros0, rx_int, &inputs).compass_ros()
     }
 
     /// Simulates fire growth from `initial` (cells burning at `t0`) for
@@ -378,9 +906,10 @@ impl FireSim {
     }
 
     /// Output-reusing variant of [`FireSim::simulate`]: `out` is cleared
-    /// and refilled, keeping its buffer. Spread-cache and heap scratch are
-    /// still allocated per call — workers that evaluate in a loop should
-    /// hold a [`SimArena`] and call [`FireSim::simulate_arena`] instead.
+    /// and refilled, keeping its buffer. Runs the reference heap kernel
+    /// (scratch is allocated per call) — workers that evaluate in a loop
+    /// should hold a [`SimArena`] and call [`FireSim::simulate_arena`]
+    /// instead.
     pub fn simulate_into(
         &self,
         scenario: &Scenario,
@@ -405,11 +934,11 @@ impl FireSim {
     }
 
     /// The allocation-free hot path: simulates into the arena's buffers and
-    /// returns the arrival map. The arena's buffers persist at their
-    /// high-water mark, so repeated calls stop allocating once that mark
-    /// covers the scenarios being evaluated (the property the
-    /// `arena_is_allocation_free_in_steady_state` test pins; see
-    /// [`SimArena`] for the heap caveat).
+    /// returns the arrival map. Runs the bucket kernel ([`Kernel::Bucket`],
+    /// bit-identical to the reference) — the arena's buffers persist at
+    /// their high-water mark, so repeated calls stop allocating once that
+    /// mark covers the scenarios being evaluated (the property the
+    /// `arena_is_allocation_free_in_steady_state` test pins).
     ///
     /// # Panics
     /// Panics when the arena or `initial` does not match the terrain shape,
@@ -422,19 +951,53 @@ impl FireSim {
         duration: f64,
         arena: &'a mut SimArena,
     ) -> &'a IgnitionMap {
-        let SimArena {
-            spread,
-            per_fuel,
-            heap,
-            out,
-        } = &mut *arena;
-        self.run_dijkstra(scenario, initial, t0, duration, spread, per_fuel, heap, out);
-        &arena.out
+        self.simulate_arena_kernel(scenario, initial, t0, duration, arena, Kernel::Bucket)
     }
 
-    /// The Dijkstra minimum-travel-time sweep over reusable buffers; the
-    /// single implementation behind every `simulate*` entry point, so all
-    /// of them are bit-identical by construction.
+    /// [`FireSim::simulate_arena`] with an explicit kernel choice —
+    /// exposed so benches and the equivalence property suite can run the
+    /// reference heap kernel against the bucket kernel on the same arena
+    /// API. Both kernels produce bit-identical rasters.
+    pub fn simulate_arena_kernel<'a>(
+        &self,
+        scenario: &Scenario,
+        initial: &FireLine,
+        t0: f64,
+        duration: f64,
+        arena: &'a mut SimArena,
+        kernel: Kernel,
+    ) -> &'a IgnitionMap {
+        let (rows, cols) = (arena.rows, arena.cols);
+        assert_eq!(
+            (rows, cols),
+            (self.terrain.rows(), self.terrain.cols()),
+            "arena shape mismatch"
+        );
+        match kernel {
+            Kernel::Bucket => self.run_bucket(scenario, initial, t0, duration, arena),
+            Kernel::Heap => {
+                let SimArena {
+                    spread,
+                    per_fuel,
+                    heap,
+                    out,
+                    dirty,
+                    ..
+                } = arena;
+                let out = out.get_or_insert_with(|| IgnitionMap::unignited(rows, cols));
+                self.run_dijkstra(scenario, initial, t0, duration, spread, per_fuel, heap, out);
+                // The reference kernel writes through a full clear; the
+                // next bucket run must not assume span-bounded dirt.
+                *dirty = Dirty::All;
+            }
+        }
+        arena.map()
+    }
+
+    /// The reference Dijkstra minimum-travel-time sweep over reusable
+    /// buffers — full-raster gather and reset, single binary heap. The
+    /// implementation behind `simulate`/`simulate_into` and the oracle the
+    /// bucket kernel is pinned against.
     #[allow(clippy::too_many_arguments)]
     fn run_dijkstra(
         &self,
@@ -554,6 +1117,232 @@ impl FireSim {
         }
     }
 
+    /// The bucket-kernel sweep: monotone bucket queue + active-front
+    /// bounding + span-tracked raster reset. Execution is bit-identical to
+    /// [`FireSim::run_dijkstra`] (see the module docs for the ordering
+    /// argument); the work and memory touched scale with the reachable
+    /// window instead of the raster.
+    fn run_bucket(
+        &self,
+        scenario: &Scenario,
+        initial: &FireLine,
+        t0: f64,
+        duration: f64,
+        arena: &mut SimArena,
+    ) {
+        let rows = self.terrain.rows();
+        let cols = self.terrain.cols();
+        assert_eq!(
+            (initial.rows(), initial.cols()),
+            (rows, cols),
+            "initial fire line shape mismatch"
+        );
+        assert!(
+            t0.is_finite() && t0 >= 0.0,
+            "t0 must be a non-negative instant"
+        );
+        assert!(
+            duration.is_finite() && duration > 0.0,
+            "duration must be positive"
+        );
+
+        let SimArena {
+            spread,
+            per_fuel,
+            queue,
+            seeds,
+            span_lo,
+            span_hi,
+            stray,
+            dirty,
+            out,
+            ..
+        } = arena;
+        let out = out.get_or_insert_with(|| IgnitionMap::unignited(rows, cols));
+
+        // Restore the all-UNIGNITED invariant by resetting exactly what
+        // the previous run wrote: nothing for a fresh raster, the recorded
+        // per-row spans (plus strays) after a bucket run, or a full clear
+        // after a reference-kernel run.
+        match *dirty {
+            Dirty::Clean => {}
+            Dirty::All => out.clear(),
+            Dirty::Spans { r0, rows: drows } => {
+                let slice = out.grid_mut().as_mut_slice();
+                for (i, (&lo, &hi)) in span_lo.iter().zip(span_hi.iter()).enumerate().take(drows) {
+                    if lo <= hi {
+                        let off = (r0 + i) * cols;
+                        slice[off + lo as usize..=off + hi as usize].fill(UNIGNITED);
+                    }
+                }
+                for &sidx in stray.iter() {
+                    slice[sidx as usize] = UNIGNITED;
+                }
+            }
+        }
+        stray.clear();
+        *dirty = Dirty::Clean;
+
+        let t_end = t0 + duration;
+        let cell_ft = self.terrain.cell_size_ft();
+
+        let fuel_slice = self.terrain.fuel_layer().map(|g| g.as_slice());
+        let scenario_burnable = fuel_slice.is_none() && self.beds[scenario.model as usize].burnable;
+        let burnable_at = |idx: usize| -> bool {
+            match fuel_slice {
+                Some(f) => self.beds[f[idx] as usize].burnable,
+                None => scenario_burnable,
+            }
+        };
+
+        // One pass over the ignition mask: collect burnable seeds and
+        // their bounding box.
+        seeds.clear();
+        let (mut br0, mut bc0, mut br1, mut bc1) = (usize::MAX, usize::MAX, 0usize, 0usize);
+        for (idx, &lit) in initial.mask().as_slice().iter().enumerate() {
+            if !lit || !burnable_at(idx) {
+                continue;
+            }
+            seeds.push(idx as u32);
+            let (r, c) = (idx / cols, idx % cols);
+            br0 = br0.min(r);
+            bc0 = bc0.min(c);
+            br1 = br1.max(r);
+            bc1 = bc1.max(c);
+        }
+        if seeds.is_empty() {
+            return; // nothing written; the raster stays clean
+        }
+
+        // Active-front window: the seed bounding box expanded by the
+        // farthest whole-cell distance the fire can cross within the
+        // horizon. A diagonal step advances one Chebyshev unit and costs
+        // `√2 · cell_ft / ros ≥ cell_ft / ros_cap`, so `ros_cap · duration
+        // / cell_ft` Chebyshev units bound the reach; +2 cells and a tiny
+        // relative inflation absorb floating-point slack in the bound (and
+        // any remainder is caught by the lazy out-of-window fallback).
+        let reach = {
+            let cap = self.spread_rate_bound(scenario);
+            if cap <= SMIDGEN {
+                0
+            } else {
+                let cells = (cap * duration / cell_ft * (1.0 + 1e-9)).ceil() + 2.0;
+                cells.min(rows.max(cols) as f64) as usize
+            }
+        };
+        let win = {
+            let r0 = br0.saturating_sub(reach);
+            let c0 = bc0.saturating_sub(reach);
+            let r1 = (br1 + reach).min(rows - 1);
+            let c1 = (bc1 + reach).min(cols - 1);
+            Window {
+                r0,
+                c0,
+                rows: r1 - r0 + 1,
+                cols: c1 - c0 + 1,
+            }
+        };
+
+        span_lo.clear();
+        span_lo.resize(win.rows, u32::MAX);
+        span_hi.clear();
+        span_hi.resize(win.rows, 0);
+
+        // Table resolution mirrors the reference kernel; the per-cell mode
+        // gathers window-local tables and keeps the hoisted base around
+        // for the out-of-window fallback.
+        let mut percell_base: Option<[(f64, f64); 14]> = None;
+        let tables: Tables<'_> = if !self.terrain.has_overrides() {
+            Tables::Uniform(self.cell_spread(0, 0, scenario).compass_ros())
+        } else if self.terrain.fuel_is_only_override() {
+            let moisture = scenario.moisture();
+            for (code, table) in per_fuel.iter_mut().enumerate() {
+                *table = self.fuel_table(code, scenario, &moisture);
+            }
+            let fuel = self
+                .terrain
+                .fuel_layer()
+                .expect("fuel_is_only_override implies a fuel layer")
+                .as_slice();
+            Tables::PerFuel(per_fuel, fuel)
+        } else {
+            let moisture = scenario.moisture();
+            let base = self.hoisted_base(&moisture);
+            self.fill_per_cell_window(scenario, spread, &win, &base);
+            percell_base = Some(base);
+            Tables::PerCell(&spread.per_cell)
+        };
+
+        queue.reset(t0, duration);
+        for &sidx in seeds.iter() {
+            let (r, c) = (sidx as usize / cols, sidx as usize % cols);
+            out.set_time(r, c, t0);
+            // Seeds are inside the bounding box, hence inside the window.
+            let wr = r - win.r0;
+            span_lo[wr] = span_lo[wr].min(c as u32);
+            span_hi[wr] = span_hi[wr].max(c as u32);
+            queue.push(t0, sidx);
+        }
+        *dirty = Dirty::Spans {
+            r0: win.r0,
+            rows: win.rows,
+        };
+
+        while let Some((t, idx)) = queue.pop() {
+            let idx = idx as usize;
+            let (r, c) = (idx / cols, idx % cols);
+            if t > out.time(r, c) + SMIDGEN {
+                continue; // stale entry
+            }
+            let fallback: [f64; 8];
+            let table: &[f64; 8] = match &tables {
+                Tables::Uniform(table) => table,
+                Tables::PerFuel(by_code, fuel) => &by_code[fuel[idx] as usize],
+                Tables::PerCell(cells) => {
+                    if win.contains(r, c) {
+                        &cells[win.local(r, c)]
+                    } else {
+                        fallback = self.cell_table_at(
+                            r,
+                            c,
+                            scenario,
+                            percell_base.as_ref().expect("per-cell mode keeps the base"),
+                        );
+                        &fallback
+                    }
+                }
+            };
+            for (dir, &(dr, dc, dist_factor)) in landscape::NEIGHBOUR_OFFSETS.iter().enumerate() {
+                let (nr, nc) = (r as isize + dr, c as isize + dc);
+                if nr < 0 || nc < 0 || nr as usize >= rows || nc as usize >= cols {
+                    continue;
+                }
+                let (nr, nc) = (nr as usize, nc as usize);
+                let ros = table[dir];
+                if ros <= SMIDGEN {
+                    continue;
+                }
+                let arrival = t + dist_factor * cell_ft / ros;
+                if arrival > t_end || arrival >= out.time(nr, nc) - SMIDGEN {
+                    continue;
+                }
+                let nidx = nr * cols + nc;
+                if !burnable_at(nidx) {
+                    continue;
+                }
+                out.set_time(nr, nc, arrival);
+                if win.contains(nr, nc) {
+                    let wr = nr - win.r0;
+                    span_lo[wr] = span_lo[wr].min(nc as u32);
+                    span_hi[wr] = span_hi[wr].max(nc as u32);
+                } else {
+                    stray.push(nidx as u32);
+                }
+                queue.push(arrival, nidx as u32);
+            }
+        }
+    }
+
     /// Convenience: simulates and returns the fire line at the end of the
     /// horizon (burned cells at `t0 + duration`).
     pub fn simulate_fire_line(
@@ -595,6 +1384,17 @@ mod tests {
             slope_deg: 0.0,
             ..Scenario::reference()
         }
+    }
+
+    /// A layered 2-overrides terrain exercising the per-cell table path.
+    fn layered_sim(rows: usize, cols: usize) -> FireSim {
+        let fuel = Grid::from_fn(rows, cols, |r, c| [1u8, 2, 4, 0][(r * 3 + c) % 4]);
+        let slope = Grid::from_fn(rows, cols, |r, c| ((r * 7 + c * 5) % 35) as f64);
+        FireSim::new(
+            Terrain::uniform(rows, cols, 100.0)
+                .with_fuel(fuel)
+                .with_slope(slope),
+        )
     }
 
     #[test]
@@ -788,11 +1588,195 @@ mod tests {
     }
 
     #[test]
+    fn arena_reuse_across_moving_ignitions_resets_correctly() {
+        // Successive runs with disjoint ignition sites: the dirty-span reset
+        // must leave no residue from the previous burn anywhere.
+        let sim = layered_sim(33, 47);
+        let s = Scenario {
+            wind_speed_mph: 6.0,
+            ..Scenario::reference()
+        };
+        let mut arena = sim.arena();
+        let ignitions = [
+            FireLine::from_cells(33, 47, &[(3, 3)]),
+            FireLine::from_cells(33, 47, &[(30, 44)]),
+            FireLine::from_cells(33, 47, &[(16, 23), (2, 40)]),
+            FireLine::from_cells(33, 47, &[(3, 3)]),
+        ];
+        for (i, ign) in ignitions.iter().enumerate() {
+            let fresh = sim.simulate(&s, ign, 0.0, 90.0);
+            let via_arena = sim.simulate_arena(&s, ign, 0.0, 90.0, &mut arena);
+            assert_eq!(&fresh, via_arena, "run {i} diverged");
+        }
+    }
+
+    #[test]
+    fn bucket_kernel_matches_heap_kernel_exactly() {
+        // Both kernels over the same arena API, raster compared bit-exact.
+        let sims = [
+            flat_sim(25),
+            layered_sim(25, 25),
+            FireSim::new(
+                Terrain::uniform(25, 25, 80.0)
+                    .with_wind(
+                        Grid::from_fn(25, 25, |r, c| 0.25 + ((r + 2 * c) % 7) as f64 * 0.3),
+                        Grid::from_fn(25, 25, |r, c| ((r * c) % 90) as f64 - 45.0),
+                    )
+                    .with_aspect(Grid::from_fn(25, 25, |r, c| {
+                        ((r * 13 + c * 29) % 360) as f64
+                    })),
+            ),
+        ];
+        let s = Scenario {
+            wind_speed_mph: 8.0,
+            wind_dir_deg: 45.0,
+            ..Scenario::reference()
+        };
+        let ignition = FireLine::from_cells(25, 25, &[(12, 12), (3, 20)]);
+        for sim in &sims {
+            let mut heap_arena = sim.arena();
+            let mut bucket_arena = sim.arena();
+            for dur in [30.0, 240.0, 2000.0] {
+                let h = sim
+                    .simulate_arena_kernel(&s, &ignition, 0.0, dur, &mut heap_arena, Kernel::Heap)
+                    .clone();
+                let b = sim.simulate_arena_kernel(
+                    &s,
+                    &ignition,
+                    0.0,
+                    dur,
+                    &mut bucket_arena,
+                    Kernel::Bucket,
+                );
+                for (ht, bt) in h.grid().as_slice().iter().zip(b.grid().as_slice()) {
+                    assert_eq!(ht.to_bits(), bt.to_bits(), "kernels diverged at dur={dur}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_interleave_on_one_arena() {
+        // A heap run marks the raster fully dirty; the following bucket run
+        // must still reset correctly (Dirty::All path).
+        let sim = layered_sim(21, 21);
+        let s = Scenario::reference();
+        let mut arena = sim.arena();
+        let big = FireLine::from_cells(21, 21, &[(10, 10)]);
+        sim.simulate_arena_kernel(&s, &big, 0.0, 5000.0, &mut arena, Kernel::Heap);
+        let small = FireLine::from_cells(21, 21, &[(2, 2)]);
+        let fresh = sim.simulate(&s, &small, 0.0, 40.0);
+        let via_arena =
+            sim.simulate_arena_kernel(&s, &small, 0.0, 40.0, &mut arena, Kernel::Bucket);
+        assert_eq!(&fresh, via_arena);
+    }
+
+    #[test]
+    fn fallback_cell_table_matches_gathered_fill() {
+        // The lazy out-of-window fallback must reproduce the SoA fill
+        // bit-for-bit on every cell (it is the safety net that keeps the
+        // window bound a performance decision, not a correctness one).
+        let sim = FireSim::new(
+            Terrain::uniform(9, 13, 100.0)
+                .with_fuel(Grid::from_fn(9, 13, |r, c| [1u8, 4, 8, 0][(r + c) % 4]))
+                .with_slope(Grid::from_fn(9, 13, |r, c| ((r * 5 + c * 3) % 40) as f64))
+                .with_wind(
+                    Grid::from_fn(9, 13, |r, c| ((r + c) % 5) as f64 * 0.5),
+                    Grid::from_fn(9, 13, |r, c| ((r * c) % 60) as f64),
+                ),
+        );
+        let s = Scenario {
+            wind_speed_mph: 11.0,
+            wind_dir_deg: 210.0,
+            ..Scenario::reference()
+        };
+        let mut scratch = SpreadScratch::default();
+        sim.fill_per_cell(&s, &mut scratch);
+        let base = sim.hoisted_base(&s.moisture());
+        for r in 0..9 {
+            for c in 0..13 {
+                let lazy = sim.cell_table_at(r, c, &s, &base);
+                let gathered = scratch.per_cell[r * 13 + c];
+                for d in 0..8 {
+                    assert_eq!(
+                        lazy[d].to_bits(),
+                        gathered[d].to_bits(),
+                        "cell ({r},{c}) dir {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spread_rate_bound_dominates_every_cell() {
+        let sim = layered_sim(19, 19);
+        let s = Scenario {
+            wind_speed_mph: 9.0,
+            ..Scenario::reference()
+        };
+        let bound = sim.spread_rate_bound(&s);
+        let mut scratch = SpreadScratch::default();
+        sim.fill_per_cell(&s, &mut scratch);
+        for (idx, table) in scratch.per_cell.iter().enumerate() {
+            for (d, &ros) in table.iter().enumerate() {
+                assert!(
+                    ros <= bound * (1.0 + 1e-12),
+                    "cell {idx} dir {d}: ros {ros} exceeds bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_arena_allocates_nothing_until_first_run() {
+        let arena = SimArena::new(1000, 1000);
+        assert_eq!(arena.scratch_bytes(), 0, "scratch allocated eagerly");
+        assert_eq!(arena.raster_bytes(), 0, "raster allocated eagerly");
+        assert_eq!(arena.heap_capacity(), 0, "heap preallocated");
+    }
+
+    #[test]
+    #[should_panic(expected = "no simulation has run")]
+    fn fresh_arena_map_panics() {
+        let arena = SimArena::new(4, 4);
+        let _ = arena.map();
+    }
+
+    #[test]
+    fn window_bounds_scratch_on_large_grid() {
+        // A short burn in the middle of a big per-cell terrain: scratch
+        // must track the active window, not the raster.
+        let n = 201usize;
+        let sim = FireSim::new(Terrain::uniform(n, n, 100.0).with_slope(Grid::from_fn(
+            n,
+            n,
+            |r, c| ((r + c) % 30) as f64,
+        )));
+        let s = calm_scenario();
+        let mut arena = sim.arena();
+        let via_arena = sim
+            .simulate_arena(&s, &centre_ignition(n, n), 0.0, 30.0, &mut arena)
+            .clone();
+        let full_tables = n * n * std::mem::size_of::<[f64; 8]>();
+        assert!(
+            arena.scratch_bytes() < full_tables / 4,
+            "scratch {} not window-bounded (full tables {})",
+            arena.scratch_bytes(),
+            full_tables
+        );
+        let fresh = sim.simulate(&s, &centre_ignition(n, n), 0.0, 30.0);
+        assert_eq!(fresh, via_arena);
+    }
+
+    #[test]
     fn arena_is_allocation_free_in_steady_state() {
         // Two table modes: a slope terrain (per-cell path, the worst case
         // for buffer growth) and a fuel-only mosaic (per-fuel path, whose
-        // tables live inline in the arena). After a warm-up call,
-        // capacities must not move on either.
+        // tables live inline in the arena). The warm-up pass runs every
+        // duration once; the second identical pass must not move any
+        // capacity (identical inputs → identical windows, bucket layouts
+        // and frontier sizes).
         let n = 31usize;
         let slope = Grid::from_fn(n, n, |r, c| ((r + c) % 30) as f64);
         let fuel = Grid::from_fn(n, n, |r, c| [1u8, 2, 4][(r + c) % 3]);
@@ -801,23 +1785,20 @@ mod tests {
             FireSim::new(Terrain::uniform(n, n, 100.0).with_fuel(fuel)),
         ];
         let s = calm_scenario();
+        let durations: Vec<f64> = (0..10).map(|i| 400.0 + i as f64).collect();
         for sim in &sims {
             let mut arena = sim.arena();
-            sim.simulate_arena(&s, &centre_ignition(n, n), 0.0, 400.0, &mut arena);
+            for &d in &durations {
+                sim.simulate_arena(&s, &centre_ignition(n, n), 0.0, d, &mut arena);
+            }
             let spread_cap = arena.spread_capacity();
             let gather_cap = arena.gather_capacity();
-            let heap_cap = arena.heap_capacity();
-            for i in 0..10 {
-                sim.simulate_arena(
-                    &s,
-                    &centre_ignition(n, n),
-                    0.0,
-                    400.0 + i as f64,
-                    &mut arena,
-                );
+            let scratch = arena.scratch_bytes();
+            for &d in &durations {
+                sim.simulate_arena(&s, &centre_ignition(n, n), 0.0, d, &mut arena);
                 assert_eq!(arena.spread_capacity(), spread_cap, "spread cache grew");
                 assert_eq!(arena.gather_capacity(), gather_cap, "gather buffers grew");
-                assert_eq!(arena.heap_capacity(), heap_cap, "heap storage grew");
+                assert_eq!(arena.scratch_bytes(), scratch, "arena scratch grew");
             }
         }
     }

@@ -26,6 +26,14 @@ pub struct Terrain {
     /// scenario's wind speed (terrain channelling/gusts) and an additive
     /// offset on its direction (degrees).
     wind_override: Option<(Grid<f64>, Grid<f64>)>,
+    /// Bitmask of fuel codes present in the fuel layer (bit `c` set iff
+    /// code `c` occurs); cached at layer attach so the simulator's
+    /// spread-rate upper bound is O(catalog) per run, not O(cells).
+    fuel_code_mask: u16,
+    /// Maximum of the slope layer (degrees); 0 without a layer.
+    slope_max_deg: f64,
+    /// Maximum of the wind speed-factor layer; 1 without a layer.
+    wind_factor_max: f64,
 }
 
 impl Terrain {
@@ -48,6 +56,9 @@ impl Terrain {
             slope_override: None,
             aspect_override: None,
             wind_override: None,
+            fuel_code_mask: 0,
+            slope_max_deg: 0.0,
+            wind_factor_max: 1.0,
         }
     }
 
@@ -65,6 +76,7 @@ impl Terrain {
             fuel.as_slice().iter().all(|&f| f <= 13),
             "fuel codes must be 0..=13 (NFFL catalog)"
         );
+        self.fuel_code_mask = fuel.as_slice().iter().fold(0u16, |m, &f| m | (1 << f));
         self.fuel_override = Some(fuel);
         self
     }
@@ -86,6 +98,7 @@ impl Terrain {
                 .all(|&s| (0.0..90.0).contains(&s)),
             "slope must be in [0, 90) degrees"
         );
+        self.slope_max_deg = slope_deg.as_slice().iter().fold(0.0f64, |m, &s| m.max(s));
         self.slope_override = Some(slope_deg);
         self
     }
@@ -150,6 +163,10 @@ impl Terrain {
             dir_offset_deg.as_slice().iter().all(|&d| d.is_finite()),
             "wind direction offsets must be finite"
         );
+        self.wind_factor_max = speed_factor
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |m, &f| m.max(f));
         self.wind_override = Some((speed_factor, dir_offset_deg));
         self
     }
@@ -194,6 +211,39 @@ impl Terrain {
     /// present.
     pub fn wind_layer(&self) -> Option<(&Grid<f64>, &Grid<f64>)> {
         self.wind_override.as_ref().map(|(f, o)| (f, o))
+    }
+
+    /// Bitmask of fuel codes the fire can encounter anywhere on the map:
+    /// the layer's cached code mask when a fuel layer is present, otherwise
+    /// the scenario's single global model (empty for an out-of-catalog
+    /// model, which a layer-less simulation rejects anyway). Bit `c` ↔ NFFL
+    /// code `c`.
+    pub fn fuel_code_mask(&self, scenario_fuel: u8) -> u16 {
+        match &self.fuel_override {
+            Some(_) => self.fuel_code_mask,
+            None if scenario_fuel <= 13 => 1 << scenario_fuel,
+            None => 0,
+        }
+    }
+
+    /// Upper bound on the effective slope (degrees) over the whole map:
+    /// the slope layer's cached maximum when present, otherwise the
+    /// scenario's global slope.
+    pub fn max_slope_deg(&self, scenario_slope_deg: f64) -> f64 {
+        match &self.slope_override {
+            Some(_) => self.slope_max_deg,
+            None => scenario_slope_deg,
+        }
+    }
+
+    /// Upper bound on the effective wind speed over the whole map: the
+    /// scenario's speed times the wind layer's cached maximum factor
+    /// (1 without a layer).
+    pub fn max_wind_speed(&self, scenario_speed: f64) -> f64 {
+        match &self.wind_override {
+            Some(_) => scenario_speed * self.wind_factor_max,
+            None => scenario_speed,
+        }
     }
 
     /// Effective fuel model of a cell given the scenario's global value.
@@ -303,6 +353,26 @@ mod tests {
             .with_slope(Grid::filled(2, 2, 10.0));
         assert!(!t2.fuel_is_only_override());
         assert!(!Terrain::uniform(2, 2, 50.0).fuel_is_only_override());
+    }
+
+    #[test]
+    fn cached_maxima_track_layers() {
+        let t = Terrain::uniform(2, 2, 50.0);
+        assert_eq!(t.fuel_code_mask(3), 1 << 3);
+        assert_eq!(t.fuel_code_mask(99), 0);
+        assert_eq!(t.max_slope_deg(17.0), 17.0);
+        assert_eq!(t.max_wind_speed(8.0), 8.0);
+
+        let t = Terrain::uniform(2, 2, 50.0)
+            .with_fuel(Grid::from_vec(2, 2, vec![1u8, 4, 0, 1]))
+            .with_slope(Grid::from_vec(2, 2, vec![5.0, 40.0, 0.0, 12.0]))
+            .with_wind(
+                Grid::from_vec(2, 2, vec![0.5, 2.5, 1.0, 0.0]),
+                Grid::filled(2, 2, 0.0),
+            );
+        assert_eq!(t.fuel_code_mask(9), (1 << 0) | (1 << 1) | (1 << 4));
+        assert_eq!(t.max_slope_deg(80.0), 40.0);
+        assert_eq!(t.max_wind_speed(10.0), 25.0);
     }
 
     #[test]

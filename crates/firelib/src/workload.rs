@@ -285,9 +285,26 @@ impl Workload {
     /// returns one reference fire line per instant — `reference[0]` is the
     /// ignition.
     pub fn reference_lines(&self, sim: &FireSim) -> Vec<FireLine> {
+        self.lines_for(sim, &self.truth)
+    }
+
+    /// Simulates an arbitrary per-interval scenario sequence over this
+    /// workload's schedule (same accumulation rule as the reference: fire
+    /// never regresses). This is the replicate primitive of ensemble
+    /// forecasting — each perturbed truth runs through exactly the
+    /// machinery that generates the reference fire.
+    ///
+    /// # Panics
+    /// Panics when `truth` does not provide one scenario per interval.
+    pub fn lines_for(&self, sim: &FireSim, truth: &[Scenario]) -> Vec<FireLine> {
+        assert_eq!(
+            truth.len(),
+            self.times.len() - 1,
+            "one scenario per interval"
+        );
         let mut lines = vec![self.ignition.clone()];
         let mut arena = sim.arena();
-        for (i, scenario) in self.truth.iter().enumerate() {
+        for (i, scenario) in truth.iter().enumerate() {
             let from = lines.last().expect("non-empty").clone();
             let dt = self.times[i + 1] - self.times[i];
             let map = sim.simulate_arena(scenario, &from, self.times[i], dt, &mut arena);
@@ -585,14 +602,131 @@ pub fn corpus() -> Vec<WorkloadSpec> {
     ]
 }
 
-/// Corpus workload names, in corpus order.
+// ---------------------------------------------------------------------------
+// The XL tier — Cell2Fire-class landscapes (≥ 1000×1000 cells)
+// ---------------------------------------------------------------------------
+
+/// 1000×1000 ridge-and-valley terrain: fractal DEM relief expanded into
+/// per-cell slope/aspect layers (the fully heterogeneous, per-cell
+/// spread-table path at landscape scale), single ignition so the burn stays
+/// a compact front — the active-front window workload.
+pub fn ridge_valley_xl() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "ridge_valley_xl",
+        description: "1000x1000 ridge-valley DEM relief (per-cell slope/aspect), single ignition",
+        rows: 1000,
+        cols: 1000,
+        cell_ft: 100.0,
+        seed: 0x81D6E,
+        fuel: FuelPattern::FromScenario,
+        relief: Relief::Hills {
+            amplitude_ft: 900.0,
+            feature_cells: 64.0,
+        },
+        wind: WindField::FromScenario,
+        ignitions: 1,
+        steps: 3,
+        step_minutes: 30.0,
+        truth: TruthDrift::Static(Scenario {
+            model: 2,
+            wind_speed_mph: 6.0,
+            wind_dir_deg: 45.0,
+            ..dry_grass_truth()
+        }),
+    }
+}
+
+/// 1024×1024 fuel mosaic threaded with unburnable firebreak corridors
+/// (code-0 patches) under a gusty wind field: fuel + wind override layers
+/// together force the fully heterogeneous per-cell spread path at
+/// landscape scale, with one front routing around the breaks.
+pub fn breaks_mosaic_xl() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "breaks_mosaic_xl",
+        description: "1024x1024 gusty fuel mosaic with unburnable firebreak patches, one front",
+        rows: 1024,
+        cols: 1024,
+        cell_ft: 100.0,
+        seed: 0xB2EA5,
+        fuel: FuelPattern::Mosaic {
+            sites: 900,
+            codes: vec![1, 2, 4, 0, 1, 10, 2, 0],
+        },
+        relief: Relief::Flat,
+        wind: WindField::Gusty {
+            min_factor: 0.5,
+            max_factor: 1.4,
+            veer_deg: 25.0,
+            feature_cells: 90.0,
+        },
+        ignitions: 1,
+        steps: 3,
+        // Short intervals keep the active front (and so the bucket
+        // kernel's gather window) a small fraction of the 1024² raster —
+        // the short-duration-burn memory profile the arena is sized for.
+        step_minutes: 15.0,
+        truth: TruthDrift::Static(Scenario {
+            wind_speed_mph: 8.0,
+            wind_dir_deg: 135.0,
+            ..dry_grass_truth()
+        }),
+    }
+}
+
+/// 1000×1200 (non-square) island archipelago with water gaps and four
+/// scattered ignition fronts — multi-ignition at landscape scale on a
+/// rows ≠ cols raster, so any row/col mix-up in the front-bounding code
+/// shows up immediately.
+pub fn archipelago_xl() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "archipelago_xl",
+        description: "1000x1200 island fuel archipelago with water gaps, four ignition fronts",
+        rows: 1000,
+        cols: 1200,
+        cell_ft: 100.0,
+        seed: 0xA2C4F,
+        fuel: FuelPattern::Mosaic {
+            sites: 1100,
+            codes: vec![1, 2, 4, 10, 1, 2, 0],
+        },
+        relief: Relief::Flat,
+        wind: WindField::FromScenario,
+        ignitions: 4,
+        steps: 3,
+        step_minutes: 30.0,
+        truth: TruthDrift::Static(Scenario {
+            wind_speed_mph: 10.0,
+            ..dry_grass_truth()
+        }),
+    }
+}
+
+/// The XL corpus tier, kept separate from [`corpus`]: these specs expand to
+/// megacell rasters, so debug-mode test sweeps iterate [`corpus`] while the
+/// landscape bench (and anything release-built) opts into the XL tier
+/// explicitly.
+pub fn xl_corpus() -> Vec<WorkloadSpec> {
+    vec![ridge_valley_xl(), breaks_mosaic_xl(), archipelago_xl()]
+}
+
+/// XL-tier workload names, in tier order.
+pub fn xl_names() -> Vec<&'static str> {
+    xl_corpus().into_iter().map(|w| w.name).collect()
+}
+
+/// Corpus workload names, in corpus order (XL tier excluded; see
+/// [`xl_names`]).
 pub fn names() -> Vec<&'static str> {
     corpus().into_iter().map(|w| w.name).collect()
 }
 
-/// Fetches one corpus spec by name.
+/// Fetches one spec by name, searching the standard corpus and then the XL
+/// tier.
 pub fn by_name(name: &str) -> Option<WorkloadSpec> {
-    corpus().into_iter().find(|w| w.name == name)
+    corpus()
+        .into_iter()
+        .chain(xl_corpus())
+        .find(|w| w.name == name)
 }
 
 #[cfg(test)]
@@ -677,9 +811,60 @@ mod tests {
 
     #[test]
     fn lookup_by_name_round_trips() {
-        for spec in corpus() {
+        for spec in corpus().into_iter().chain(xl_corpus()) {
             assert_eq!(by_name(spec.name).unwrap(), spec);
         }
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn xl_tier_covers_the_landscape_axes() {
+        let specs = xl_corpus();
+        assert!(specs.len() >= 3, "XL tier too small: {}", specs.len());
+        for s in &specs {
+            assert!(
+                s.rows >= 1000 && s.cols >= 1000,
+                "{}: not landscape-scale ({}x{})",
+                s.name,
+                s.rows,
+                s.cols
+            );
+            assert!(
+                !names().contains(&s.name),
+                "{}: XL name collides with the standard corpus",
+                s.name
+            );
+        }
+        assert!(
+            specs
+                .iter()
+                .any(|s| matches!(s.relief, Relief::Hills { .. })),
+            "XL tier needs a DEM-relief (per-cell) workload"
+        );
+        assert!(
+            specs.iter().any(|s| s.rows != s.cols),
+            "XL tier needs a non-square raster"
+        );
+        assert!(
+            specs.iter().any(|s| s.ignitions >= 3),
+            "XL tier needs a scattered multi-ignition workload"
+        );
+    }
+
+    #[test]
+    fn xl_specs_build_and_burn_when_shrunk() {
+        // Full-size XL builds are release-bench territory; the shrunk
+        // copies exercise every generator parameter in debug time.
+        for spec in xl_corpus() {
+            let w = spec.shrunk(96).build();
+            assert_eq!(w.ignition.burned_area(), spec.ignitions, "{}", spec.name);
+            let sim = w.sim();
+            let lines = w.reference_lines(&sim);
+            assert!(
+                lines.last().unwrap().burned_area() > w.ignition.burned_area(),
+                "{}: shrunk workload did not burn",
+                spec.name
+            );
+        }
     }
 }

@@ -267,6 +267,136 @@ fn simulate_variants_bit_identical_on_heterogeneous_workload() {
     }
 }
 
+/// The bucket-queue kernel is bit-for-bit identical to the reference
+/// heap kernel on *every* landscape: random non-square terrains with fuel
+/// mosaics, slopes, aspects and per-cell wind fields, random scenarios,
+/// random durations and 1–4 scattered ignitions — with both arenas reused
+/// across every case, so the dirty-span reset path is exercised between
+/// landscapes of different shapes. This is the equivalence contract the
+/// Dial-style wavefront sweep is pinned to (exact f64, no tolerance).
+#[test]
+fn bucket_kernel_bit_identical_on_random_landscapes() {
+    use firelib::sim::Kernel;
+    use landscape::{FireLine, Grid};
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(0xD1A1 + seed);
+        // Non-square on both orientations across the stream.
+        let (rows, cols) = if seed % 2 == 0 {
+            (11 + (seed as usize % 7), 19 + (seed as usize % 5))
+        } else {
+            (21 + (seed as usize % 5), 12 + (seed as usize % 7))
+        };
+        let fuel = Grid::from_fn(rows, cols, |_, _| rng.random_range(0..14u32) as u8);
+        let slope = Grid::from_fn(rows, cols, |_, _| rng.random::<f64>() * 40.0);
+        let aspect = Grid::from_fn(rows, cols, |_, _| rng.random::<f64>() * 360.0);
+        let speed = Grid::from_fn(rows, cols, |_, _| 0.25 + rng.random::<f64>() * 1.75);
+        let dir = Grid::from_fn(rows, cols, |_, _| (rng.random::<f64>() - 0.5) * 90.0);
+        let terrain = Terrain::uniform(rows, cols, 60.0 + rng.random::<f64>() * 80.0)
+            .with_fuel(fuel)
+            .with_slope(slope)
+            .with_aspect(aspect)
+            .with_wind(speed, dir);
+        let mut ignition = FireLine::empty(rows, cols);
+        for _ in 0..rng.random_range(1..5u32) {
+            ignition.set_burned(rng.random_range(0..rows), rng.random_range(0..cols), true);
+        }
+        let s = scenario(&mut rng);
+        let duration = 20.0 + rng.random::<f64>() * 400.0;
+
+        let sim = FireSim::new(terrain);
+        let mut heap_arena = sim.arena();
+        let mut bucket_arena = sim.arena();
+        // Two back-to-back runs per kernel: the second starts from a dirty
+        // arena, so any under-reset from the span bookkeeping shows up.
+        for round in 0..2 {
+            let reference = sim
+                .simulate_arena_kernel(&s, &ignition, 0.0, duration, &mut heap_arena, Kernel::Heap)
+                .clone();
+            let bucket = sim.simulate_arena_kernel(
+                &s,
+                &ignition,
+                0.0,
+                duration,
+                &mut bucket_arena,
+                Kernel::Bucket,
+            );
+            let bits = |m: &landscape::IgnitionMap| -> Vec<u64> {
+                m.grid().as_slice().iter().map(|t| t.to_bits()).collect()
+            };
+            assert_eq!(
+                bits(&reference),
+                bits(bucket),
+                "seed {seed} round {round} ({rows}x{cols}): kernels diverged"
+            );
+        }
+    }
+}
+
+/// Multi-ignition fronts on non-square grids with a per-cell wind field:
+/// every seeded front contributes (each seed cell is in the map at t0),
+/// merged fronts still obey the adjacency invariant, and the wind layers
+/// actually shear the spread (the `with_wind` layers are not dead weight).
+#[test]
+fn multi_ignition_with_wind_on_non_square_grids() {
+    use landscape::{FireLine, Grid};
+    for &(rows, cols) in &[(13usize, 29usize), (31usize, 12usize)] {
+        let mut rng = StdRng::seed_from_u64(rows as u64 * 31 + cols as u64);
+        // A strong asymmetric wind field: speed factor grows with the
+        // column, direction offset fixed — enough to shear the ellipses.
+        let speed = Grid::from_fn(rows, cols, |_, c| 0.5 + 2.0 * c as f64 / cols as f64);
+        let dir = Grid::from_fn(rows, cols, |_, _| 30.0);
+        let terrain = Terrain::uniform(rows, cols, 100.0).with_wind(speed, dir);
+        let calm = Terrain::uniform(rows, cols, 100.0);
+
+        let mut ignition = FireLine::empty(rows, cols);
+        let seeds = [
+            (rows / 4, cols / 4),
+            (rows / 4, 3 * cols / 4),
+            (3 * rows / 4, cols / 2),
+        ];
+        for &(r, c) in &seeds {
+            ignition.set_burned(r, c, true);
+        }
+        let s = Scenario {
+            wind_speed_mph: 9.0,
+            wind_dir_deg: rng.random::<f64>() * 360.0,
+            ..Scenario::reference()
+        };
+        let sim = FireSim::new(terrain);
+        let map = sim.simulate(&s, &ignition, 0.0, 45.0);
+        for &(r, c) in &seeds {
+            assert_eq!(map.time(r, c), 0.0, "seed ({r},{c}) lost");
+        }
+        for ((r, c), &t) in map.grid().iter_cells() {
+            if t == UNIGNITED || t == 0.0 {
+                continue;
+            }
+            assert!(
+                map.grid()
+                    .neighbours8(r, c)
+                    .any(|(nr, nc, _)| map.time(nr, nc) < t),
+                "({r},{c}) ignited at {t} with no earlier neighbour"
+            );
+        }
+        // The wind layers must change the outcome vs the calm terrain.
+        let calm_map = FireSim::new(calm).simulate(&s, &ignition, 0.0, 45.0);
+        assert_ne!(
+            map.grid()
+                .as_slice()
+                .iter()
+                .map(|t| t.to_bits())
+                .collect::<Vec<_>>(),
+            calm_map
+                .grid()
+                .as_slice()
+                .iter()
+                .map(|t| t.to_bits())
+                .collect::<Vec<_>>(),
+            "{rows}x{cols}: per-cell wind field had no effect"
+        );
+    }
+}
+
 /// The same, on a fuel-only mosaic — the per-fuel table-cache fast path
 /// must be indistinguishable from the general path's results.
 #[test]
