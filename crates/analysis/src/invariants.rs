@@ -1,0 +1,243 @@
+//! Adversarial invariant drivers for the fire propagation core.
+//!
+//! Randomized (but seeded) terrain/scenario generation hammers the three
+//! properties every consumer of `firelib` leans on:
+//!
+//! 1. **Physical sanity** — spread rates and the active-front bound are
+//!    finite and non-negative for every valid input, including the
+//!    extreme corners ([`hostile_ros_sweep`]): hurricane winds, near-cliff
+//!    slopes, moistures past extinction.
+//! 2. **Arrival-map sanity** — every simulated cell is either
+//!    `UNIGNITED` or a finite time inside `[t0, t0 + duration]`.
+//! 3. **Kernel equivalence** — the bucket kernel (with active-front
+//!    bounding and dirty-span arena reuse) is *bit-identical* to the
+//!    reference heap kernel on every generated landscape, including
+//!    back-to-back runs that reuse one arena across different scenarios
+//!    and shapes of dirt.
+//!
+//! The monotone-pop invariant inside the kernels themselves is asserted
+//! by `debug_assertions`-gated checks in `firelib::sim` (this PR's
+//! satellite), so every debug-mode run of these drivers doubles as a pop
+//! -order audit.
+
+use firelib::{FireSim, Kernel, Scenario, Terrain};
+use landscape::{FireLine, Grid, UNIGNITED};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Counters from one driver run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirelibStats {
+    /// Random landscapes simulated.
+    pub terrains: u64,
+    /// Raster cells audited across all landscapes.
+    pub cells: u64,
+    /// Extreme-scenario spread-rate samples checked.
+    pub ros_samples: u64,
+}
+
+/// A random but valid scenario; ranges cover the paper's calibration
+/// space and then some.
+fn gen_scenario(rng: &mut StdRng) -> Scenario {
+    Scenario {
+        model: rng.random_range(1..14u32) as u8,
+        wind_speed_mph: rng.random_range(0.0..40.0),
+        wind_dir_deg: rng.random_range(0.0..360.0),
+        m1_pct: rng.random_range(1.0..25.0),
+        m10_pct: rng.random_range(1.0..25.0),
+        m100_pct: rng.random_range(1.0..30.0),
+        mherb_pct: rng.random_range(30.0..200.0),
+        slope_deg: rng.random_range(0.0..45.0),
+        aspect_deg: rng.random_range(0.0..360.0),
+    }
+}
+
+/// A random heterogeneous terrain: each override layer is present with
+/// probability ~0.7, so homogeneous fast paths and fully layered SoA
+/// gathers both stay covered.
+fn gen_terrain(rng: &mut StdRng) -> Terrain {
+    let rows = rng.random_range(5..28usize);
+    let cols = rng.random_range(5..31usize);
+    let mut terrain = Terrain::uniform(rows, cols, rng.random_range(30.0..150.0));
+    if rng.random_bool(0.7) {
+        terrain = terrain.with_fuel(Grid::from_fn(rows, cols, |_, _| {
+            rng.random_range(0..14u32) as u8
+        }));
+    }
+    if rng.random_bool(0.7) {
+        terrain = terrain.with_slope(Grid::from_fn(rows, cols, |_, _| {
+            rng.random_range(0.0..50.0)
+        }));
+    }
+    if rng.random_bool(0.7) {
+        terrain = terrain.with_aspect(Grid::from_fn(rows, cols, |_, _| {
+            rng.random_range(0.0..360.0)
+        }));
+    }
+    if rng.random_bool(0.7) {
+        let speed = Grid::from_fn(rows, cols, |_, _| rng.random_range(0.0..2.5));
+        let dir = Grid::from_fn(rows, cols, |_, _| rng.random_range(-120.0..120.0));
+        terrain = terrain.with_wind(speed, dir);
+    }
+    terrain
+}
+
+/// 1–3 random ignition cells.
+fn gen_ignition(rng: &mut StdRng, rows: usize, cols: usize) -> FireLine {
+    let n = rng.random_range(1..4usize);
+    let cells: Vec<(usize, usize)> = (0..n)
+        .map(|_| (rng.random_range(0..rows), rng.random_range(0..cols)))
+        .collect();
+    FireLine::from_cells(rows, cols, &cells)
+}
+
+/// Simulates `terrains` random landscapes, two scenario draws each, and
+/// audits bound sanity, arrival-map sanity and heap≡bucket bit-identity
+/// (with the bucket arena deliberately reused dirty between draws).
+///
+/// # Errors
+/// A description of the first violated invariant, with the seed index
+/// that reproduces it.
+pub fn verify_firelib(seed: u64, terrains: u64) -> Result<FirelibStats, String> {
+    let mut stats = FirelibStats::default();
+    for i in 0..terrains {
+        let mut rng = StdRng::seed_from_u64(seed ^ (i.wrapping_mul(0x9E3779B97F4A7C15)));
+        let terrain = gen_terrain(&mut rng);
+        let (rows, cols) = (terrain.rows(), terrain.cols());
+        let sim = FireSim::new(terrain);
+        let mut bucket_arena = sim.arena();
+        let mut heap_arena = sim.arena();
+        // Two draws over one arena pair: the second run inherits the
+        // first's dirty spans, exactly like a worker's steady state.
+        for draw in 0..2 {
+            let scenario = gen_scenario(&mut rng);
+            let ignition = gen_ignition(&mut rng, rows, cols);
+            let t0 = rng.random_range(0.0..30.0);
+            let duration = rng.random_range(5.0..180.0);
+            let label = format!("terrain {i} draw {draw} (seed {seed})");
+
+            let bound = sim.spread_rate_bound(&scenario);
+            if !bound.is_finite() || bound < 0.0 {
+                return Err(format!("{label}: spread_rate_bound = {bound}"));
+            }
+            let ros = sim.max_ros(&scenario);
+            if !ros.is_finite() || ros < 0.0 {
+                return Err(format!("{label}: max_ros = {ros}"));
+            }
+
+            let heap = sim
+                .simulate_arena_kernel(
+                    &scenario,
+                    &ignition,
+                    t0,
+                    duration,
+                    &mut heap_arena,
+                    Kernel::Heap,
+                )
+                .clone();
+            let bucket = sim.simulate_arena_kernel(
+                &scenario,
+                &ignition,
+                t0,
+                duration,
+                &mut bucket_arena,
+                Kernel::Bucket,
+            );
+
+            let h = heap.grid().as_slice();
+            let b = bucket.grid().as_slice();
+            for (idx, (&th, &tb)) in h.iter().zip(b).enumerate() {
+                stats.cells += 1;
+                if th.to_bits() != tb.to_bits() {
+                    return Err(format!(
+                        "{label}: kernels diverge at cell {idx}: heap {th} vs bucket {tb}"
+                    ));
+                }
+                if th.to_bits() == UNIGNITED.to_bits() {
+                    continue;
+                }
+                if !th.is_finite() || th < t0 || th > t0 + duration {
+                    return Err(format!(
+                        "{label}: cell {idx} arrival {th} outside [{t0}, {}]",
+                        t0 + duration
+                    ));
+                }
+            }
+        }
+        stats.terrains += 1;
+    }
+    Ok(stats)
+}
+
+/// Sweeps the spread math through extreme-but-valid corners on tiny
+/// uniform terrains: calm and hurricane winds, flat ground and near
+/// cliffs, bone-dry and past-extinction moistures. Every rate must be
+/// finite and non-negative, and the active-front bound must dominate the
+/// per-cell maximum.
+///
+/// # Errors
+/// A description of the first non-finite, negative, or bound-violating
+/// sample.
+pub fn hostile_ros_sweep(seed: u64, samples: u64) -> Result<FirelibStats, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = FirelibStats::default();
+    const WINDS: &[f64] = &[0.0, 0.01, 7.0, 60.0, 150.0];
+    const SLOPES: &[f64] = &[0.0, 0.1, 30.0, 75.0, 89.0];
+    for s in 0..samples {
+        let scenario = Scenario {
+            model: (s % 13 + 1) as u8,
+            wind_speed_mph: WINDS[(s as usize / 13) % WINDS.len()],
+            wind_dir_deg: rng.random_range(0.0..360.0),
+            m1_pct: rng.random_range(0.5..60.0),
+            m10_pct: rng.random_range(0.5..60.0),
+            m100_pct: rng.random_range(0.5..60.0),
+            mherb_pct: rng.random_range(5.0..250.0),
+            slope_deg: SLOPES[(s as usize / 65) % SLOPES.len()],
+            aspect_deg: rng.random_range(0.0..360.0),
+        };
+        let sim = FireSim::new(Terrain::uniform(2, 2, rng.random_range(10.0..300.0)));
+        let ros = sim.max_ros(&scenario);
+        let bound = sim.spread_rate_bound(&scenario);
+        stats.ros_samples += 1;
+        if !ros.is_finite() || ros < 0.0 {
+            return Err(format!("sample {s}: max_ros = {ros} for {scenario:?}"));
+        }
+        if !bound.is_finite() || bound < 0.0 {
+            return Err(format!("sample {s}: bound = {bound} for {scenario:?}"));
+        }
+        // The window-sizing bound must dominate the exact per-cell rate
+        // (allowing only float slack — the kernels tolerate exactly this
+        // much via their lazy fallback).
+        if ros > bound * (1.0 + 1e-9) + 1e-9 {
+            return Err(format!(
+                "sample {s}: max_ros {ros} exceeds bound {bound} for {scenario:?}"
+            ));
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_landscapes_hold_all_invariants() {
+        let stats = verify_firelib(0x5EED, 12).expect("invariants hold");
+        assert_eq!(stats.terrains, 12);
+        assert!(stats.cells > 2_000, "{stats:?}");
+    }
+
+    #[test]
+    fn hostile_corners_stay_finite() {
+        let stats = hostile_ros_sweep(0x5EED, 400).expect("rates stay sane");
+        assert_eq!(stats.ros_samples, 400);
+    }
+
+    #[test]
+    fn drivers_are_deterministic() {
+        let a = verify_firelib(7, 3).unwrap();
+        let b = verify_firelib(7, 3).unwrap();
+        assert_eq!(a.cells, b.cells);
+    }
+}

@@ -1,0 +1,658 @@
+//! The workspace lint pass: repo-specific determinism and hot-path rules.
+//!
+//! These are not style lints — each rule guards a property the system's
+//! reproducibility contract depends on:
+//!
+//! | rule | guards |
+//! |---|---|
+//! | `partial-cmp-unwrap` | float comparisons must be total (`total_cmp`), or a NaN panics a worker mid-round |
+//! | `hash-container` | `HashMap`/`HashSet` iteration order is seeded per-process; deterministic crates must use `BTreeMap` or indexed storage |
+//! | `wall-clock` | `Instant::now`/`SystemTime` in simulation or search code makes results time-dependent |
+//! | `thread-spawn` | all parallelism flows through `parworker` so schedules stay controllable |
+//! | `no-alloc` | functions fenced with `// lint: no_alloc` are steady-state hot paths; allocation there breaks the arena contract |
+//!
+//! Escape hatch: `// lint: allow(<rule>) — <reason>` on the finding's line
+//! or the line above suppresses it. The reason is mandatory; a reasonless
+//! or unmatched allow is itself a finding (`invalid-allow` /
+//! `unused-allow`), so annotations cannot rot silently.
+
+use crate::lex::{lex, Tok, Token};
+use ess_service::jsonio::Json;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Deny `partial_cmp(..).unwrap()` / `.expect(..)` — use `total_cmp`.
+pub const PARTIAL_CMP_UNWRAP: &str = "partial-cmp-unwrap";
+/// Deny `HashMap`/`HashSet` in deterministic crates.
+pub const HASH_CONTAINER: &str = "hash-container";
+/// Deny `Instant::now` / `SystemTime` outside bench/harness timing code.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// Deny `spawn(..)` outside `parworker`.
+pub const THREAD_SPAWN: &str = "thread-spawn";
+/// Deny allocation inside `// lint: no_alloc`-fenced functions.
+pub const NO_ALLOC: &str = "no-alloc";
+/// An allow annotation that suppressed nothing.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+/// A malformed allow annotation (unknown shape or missing reason).
+pub const INVALID_ALLOW: &str = "invalid-allow";
+
+/// `(name, what it guards)` for every enforced rule, in report order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        PARTIAL_CMP_UNWRAP,
+        "float comparisons must be total (`total_cmp`); a NaN would panic",
+    ),
+    (
+        HASH_CONTAINER,
+        "hash iteration order is per-process; deterministic crates need BTreeMap or indexed storage",
+    ),
+    (
+        WALL_CLOCK,
+        "wall-clock reads outside bench timing make results time-dependent",
+    ),
+    (
+        THREAD_SPAWN,
+        "all parallelism flows through parworker so schedules stay controllable",
+    ),
+    (
+        NO_ALLOC,
+        "fenced hot paths must not allocate (the simulate_arena steady-state contract)",
+    ),
+    (
+        UNUSED_ALLOW,
+        "an allow that suppresses nothing is stale and must be removed",
+    ),
+    (
+        INVALID_ALLOW,
+        "allow annotations require a named rule and a non-empty reason",
+    ),
+];
+
+/// One lint finding, allowed or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (one of the `pub const` rule names).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `true` when a `lint: allow` annotation covers it.
+    pub allowed: bool,
+    /// The annotation's justification, when allowed.
+    pub reason: Option<String>,
+}
+
+/// The result of linting a file set.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every finding, allowed ones included (the report is the audit trail).
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Findings not covered by an allow — these fail the build.
+    pub fn unallowed(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| !f.allowed).collect()
+    }
+
+    /// Machine-readable report (written to `reports/LINT_findings.json`).
+    pub fn to_json(&self) -> Json {
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                let mut obj = Json::obj()
+                    .field("rule", f.rule)
+                    .field("file", f.file.as_str())
+                    .field("line", f.line)
+                    .field("message", f.message.as_str())
+                    .field("allowed", f.allowed);
+                if let Some(reason) = &f.reason {
+                    obj = obj.field("reason", reason.as_str());
+                }
+                obj
+            })
+            .collect::<Vec<_>>();
+        Json::obj()
+            .field("tool", "harness lint")
+            .field("files_scanned", self.files_scanned)
+            .field("unallowed", self.unallowed().len())
+            .field("findings", Json::Arr(findings))
+    }
+}
+
+/// Which rule sets apply to a file, derived from its workspace path.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    /// Hash containers are denied (firelib/evoalg/ess/core).
+    pub deterministic: bool,
+    /// Wall-clock reads are fine (bench/harness timing code).
+    pub timing_exempt: bool,
+    /// Spawning threads is this crate's job (parworker).
+    pub spawn_exempt: bool,
+}
+
+/// Maps a workspace-relative path to its rule scope.
+pub fn scope_for(rel_path: &str) -> Scope {
+    let p = rel_path.replace('\\', "/");
+    Scope {
+        deterministic: [
+            "crates/firelib/",
+            "crates/evoalg/",
+            "crates/ess/",
+            "crates/core/",
+        ]
+        .iter()
+        .any(|prefix| p.starts_with(prefix)),
+        timing_exempt: p.starts_with("crates/bench/"),
+        spawn_exempt: p.starts_with("crates/parworker/"),
+    }
+}
+
+/// Directories never scanned: build output, vendored third-party code,
+/// lint fixtures (they violate on purpose), generated reports, and
+/// integration-test trees (test code is exempt like `#[cfg(test)]` mods).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "reports", "tests"];
+
+/// Climbs from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`.
+pub fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Lints every `.rs` file under `root` (skipping [`SKIP_DIRS`]), in
+/// path-sorted order so the report is deterministic.
+///
+/// # Errors
+/// Propagates filesystem errors from the walk or file reads.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    files.sort();
+    let mut report = LintReport::default();
+    for path in files {
+        let src = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.files_scanned += 1;
+        report
+            .findings
+            .extend(lint_source(&rel, &src, scope_for(&rel)));
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// A parsed `// lint: …` directive.
+enum Directive {
+    Allow { rule: String, reason: String },
+    NoAlloc,
+    Invalid(String),
+}
+
+/// Parses the directive in a comment, if any. Non-`lint:` comments return
+/// `None`.
+fn parse_directive(comment: &str) -> Option<Directive> {
+    let mut text = comment.trim();
+    if let Some(stripped) = text.strip_prefix("/*") {
+        text = stripped.strip_suffix("*/").unwrap_or(stripped);
+    }
+    let text = text.trim_start_matches(['/', '!', '*']).trim();
+    let rest = text.strip_prefix("lint:")?.trim();
+    if rest == "no_alloc" || rest.starts_with("no_alloc ") {
+        return Some(Directive::NoAlloc);
+    }
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return Some(Directive::Invalid(format!(
+            "unrecognized lint directive `{rest}`"
+        )));
+    };
+    let Some(close) = inner.find(')') else {
+        return Some(Directive::Invalid("allow(… missing `)`".to_string()));
+    };
+    let rule = inner[..close].trim().to_string();
+    let reason = inner[close + 1..]
+        .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '-' | '—' | '–' | ':'))
+        .trim()
+        .to_string();
+    if rule.is_empty() || !RULES.iter().any(|(name, _)| *name == rule) {
+        return Some(Directive::Invalid(format!(
+            "allow names unknown rule `{rule}`"
+        )));
+    }
+    if reason.is_empty() {
+        return Some(Directive::Invalid(format!(
+            "allow({rule}) has no justification — state why the rule does not apply"
+        )));
+    }
+    Some(Directive::Allow { rule, reason })
+}
+
+struct Allow {
+    line: usize,
+    rule: String,
+    reason: String,
+    used: bool,
+}
+
+/// Lints one source file. Public so the fixture tests can drive single
+/// snippets without a filesystem walk.
+pub fn lint_source(file: &str, src: &str, scope: Scope) -> Vec<Finding> {
+    let tokens = lex(src);
+
+    // Pass 1: harvest directives from the comment tokens.
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut fences: Vec<usize> = Vec::new(); // lines of `// lint: no_alloc`
+    let mut findings: Vec<Finding> = Vec::new();
+    for tok in &tokens {
+        let Tok::Comment(text) = &tok.kind else {
+            continue;
+        };
+        match parse_directive(text) {
+            Some(Directive::Allow { rule, reason }) => allows.push(Allow {
+                line: tok.line,
+                rule,
+                reason,
+                used: false,
+            }),
+            Some(Directive::NoAlloc) => fences.push(tok.line),
+            Some(Directive::Invalid(message)) => findings.push(Finding {
+                rule: INVALID_ALLOW,
+                file: file.to_string(),
+                line: tok.line,
+                message,
+                allowed: false,
+                reason: None,
+            }),
+            None => {}
+        }
+    }
+
+    // Pass 2: the significant (non-comment) token stream the matchers see.
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, Tok::Comment(_)))
+        .collect();
+    let skip = test_region_mask(&sig);
+
+    let ident = |i: usize| -> Option<&str> {
+        match sig.get(i).map(|t| &t.kind) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let punct = |i: usize| -> Option<char> {
+        match sig.get(i).map(|t| &t.kind) {
+            Some(Tok::Punct(c)) => Some(*c),
+            _ => None,
+        }
+    };
+
+    let mut raw: Vec<(&'static str, usize, String)> = Vec::new();
+
+    for i in 0..sig.len() {
+        if skip[i] {
+            continue;
+        }
+        let line = sig[i].line;
+        match ident(i) {
+            Some("partial_cmp") => {
+                // `fn partial_cmp` is the PartialOrd impl itself, not a call.
+                if i > 0 && ident(i - 1) == Some("fn") {
+                    continue;
+                }
+                if punct(i + 1) != Some('(') {
+                    continue;
+                }
+                let Some(close) = match_delim(&sig, i + 1, '(', ')') else {
+                    continue;
+                };
+                if punct(close + 1) == Some('.')
+                    && matches!(ident(close + 2), Some("unwrap") | Some("expect"))
+                {
+                    raw.push((
+                        PARTIAL_CMP_UNWRAP,
+                        line,
+                        "partial_cmp(..).unwrap() panics on NaN — use total_cmp".to_string(),
+                    ));
+                }
+            }
+            Some(name @ ("HashMap" | "HashSet")) if scope.deterministic => {
+                raw.push((
+                    HASH_CONTAINER,
+                    line,
+                    format!("{name} in a deterministic crate — iteration order is per-process"),
+                ));
+            }
+            Some("Instant")
+                if !scope.timing_exempt
+                    && punct(i + 1) == Some(':')
+                    && punct(i + 2) == Some(':')
+                    && ident(i + 3) == Some("now") =>
+            {
+                raw.push((
+                    WALL_CLOCK,
+                    line,
+                    "Instant::now outside bench timing code".to_string(),
+                ));
+            }
+            Some("SystemTime") if !scope.timing_exempt => {
+                raw.push((
+                    WALL_CLOCK,
+                    line,
+                    "SystemTime outside bench timing code".to_string(),
+                ));
+            }
+            Some("spawn") if !scope.spawn_exempt => {
+                if i > 0 && ident(i - 1) == Some("fn") {
+                    continue; // a spawn wrapper's own definition
+                }
+                if punct(i + 1) == Some('(') {
+                    raw.push((
+                        THREAD_SPAWN,
+                        line,
+                        "thread spawn outside parworker — parallelism must flow through the pool"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 3: no_alloc fences — deny allocation in the next fn's body.
+    for &fence_line in &fences {
+        let Some(fn_idx) =
+            (0..sig.len()).find(|&i| sig[i].line >= fence_line && ident(i) == Some("fn"))
+        else {
+            raw.push((
+                NO_ALLOC,
+                fence_line,
+                "no_alloc fence is not followed by a function".to_string(),
+            ));
+            continue;
+        };
+        let fn_name = ident(fn_idx + 1).unwrap_or("?").to_string();
+        let Some(open) =
+            (fn_idx..sig.len()).find(|&i| punct(i) == Some('{') || punct(i) == Some(';'))
+        else {
+            continue;
+        };
+        if punct(open) == Some(';') {
+            continue; // a bodiless declaration — nothing to check
+        }
+        let close = match_delim(&sig, open, '{', '}').unwrap_or(sig.len() - 1);
+        // The matchers peek at neighbours (`i ± k`), so positional
+        // iteration is the natural shape here.
+        #[allow(clippy::needless_range_loop)]
+        for i in open + 1..close {
+            let line = sig[i].line;
+            let hit: Option<String> = match ident(i) {
+                Some(root @ ("Vec" | "Box" | "String"))
+                    if punct(i + 1) == Some(':') && punct(i + 2) == Some(':') =>
+                {
+                    match (root, ident(i + 3)) {
+                        ("Vec", Some(m @ ("new" | "with_capacity")))
+                        | ("Box", Some(m @ "new"))
+                        | ("String", Some(m @ ("new" | "with_capacity" | "from"))) => {
+                            Some(format!("{root}::{m}"))
+                        }
+                        _ => None,
+                    }
+                }
+                Some("vec") if punct(i + 1) == Some('!') => Some("vec!".to_string()),
+                Some(m @ ("collect" | "to_vec")) if i > 0 && punct(i - 1) == Some('.') => {
+                    Some(format!(".{m}()"))
+                }
+                _ => None,
+            };
+            if let Some(what) = hit {
+                raw.push((
+                    NO_ALLOC,
+                    line,
+                    format!("allocation `{what}` inside no_alloc-fenced fn `{fn_name}`"),
+                ));
+            }
+        }
+    }
+
+    // Pass 4: resolve allows. An annotation on line L covers findings on
+    // L (trailing comment) and L+1 (comment above the statement).
+    for (rule, line, message) in raw {
+        let mut allowed = false;
+        let mut reason = None;
+        for a in allows.iter_mut() {
+            if a.rule == rule && (a.line == line || a.line + 1 == line) {
+                a.used = true;
+                allowed = true;
+                reason = Some(a.reason.clone());
+                break;
+            }
+        }
+        findings.push(Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+            allowed,
+            reason,
+        });
+    }
+
+    // Pass 5: stale annotations are findings too.
+    for a in &allows {
+        if !a.used {
+            findings.push(Finding {
+                rule: UNUSED_ALLOW,
+                file: file.to_string(),
+                line: a.line,
+                message: format!("lint: allow({}) suppresses nothing — remove it", a.rule),
+                allowed: false,
+                reason: None,
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Marks token ranges covered by `#[cfg(test)]` items (the attribute and
+/// the brace-matched item body) so test-only code is exempt from the
+/// production rules.
+fn test_region_mask(sig: &[&Token]) -> Vec<bool> {
+    let mut skip = vec![false; sig.len()];
+    let is = |i: usize, want: &Tok| sig.get(i).map(|t| &t.kind) == Some(want);
+    let mut i = 0;
+    while i < sig.len() {
+        let attr = is(i, &Tok::Punct('#'))
+            && is(i + 1, &Tok::Punct('['))
+            && is(i + 2, &Tok::Ident("cfg".into()))
+            && is(i + 3, &Tok::Punct('('))
+            && is(i + 4, &Tok::Ident("test".into()))
+            && is(i + 5, &Tok::Punct(')'))
+            && is(i + 6, &Tok::Punct(']'));
+        if !attr {
+            i += 1;
+            continue;
+        }
+        // Skip to the end of the attributed item: the first `;` (e.g.
+        // `mod tests;`) or the matching close of the first `{`.
+        let mut end = i + 7;
+        for j in i + 7..sig.len() {
+            match sig[j].kind {
+                Tok::Punct(';') => {
+                    end = j;
+                    break;
+                }
+                Tok::Punct('{') => {
+                    end = match_delim(sig, j, '{', '}').unwrap_or(sig.len() - 1);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        for s in skip.iter_mut().take(end + 1).skip(i) {
+            *s = true;
+        }
+        i = end + 1;
+    }
+    skip
+}
+
+/// Index of the token closing the delimiter opened at `open`, or `None`
+/// if unbalanced.
+fn match_delim(sig: &[&Token], open: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in sig.iter().enumerate().skip(open) {
+        match t.kind {
+            Tok::Punct(c) if c == open_ch => depth += 1,
+            Tok::Punct(c) if c == close_ch => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: Scope = Scope {
+        deterministic: true,
+        timing_exempt: false,
+        spawn_exempt: false,
+    };
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings
+            .iter()
+            .filter(|f| !f.allowed)
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_flagged_but_impl_is_not() {
+        let bad = "let o = a.partial_cmp(&b).unwrap();";
+        assert_eq!(
+            rules_of(&lint_source("x.rs", bad, ALL)),
+            vec![PARTIAL_CMP_UNWRAP]
+        );
+        let imp = "fn partial_cmp(&self, other: &Self) -> Option<Ordering> { None }";
+        assert!(lint_source("x.rs", imp, ALL).is_empty());
+        let total = "items.sort_by(|a, b| a.total_cmp(b));";
+        assert!(lint_source("x.rs", total, ALL).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_not_stale() {
+        let src = "// lint: allow(hash-container) — scratch map, drained and sorted before use\nlet m: HashMap<u32, u32> = make();";
+        let findings = lint_source("x.rs", src, ALL);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].allowed);
+        assert_eq!(
+            findings[0].reason.as_deref(),
+            Some("scratch map, drained and sorted before use")
+        );
+    }
+
+    #[test]
+    fn reasonless_allow_is_invalid() {
+        let src = "// lint: allow(hash-container)\nlet m: HashMap<u32, u32> = make();";
+        let rules = rules_of(&lint_source("x.rs", src, ALL));
+        assert!(rules.contains(&INVALID_ALLOW));
+        assert!(rules.contains(&HASH_CONTAINER));
+    }
+
+    #[test]
+    fn stale_allow_is_flagged() {
+        let src = "// lint: allow(wall-clock) — left over after a refactor\nlet x = 1;";
+        assert_eq!(rules_of(&lint_source("x.rs", src, ALL)), vec![UNUSED_ALLOW]);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let h: HashSet<u8> = x(); spawn(f); }\n}\nfn prod() { let h: HashSet<u8> = x(); }";
+        assert_eq!(
+            rules_of(&lint_source("x.rs", src, ALL)),
+            vec![HASH_CONTAINER]
+        );
+    }
+
+    #[test]
+    fn no_alloc_fence_catches_the_deny_list() {
+        let src = "// lint: no_alloc\nfn hot(xs: &mut Vec<u32>) {\n    let v = Vec::new();\n    let b = Box::new(1);\n    let c: Vec<_> = xs.iter().collect();\n    let d = vec![0; 4];\n}\nfn cold() { let v: Vec<u32> = Vec::new(); }";
+        let rules = rules_of(&lint_source("x.rs", src, ALL));
+        assert_eq!(rules, vec![NO_ALLOC; 4]);
+    }
+
+    #[test]
+    fn spawn_and_wall_clock_scoping() {
+        let src = "fn go() { thread::spawn(f); let t = Instant::now(); }";
+        let strict = rules_of(&lint_source("x.rs", src, ALL));
+        assert!(strict.contains(&THREAD_SPAWN) && strict.contains(&WALL_CLOCK));
+        let bench = Scope {
+            timing_exempt: true,
+            ..ALL
+        };
+        assert_eq!(
+            rules_of(&lint_source("x.rs", src, bench)),
+            vec![THREAD_SPAWN]
+        );
+        let pool = Scope {
+            spawn_exempt: true,
+            ..ALL
+        };
+        assert_eq!(rules_of(&lint_source("x.rs", src, pool)), vec![WALL_CLOCK]);
+    }
+
+    #[test]
+    fn scope_paths() {
+        assert!(scope_for("crates/firelib/src/sim.rs").deterministic);
+        assert!(!scope_for("crates/service/src/serve.rs").deterministic);
+        assert!(scope_for("crates/bench/src/bin/harness.rs").timing_exempt);
+        assert!(scope_for("crates/parworker/src/pool.rs").spawn_exempt);
+    }
+}

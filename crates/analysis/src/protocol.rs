@@ -1,0 +1,651 @@
+//! Bounded model checking of the v2 protocol session lifecycle.
+//!
+//! Two halves, deliberately separate:
+//!
+//! 1. **The abstract walk** ([`walk_protocol`]): a state machine encoding
+//!    the *specified* lifecycle rules of `ess_service::serve` — sessions
+//!    are admitted under one dialect and never switch, every live session
+//!    steps once per scheduler round, the terminal frame lands one round
+//!    after the last step, cancel removes a session without a terminal
+//!    frame, restore admits a brand-new v2 session carrying the
+//!    snapshot's progress, drain leaves nothing live. The walk
+//!    exhaustively applies every legal operation sequence up to a depth
+//!    bound and checks the lifecycle invariants (sticky terminal events,
+//!    no dialect mixing, snapshot/restore closure, exactly one terminal
+//!    frame per non-cancelled session) at every reachable state.
+//!
+//! 2. **The conformance replay** ([`replay_conformance`]): the same
+//!    operation alphabet rendered into real request lines and fed through
+//!    the real `serve_configured` loop on an in-memory transport, with
+//!    the model predicting what the output stream must contain. This
+//!    closes the gap a hand-written model always leaves: the walk proves
+//!    the rules consistent, the replay proves the implementation follows
+//!    them.
+
+use ess::fitness::EvalBackend;
+use ess_service::jsonio::Json;
+use ess_service::policy::PolicyKind;
+use ess_service::serve::serve_configured;
+
+/// Steps every model session runs; 2 keeps the walk small while still
+/// exposing the partially-advanced states snapshot/restore care about.
+const TOTAL_STEPS: u32 = 2;
+/// Live-session cap: bounds the branching factor without losing the
+/// multi-session interleavings (two is enough to mix dialects).
+const MAX_LIVE: usize = 2;
+/// A session id no admission can produce.
+const UNKNOWN_SID: u64 = 9999;
+
+/// The operation alphabet of the walk (and, minus `Restore`, of the
+/// replay — a replay script cannot feed a captured snapshot back in
+/// through a pre-rendered input buffer; restore conformance is covered by
+/// the service crate's own round-trip tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum POp {
+    /// v2 `run` with `watch: true`.
+    SubmitV2Watched,
+    /// v2 `run` with `watch: false`.
+    SubmitV2,
+    /// v1 `run`.
+    SubmitV1,
+    /// v2 `advance` one scheduler round.
+    Advance,
+    /// v2 `snapshot` of the oldest live session.
+    Snapshot,
+    /// v2 `restore` of the held snapshot (walk only).
+    Restore,
+    /// v2 `cancel` of the oldest live session.
+    CancelFirst,
+    /// v2 `cancel` of a session id that does not exist.
+    CancelUnknown,
+    /// v2 `drain`.
+    Drain,
+}
+
+/// One admitted session in the model.
+#[derive(Debug, Clone)]
+struct MSession {
+    sid: u64,
+    v2: bool,
+    watch: bool,
+    steps_done: u32,
+    total_steps: u32,
+    live: bool,
+    cancelled: bool,
+    done: bool,
+}
+
+/// One observable the model predicts the serve loop will stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// A step observable: a v1 `step` event, or a v2 `progress` frame
+    /// when (and only when) the session is watched.
+    Step { sid: u64, v2: bool, watch: bool },
+    /// The terminal observable: a v1 `done` event or a v2 `done` frame.
+    Done { sid: u64, v2: bool },
+}
+
+/// The whole protocol-visible state.
+#[derive(Debug, Clone, Default)]
+struct MState {
+    next_sid: u64,
+    sessions: Vec<MSession>,
+    /// At most one held snapshot: (steps_done, total_steps) at capture.
+    snap: Option<(u32, u32)>,
+    audit: Vec<Ev>,
+    errors: u64,
+    cancels: u64,
+}
+
+impl MState {
+    fn new() -> Self {
+        MState {
+            next_sid: 1,
+            ..MState::default()
+        }
+    }
+
+    fn live_count(&self) -> usize {
+        self.sessions.iter().filter(|s| s.live).count()
+    }
+
+    fn first_live(&self) -> Option<u64> {
+        self.sessions.iter().find(|s| s.live).map(|s| s.sid)
+    }
+
+    fn admit(&mut self, v2: bool, watch: bool, steps_done: u32, total_steps: u32) -> u64 {
+        let sid = self.next_sid;
+        self.next_sid += 1;
+        self.sessions.push(MSession {
+            sid,
+            v2,
+            watch,
+            steps_done,
+            total_steps,
+            live: true,
+            cancelled: false,
+            done: false,
+        });
+        sid
+    }
+
+    /// One scheduler round: every live session steps; a session whose
+    /// steps are already spent emits its terminal frame instead.
+    fn round(&mut self) -> Result<(), String> {
+        for s in self.sessions.iter_mut().filter(|s| s.live) {
+            if s.steps_done < s.total_steps {
+                s.steps_done += 1;
+                self.audit.push(Ev::Step {
+                    sid: s.sid,
+                    v2: s.v2,
+                    watch: s.watch,
+                });
+            } else {
+                if s.done {
+                    return Err(format!("session {} emitted a second terminal frame", s.sid));
+                }
+                s.done = true;
+                s.live = false;
+                self.audit.push(Ev::Done {
+                    sid: s.sid,
+                    v2: s.v2,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Which operations are legal (i.e., worth branching on) here.
+    fn available(&self) -> Vec<POp> {
+        let mut ops = Vec::with_capacity(9);
+        if self.live_count() < MAX_LIVE {
+            ops.extend([POp::SubmitV2Watched, POp::SubmitV2, POp::SubmitV1]);
+        }
+        ops.push(POp::Advance);
+        if self.snap.is_none() && self.first_live().is_some() {
+            ops.push(POp::Snapshot);
+        }
+        if self.snap.is_some() && self.live_count() < MAX_LIVE {
+            ops.push(POp::Restore);
+        }
+        if self.first_live().is_some() {
+            ops.push(POp::CancelFirst);
+        }
+        ops.push(POp::CancelUnknown);
+        ops.push(POp::Drain);
+        ops
+    }
+
+    fn apply(&mut self, op: POp) -> Result<(), String> {
+        match op {
+            POp::SubmitV2Watched => {
+                self.admit(true, true, 0, TOTAL_STEPS);
+            }
+            POp::SubmitV2 => {
+                self.admit(true, false, 0, TOTAL_STEPS);
+            }
+            POp::SubmitV1 => {
+                self.admit(false, false, 0, TOTAL_STEPS);
+            }
+            POp::Advance => self.round()?,
+            POp::Snapshot => {
+                let sid = self.first_live().ok_or("snapshot with nothing live")?;
+                let s = self.sessions.iter().find(|s| s.sid == sid).unwrap();
+                self.snap = Some((s.steps_done, s.total_steps));
+            }
+            POp::Restore => {
+                let (steps_done, total_steps) =
+                    self.snap.take().ok_or("restore with no snapshot")?;
+                // Restore always admits under v2, regardless of the
+                // snapshotted session's original dialect.
+                let sid = self.admit(true, false, steps_done, total_steps);
+                let s = self.sessions.iter().find(|s| s.sid == sid).unwrap();
+                // Closure: the restored session has exactly the captured
+                // amount of work left.
+                if s.total_steps - s.steps_done != total_steps - steps_done {
+                    return Err(format!("restore changed remaining work for session {sid}"));
+                }
+            }
+            POp::CancelFirst => {
+                let sid = self.first_live().ok_or("cancel with nothing live")?;
+                let s = self.sessions.iter_mut().find(|s| s.sid == sid).unwrap();
+                s.live = false;
+                s.cancelled = true;
+                self.cancels += 1;
+            }
+            POp::CancelUnknown => {
+                // An error reply; nothing else may change. (The walk
+                // asserts that by construction — no state is touched.)
+                self.errors += 1;
+            }
+            POp::Drain => {
+                let mut guard = 0;
+                while self.live_count() > 0 {
+                    self.round()?;
+                    guard += 1;
+                    if guard > 1000 {
+                        return Err("drain did not terminate".to_string());
+                    }
+                }
+            }
+        }
+        self.check(op)
+    }
+
+    /// The lifecycle invariants, checked after every operation.
+    fn check(&self, op: POp) -> Result<(), String> {
+        for s in &self.sessions {
+            if s.done && s.live {
+                return Err(format!("session {} both done and live", s.sid));
+            }
+            if s.cancelled && s.done {
+                return Err(format!("cancelled session {} got a terminal frame", s.sid));
+            }
+            if s.steps_done > s.total_steps {
+                return Err(format!("session {} overran its step budget", s.sid));
+            }
+            // Dialect purity + terminal stickiness over the audit stream.
+            let mut seen_done = false;
+            for ev in &self.audit {
+                match *ev {
+                    Ev::Step { sid, v2, watch } if sid == s.sid => {
+                        if seen_done {
+                            return Err(format!("session {sid} streamed after its terminal frame"));
+                        }
+                        if v2 != s.v2 || watch != s.watch {
+                            return Err(format!("session {sid} mixed dialects mid-stream"));
+                        }
+                    }
+                    Ev::Done { sid, v2 } if sid == s.sid => {
+                        if seen_done {
+                            return Err(format!("session {sid} got two terminal frames"));
+                        }
+                        if v2 != s.v2 {
+                            return Err(format!("session {sid} terminal frame in wrong dialect"));
+                        }
+                        seen_done = true;
+                    }
+                    _ => {}
+                }
+            }
+            if seen_done != s.done {
+                return Err(format!("session {} done flag out of sync", s.sid));
+            }
+        }
+        if op == POp::Drain {
+            if self.live_count() != 0 {
+                return Err("sessions still live after drain".to_string());
+            }
+            for s in &self.sessions {
+                if !s.cancelled && !s.done {
+                    return Err(format!(
+                        "session {} neither cancelled nor terminal after drain",
+                        s.sid
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counters from an exhaustive walk.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalkStats {
+    /// The depth bound used.
+    pub depth: usize,
+    /// Complete operation sequences enumerated.
+    pub sequences: u64,
+    /// States visited (tree nodes, root excluded).
+    pub states: u64,
+}
+
+/// Exhaustively applies every legal operation sequence up to `depth`,
+/// checking the lifecycle invariants at every state.
+///
+/// # Errors
+/// The first invariant violation, prefixed with the operation sequence
+/// that reached it.
+pub fn walk_protocol(depth: usize) -> Result<WalkStats, String> {
+    let mut stats = WalkStats {
+        depth,
+        ..WalkStats::default()
+    };
+    let mut trace = Vec::new();
+    walk(&MState::new(), depth, &mut trace, &mut stats)?;
+    Ok(stats)
+}
+
+fn walk(
+    state: &MState,
+    remaining: usize,
+    trace: &mut Vec<POp>,
+    stats: &mut WalkStats,
+) -> Result<(), String> {
+    if remaining == 0 {
+        stats.sequences += 1;
+        return Ok(());
+    }
+    for op in state.available() {
+        let mut next = state.clone();
+        trace.push(op);
+        next.apply(op).map_err(|e| format!("{trace:?}: {e}"))?;
+        stats.states += 1;
+        walk(&next, remaining - 1, trace, stats)?;
+        trace.pop();
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Conformance replay against the real serve loop
+// ---------------------------------------------------------------------------
+
+/// Counters from a conformance replay.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayStats {
+    /// Scripts driven through the real serve loop.
+    pub scripts: u64,
+    /// Request lines across all scripts.
+    pub requests: u64,
+    /// Output lines checked across all scripts.
+    pub frames: u64,
+}
+
+/// Renders one model op into a request line. v2 requests use the 1-based
+/// request index as their correlation id.
+fn render(op: POp, id: usize, target: Option<u64>) -> String {
+    const SPEC: &str = r#"{"system":"ESS","case":"meadow_small","seed":7,"replicates":1,"scale":0.05,"max_steps":2}"#;
+    match op {
+        POp::SubmitV2Watched => {
+            format!(r#"{{"v":2,"id":{id},"kind":"run","watch":true,"spec":{SPEC}}}"#)
+        }
+        POp::SubmitV2 => format!(r#"{{"v":2,"id":{id},"kind":"run","watch":false,"spec":{SPEC}}}"#),
+        POp::SubmitV1 => {
+            r#"{"op":"run","system":"ESS","case":"meadow_small","seed":7,"replicates":1,"scale":0.05,"max_steps":2}"#
+                .to_string()
+        }
+        POp::Advance => format!(r#"{{"v":2,"id":{id},"kind":"advance","rounds":1}}"#),
+        POp::Snapshot => format!(
+            r#"{{"v":2,"id":{id},"kind":"snapshot","session":{}}}"#,
+            target.expect("snapshot needs a live target")
+        ),
+        POp::Restore => unreachable!("replay scripts never restore"),
+        POp::CancelFirst => format!(
+            r#"{{"v":2,"id":{id},"kind":"cancel","session":{}}}"#,
+            target.expect("cancel needs a live target")
+        ),
+        POp::CancelUnknown => {
+            format!(r#"{{"v":2,"id":{id},"kind":"cancel","session":{UNKNOWN_SID}}}"#)
+        }
+        POp::Drain => format!(r#"{{"v":2,"id":{id},"kind":"drain"}}"#),
+    }
+}
+
+/// What the model predicts one script's output must satisfy.
+#[derive(Debug, Default)]
+struct Prediction {
+    /// (sid, is_v2, watched, cancelled) for every admitted session.
+    sessions: Vec<(u64, bool, bool, bool)>,
+    /// v2 request ids that must each get exactly one reply frame.
+    reply_ids: Vec<usize>,
+    /// Error replies/events the script must provoke.
+    errors: u64,
+    cancelled: u64,
+    /// Whether any v1 request line was sent (affects the EOF dialect).
+    saw_v1: bool,
+}
+
+/// Runs `ops` through the model to predict observables, rendering the
+/// request lines along the way.
+fn predict(ops: &[POp]) -> (String, Prediction) {
+    let mut state = MState::new();
+    let mut lines = Vec::new();
+    let mut p = Prediction::default();
+    for (i, &op) in ops.iter().enumerate() {
+        let id = i + 1;
+        let target = state.first_live();
+        lines.push(render(op, id, target));
+        state.apply(op).expect("generator scripts are legal");
+        match op {
+            POp::SubmitV1 => p.saw_v1 = true,
+            POp::CancelUnknown => p.errors += 1,
+            POp::CancelFirst => p.cancelled += 1,
+            _ => {}
+        }
+        if op != POp::SubmitV1 {
+            p.reply_ids.push(id);
+        }
+    }
+    p.sessions = state
+        .sessions
+        .iter()
+        .map(|s| (s.sid, s.v2, s.watch, s.cancelled))
+        .collect();
+    (lines.join("\n") + "\n", p)
+}
+
+/// Checks one serve run's output stream against the prediction.
+fn check_output(script: &str, output: &str, p: &Prediction) -> Result<u64, String> {
+    let fail = |msg: String| Err(format!("script:\n{script}\noutput:\n{output}\n{msg}"));
+    let mut frames = 0u64;
+    // Per-sid observations: (v1_events, v2_progress, v2_done, v1_done).
+    let mut replies: Vec<(u64, String)> = Vec::new();
+    let mut step_dialect: Vec<(u64, bool)> = Vec::new(); // (sid, v2)
+    let mut progress_sids: Vec<u64> = Vec::new();
+    let mut dones: Vec<(u64, bool)> = Vec::new(); // (sid, v2)
+    let mut errors = 0u64;
+    for line in output.lines().filter(|l| !l.trim().is_empty()) {
+        frames += 1;
+        let Ok(v) = Json::parse(line) else {
+            return fail(format!("unparseable output line: {line}"));
+        };
+        if v.get("v").is_some() {
+            let kind = v.get("kind").and_then(Json::as_str).unwrap_or("");
+            let sid = v.get("session").and_then(Json::as_u64);
+            match kind {
+                "progress" => {
+                    let sid = sid.ok_or("progress frame without session")?;
+                    progress_sids.push(sid);
+                    step_dialect.push((sid, true));
+                }
+                "done" => {
+                    dones.push((sid.ok_or("done frame without session")?, true));
+                }
+                "error" => {
+                    errors += 1;
+                    let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+                    replies.push((id, kind.to_string()));
+                }
+                "accepted" | "advanced" | "snapshot" | "cancelled" | "drained" | "bye" => {
+                    let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+                    replies.push((id, kind.to_string()));
+                }
+                other => return fail(format!("unknown v2 frame kind '{other}'")),
+            }
+        } else if let Some(event) = v.get("event").and_then(Json::as_str) {
+            let sid = v.get("session").and_then(Json::as_u64);
+            match event {
+                "step" => step_dialect.push((sid.ok_or("step event without session")?, false)),
+                "done" => dones.push((sid.ok_or("done event without session")?, false)),
+                "error" => errors += 1,
+                "accepted" | "cancelled" | "drained" | "bye" => {}
+                other => return fail(format!("unknown v1 event '{other}'")),
+            }
+        } else {
+            return fail(format!("line is neither a v2 frame nor a v1 event: {line}"));
+        }
+    }
+
+    // Every v2 request got exactly one correlated reply.
+    for &id in &p.reply_ids {
+        let count = replies.iter().filter(|(rid, _)| *rid == id as u64).count();
+        if count != 1 {
+            return fail(format!("request id {id} got {count} replies, wanted 1"));
+        }
+    }
+    // Dialect purity and watch discipline, per session.
+    for &(sid, v2, watch, cancelled) in &p.sessions {
+        if step_dialect.iter().any(|&(s, d)| s == sid && d != v2) {
+            return fail(format!("session {sid} streamed in the wrong dialect"));
+        }
+        if !(v2 && watch) && progress_sids.contains(&sid) {
+            return fail(format!("unwatched session {sid} got progress frames"));
+        }
+        let done_count = dones.iter().filter(|&&(s, _)| s == sid).count();
+        if cancelled {
+            if done_count != 0 {
+                return fail(format!("cancelled session {sid} got a terminal frame"));
+            }
+        } else if done_count != 1 {
+            return fail(format!(
+                "session {sid} got {done_count} terminal frames, wanted exactly 1"
+            ));
+        }
+        if let Some(&(_, d)) = dones.iter().find(|&&(s, _)| s == sid) {
+            if d != v2 {
+                return fail(format!("session {sid} terminal frame in wrong dialect"));
+            }
+        }
+    }
+    if errors != p.errors {
+        return fail(format!("{errors} error replies, predicted {}", p.errors));
+    }
+    Ok(frames)
+}
+
+/// Drives generated request scripts through the real serve loop and
+/// checks the output stream against the model's predictions. Scripts
+/// cover every legal ≤2-op sequence exhaustively plus `sampled` seeded
+/// deeper sequences (depth 4), all ending at EOF so the implied
+/// drain/quit path runs every time.
+///
+/// # Errors
+/// The first conformance mismatch, with the offending script and output.
+pub fn replay_conformance(sampled: usize) -> Result<ReplayStats, String> {
+    let mut stats = ReplayStats::default();
+    let mut scripts: Vec<Vec<POp>> = vec![vec![]];
+    // Exhaustive depth ≤ 2 over the replay alphabet (no Restore).
+    let mut frontier: Vec<(MState, Vec<POp>)> = vec![(MState::new(), vec![])];
+    for _ in 0..2 {
+        let mut next_frontier = Vec::new();
+        for (state, ops) in &frontier {
+            for op in state.available() {
+                if op == POp::Restore {
+                    continue;
+                }
+                let mut ns = state.clone();
+                ns.apply(op).map_err(|e| format!("generator: {e}"))?;
+                let mut nops = ops.clone();
+                nops.push(op);
+                scripts.push(nops.clone());
+                next_frontier.push((ns, nops));
+            }
+        }
+        frontier = next_frontier;
+    }
+    // Seeded deeper samples: depth 4, deterministic op choice by index.
+    for k in 0..sampled {
+        let mut state = MState::new();
+        let mut ops = Vec::new();
+        let mut pick = k as u64;
+        for _ in 0..4 {
+            let avail: Vec<POp> = state
+                .available()
+                .into_iter()
+                .filter(|&op| op != POp::Restore)
+                .collect();
+            let op = avail[(pick % avail.len() as u64) as usize];
+            pick = pick
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state.apply(op).map_err(|e| format!("generator: {e}"))?;
+            ops.push(op);
+        }
+        scripts.push(ops);
+    }
+
+    for ops in &scripts {
+        let (script, prediction) = predict(ops);
+        let mut output = Vec::new();
+        let summary = serve_configured(
+            script.as_bytes(),
+            &mut output,
+            EvalBackend::Serial,
+            PolicyKind::RoundRobin,
+            false,
+        )
+        .map_err(|e| format!("serve I/O on script:\n{script}\n{e}"))?;
+        let output = String::from_utf8_lossy(&output);
+        stats.scripts += 1;
+        stats.requests += ops.len() as u64;
+        stats.frames += check_output(&script, &output, &prediction)?;
+        if summary.accepted != prediction.sessions.len() {
+            return Err(format!(
+                "script:\n{script}\nsummary accepted {} != predicted {}",
+                summary.accepted,
+                prediction.sessions.len()
+            ));
+        }
+        if summary.cancelled as u64 != prediction.cancelled {
+            return Err(format!(
+                "script:\n{script}\nsummary cancelled {} != predicted {}",
+                summary.cancelled, prediction.cancelled
+            ));
+        }
+        if summary.errors as u64 != prediction.errors {
+            return Err(format!(
+                "script:\n{script}\nsummary errors {} != predicted {}",
+                summary.errors, prediction.errors
+            ));
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_depth_5_is_clean() {
+        let stats = walk_protocol(5).expect("no violations");
+        assert!(stats.sequences > 10_000, "walk too small: {stats:?}");
+    }
+
+    #[test]
+    fn model_catches_double_done() {
+        // Force the bug by hand: a session marked not-done after its
+        // terminal frame must trip the audit.
+        let mut s = MState::new();
+        s.admit(true, false, TOTAL_STEPS, TOTAL_STEPS);
+        s.apply(POp::Advance).unwrap(); // emits the terminal frame
+        s.sessions[0].done = false;
+        s.sessions[0].live = true;
+        let err = s.apply(POp::Advance).unwrap_err();
+        assert!(err.contains("two terminal frames"), "{err}");
+    }
+
+    #[test]
+    fn drain_invariant_catches_stranded_sessions() {
+        let mut s = MState::new();
+        s.admit(true, false, 0, TOTAL_STEPS);
+        s.apply(POp::Drain).unwrap();
+        // Resurrect a drained session illegally: the next drain check
+        // must notice a live session remains after drain.
+        s.sessions[0].live = true;
+        s.sessions[0].done = false;
+        let err = s.check(POp::Drain).unwrap_err();
+        assert!(
+            err.contains("done flag out of sync") || err.contains("still live"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn replay_small_sample_conforms() {
+        let stats = replay_conformance(2).expect("conformance");
+        assert!(stats.scripts > 20);
+        assert!(stats.frames > stats.scripts);
+    }
+}

@@ -1,0 +1,816 @@
+//! A loom-style bounded schedule explorer for the concurrency layer.
+//!
+//! The real `parworker` primitives are mutex+condvar code whose failure
+//! modes (lost wakeups, double-delivery, deadlock) only appear under
+//! particular interleavings. This module re-expresses their *semantics*
+//! as small deterministic state machines ([`Model`]) and enumerates every
+//! interleaving of 2–3 virtual threads over short op scripts by DFS,
+//! checking invariants at each state and at every terminal state. A
+//! schedule that the OS scheduler might produce once a month is visited
+//! here on every CI run.
+//!
+//! The models mirror the shipped implementations:
+//! - [`ChannelModel`] — `parworker::channel` MPMC semantics: `send` fails
+//!   only when all receivers are gone, `recv` blocks until a value or all
+//!   senders are gone, values still queued when the last receiver drops
+//!   are silently discarded.
+//! - [`StealPoolModel`] — `parworker::steal` rounds: shared task bag,
+//!   `pending` decremented before panic recording, first panic wins,
+//!   panicking workers retire, the master observes the panic, clears the
+//!   bag and poisons the pool.
+//! - [`LaneGuardModel`] — the fusion coordinator's Drop guard: a lane
+//!   thread sends `Done` even when it panics mid-batch, so the
+//!   coordinator's drain loop always terminates.
+
+/// What one virtual-thread step did. `step` must be deterministic and
+/// must leave the state untouched for `Blocked` / `Finished`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The thread took a step; the state changed.
+    Progressed,
+    /// The thread is waiting on another thread (condvar wait, full stop).
+    Blocked,
+    /// The thread has run its whole script.
+    Finished,
+}
+
+/// A small concurrent system the explorer can enumerate.
+pub trait Model {
+    /// Cloneable snapshot of the whole system.
+    type State: Clone;
+
+    /// Display name used in violations and reports.
+    fn name(&self) -> &'static str;
+    /// Number of virtual threads.
+    fn threads(&self) -> usize;
+    /// The state before any thread runs.
+    fn initial(&self) -> Self::State;
+    /// Runs one atomic step of thread `tid`.
+    fn step(&self, state: &mut Self::State, tid: usize) -> Step;
+    /// Invariant checked at every reachable state.
+    fn check(&self, _state: &Self::State) -> Result<(), String> {
+        Ok(())
+    }
+    /// Invariant checked at every terminal state (all threads finished).
+    fn check_final(&self, state: &Self::State) -> Result<(), String>;
+}
+
+/// Exploration counters for the report.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExploreStats {
+    /// Complete schedules (paths to a terminal state) enumerated.
+    pub schedules: u64,
+    /// Individual thread steps taken across all schedules.
+    pub steps: u64,
+}
+
+/// An invariant failure, with the schedule that reached it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which model failed.
+    pub model: String,
+    /// What went wrong.
+    pub message: String,
+    /// The thread-id sequence that reproduces it.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} (schedule {:?})",
+            self.model, self.message, self.schedule
+        )
+    }
+}
+
+/// Runaway guard: no scenario in this suite needs more than this many
+/// steps; hitting it means a model bug, reported as a violation rather
+/// than an OOM.
+const STEP_BUDGET: u64 = 50_000_000;
+
+/// Exhaustively explores every interleaving of `m`'s threads.
+///
+/// # Errors
+/// The first [`Violation`] found: a failed `check`/`check_final`, a
+/// deadlock (some thread blocked, none runnable), or a blown step budget.
+pub fn explore<M: Model>(m: &M) -> Result<ExploreStats, Violation> {
+    let mut stats = ExploreStats::default();
+    let mut trace = Vec::new();
+    dfs(m, &m.initial(), &mut trace, &mut stats)?;
+    Ok(stats)
+}
+
+fn dfs<M: Model>(
+    m: &M,
+    state: &M::State,
+    trace: &mut Vec<usize>,
+    stats: &mut ExploreStats,
+) -> Result<(), Violation> {
+    let violation = |message: String, trace: &[usize]| Violation {
+        model: m.name().to_string(),
+        message,
+        schedule: trace.to_vec(),
+    };
+    m.check(state).map_err(|e| violation(e, trace))?;
+    let mut progressed = false;
+    let mut blocked = false;
+    let mut finished = 0usize;
+    for tid in 0..m.threads() {
+        let mut next = state.clone();
+        match m.step(&mut next, tid) {
+            Step::Progressed => {
+                progressed = true;
+                stats.steps += 1;
+                if stats.steps > STEP_BUDGET {
+                    return Err(violation("step budget exceeded".to_string(), trace));
+                }
+                trace.push(tid);
+                dfs(m, &next, trace, stats)?;
+                trace.pop();
+            }
+            Step::Blocked => blocked = true,
+            Step::Finished => finished += 1,
+        }
+    }
+    if finished == m.threads() {
+        stats.schedules += 1;
+        m.check_final(state).map_err(|e| violation(e, trace))?;
+    } else if !progressed && blocked {
+        return Err(violation(
+            "deadlock: unfinished threads and none runnable".to_string(),
+            trace,
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// MPMC channel model
+// ---------------------------------------------------------------------------
+
+/// One scripted channel operation. Thread scripts must end sender/receiver
+/// roles with an explicit `Drop*` op — that models the scope-end `Drop`
+/// the real code relies on, and without it a peer `Recv` would report a
+/// false deadlock.
+#[derive(Debug, Clone, Copy)]
+pub enum ChanOp {
+    /// `tx.send(v)` — fails (but does not block) when no receivers remain.
+    Send(u32),
+    /// Drop this thread's sender handle.
+    DropSender,
+    /// `rx.recv()` — blocks until a value arrives or all senders are gone.
+    Recv,
+    /// Drop this thread's receiver handle.
+    DropReceiver,
+}
+
+/// The MPMC channel under a fixed set of per-thread scripts.
+pub struct ChannelModel {
+    /// One op script per virtual thread.
+    pub scripts: Vec<Vec<ChanOp>>,
+    /// Display name for the scenario.
+    pub scenario: &'static str,
+}
+
+/// Snapshot of the channel plus the observations the invariants need.
+#[derive(Debug, Clone)]
+pub struct ChanState {
+    pc: Vec<usize>,
+    queue: std::collections::VecDeque<u32>,
+    senders: usize,
+    receivers: usize,
+    sent_ok: Vec<u32>,
+    send_err: Vec<u32>,
+    received: Vec<Vec<u32>>,
+    recv_err: Vec<usize>,
+}
+
+impl ChannelModel {
+    fn count_role(&self, pick: fn(&ChanOp) -> bool) -> usize {
+        self.scripts.iter().filter(|s| s.iter().any(&pick)).count()
+    }
+}
+
+impl Model for ChannelModel {
+    type State = ChanState;
+
+    fn name(&self) -> &'static str {
+        self.scenario
+    }
+
+    fn threads(&self) -> usize {
+        self.scripts.len()
+    }
+
+    fn initial(&self) -> ChanState {
+        ChanState {
+            pc: vec![0; self.scripts.len()],
+            queue: std::collections::VecDeque::new(),
+            senders: self.count_role(|op| matches!(op, ChanOp::DropSender)),
+            receivers: self.count_role(|op| matches!(op, ChanOp::DropReceiver)),
+            sent_ok: Vec::new(),
+            send_err: Vec::new(),
+            received: vec![Vec::new(); self.scripts.len()],
+            recv_err: vec![0; self.scripts.len()],
+        }
+    }
+
+    fn step(&self, s: &mut ChanState, tid: usize) -> Step {
+        let script = &self.scripts[tid];
+        let Some(op) = script.get(s.pc[tid]) else {
+            return Step::Finished;
+        };
+        match *op {
+            ChanOp::Send(v) => {
+                if s.receivers == 0 {
+                    s.send_err.push(v);
+                } else {
+                    s.queue.push_back(v);
+                    s.sent_ok.push(v);
+                }
+            }
+            ChanOp::DropSender => s.senders -= 1,
+            ChanOp::Recv => {
+                if let Some(v) = s.queue.pop_front() {
+                    s.received[tid].push(v);
+                } else if s.senders == 0 {
+                    s.recv_err[tid] += 1;
+                } else {
+                    return Step::Blocked;
+                }
+            }
+            ChanOp::DropReceiver => s.receivers -= 1,
+        }
+        s.pc[tid] += 1;
+        Step::Progressed
+    }
+
+    fn check(&self, s: &ChanState) -> Result<(), String> {
+        // No value is ever delivered twice, at any point in any schedule.
+        let mut seen = Vec::new();
+        for per_thread in &s.received {
+            for v in per_thread {
+                if seen.contains(v) {
+                    return Err(format!("value {v} received twice"));
+                }
+                seen.push(*v);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &ChanState) -> Result<(), String> {
+        // Conservation: everything successfully sent was either received
+        // or still sits in the queue (discarded with the channel).
+        let mut outstanding: Vec<u32> = s.sent_ok.clone();
+        for per_thread in &s.received {
+            for v in per_thread {
+                let Some(at) = outstanding.iter().position(|o| o == v) else {
+                    return Err(format!("received {v} which was never sent"));
+                };
+                outstanding.swap_remove(at);
+            }
+        }
+        let mut leftover: Vec<u32> = s.queue.iter().copied().collect();
+        outstanding.sort_unstable();
+        leftover.sort_unstable();
+        if outstanding != leftover {
+            return Err(format!(
+                "lost values: sent-but-unreceived {outstanding:?} != queued {leftover:?}"
+            ));
+        }
+        // Per-producer FIFO: each consumer sees any one producer's values
+        // in send order (values encode producer*100 + seq).
+        for (tid, per_thread) in s.received.iter().enumerate() {
+            for producer in 0..self.scripts.len() as u32 {
+                let seq: Vec<u32> = per_thread
+                    .iter()
+                    .filter(|v| **v / 100 == producer)
+                    .copied()
+                    .collect();
+                if seq.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(format!(
+                        "consumer {tid} saw producer {producer} out of order: {seq:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StealPool model
+// ---------------------------------------------------------------------------
+
+/// The StealPool's publish/execute/wait round with optional task panics.
+/// Thread 0 is the master; threads `1..=workers` are workers.
+pub struct StealPoolModel {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// `tasks[slot]` is `true` when that task panics during execution.
+    pub tasks: Vec<bool>,
+    /// Display name for the scenario.
+    pub scenario: &'static str,
+}
+
+/// Master progress through its script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MasterPc {
+    Publish,
+    Wait,
+    Shutdown,
+    Done,
+}
+
+/// Snapshot of one pool round.
+#[derive(Debug, Clone)]
+pub struct StealState {
+    master: MasterPc,
+    bag: std::collections::VecDeque<u32>,
+    pending: usize,
+    panic: Option<u32>,
+    shutdown: bool,
+    poisoned: bool,
+    held: Vec<Option<u32>>,
+    retired: Vec<bool>,
+    completed: Vec<u32>,
+}
+
+impl Model for StealPoolModel {
+    type State = StealState;
+
+    fn name(&self) -> &'static str {
+        self.scenario
+    }
+
+    fn threads(&self) -> usize {
+        self.workers + 1
+    }
+
+    fn initial(&self) -> StealState {
+        StealState {
+            master: MasterPc::Publish,
+            bag: std::collections::VecDeque::new(),
+            pending: 0,
+            panic: None,
+            shutdown: false,
+            poisoned: false,
+            held: vec![None; self.workers],
+            retired: vec![false; self.workers],
+            completed: Vec::new(),
+        }
+    }
+
+    fn step(&self, s: &mut StealState, tid: usize) -> Step {
+        if tid == 0 {
+            return match s.master {
+                MasterPc::Publish => {
+                    s.bag = (0..self.tasks.len() as u32).collect();
+                    s.pending = self.tasks.len();
+                    s.master = MasterPc::Wait;
+                    Step::Progressed
+                }
+                MasterPc::Wait => {
+                    // Mirrors the impl: the wait predicate is
+                    // `panic.is_some() || pending == 0`, panic wins.
+                    if s.panic.is_some() {
+                        s.bag.clear();
+                        s.poisoned = true;
+                        s.master = MasterPc::Shutdown;
+                        Step::Progressed
+                    } else if s.pending == 0 {
+                        s.master = MasterPc::Shutdown;
+                        Step::Progressed
+                    } else {
+                        Step::Blocked
+                    }
+                }
+                MasterPc::Shutdown => {
+                    s.shutdown = true;
+                    s.master = MasterPc::Done;
+                    Step::Progressed
+                }
+                MasterPc::Done => Step::Finished,
+            };
+        }
+        let w = tid - 1;
+        if let Some(slot) = s.held[w].take() {
+            // Execute the held task. The impl decrements `pending` before
+            // recording a panic, and only the first panic is kept.
+            s.pending -= 1;
+            if self.tasks[slot as usize] {
+                s.panic.get_or_insert(slot);
+                s.retired[w] = true;
+            } else {
+                s.completed.push(slot);
+            }
+            return Step::Progressed;
+        }
+        if s.retired[w] {
+            return Step::Finished;
+        }
+        if let Some(slot) = s.bag.pop_front() {
+            s.held[w] = Some(slot);
+            return Step::Progressed;
+        }
+        if s.shutdown {
+            return Step::Finished;
+        }
+        Step::Blocked
+    }
+
+    fn check(&self, s: &StealState) -> Result<(), String> {
+        let mut seen = Vec::new();
+        for slot in &s.completed {
+            if seen.contains(slot) {
+                return Err(format!("task {slot} completed twice"));
+            }
+            seen.push(*slot);
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &StealState) -> Result<(), String> {
+        let any_panic = self.tasks.iter().any(|p| *p);
+        if !any_panic {
+            if s.completed.len() != self.tasks.len() {
+                return Err(format!(
+                    "lost tasks: {} of {} completed",
+                    s.completed.len(),
+                    self.tasks.len()
+                ));
+            }
+            if s.pending != 0 {
+                return Err(format!("pending {} after a clean round", s.pending));
+            }
+            if s.poisoned {
+                return Err("pool poisoned without a panic".to_string());
+            }
+            return Ok(());
+        }
+        if !s.poisoned {
+            return Err("task panicked but the master never observed it".to_string());
+        }
+        for (slot, panics) in self.tasks.iter().enumerate() {
+            if *panics && s.completed.contains(&(slot as u32)) {
+                return Err(format!("panicking task {slot} reported as completed"));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fusion lane-guard model
+// ---------------------------------------------------------------------------
+
+/// One scripted lane op for [`LaneGuardModel`].
+#[derive(Debug, Clone, Copy)]
+pub enum LaneOp {
+    /// Send one scored batch to the coordinator.
+    Batch(u32),
+    /// Finish cleanly — the guard drops and sends `Done`.
+    Finish,
+    /// Panic mid-lane — the guard *still* drops and sends `Done`.
+    Panic,
+}
+
+/// The fusion coordinator with `lanes.len()` lane threads. Thread 0 is
+/// the coordinator; it drains batches until every lane has delivered its
+/// `Done` marker.
+pub struct LaneGuardModel {
+    /// Per-lane scripts; each must end with `Finish` or `Panic`.
+    pub lanes: Vec<Vec<LaneOp>>,
+    /// Display name for the scenario.
+    pub scenario: &'static str,
+}
+
+/// A coordinator-queue message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LaneMsg {
+    Batch(u32),
+    Done,
+}
+
+/// Snapshot of the fused scoring round.
+#[derive(Debug, Clone)]
+pub struct LaneState {
+    pc: Vec<usize>,
+    queue: std::collections::VecDeque<LaneMsg>,
+    done_seen: usize,
+    scored: Vec<u32>,
+    sent: Vec<u32>,
+}
+
+impl Model for LaneGuardModel {
+    type State = LaneState;
+
+    fn name(&self) -> &'static str {
+        self.scenario
+    }
+
+    fn threads(&self) -> usize {
+        self.lanes.len() + 1
+    }
+
+    fn initial(&self) -> LaneState {
+        LaneState {
+            pc: vec![0; self.lanes.len()],
+            queue: std::collections::VecDeque::new(),
+            done_seen: 0,
+            scored: Vec::new(),
+            sent: Vec::new(),
+        }
+    }
+
+    fn step(&self, s: &mut LaneState, tid: usize) -> Step {
+        if tid == 0 {
+            if s.done_seen == self.lanes.len() {
+                return Step::Finished;
+            }
+            let Some(msg) = s.queue.pop_front() else {
+                return Step::Blocked;
+            };
+            match msg {
+                LaneMsg::Batch(id) => s.scored.push(id),
+                LaneMsg::Done => s.done_seen += 1,
+            }
+            return Step::Progressed;
+        }
+        let lane = tid - 1;
+        let Some(op) = self.lanes[lane].get(s.pc[lane]) else {
+            return Step::Finished;
+        };
+        match *op {
+            LaneOp::Batch(id) => {
+                s.queue.push_back(LaneMsg::Batch(id));
+                s.sent.push(id);
+                s.pc[lane] += 1;
+            }
+            LaneOp::Finish | LaneOp::Panic => {
+                // Either way the Drop guard fires: Done is delivered and
+                // any ops after a panic never run.
+                s.queue.push_back(LaneMsg::Done);
+                s.pc[lane] = self.lanes[lane].len();
+            }
+        }
+        Step::Progressed
+    }
+
+    fn check_final(&self, s: &LaneState) -> Result<(), String> {
+        if s.done_seen != self.lanes.len() {
+            return Err(format!(
+                "coordinator saw {} Done markers for {} lanes",
+                s.done_seen,
+                self.lanes.len()
+            ));
+        }
+        let mut scored = s.scored.clone();
+        let mut sent = s.sent.clone();
+        scored.sort_unstable();
+        sent.sort_unstable();
+        if scored != sent {
+            return Err(format!("scored {scored:?} != sent {sent:?}"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The scenario suite
+// ---------------------------------------------------------------------------
+
+/// One explored scenario's counters, for the report.
+#[derive(Debug, Clone)]
+pub struct ModelRun {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Counters from the exhaustive exploration.
+    pub stats: ExploreStats,
+}
+
+/// Explores every concurrency scenario in the suite. `quick` currently
+/// runs the same set — the whole suite is sub-second — but is plumbed so
+/// CI and the full harness share one entry point.
+///
+/// # Errors
+/// The first [`Violation`] any scenario finds.
+pub fn verify_concurrency(_quick: bool) -> Result<Vec<ModelRun>, Violation> {
+    use ChanOp::{DropReceiver, DropSender, Recv, Send};
+    let mut runs = Vec::new();
+    let mut run =
+        |name: &'static str, stats: Result<ExploreStats, Violation>| -> Result<(), Violation> {
+            runs.push(ModelRun {
+                name,
+                stats: stats?,
+            });
+            Ok(())
+        };
+
+    // Channel, 2 threads, ≤4 ops each: the producer/consumer pair with a
+    // trailing recv that must observe the hangup error, never a deadlock.
+    run(
+        "channel/1p1c-hangup",
+        explore(&ChannelModel {
+            scenario: "channel/1p1c-hangup",
+            scripts: vec![
+                vec![Send(101), Send(102), Send(103), DropSender],
+                vec![Recv, Recv, Recv, Recv, DropReceiver],
+            ],
+        }),
+    )?;
+
+    // Channel, 3 threads: two producers racing into one consumer.
+    run(
+        "channel/2p1c",
+        explore(&ChannelModel {
+            scenario: "channel/2p1c",
+            scripts: vec![
+                vec![Send(101), Send(102), DropSender],
+                vec![Send(201), Send(202), DropSender],
+                vec![Recv, Recv, Recv, Recv, Recv, DropReceiver],
+            ],
+        }),
+    )?;
+
+    // Channel, 3 threads: one producer, two consumers splitting an odd
+    // number of values — the loser must get the hangup error, not block.
+    run(
+        "channel/1p2c",
+        explore(&ChannelModel {
+            scenario: "channel/1p2c",
+            scripts: vec![
+                vec![Send(101), Send(102), Send(103), DropSender],
+                vec![Recv, Recv, DropReceiver],
+                vec![Recv, Recv, DropReceiver],
+            ],
+        }),
+    )?;
+
+    // Channel, 2 threads: the receiver drops first in some schedules —
+    // sends must fail cleanly and queued values may be discarded.
+    run(
+        "channel/receiver-drops-first",
+        explore(&ChannelModel {
+            scenario: "channel/receiver-drops-first",
+            scripts: vec![vec![Send(101), Send(102), DropSender], vec![DropReceiver]],
+        }),
+    )?;
+
+    // StealPool, clean round: 2 workers, 4 tasks, every task completes
+    // exactly once and the master's wait terminates.
+    run(
+        "steal/clean-round",
+        explore(&StealPoolModel {
+            scenario: "steal/clean-round",
+            workers: 2,
+            tasks: vec![false, false, false, false],
+        }),
+    )?;
+
+    // StealPool, panic round: task 1 panics; the master must observe the
+    // poison, the round must not deadlock, nothing completes twice.
+    run(
+        "steal/panic-round",
+        explore(&StealPoolModel {
+            scenario: "steal/panic-round",
+            workers: 2,
+            tasks: vec![false, true, false],
+        }),
+    )?;
+
+    // StealPool, single worker with a panic: the retiring worker must not
+    // strand the master.
+    run(
+        "steal/1-worker-panic",
+        explore(&StealPoolModel {
+            scenario: "steal/1-worker-panic",
+            workers: 1,
+            tasks: vec![true, false],
+        }),
+    )?;
+
+    // Lane guard, clean: both lanes deliver batches then Done.
+    run(
+        "fusion/lanes-clean",
+        explore(&LaneGuardModel {
+            scenario: "fusion/lanes-clean",
+            lanes: vec![
+                vec![LaneOp::Batch(1), LaneOp::Batch(2), LaneOp::Finish],
+                vec![LaneOp::Batch(3), LaneOp::Batch(4), LaneOp::Finish],
+            ],
+        }),
+    )?;
+
+    // Lane guard, panic: lane 1 dies after one batch — the Drop guard's
+    // Done must still arrive or the coordinator drains forever.
+    run(
+        "fusion/lane-panics",
+        explore(&LaneGuardModel {
+            scenario: "fusion/lane-panics",
+            lanes: vec![
+                vec![LaneOp::Batch(1), LaneOp::Panic, LaneOp::Batch(2)],
+                vec![LaneOp::Batch(3), LaneOp::Finish],
+            ],
+        }),
+    )?;
+
+    Ok(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_violation_free() {
+        let runs = verify_concurrency(true).expect("no violations");
+        assert_eq!(runs.len(), 9);
+        for r in &runs {
+            assert!(r.stats.schedules > 0, "{} explored nothing", r.name);
+        }
+    }
+
+    #[test]
+    fn explorer_detects_deadlock() {
+        // A consumer with no producer and no hangup: classic lost-wakeup
+        // shape. The explorer must call it out, not hang.
+        let m = ChannelModel {
+            scenario: "test/deadlock",
+            scripts: vec![
+                vec![ChanOp::Recv, ChanOp::DropReceiver],
+                // A sender that never sends and never drops cleanly is
+                // not expressible; emulate by a second consumer holding
+                // the sender count open via an artificial script: use a
+                // producer that blocks forever by receiving.
+                vec![ChanOp::Send(1), ChanOp::Recv, ChanOp::DropSender],
+            ],
+        };
+        let err = explore(&m).unwrap_err();
+        assert!(err.message.contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn explorer_detects_double_delivery() {
+        // A deliberately broken channel: recv peeks instead of popping.
+        struct Broken;
+        #[derive(Clone)]
+        struct S {
+            pc: Vec<usize>,
+            queue: Vec<u32>,
+            got: Vec<u32>,
+        }
+        impl Model for Broken {
+            type State = S;
+            fn name(&self) -> &'static str {
+                "test/broken"
+            }
+            fn threads(&self) -> usize {
+                2
+            }
+            fn initial(&self) -> S {
+                S {
+                    pc: vec![0; 2],
+                    queue: vec![7],
+                    got: Vec::new(),
+                }
+            }
+            fn step(&self, s: &mut S, tid: usize) -> Step {
+                if s.pc[tid] >= 1 {
+                    return Step::Finished;
+                }
+                if let Some(v) = s.queue.first().copied() {
+                    s.got.push(v); // bug: no pop
+                }
+                s.pc[tid] += 1;
+                Step::Progressed
+            }
+            fn check_final(&self, s: &S) -> Result<(), String> {
+                if s.got.len() > 1 {
+                    return Err(format!("value delivered {} times", s.got.len()));
+                }
+                Ok(())
+            }
+        }
+        let err = explore(&Broken).unwrap_err();
+        assert!(err.message.contains("delivered"), "{err}");
+        assert_eq!(err.schedule.len(), 2);
+    }
+
+    #[test]
+    fn steal_pool_counts_match_hand_enumeration() {
+        // 1 worker, 1 task: publish → take → execute → (wait) → shutdown
+        // → worker sees shutdown. Exactly one schedule modulo the
+        // blocked-master reorderings the explorer prunes.
+        let stats = explore(&StealPoolModel {
+            scenario: "test/tiny",
+            workers: 1,
+            tasks: vec![false],
+        })
+        .unwrap();
+        assert_eq!(stats.schedules, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Golden-fixture pins for every lint rule: a violating form, an
+//! allowed-escape form, and a lookalike that must NOT be flagged. The
+//! fixtures live under `fixtures/` (excluded from the workspace walk) and
+//! their line numbers are pinned here, so any matcher drift — a rule that
+//! stops firing, fires on the lookalike, or stops honouring its escape
+//! hatch — fails this suite with the exact line that moved.
+
+use ess_analysis::lint::{self, Scope};
+
+/// (rule, line, allowed) triples actually produced for a fixture.
+fn shape(src: &str, scope: Scope) -> Vec<(&'static str, usize, bool)> {
+    lint::lint_source("fixture.rs", src, scope)
+        .into_iter()
+        .map(|f| (f.rule, f.line, f.allowed))
+        .collect()
+}
+
+/// The neutral scope: every rule armed, no exemptions.
+fn strict() -> Scope {
+    lint::scope_for("crates/service/src/fixture.rs")
+}
+
+#[test]
+fn partial_cmp_unwrap_fixture() {
+    let src = include_str!("../fixtures/partial_cmp_unwrap.rs");
+    assert_eq!(
+        shape(src, strict()),
+        vec![
+            (lint::PARTIAL_CMP_UNWRAP, 6, false),
+            (lint::PARTIAL_CMP_UNWRAP, 12, true),
+        ]
+    );
+}
+
+#[test]
+fn hash_container_fixture() {
+    let src = include_str!("../fixtures/hash_container.rs");
+    let deterministic = lint::scope_for("crates/ess/src/fixture.rs");
+    assert_eq!(
+        shape(src, deterministic),
+        vec![
+            (lint::HASH_CONTAINER, 4, false),
+            (lint::HASH_CONTAINER, 6, false),
+            (lint::HASH_CONTAINER, 7, false),
+            (lint::HASH_CONTAINER, 12, true),
+        ]
+    );
+    // Outside the deterministic crates the same source is clean (the
+    // stale-allow meta-finding replaces the suppressed one).
+    assert_eq!(shape(src, strict()), vec![(lint::UNUSED_ALLOW, 11, false)]);
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let src = include_str!("../fixtures/wall_clock.rs");
+    assert_eq!(
+        shape(src, strict()),
+        vec![
+            (lint::WALL_CLOCK, 7, false),
+            (lint::WALL_CLOCK, 11, false),
+            (lint::WALL_CLOCK, 16, true),
+        ]
+    );
+    // Bench scope: timing-exempt, so only the now-stale allow surfaces.
+    let bench = lint::scope_for("crates/bench/src/fixture.rs");
+    assert_eq!(shape(src, bench), vec![(lint::UNUSED_ALLOW, 15, false)]);
+}
+
+#[test]
+fn thread_spawn_fixture() {
+    let src = include_str!("../fixtures/thread_spawn.rs");
+    assert_eq!(
+        shape(src, strict()),
+        vec![
+            (lint::THREAD_SPAWN, 5, false),
+            (lint::THREAD_SPAWN, 11, true),
+        ]
+    );
+    // parworker scope: spawning is that crate's job.
+    let pool = lint::scope_for("crates/parworker/src/fixture.rs");
+    assert_eq!(shape(src, pool), vec![(lint::UNUSED_ALLOW, 10, false)]);
+}
+
+#[test]
+fn no_alloc_fixture() {
+    let src = include_str!("../fixtures/no_alloc.rs");
+    assert_eq!(
+        shape(src, strict()),
+        vec![
+            (lint::NO_ALLOC, 6, false),
+            (lint::NO_ALLOC, 7, false),
+            (lint::NO_ALLOC, 24, true),
+        ]
+    );
+}
+
+#[test]
+fn allow_misuse_fixture() {
+    let src = include_str!("../fixtures/allow_misuse.rs");
+    assert_eq!(
+        shape(src, strict()),
+        vec![
+            (lint::UNUSED_ALLOW, 5, false),
+            (lint::INVALID_ALLOW, 10, false),
+            (lint::INVALID_ALLOW, 15, false),
+            (lint::THREAD_SPAWN, 16, false),
+        ]
+    );
+}
+
+#[test]
+fn workspace_ships_green() {
+    // The repo's own tree must lint clean: every finding carries a
+    // justified allow. This is the same invariant `harness lint` enforces
+    // in CI, pinned here so `cargo test` alone catches a regression.
+    let root = lint::find_workspace_root().expect("test runs inside the workspace");
+    let report = lint::lint_workspace(&root).expect("workspace scan");
+    let unallowed = report.unallowed();
+    assert!(
+        unallowed.is_empty(),
+        "unallowed lint findings:\n{}",
+        unallowed
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "walk found too few files");
+}

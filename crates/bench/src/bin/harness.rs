@@ -28,6 +28,8 @@
 //!   fusion      F         — cross-session batch fusion vs per-session rounds (+ BENCH_fusion.json)
 //!   landscape   K         — heap vs bucket simulation kernels on the XL corpus (+ BENCH_landscape.json)
 //!   serve                 — line-delimited JSON prediction service on stdin/stdout
+//!   lint                  — workspace source lint pass (+ LINT_findings.json)
+//!   verify-invariants     — model checking + adversarial invariant suite (+ INVARIANTS.json)
 //! ```
 //!
 //! `all` regenerates every paper artifact (table1 … e10); `workloads`,
@@ -140,7 +142,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|loadgen|fusion|landscape|serve|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--policy round-robin|weighted-fair-share|deadline-first] [--quick] [--fused] [--self-test] [--self-test-v2] [--out DIR]".to_string()
+    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|loadgen|fusion|landscape|serve|lint|verify-invariants|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--policy round-robin|weighted-fair-share|deadline-first] [--quick] [--fused] [--self-test] [--self-test-v2] [--out DIR]".to_string()
 }
 
 fn emit(args: &Args, id: &str, title: &str, table: &TextTable) {
@@ -173,9 +175,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // The prediction server: not an experiment, so it dispatches first.
+    // The prediction server and the correctness tools: not experiments,
+    // so they dispatch first.
     if args.experiment == "serve" {
         return serve_main(&args);
+    }
+    if args.experiment == "lint" {
+        return lint_main(&args);
+    }
+    if args.experiment == "verify-invariants" {
+        return verify_main(&args);
     }
 
     // Misspelled case names fail up front with a one-line error naming the
@@ -377,6 +386,107 @@ fn main() -> ExitCode {
         eprintln!("unknown experiment '{}'\n{}", args.experiment, usage());
         return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
+}
+
+/// `harness lint`: the workspace source pass. Prints every finding
+/// (allowed ones as the audit trail, unallowed ones as errors), writes
+/// `reports/LINT_findings.json`, and fails the process when any finding
+/// lacks a justified `// lint: allow(...)`.
+fn lint_main(args: &Args) -> ExitCode {
+    use ess_analysis::lint;
+    let root = match lint::find_workspace_root() {
+        Some(root) => root,
+        None => {
+            eprintln!("lint: no enclosing Cargo workspace found");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let allowed = report.findings.iter().filter(|f| f.allowed).count();
+    for f in &report.findings {
+        if f.allowed {
+            let reason = f.reason.as_deref().unwrap_or("");
+            println!("allow  {}:{} [{}] {reason}", f.file, f.line, f.rule);
+        }
+    }
+    for f in report.unallowed() {
+        eprintln!("error  {}:{} [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    let path = args.out.join("LINT_findings.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, report.to_json().to_pretty()) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("[warn] could not write {}: {e}", path.display()),
+    }
+    let unallowed = report.unallowed().len();
+    println!(
+        "lint: {} files scanned, {allowed} allowed finding(s), {unallowed} unallowed",
+        report.files_scanned
+    );
+    if unallowed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `harness verify-invariants [--quick]`: bounded model checking of the
+/// concurrency and protocol layers plus the adversarial fuzz and firelib
+/// invariant drivers. Writes `reports/INVARIANTS.json`; any violation
+/// prints a reproducible description and fails the process.
+fn verify_main(args: &Args) -> ExitCode {
+    let budget = if args.quick {
+        ess_analysis::VerifyBudget::quick()
+    } else {
+        ess_analysis::VerifyBudget::full()
+    };
+    let report = match ess_analysis::verify_all(0x2022_1995, budget) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("verify-invariants: VIOLATION\n{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for run in &report.concurrency {
+        println!(
+            "checked {:<24} {:>8} schedules {:>10} steps",
+            run.name, run.stats.schedules, run.stats.steps
+        );
+    }
+    println!(
+        "protocol walk: depth {} → {} op sequences over {} states",
+        report.walk.depth, report.walk.sequences, report.walk.states
+    );
+    println!(
+        "serve conformance: {} scripts, {} requests, {} frames checked",
+        report.replay.scripts, report.replay.requests, report.replay.frames
+    );
+    println!(
+        "fuzz: jsonio {} inputs ({} accepted), envelopes {}, serve lines {}",
+        report.jsonio.inputs, report.jsonio.accepted, report.envelopes.inputs, report.serve.inputs
+    );
+    println!(
+        "firelib: {} landscapes / {} cells bit-identical across kernels, {} hostile samples",
+        report.firelib.terrains, report.firelib.cells, report.hostile.ros_samples
+    );
+    let path = args.out.join("INVARIANTS.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, report.to_json().to_pretty()) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("[warn] could not write {}: {e}", path.display()),
+    }
+    println!("verify-invariants: all invariants hold");
     ExitCode::SUCCESS
 }
 

@@ -1653,6 +1653,7 @@ pub fn landscape_sweep(quick: bool, out: &std::path::Path) -> TextTable {
                 for chunk_scenarios in scenarios.chunks(chunk) {
                     let sim = &sim;
                     let w = &w;
+                    // lint: allow(thread-spawn) — the scoped-thread baseline the pool is benchmarked against
                     handles.push(scope.spawn(move || {
                         let mut arena = sim.arena();
                         chunk_scenarios

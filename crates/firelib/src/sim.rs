@@ -158,6 +158,7 @@ impl BucketQueue {
         (((t - self.base) * self.inv_delta) as usize).min(BUCKETS - 1)
     }
 
+    // lint: no_alloc
     #[inline]
     fn push(&mut self, t: f64, idx: u32) {
         self.len += 1;
@@ -200,6 +201,7 @@ impl BucketQueue {
         }
     }
 
+    // lint: no_alloc
     fn pop(&mut self) -> Option<(f64, u32)> {
         if self.len == 0 {
             return None;
@@ -633,6 +635,7 @@ impl FireSim {
     /// The wind/slope half of the spread math, one linear pass over the
     /// gathered SoA buffers: `scratch.per_cell[i]` becomes the directional
     /// table of the cell whose inputs sit at index `i`.
+    // lint: no_alloc
     fn spread_kernel(
         scratch: &mut SpreadScratch,
         beds: &[FuelBed],
@@ -659,7 +662,12 @@ impl FireSim {
                 };
                 wind_slope_from_ros0(&beds[code], ros0, rx_int, &inputs)
             };
-            per_cell.push(v.compass_ros());
+            let table = v.compass_ros();
+            debug_assert!(
+                table.iter().all(|ros| ros.is_finite() && *ros >= 0.0),
+                "non-finite or negative ROS in spread table at SoA index {idx}: {table:?}"
+            );
+            per_cell.push(table);
         }
     }
 
@@ -680,6 +688,7 @@ impl FireSim {
     /// moisture), and [`wind_slope_max`] is exactly `no_wind_no_slope`
     /// composed with [`wind_slope_from_ros0`] — pinned by the arena
     /// regression suite.
+    // lint: no_alloc
     fn fill_per_cell(&self, scenario: &Scenario, scratch: &mut SpreadScratch) {
         let t = &*self.terrain;
         let n = t.rows() * t.cols();
@@ -749,6 +758,7 @@ impl FireSim {
     /// full-raster gather uses on the same cell (the loops walk per-row
     /// sub-slices of the same layers), so the window tables are
     /// bit-identical to the corresponding full-raster entries.
+    // lint: no_alloc
     fn fill_per_cell_window(
         &self,
         scenario: &Scenario,
@@ -841,6 +851,7 @@ impl FireSim {
     /// wind/slope kernel, so the result is bit-identical to the table the
     /// full gather would have produced — pinned by the
     /// `fallback_cell_table_matches_gathered_fill` test.
+    // lint: no_alloc
     fn cell_table_at(
         &self,
         r: usize,
@@ -999,6 +1010,7 @@ impl FireSim {
     /// implementation behind `simulate`/`simulate_into` and the oracle the
     /// bucket kernel is pinned against.
     #[allow(clippy::too_many_arguments)]
+    // lint: no_alloc
     fn run_dijkstra(
         &self,
         scenario: &Scenario,
@@ -1086,7 +1098,21 @@ impl FireSim {
             heap.push((Reverse(Time(t0)), idx as u32));
         }
 
+        // Pop order IS the kernel-equivalence contract: ascending time,
+        // ties broken by larger cell index. Audited in debug builds.
+        #[cfg(debug_assertions)]
+        let mut prev_pop: Option<(f64, u32)> = None;
         while let Some((Reverse(Time(t)), idx)) = heap.pop() {
+            #[cfg(debug_assertions)]
+            {
+                if let Some((pt, pi)) = prev_pop {
+                    debug_assert!(
+                        pt < t || (pt == t && pi >= idx),
+                        "heap pop order regressed: ({pt}, {pi}) then ({t}, {idx})"
+                    );
+                }
+                prev_pop = Some((t, idx));
+            }
             let idx = idx as usize;
             let (r, c) = (idx / cols, idx % cols);
             if t > out.time(r, c) + SMIDGEN {
@@ -1122,6 +1148,7 @@ impl FireSim {
     /// [`FireSim::run_dijkstra`] (see the module docs for the ordering
     /// argument); the work and memory touched scale with the reachable
     /// window instead of the raster.
+    // lint: no_alloc
     fn run_bucket(
         &self,
         scenario: &Scenario,
@@ -1288,7 +1315,23 @@ impl FireSim {
             rows: win.rows,
         };
 
+        // The bucket queue must reproduce the reference heap's pop order
+        // exactly (ascending time, ties broken by larger cell index) —
+        // that order is the whole bit-identity argument. Audited in debug
+        // builds.
+        #[cfg(debug_assertions)]
+        let mut prev_pop: Option<(f64, u32)> = None;
         while let Some((t, idx)) = queue.pop() {
+            #[cfg(debug_assertions)]
+            {
+                if let Some((pt, pi)) = prev_pop {
+                    debug_assert!(
+                        pt < t || (pt == t && pi >= idx),
+                        "bucket pop order regressed: ({pt}, {pi}) then ({t}, {idx})"
+                    );
+                }
+                prev_pop = Some((t, idx));
+            }
             let idx = idx as usize;
             let (r, c) = (idx / cols, idx % cols);
             if t > out.time(r, c) + SMIDGEN {

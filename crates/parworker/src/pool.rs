@@ -70,6 +70,7 @@ impl<T: Send + 'static, R: Send + 'static> WorkerPool<T, R> {
                         // The receive loop ends when every Sender is
                         // dropped (pool shutdown).
                         while let Ok((idx, task)) = task_rx.recv() {
+                            // lint: allow(wall-clock) — per-task busy-time telemetry; never feeds back into results
                             let t = Instant::now();
                             // Catch panics so a crashing work function
                             // surfaces in the master instead of deadlocking

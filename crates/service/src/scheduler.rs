@@ -347,6 +347,7 @@ impl Scheduler {
                     let lane = tx.clone();
                     let reports = report_tx.clone();
                     let (driver, optimizer) = session.step_parts();
+                    // lint: allow(thread-spawn) — fused-round lanes are scoped threads joined before the round returns; evaluation still flows through the shared pool
                     scope.spawn(move || {
                         // However this thread exits — step done, step
                         // panicked, no evaluator ever built — tell the

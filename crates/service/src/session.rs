@@ -286,6 +286,7 @@ impl PredictionSession {
             return StepPlan::Settled(done.clone());
         }
         let sw = Stopwatch::start();
+        // lint: allow(wall-clock) — deadline-first scheduling needs real elapsed time; fitness results never depend on it
         let started = *self.started.get_or_insert_with(Instant::now);
 
         if self.driver.is_finished() {

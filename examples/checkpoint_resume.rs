@@ -19,6 +19,7 @@ fn main() {
     // One serve loop, weighted-fair-share scheduling, a 2-worker pool.
     let (req_w, req_r) = pipe::duplex();
     let (resp_w, resp_r) = pipe::duplex();
+    // lint: allow(thread-spawn) — the example hosts the server on a helper thread to drive it in-process
     let server = std::thread::spawn(move || {
         serve_with(
             BufReader::new(req_r),
