@@ -26,7 +26,7 @@
 //!   novelty     N         — novelty-engine sweep: pop × archive × engine (+ BENCH_novelty.json)
 //!   loadgen     L         — protocol-v2 load generation per scheduling policy (+ BENCH_serve_v2.json)
 //!   fusion      F         — cross-session batch fusion vs per-session rounds (+ BENCH_fusion.json)
-//!   landscape   K         — heap vs bucket simulation kernels on the XL corpus (+ BENCH_landscape.json)
+//!   landscape   K         — heap vs bucket vs tiled simulation kernels on the XL corpus (+ BENCH_landscape.json, bench_summary.md)
 //!   serve                 — line-delimited JSON prediction service on stdin/stdout
 //!   lint                  — workspace source lint pass (+ LINT_findings.json)
 //!   verify-invariants     — model checking + adversarial invariant suite (+ INVARIANTS.json)
@@ -54,8 +54,11 @@
 //! `--backend` selects the scenario-evaluation backend for the
 //! pipeline-driven experiments (results are backend-independent — every
 //! backend produces bit-identical fitness values — so this only changes
-//! wall time; default `serial`); `--quick` shrinks the `workloads` sweep
-//! to smoke-test size (the CI configuration).
+//! wall time; default `serial`); `--kernel` selects the fire-propagation
+//! kernel those experiments simulate with (`heap`, `bucket` or
+//! `tiled[:TILE[xWORKERS]]` — rasters are kernel-independent, so this too
+//! only changes wall time; default `bucket`); `--quick` shrinks the
+//! `workloads` sweep to smoke-test size (the CI configuration).
 //!
 //! `workloads` additionally writes one `BENCH_<workload>.json` per corpus
 //! workload into `--out`, recording evaluation throughput per backend and
@@ -64,6 +67,7 @@
 use ess::fitness::EvalBackend;
 use ess::report::TextTable;
 use ess_benches::experiments as exp;
+use firelib::Kernel;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -75,6 +79,7 @@ struct Args {
     out: PathBuf,
     workers: Vec<usize>,
     backend: EvalBackend,
+    kernel: Kernel,
     policy: ess_service::PolicyKind,
     quick: bool,
     fused: bool,
@@ -99,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("reports"),
         workers: vec![2, 4],
         backend: EvalBackend::Serial,
+        kernel: Kernel::Bucket,
         policy: ess_service::PolicyKind::RoundRobin,
         quick: false,
         fused: false,
@@ -116,6 +122,11 @@ fn parse_args() -> Result<Args, String> {
                 args.backend = value()?
                     .parse()
                     .map_err(|e: parworker::ParseBackendError| e.to_string())?
+            }
+            "--kernel" => {
+                args.kernel = value()?
+                    .parse()
+                    .map_err(|e: firelib::ParseKernelError| e.to_string())?
             }
             "--policy" => {
                 args.policy = value()?
@@ -142,7 +153,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|loadgen|fusion|landscape|serve|lint|verify-invariants|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--policy round-robin|weighted-fair-share|deadline-first] [--quick] [--fused] [--self-test] [--self-test-v2] [--out DIR]".to_string()
+    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|loadgen|fusion|landscape|serve|lint|verify-invariants|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--kernel heap|bucket|tiled[:TILE[xWORKERS]]] [--policy round-robin|weighted-fair-share|deadline-first] [--quick] [--fused] [--self-test] [--self-test-v2] [--out DIR]".to_string()
 }
 
 fn emit(args: &Args, id: &str, title: &str, table: &TextTable) {
@@ -239,7 +250,7 @@ fn main() -> ExitCode {
             &args,
             "e1-quality",
             "E1 — prediction quality per step (Jaccard), per case and method",
-            &exp::e1_quality(&seeds, args.scale, &case_refs, args.backend),
+            &exp::e1_quality(&seeds, args.scale, &case_refs, args.backend, args.kernel),
         );
         ran = true;
     }
@@ -248,7 +259,7 @@ fn main() -> ExitCode {
             &args,
             "e2-diversity",
             "E2 — diversity of the result set fed to the Statistical Stage",
-            &exp::e2_diversity(&seeds, args.scale, &case_refs, args.backend),
+            &exp::e2_diversity(&seeds, args.scale, &case_refs, args.backend, args.kernel),
         );
         ran = true;
     }
@@ -284,7 +295,7 @@ fn main() -> ExitCode {
             &args,
             "e6-tuning",
             "E6 — effect of the ESSIM-DE tuning operators",
-            &exp::e6_tuning(&seeds, args.scale, args.backend),
+            &exp::e6_tuning(&seeds, args.scale, args.backend, args.kernel),
         );
         ran = true;
     }
@@ -293,7 +304,7 @@ fn main() -> ExitCode {
             &args,
             "e7-hybrid",
             "E7 — weighted fitness/novelty scoring ablation",
-            &exp::e7_hybrid(&seeds, args.scale, args.backend),
+            &exp::e7_hybrid(&seeds, args.scale, args.backend, args.kernel),
         );
         ran = true;
     }
@@ -302,7 +313,7 @@ fn main() -> ExitCode {
             &args,
             "e8-ablation",
             "E8 — NS hyper-parameter ablation (k, archive, bestSet, behaviour)",
-            &exp::e8_ablation(&seeds, args.scale, args.backend),
+            &exp::e8_ablation(&seeds, args.scale, args.backend, args.kernel),
         );
         ran = true;
     }
@@ -311,7 +322,7 @@ fn main() -> ExitCode {
             &args,
             "e9-inclusion",
             "E9 — result-set composition under a drifting truth",
-            &exp::e9_inclusion(&seeds, args.scale, args.backend),
+            &exp::e9_inclusion(&seeds, args.scale, args.backend, args.kernel),
         );
         ran = true;
     }
@@ -320,7 +331,7 @@ fn main() -> ExitCode {
             &args,
             "e10-noise",
             "E10 — robustness to observation noise on the fire lines",
-            &exp::e10_noise(&seeds, args.scale, args.backend),
+            &exp::e10_noise(&seeds, args.scale, args.backend, args.kernel),
         );
         ran = true;
     }
@@ -376,7 +387,7 @@ fn main() -> ExitCode {
         emit(
             &args,
             "landscape",
-            "K — simulation kernels on the XL landscape corpus (heap vs bucket, serial vs pool)",
+            "K — simulation kernels on the XL landscape corpus (heap vs bucket vs tiled, serial vs pool)",
             &exp::landscape_sweep(args.quick, &args.out),
         );
         ran = true;

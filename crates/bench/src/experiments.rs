@@ -15,7 +15,7 @@ use ess_service::jsonio::Json;
 use evoalg::benchmarks::{deceptive_trap, two_peaks};
 use evoalg::{BatchEvaluator, GaConfig, GaEngine};
 use firelib::sim::centre_ignition;
-use firelib::{FireSim, Scenario, ScenarioSpace, Terrain};
+use firelib::{FireSim, Kernel, Scenario, ScenarioSpace, Terrain};
 use parworker::{SpeedupRow, Stopwatch};
 use std::sync::Arc;
 
@@ -205,12 +205,15 @@ pub fn run_replicates(
     seeds: &[u64],
     scale: f64,
     backend: EvalBackend,
+    kernel: Kernel,
 ) -> Vec<RunReport> {
     seeds
         .iter()
         .map(|&seed| {
             let mut opt = method.make(scale);
-            PredictionPipeline::new(backend, seed).run(case, opt.as_mut())
+            PredictionPipeline::new(backend, seed)
+                .with_kernel(kernel)
+                .run(case, opt.as_mut())
         })
         .collect()
 }
@@ -232,6 +235,7 @@ pub fn e1_quality(
     scale: f64,
     case_names: &[&str],
     backend: EvalBackend,
+    kernel: Kernel,
 ) -> TextTable {
     let mut t = TextTable::new([
         "case",
@@ -245,7 +249,7 @@ pub fn e1_quality(
     for name in case_names {
         let case = cases::by_name(name).unwrap_or_else(|| panic!("unknown case {name}"));
         for method in Method::ALL {
-            let reports = run_replicates(method, &case, seeds, scale, backend);
+            let reports = run_replicates(method, &case, seeds, scale, backend, kernel);
             // Per predicted instant: collect quality across seeds.
             let n_steps = reports[0].steps.len();
             for si in 0..n_steps {
@@ -294,6 +298,7 @@ pub fn e2_diversity(
     scale: f64,
     case_names: &[&str],
     backend: EvalBackend,
+    kernel: Kernel,
 ) -> TextTable {
     let mut t = TextTable::new([
         "case",
@@ -306,7 +311,7 @@ pub fn e2_diversity(
     for name in case_names {
         let case = cases::by_name(name).unwrap_or_else(|| panic!("unknown case {name}"));
         for method in Method::ALL {
-            let reports = run_replicates(method, &case, seeds, scale, backend);
+            let reports = run_replicates(method, &case, seeds, scale, backend, kernel);
             let mut pair = Vec::new();
             let mut gstd = Vec::new();
             let mut dfrac = Vec::new();
@@ -567,7 +572,7 @@ pub fn e5_deceptive(seeds: &[u64]) -> TextTable {
 /// restarts to amortise (a restart spends evaluations re-seeding before it
 /// can recover), so this experiment runs ESSIM-DE with a 30-generation
 /// cap — roughly 3× the E1 budget — for both variants.
-pub fn e6_tuning(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
+pub fn e6_tuning(seeds: &[u64], scale: f64, backend: EvalBackend, kernel: Kernel) -> TextTable {
     use ess::essim_de::{EssimDe, EssimDeConfig, TuningConfig};
     let mut t = TextTable::new([
         "case",
@@ -595,7 +600,9 @@ pub fn e6_tuning(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
                     tuning,
                     ..EssimDeConfig::default()
                 });
-                let r = PredictionPipeline::new(backend, seed).run(&case, &mut opt);
+                let r = PredictionPipeline::new(backend, seed)
+                    .with_kernel(kernel)
+                    .run(&case, &mut opt);
                 qualities.push(r.mean_quality());
                 evals.push(r.total_evaluations() as f64);
                 walls.push(r.total_ms);
@@ -614,7 +621,7 @@ pub fn e6_tuning(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
 
 /// E7 — the hybrid fitness/novelty scoring ablation (§IV), plus the
 /// NSLC quality-diversity variant (\[26\]).
-pub fn e7_hybrid(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
+pub fn e7_hybrid(seeds: &[u64], scale: f64, backend: EvalBackend, kernel: Kernel) -> TextTable {
     let case = cases::shifting_wind();
     let mut t = TextTable::new([
         "scoring",
@@ -654,7 +661,9 @@ pub fn e7_hybrid(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
                 backend,
                 ..EssNsConfig::default()
             });
-            let r = PredictionPipeline::new(backend, seed).run(&case, &mut opt);
+            let r = PredictionPipeline::new(backend, seed)
+                .with_kernel(kernel)
+                .run(&case, &mut opt);
             qualities.push(r.mean_quality());
             diversities.push(r.mean_diversity());
             bests.push(mean_of(
@@ -675,7 +684,7 @@ pub fn e7_hybrid(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
 }
 
 /// E8 — NS hyper-parameter ablation: `k`, archive capacity, `bestSet` size.
-pub fn e8_ablation(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
+pub fn e8_ablation(seeds: &[u64], scale: f64, backend: EvalBackend, kernel: Kernel) -> TextTable {
     let case = cases::two_ridge();
     let mut t = TextTable::new([
         "parameter",
@@ -703,7 +712,9 @@ pub fn e8_ablation(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable
                 backend,
                 ..EssNsConfig::default()
             });
-            let r = PredictionPipeline::new(backend, seed).run(&case, &mut opt);
+            let r = PredictionPipeline::new(backend, seed)
+                .with_kernel(kernel)
+                .run(&case, &mut opt);
             qualities.push(r.mean_quality());
             diversities.push(r.mean_diversity());
             evals.push(r.total_evaluations() as f64);
@@ -759,7 +770,7 @@ pub fn e8_ablation(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable
 }
 
 /// E9 — result-set composition under a drifting truth (§IV).
-pub fn e9_inclusion(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
+pub fn e9_inclusion(seeds: &[u64], scale: f64, backend: EvalBackend, kernel: Kernel) -> TextTable {
     let case = cases::shifting_wind();
     let mut t = TextTable::new(["policy", "mean_quality", "mean_set_size", "mean_diversity"]);
     let policies: Vec<(String, InclusionPolicy)> = vec![
@@ -798,7 +809,9 @@ pub fn e9_inclusion(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTabl
                 backend,
                 ..EssNsConfig::default()
             });
-            let r = PredictionPipeline::new(backend, seed).run(&case, &mut opt);
+            let r = PredictionPipeline::new(backend, seed)
+                .with_kernel(kernel)
+                .run(&case, &mut opt);
             qualities.push(r.mean_quality());
             sizes.push(mean_of(
                 &r.steps
@@ -823,7 +836,7 @@ pub fn e9_inclusion(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTabl
 /// sensor noise. The paper's whole premise is input uncertainty; this
 /// experiment injects it into the *observations* rather than the
 /// parameters and asks which result-set policy degrades most gracefully.
-pub fn e10_noise(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
+pub fn e10_noise(seeds: &[u64], scale: f64, backend: EvalBackend, kernel: Kernel) -> TextTable {
     let clean = cases::shifting_wind();
     let mut t = TextTable::new([
         "flip_prob",
@@ -842,7 +855,9 @@ pub fn e10_noise(seeds: &[u64], scale: f64, backend: EvalBackend) -> TextTable {
                     clean.clone()
                 };
                 let mut opt = method.make(scale);
-                let r = PredictionPipeline::new(backend, seed).run(&case, opt.as_mut());
+                let r = PredictionPipeline::new(backend, seed)
+                    .with_kernel(kernel)
+                    .run(&case, opt.as_mut());
                 qualities.push(r.mean_quality());
             }
             let q = mean_of(&qualities);
@@ -1473,26 +1488,31 @@ pub fn fusion_sweep(quick: bool, out: &std::path::Path) -> TextTable {
 }
 
 /// K — the landscape kernel sweep: reference heap kernel vs the monotone
-/// bucket-queue kernel on the 200×200 corpus flagship plus the XL
-/// (1000×1000+) tier, single-threaded and across a scoped worker pool.
-/// Kernel bit-identity is asserted in-run on every workload (per-scenario
+/// bucket-queue kernel vs the tiled parallel wavefront kernel on the
+/// 200×200 corpus flagship plus the XL (1000×1000+) tier, single-threaded
+/// and across a scoped worker pool. Kernel bit-identity is asserted in-run
+/// on every workload **and every swept tiled configuration** (per-scenario
 /// raster digests over exact f64 bits), and the bucket arena's scratch
 /// footprint is reported against the old eager `rows*cols` heap
 /// preallocation. Writes `BENCH_landscape.json` into `out` — the
-/// simulation kernel's cross-PR performance trail.
+/// simulation kernel's cross-PR performance trail — plus the committed
+/// human-readable `bench_summary.md` row set.
 ///
 /// Full-mode acceptance, asserted in-run: the bucket kernel reaches ≥ 3×
 /// single-threaded evals/sec on the two per-cell XL workloads
 /// (`ridge_valley_xl`, `breaks_mosaic_xl`), regresses nowhere (≥ 1× on the
 /// archipelagos), and its XL scratch stays ≥ 4× below the eager baseline.
-/// The pool-vs-serial backend comparison is recorded always and never
-/// gates (it needs `available_parallelism ≥ 2` to mean anything).
+/// With ≥ 4 cores the tiled kernel must beat the single-thread bucket
+/// kernel ≥ 2× (best swept config at ≥ 4 workers) on those same two
+/// per-cell XL workloads and regress nowhere else (≥ 1× best config);
+/// on smaller hosts the tiled numbers are recorded unasserted. The
+/// pool-vs-serial backend comparison is recorded always and never gates
+/// (it needs `available_parallelism ≥ 2` to mean anything).
 ///
 /// `quick` shrinks every workload to ≤ 64 cells per side and trims the
-/// batch — digest identity is still asserted; the perf bars are not (the
-/// CI smoke configuration).
+/// batch and the tiled sweep — digest identity is still asserted on every
+/// path; the perf bars are not (the CI smoke configuration).
 pub fn landscape_sweep(quick: bool, out: &std::path::Path) -> TextTable {
-    use firelib::sim::Kernel;
     use firelib::workload;
     use landscape::IgnitionMap;
     use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -1509,6 +1529,27 @@ pub fn landscape_sweep(quick: bool, out: &std::path::Path) -> TextTable {
     let reps = if quick { 1u32 } else { 3 };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let workers = cores.clamp(2, 8);
+
+    // The tiled sweep grid: tile edge × worker count. Quick mode keeps one
+    // cheap configuration per axis (grids are ≤ 64² there, so the sweep
+    // only checks digests); full mode covers the perf-relevant corner
+    // (large tiles, ≥ 4 workers) plus the degenerate 1-worker column that
+    // must match the serial drain exactly.
+    let tile_sizes: Vec<usize> = if quick {
+        vec![16, 64]
+    } else {
+        vec![64, 128, 256]
+    };
+    let tiled_worker_counts: Vec<usize> = if quick {
+        vec![2]
+    } else {
+        [1usize, 2, 4, 8]
+            .into_iter()
+            .filter(|&wk| wk == 1 || wk <= cores.max(2))
+            .collect()
+    };
+    // Tiled perf bars only mean something off CI-class hosts.
+    let tiled_gate = !quick && cores >= 4;
 
     if let Err(e) = std::fs::create_dir_all(out) {
         eprintln!("[warn] could not create {}: {e}", out.display());
@@ -1532,11 +1573,15 @@ pub fn landscape_sweep(quick: bool, out: &std::path::Path) -> TextTable {
         "heap_eval_ms",
         "bucket_eval_ms",
         "kernel_x",
+        "tiled_eval_ms",
+        "tiled_x",
+        "tiled_cfg",
         "pool_x",
         "scratch_kb",
         "raster_kb",
     ]);
     let mut json_workloads: Vec<Json> = Vec::new();
+    let mut summary_rows: Vec<[String; 9]> = Vec::new();
     for spec in &specs {
         let xl = workload::xl_names().contains(&spec.name);
         let w = spec.build();
@@ -1681,6 +1726,64 @@ pub fn landscape_sweep(quick: bool, out: &std::path::Path) -> TextTable {
         );
         let pool_x = bucket_ms / pool_best;
 
+        // Tiled sweep: every (tile, workers) configuration first replays
+        // the whole batch with per-scenario digests asserted against the
+        // heap reference (also its warm-up), then runs the timed passes on
+        // the same arena. Dirty-arena reuse across configurations is part
+        // of what this exercises.
+        let mut tiled_arena = sim.arena();
+        let mut tiled_cfg_json: Vec<Json> = Vec::new();
+        // Best (eval ms, tile, workers) over all configs, and over the
+        // ≥ 4-worker configs only (what the XL acceptance bar reads).
+        let mut tiled_best: Option<(f64, usize, usize)> = None;
+        let mut tiled_best_hi: Option<(f64, usize, usize)> = None;
+        for &tile in &tile_sizes {
+            for &wk in &tiled_worker_counts {
+                let kernel = Kernel::Tiled { tile, workers: wk };
+                let digests: Vec<u64> = scenarios
+                    .iter()
+                    .map(|s| {
+                        digest_map(sim.simulate_arena_kernel(
+                            s,
+                            &w.ignition,
+                            t0,
+                            dt,
+                            &mut tiled_arena,
+                            kernel,
+                        ))
+                    })
+                    .collect();
+                assert_eq!(
+                    heap_digests, digests,
+                    "{}: tiled kernel (tile {tile}, {wk} workers) diverged \
+                     from the heap reference",
+                    spec.name
+                );
+                let ms = time_kernel(kernel, &mut tiled_arena);
+                let eps = batch as f64 / (ms / 1000.0);
+                if tiled_best.is_none_or(|(b, _, _)| ms < b) {
+                    tiled_best = Some((ms, tile, wk));
+                }
+                if wk >= 4 && tiled_best_hi.is_none_or(|(b, _, _)| ms < b) {
+                    tiled_best_hi = Some((ms, tile, wk));
+                }
+                tiled_cfg_json.push(
+                    Json::obj()
+                        .field("tile", tile)
+                        .field("workers", wk)
+                        .field("eval_ms", ms / batch as f64)
+                        .field("evals_per_sec", eps)
+                        .field("speedup_vs_bucket", bucket_ms / ms)
+                        .field("digest_identical", true),
+                );
+            }
+        }
+        let (tiled_ms, tiled_tile, tiled_workers) =
+            tiled_best.expect("tiled sweep covers at least one configuration");
+        let tiled_x = bucket_ms / tiled_ms;
+        let tiled_scratch = tiled_arena.scratch_bytes();
+        drop(tiled_arena);
+
         if !quick {
             match spec.name {
                 // The two per-cell XL workloads are where active-front
@@ -1707,7 +1810,35 @@ pub fn landscape_sweep(quick: bool, out: &std::path::Path) -> TextTable {
                 );
             }
         }
+        if tiled_gate {
+            match spec.name {
+                // The two per-cell XL workloads are where in-simulation
+                // parallelism must pay: ≥ 2× the single-thread bucket
+                // kernel using ≥ 4 workers.
+                "ridge_valley_xl" | "breaks_mosaic_xl" => {
+                    let (hi_ms, hi_tile, hi_wk) =
+                        tiled_best_hi.expect("≥ 4 cores sweeps a ≥ 4-worker configuration");
+                    let hi_x = bucket_ms / hi_ms;
+                    assert!(
+                        hi_x >= 2.0,
+                        "{}: tiled kernel must reach 2x the single-thread bucket \
+                         kernel at >= 4 workers (best {hi_x:.2}x at tile {hi_tile} \
+                         x {hi_wk} workers)",
+                        spec.name
+                    );
+                }
+                // No regression anywhere else, best configuration counted.
+                "archipelago_large" | "archipelago_xl" => assert!(
+                    tiled_x >= 1.0,
+                    "{}: tiled kernel regressed vs single-thread bucket \
+                     ({tiled_x:.2}x at tile {tiled_tile} x {tiled_workers} workers)",
+                    spec.name
+                ),
+                _ => {}
+            }
+        }
 
+        let tiled_cfg = format!("{tiled_tile}x{tiled_workers}w");
         t.row([
             spec.name.to_string(),
             format!("{rows}x{cols}"),
@@ -1715,9 +1846,23 @@ pub fn landscape_sweep(quick: bool, out: &std::path::Path) -> TextTable {
             f4(heap_ms / batch as f64),
             f4(bucket_ms / batch as f64),
             f2(kernel_x),
+            f4(tiled_ms / batch as f64),
+            f2(tiled_x),
+            tiled_cfg.clone(),
             f2(pool_x),
             (scratch / 1024).to_string(),
             (raster / 1024).to_string(),
+        ]);
+        summary_rows.push([
+            spec.name.to_string(),
+            format!("{rows}×{cols}"),
+            if xl { "xl".into() } else { "corpus".into() },
+            f2(heap_ms / batch as f64),
+            f2(bucket_ms / batch as f64),
+            f2(kernel_x),
+            f2(tiled_ms / batch as f64),
+            f2(tiled_x),
+            tiled_cfg,
         ]);
         json_workloads.push(
             Json::obj()
@@ -1743,6 +1888,20 @@ pub fn landscape_sweep(quick: bool, out: &std::path::Path) -> TextTable {
                 )
                 .field("kernel_speedup", kernel_x)
                 .field("digest_identical", true)
+                .field(
+                    "tiled",
+                    Json::obj()
+                        .field("configs", Json::Arr(tiled_cfg_json))
+                        .field(
+                            "best",
+                            Json::obj()
+                                .field("tile", tiled_tile)
+                                .field("workers", tiled_workers)
+                                .field("eval_ms", tiled_ms / batch as f64)
+                                .field("speedup_vs_bucket", tiled_x),
+                        )
+                        .field("peak_scratch_bytes", tiled_scratch),
+                )
                 .field("pool_workers", workers)
                 .field("pool_batch_ms", pool_best)
                 .field("pool_speedup_vs_serial", pool_x)
@@ -1765,9 +1924,63 @@ pub fn landscape_sweep(quick: bool, out: &std::path::Path) -> TextTable {
         .field("cores", cores)
         .field("pool_workers", workers)
         .field("perf_asserted", !quick)
+        .field("tiled_perf_asserted", tiled_gate)
         .field("workloads", Json::Arr(json_workloads));
     write_bench_json(&out.join("BENCH_landscape.json"), &json);
+    write_landscape_summary(out, quick, tiled_gate, cores, &summary_rows);
     t
+}
+
+/// Writes `bench_summary.md` — the committed, human-readable companion of
+/// the gitignored `BENCH_landscape.json`: one markdown row per workload
+/// with per-eval wall times and speedups for all three kernels, so the
+/// repo carries a reviewable perf trail without machine-varying JSON noise
+/// in the diff.
+fn write_landscape_summary(
+    out: &std::path::Path,
+    quick: bool,
+    tiled_gate: bool,
+    cores: usize,
+    rows: &[[String; 9]],
+) {
+    let mut md = String::new();
+    md.push_str("# Simulation kernel benchmark summary\n\n");
+    md.push_str(
+        "Regenerate with `cargo run --release -p ess-benches --bin harness -- \
+         landscape` (add `--quick` for the CI smoke configuration). Wall times\n\
+         are per evaluation (one full propagation of the workload's first\n\
+         interval), best of the timed repetitions; `×` columns are speedups\n\
+         over the single-thread kernels named in the header. `tiled cfg` is\n\
+         the fastest swept `TILExWORKERSw` configuration. Digest identity of\n\
+         every kernel and every tiled configuration against the heap\n\
+         reference is asserted while the numbers are taken.\n\n",
+    );
+    md.push_str(&format!(
+        "Mode: `{}` on {cores} cores — tiled perf bars (≥ 2× on the per-cell \
+         XL pair at ≥ 4 workers, ≥ 1× elsewhere) {}.\n\n",
+        if quick { "quick" } else { "full" },
+        if tiled_gate {
+            "asserted in-run"
+        } else {
+            "recorded unasserted (quick mode or < 4 cores)"
+        }
+    ));
+    md.push_str(
+        "| workload | grid | tier | heap ms | bucket ms | bucket × heap | \
+         tiled ms | tiled × bucket | tiled cfg |\n",
+    );
+    md.push_str("|---|---|---|---:|---:|---:|---:|---:|---|\n");
+    for r in rows {
+        md.push_str(&format!("| {} |\n", r.join(" | ")));
+    }
+    let path = out.join("bench_summary.md");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, &md) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("[warn] could not write {}: {e}", path.display()),
+    }
 }
 
 #[cfg(test)]

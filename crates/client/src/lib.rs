@@ -149,7 +149,7 @@ impl<R: BufRead, W: Write> Client<R, W> {
     /// Transport, protocol, or server-side errors (unknown session).
     pub fn snapshot(&mut self, session: SessionId) -> Result<SessionSnapshot, ClientError> {
         match self.request(RequestKind::Snapshot { session })? {
-            Reply::Snapshot { snapshot, .. } => Ok(snapshot),
+            Reply::Snapshot { snapshot, .. } => Ok(*snapshot),
             other => Err(unexpected("snapshot", &other)),
         }
     }

@@ -70,16 +70,48 @@ pub fn perturbed_truth(truth: &[Scenario], replicate: u32, seed: u64) -> Vec<Sce
 /// # Panics
 /// Panics when `replicates` is zero (an empty ensemble has no surface).
 pub fn ensemble_probability(spec: &WorkloadSpec, replicates: usize, seed: u64) -> EnsembleForecast {
+    ensemble_probability_par(spec, replicates, seed, 1)
+}
+
+/// [`ensemble_probability`] with the replicate trajectories simulated on
+/// `workers` threads. Each replicate is an independent pure function of
+/// `(spec, k, seed)`, so they parallelize embarrassingly; the probability
+/// fold then runs **sequentially in replicate order** over the collected
+/// final lines, so the surface is bit-identical to the serial fold (the
+/// fold is a commutative integer count, but keeping the order fixed makes
+/// the guarantee unconditional). `workers == 0` uses all available cores.
+///
+/// # Panics
+/// Panics when `replicates` is zero (an empty ensemble has no surface).
+pub fn ensemble_probability_par(
+    spec: &WorkloadSpec,
+    replicates: usize,
+    seed: u64,
+    workers: usize,
+) -> EnsembleForecast {
     assert!(replicates > 0, "an ensemble needs at least one replicate");
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    };
     let w = spec.build();
     let sim = w.sim();
-    let mut probability = ProbabilityMap::new(w.terrain.rows(), w.terrain.cols());
-    let mut truths = Vec::with_capacity(replicates);
-    let mut final_lines = Vec::with_capacity(replicates);
-    for k in 0..replicates {
+    // Parallel phase: each replicate simulates its own trajectory and
+    // returns (truth, final line). `scoped_chunk_map` preserves index
+    // order, so replicate k lands at index k regardless of which worker
+    // ran it.
+    let runs = parworker::scoped_chunk_map(workers, replicates, 1, |k| {
         let truth = perturbed_truth(&w.truth, k as u32, seed);
         let lines = w.lines_for(&sim, &truth);
         let last = lines.last().expect("lines_for is non-empty").clone();
+        (truth, last)
+    });
+    // Sequential fold in replicate order — bit-identical to the serial loop.
+    let mut probability = ProbabilityMap::new(w.terrain.rows(), w.terrain.cols());
+    let mut truths = Vec::with_capacity(replicates);
+    let mut final_lines = Vec::with_capacity(replicates);
+    for (truth, last) in runs {
         probability.accumulate(&last);
         truths.push(truth);
         final_lines.push(last);
@@ -196,5 +228,19 @@ mod tests {
     #[should_panic(expected = "at least one replicate")]
     fn zero_replicates_rejected() {
         let _ = ensemble_probability(&small_spec(), 0, 1);
+    }
+
+    #[test]
+    fn parallel_ensemble_is_bit_identical_to_serial() {
+        // The whole point of the ordered fold: any worker count yields the
+        // exact same forecast, field by field, as the serial path.
+        let spec = small_spec();
+        let serial = ensemble_probability(&spec, 7, 99);
+        for workers in [2, 4, 8, 0] {
+            let par = ensemble_probability_par(&spec, 7, 99, workers);
+            assert_eq!(serial.probability, par.probability, "workers={workers}");
+            assert_eq!(serial.truths, par.truths, "workers={workers}");
+            assert_eq!(serial.final_lines, par.final_lines, "workers={workers}");
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! This is the `PEA F` block of Figs. 1 and 3 — the work the Workers do.
 
 use evoalg::{BatchEvaluator, GenomeMatrix};
-use firelib::{FireSim, Scenario, ScenarioSpace, SimArena};
+use firelib::{FireSim, Kernel, Scenario, ScenarioSpace, SimArena};
 use landscape::{jaccard_at_time, FireLine, IgnitionMap};
 use parworker::Backend;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -29,6 +29,10 @@ pub struct StepContext {
     t0: f64,
     /// End instant (minutes).
     t1: f64,
+    /// Propagation kernel every evaluation on this interval runs — all
+    /// kernels are bit-identical, so this is purely a performance choice
+    /// (e.g. [`Kernel::Tiled`] to put several cores on one XL simulation).
+    kernel: Kernel,
 }
 
 impl StepContext {
@@ -53,7 +57,21 @@ impl StepContext {
             target,
             t0,
             t1,
+            kernel: Kernel::Bucket,
         }
+    }
+
+    /// Same context, evaluating through `kernel` instead of the default
+    /// [`Kernel::Bucket`]. Kernels are bit-identical, so swapping one in
+    /// changes wall-clock only, never a fitness value.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The propagation kernel evaluations on this interval run.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// The simulator.
@@ -91,9 +109,14 @@ impl StepContext {
     /// reused across evaluations and the Jaccard score streams directly off
     /// the arrival raster, so a steady-state evaluation allocates nothing.
     pub fn fitness_with(&self, scenario: &Scenario, arena: &mut SimArena) -> f64 {
-        let map = self
-            .sim
-            .simulate_arena(scenario, &self.from, self.t0, self.duration(), arena);
+        let map = self.sim.simulate_arena_kernel(
+            scenario,
+            &self.from,
+            self.t0,
+            self.duration(),
+            arena,
+            self.kernel,
+        );
         jaccard_at_time(&self.target, map, self.t1, Some(&self.from))
     }
 

@@ -58,7 +58,9 @@ pub mod stages;
 
 pub use calibration::{CalibrationOutcome, PredictionStage};
 pub use cases::BurnCase;
-pub use ensemble::{ensemble_probability, perturbed_truth, EnsembleForecast};
+pub use ensemble::{
+    ensemble_probability, ensemble_probability_par, perturbed_truth, EnsembleForecast,
+};
 pub use error::{BudgetReason, ServiceError};
 pub use ess_classic::EssClassic;
 pub use essim_de::{EssimDe, TuningConfig};

@@ -40,7 +40,7 @@ pub mod stats;
 pub mod steal;
 
 pub use backend::{Backend, EvalBackend, ParseBackendError, SerialBackend};
-pub use chunk::{scoped_chunk_map, scoped_chunk_map_ranges};
+pub use chunk::{scoped_chunk_map, scoped_chunk_map_ranges, scoped_for_each_mut};
 pub use pool::{scoped_par_map, WorkerPool};
 pub use stats::{PoolStats, SpeedupRow, Stopwatch};
 pub use steal::StealPool;

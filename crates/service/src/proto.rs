@@ -242,8 +242,9 @@ pub enum Reply {
     Snapshot {
         /// The checkpointed session.
         session: SessionId,
-        /// The serialized checkpoint.
-        snapshot: SessionSnapshot,
+        /// The serialized checkpoint (boxed: a snapshot embeds the whole
+        /// spec and step history, far larger than any other reply).
+        snapshot: Box<SessionSnapshot>,
     },
     /// The session was cancelled.
     Cancelled {
@@ -407,10 +408,10 @@ impl Frame {
             },
             "snapshot" => Reply::Snapshot {
                 session: session()?,
-                snapshot: SessionSnapshot::from_json(
+                snapshot: Box::new(SessionSnapshot::from_json(
                     v.get("snapshot")
                         .ok_or("'snapshot' reply needs a 'snapshot' object")?,
-                )?,
+                )?),
             },
             "cancelled" => Reply::Cancelled {
                 session: session()?,

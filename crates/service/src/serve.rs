@@ -340,7 +340,14 @@ fn handle_v2<W: Write>(
                 Some((_, live)) => match live.snapshot() {
                     Ok(snapshot) => {
                         summary.snapshots += 1;
-                        reply(out, id, Reply::Snapshot { session, snapshot })?;
+                        reply(
+                            out,
+                            id,
+                            Reply::Snapshot {
+                                session,
+                                snapshot: Box::new(snapshot),
+                            },
+                        )?;
                     }
                     Err(e) => emit_v2_error(out, summary, id, &e.to_string())?,
                 },

@@ -17,6 +17,7 @@ use ess::error::ServiceError;
 use ess::fitness::{EvalBackend, SharedScenarioPool};
 use ess::pipeline::{EvalStrategy, RunReport, StepDriver, StepReport};
 use ess_ns::NoveltyEngine;
+use firelib::Kernel;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -66,6 +67,7 @@ pub struct RunSpec {
     case: String,
     backend: EvalBackend,
     novelty: NoveltyEngine,
+    kernel: Kernel,
     seed: u64,
     replicates: usize,
     scale: f64,
@@ -82,6 +84,7 @@ impl RunSpec {
             case: case.into(),
             backend: EvalBackend::Serial,
             novelty: NoveltyEngine::default(),
+            kernel: Kernel::Bucket,
             seed: 1,
             replicates: 1,
             scale: 1.0,
@@ -110,6 +113,20 @@ impl RunSpec {
     /// The configured novelty engine.
     pub fn novelty_engine(&self) -> NoveltyEngine {
         self.novelty
+    }
+
+    /// Fire-propagation kernel every simulation in the run uses (default
+    /// bucket). Like [`RunSpec::novelty`] this is purely a performance
+    /// knob: all kernels produce bit-identical rasters, so predictions
+    /// never depend on it — and it therefore applies on shared pools too.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The configured propagation kernel.
+    pub fn sim_kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// Base RNG seed of replicate 0; replicate `r` derives its own stream.
@@ -348,7 +365,8 @@ impl RunSpec {
             self.replicate_seed(replicate),
             steps.len(),
             carried_kign,
-        );
+        )
+        .with_kernel(self.kernel);
         Ok(PredictionSession::restored(
             driver,
             system.make_tuned(self.scale, self.novelty),
@@ -374,6 +392,7 @@ impl RunSpec {
             .field("case", self.case.as_str())
             .field("backend", self.backend.name())
             .field("novelty", self.novelty.name())
+            .field("kernel", self.kernel.to_string().as_str())
             .field("seed", self.seed)
             .field("replicates", self.replicates)
             .field("scale", self.scale)
@@ -417,6 +436,15 @@ impl RunSpec {
             spec = spec.novelty(
                 name.parse()
                     .map_err(|e: ess_ns::ParseNoveltyEngineError| e.to_string())?,
+            );
+        }
+        if let Some(k) = present("kernel") {
+            let name = k
+                .as_str()
+                .ok_or("'kernel' must be a string like \"bucket\", \"heap\" or \"tiled:128x4\"")?;
+            spec = spec.kernel(
+                name.parse()
+                    .map_err(|e: firelib::ParseKernelError| e.to_string())?,
             );
         }
         if let Some(x) = present("seed") {
@@ -481,8 +509,23 @@ mod tests {
             .max_evaluations(1000)
             .deadline_ms(5000)
             .backend(EvalBackend::WorkerPool(2))
-            .novelty(NoveltyEngine::brute_force().with_workers(2));
+            .novelty(NoveltyEngine::brute_force().with_workers(2))
+            .kernel(Kernel::Tiled {
+                tile: 64,
+                workers: 4,
+            });
         assert_eq!(spec.system_name(), "ESS-NS");
+        assert_eq!(
+            spec.sim_kernel(),
+            Kernel::Tiled {
+                tile: 64,
+                workers: 4
+            }
+        );
+        assert_eq!(
+            RunSpec::new("ESS", "meadow_small").sim_kernel(),
+            Kernel::Bucket
+        );
         assert_eq!(
             spec.novelty_engine(),
             NoveltyEngine::brute_force().with_workers(2)
@@ -560,6 +603,10 @@ mod tests {
         let full = RunSpec::new("ESS-NS", "meadow_small")
             .backend(EvalBackend::WorkerPool(4))
             .novelty(NoveltyEngine::brute_force().with_workers(2))
+            .kernel(Kernel::Tiled {
+                tile: 128,
+                workers: 0,
+            })
             .seed(99)
             .replicates(3)
             .scale(0.375)
@@ -599,6 +646,10 @@ mod tests {
             (
                 r#"{"system":"ESS","case":"meadow_small","backend":"gpu:9"}"#,
                 "backend",
+            ),
+            (
+                r#"{"system":"ESS","case":"meadow_small","kernel":"quantum"}"#,
+                "kernel",
             ),
         ] {
             let err = RunSpec::from_json(&Json::parse(line).expect("valid json"))

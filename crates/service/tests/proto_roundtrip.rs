@@ -60,6 +60,16 @@ fn random_spec(rng: &mut StdRng) -> RunSpec {
             _ => ess::fitness::EvalBackend::Rayon(1 + rng.random_range(0..8usize)),
         });
     }
+    if rng.random_bool(0.5) {
+        spec = spec.kernel(match rng.random_range(0..3u32) {
+            0 => firelib::Kernel::Heap,
+            1 => firelib::Kernel::Bucket,
+            _ => firelib::Kernel::Tiled {
+                tile: 1 + rng.random_range(0..512usize),
+                workers: rng.random_range(0..9usize),
+            },
+        });
+    }
     spec
 }
 
@@ -142,7 +152,7 @@ fn random_frame(rng: &mut StdRng) -> Frame {
                 },
                 4 => Reply::Snapshot {
                     session: rng.random::<u64>() >> 12,
-                    snapshot: random_snapshot(rng),
+                    snapshot: Box::new(random_snapshot(rng)),
                 },
                 5 => Reply::Cancelled {
                     session: rng.random::<u64>() >> 12,
