@@ -1,0 +1,514 @@
+//! The semantic audit driver: parse the workspace once, build the call
+//! graph, run the three passes (panic-path prover, layering DAG,
+//! determinism taint) plus the dead-API sweep, and aggregate one
+//! machine-readable report (`reports/AUDIT.json`, written by `harness
+//! audit`).
+//!
+//! Allow bookkeeping is centralized here so a `// audit: allow(..)`
+//! that suppresses nothing in *any* pass is reported stale, exactly
+//! like the lint pass's annotations.
+
+use crate::callgraph::{self, Graph};
+use crate::layering::{self, Manifest};
+use crate::lint::{collect_rs, find_workspace_root};
+use crate::panics::{self, seed_enforced, RootSpec, RootStat};
+use crate::parse::{parse_source, ParsedFile};
+use crate::taint;
+use ess_service::jsonio::Json;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Pass/rule identifiers, used in findings and in the allow grammar.
+pub const PANIC: &str = "panic";
+/// The layering pass (cross-crate edges + `std::thread` ownership).
+pub const LAYER: &str = "layer";
+/// The determinism-taint pass.
+pub const TAINT: &str = "taint";
+/// The dead-API sweep (deprecated items with no internal callers).
+pub const DEAD_API: &str = "dead-api";
+/// A malformed `audit:` directive.
+pub const INVALID_ALLOW: &str = "invalid-allow";
+/// An `audit: allow` that suppressed nothing in any pass.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// One audit finding, allowed or not.
+#[derive(Debug, Clone)]
+pub struct AuditFinding {
+    /// Producing pass (`panic` / `layer` / `taint` / `dead-api` /
+    /// `meta`).
+    pub pass: &'static str,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line (0 for workspace-level findings).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+    /// Call-chain evidence, when the pass produces one.
+    pub witness: Option<String>,
+    /// Covered by a justified allow.
+    pub allowed: bool,
+    /// The allow's justification.
+    pub reason: Option<String>,
+}
+
+/// The aggregate audit outcome.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// `.rs` files parsed.
+    pub files_scanned: usize,
+    /// Functions in the symbol table.
+    pub symbols: usize,
+    /// Resolved call edges.
+    pub call_edges: usize,
+    /// Per-root panic-proof stats.
+    pub roots: Vec<RootStat>,
+    /// Every finding, allowed ones included (the audit trail).
+    pub findings: Vec<AuditFinding>,
+}
+
+impl AuditReport {
+    /// Findings not covered by an allow — these fail the build.
+    pub fn unallowed(&self) -> Vec<&AuditFinding> {
+        self.findings.iter().filter(|f| !f.allowed).collect()
+    }
+
+    /// Machine-readable report (written to `reports/AUDIT.json`).
+    pub fn to_json(&self) -> Json {
+        let roots = self
+            .roots
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("root", r.root.as_str())
+                    .field("resolved", r.resolved)
+                    .field("reachable_fns", r.reachable)
+                    .field("allowed_sites", r.allowed_sites)
+                    .field("unallowed_sites", r.unallowed_sites)
+            })
+            .collect::<Vec<_>>();
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                let mut obj = Json::obj()
+                    .field("pass", f.pass)
+                    .field("rule", f.rule)
+                    .field("file", f.file.as_str())
+                    .field("line", f.line)
+                    .field("message", f.message.as_str())
+                    .field("allowed", f.allowed);
+                if let Some(reason) = &f.reason {
+                    obj = obj.field("reason", reason.as_str());
+                }
+                if let Some(witness) = &f.witness {
+                    obj = obj.field("witness", witness.as_str());
+                }
+                obj
+            })
+            .collect::<Vec<_>>();
+        Json::obj()
+            .field("tool", "harness audit")
+            .field("files_scanned", self.files_scanned)
+            .field("symbols", self.symbols)
+            .field("call_edges", self.call_edges)
+            .field("unallowed", self.unallowed().len())
+            .field("roots", Json::Arr(roots))
+            .field("findings", Json::Arr(findings))
+    }
+}
+
+struct Slot {
+    line: usize,
+    anchor: usize,
+    rule: String,
+    reason: String,
+    used: bool,
+}
+
+/// Central allow ledger: resolves site-level (finding's line or the
+/// line above) and fn-level (between header and opening brace) allows,
+/// and reports the stale ones afterwards.
+struct Allower {
+    by_file: Vec<(String, Vec<Slot>)>,
+}
+
+impl Allower {
+    fn new(files: &[ParsedFile]) -> Self {
+        let by_file = files
+            .iter()
+            .map(|f| {
+                let slots = f
+                    .allows
+                    .iter()
+                    .map(|a| Slot {
+                        line: a.line,
+                        anchor: a.anchor,
+                        rule: a.rule.clone(),
+                        reason: a.reason.clone(),
+                        used: false,
+                    })
+                    .collect();
+                (f.path.clone(), slots)
+            })
+            .collect();
+        Allower { by_file }
+    }
+
+    fn check(
+        &mut self,
+        file: &str,
+        rule: &str,
+        line: usize,
+        fn_range: Option<(usize, usize)>,
+    ) -> Option<String> {
+        let slots = &mut self.by_file.iter_mut().find(|(p, _)| p == file)?.1;
+        // Site-level wins over fn-level, so the reason points at the
+        // specific justification when both exist.
+        for site_pass in [true, false] {
+            for s in slots.iter_mut() {
+                if s.rule != rule {
+                    continue;
+                }
+                let hit = if site_pass {
+                    // The allow's own line (trailing comment) or the
+                    // first code line below it (standalone comment,
+                    // skipping stacked directive comments).
+                    s.line == line || s.anchor == line
+                } else {
+                    // The line immediately above the header counts: a
+                    // fn-level allow is written as the comment directly
+                    // before the item (or between its attributes).
+                    fn_range.is_some_and(|(from, to)| s.line + 1 >= from && s.line <= to)
+                };
+                if hit {
+                    s.used = true;
+                    return Some(s.reason.clone());
+                }
+            }
+        }
+        None
+    }
+
+    fn unused(&self) -> Vec<AuditFinding> {
+        let mut out = Vec::new();
+        for (file, slots) in &self.by_file {
+            for s in slots {
+                if !s.used {
+                    out.push(AuditFinding {
+                        pass: "meta",
+                        rule: UNUSED_ALLOW,
+                        file: file.clone(),
+                        line: s.line,
+                        message: format!("audit: allow({}) suppresses nothing — remove it", s.rule),
+                        witness: None,
+                        allowed: false,
+                        reason: None,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fn_range_of(g: &Graph, sym: usize) -> Option<(usize, usize)> {
+    let s = &g.syms[sym];
+    Some((s.header_line, s.open_line))
+}
+
+/// Audits an explicit file set — the testable core. `sources` are
+/// (workspace-relative path, contents) pairs; `manifests` likewise for
+/// `Cargo.toml` files; `roots` the panic-free roots to prove.
+pub fn audit_files(
+    sources: &[(String, String)],
+    manifests: &[(String, String)],
+    roots: &[RootSpec],
+) -> AuditReport {
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(path, src)| {
+            let krate = layering::crate_of_path(path).unwrap_or_else(|| "unknown".to_string());
+            parse_source(path, &krate, src)
+        })
+        .collect();
+    let mut allower = Allower::new(&parsed);
+    let mut findings: Vec<AuditFinding> = Vec::new();
+
+    for f in &parsed {
+        for (line, message) in &f.invalid {
+            findings.push(AuditFinding {
+                pass: "meta",
+                rule: INVALID_ALLOW,
+                file: f.path.clone(),
+                line: *line,
+                message: message.clone(),
+                witness: None,
+                allowed: false,
+                reason: None,
+            });
+        }
+    }
+
+    let g = callgraph::build(&parsed);
+
+    // Panic-path prover.
+    let seed_cover: Vec<Vec<Option<String>>> = (0..g.syms.len())
+        .map(|i| {
+            let s = &g.syms[i];
+            let range = fn_range_of(&g, i);
+            s.seeds
+                .iter()
+                .map(|seed| {
+                    if s.is_test || !seed_enforced(seed.kind, &s.file) {
+                        None
+                    } else {
+                        allower.check(&s.file, PANIC, seed.line, range)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let unresolved_cover: Vec<Option<String>> = g
+        .unresolved
+        .iter()
+        .map(|u| {
+            let file = g.syms[u.caller].file.clone();
+            let range = fn_range_of(&g, u.caller);
+            allower.check(&file, PANIC, u.line, range)
+        })
+        .collect();
+    let (panic_findings, root_stats) = panics::prove(&g, roots, &seed_cover, &unresolved_cover);
+    for p in panic_findings {
+        findings.push(AuditFinding {
+            pass: PANIC,
+            rule: PANIC,
+            file: p.file,
+            line: p.line,
+            message: p.message,
+            witness: (!p.witness.is_empty()).then_some(p.witness),
+            allowed: p.allowed,
+            reason: p.reason,
+        });
+    }
+
+    // Layering DAG.
+    let parsed_manifests: Vec<Manifest> = manifests
+        .iter()
+        .filter_map(|(path, text)| layering::parse_manifest(path, text))
+        .collect();
+    for v in layering::check(&parsed, &parsed_manifests) {
+        let reason = if v.allowable {
+            allower.check(&v.file, LAYER, v.line, None)
+        } else {
+            None
+        };
+        findings.push(AuditFinding {
+            pass: LAYER,
+            rule: LAYER,
+            file: v.file,
+            line: v.line,
+            message: v.message,
+            witness: None,
+            allowed: reason.is_some(),
+            reason,
+        });
+    }
+
+    // Determinism taint.
+    let taint_cover: Vec<Vec<Option<String>>> = (0..g.syms.len())
+        .map(|i| {
+            let s = &g.syms[i];
+            let range = fn_range_of(&g, i);
+            s.taints
+                .iter()
+                .map(|src| {
+                    if s.is_test {
+                        None
+                    } else {
+                        allower.check(&s.file, TAINT, src.line, range)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    for t in taint::analyze(&g, &taint_cover) {
+        findings.push(AuditFinding {
+            pass: TAINT,
+            rule: TAINT,
+            file: t.file,
+            line: t.line,
+            message: t.message,
+            witness: (!t.witness.is_empty()).then_some(t.witness),
+            allowed: t.allowed,
+            reason: t.reason,
+        });
+    }
+
+    // Dead-API sweep. Under `clippy -D warnings`, any real caller of a
+    // deprecated item must carry `#[allow(deprecated)]`, so heuristic
+    // method edges only count from such callers; path edges always do.
+    let mut has_caller = vec![false; g.syms.len()];
+    for (caller, outs) in g.edges.iter().enumerate() {
+        let t = &g.syms[caller];
+        if t.is_test {
+            continue;
+        }
+        for e in outs {
+            if g.syms[e.callee].deprecated && (e.direct || t.allows_deprecated) {
+                has_caller[e.callee] = true;
+            }
+        }
+    }
+    for (i, s) in g.syms.iter().enumerate() {
+        if s.deprecated && !s.is_test && !has_caller[i] {
+            let reason = allower.check(&s.file, DEAD_API, s.line, fn_range_of(&g, i));
+            findings.push(AuditFinding {
+                pass: DEAD_API,
+                rule: DEAD_API,
+                file: s.file.clone(),
+                line: s.line,
+                message: format!(
+                    "deprecated `{}` has no internal callers — delete it or justify keeping \
+                     the shim",
+                    s.display()
+                ),
+                witness: None,
+                allowed: reason.is_some(),
+                reason,
+            });
+        }
+    }
+
+    findings.extend(allower.unused());
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    AuditReport {
+        files_scanned: parsed.len(),
+        symbols: g.syms.len(),
+        call_edges: g.edge_count(),
+        roots: root_stats,
+        findings,
+    }
+}
+
+/// Audits the whole workspace under `root`: every `.rs` file (skipping
+/// build output, vendored code, fixtures, reports and test trees, like
+/// the lint walk) plus every `crates/*/Cargo.toml`, in path-sorted
+/// order so the report is deterministic.
+///
+/// # Errors
+/// Propagates filesystem errors from the walk or file reads.
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    files.sort();
+    let mut sources = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if layering::crate_of_path(&rel).is_none() {
+            continue; // not part of a workspace crate (vendor is skipped anyway)
+        }
+        sources.push((rel, fs::read_to_string(&path)?));
+    }
+    let mut manifests = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<_> = fs::read_dir(&crates_dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                let rel = manifest
+                    .strip_prefix(root)
+                    .unwrap_or(&manifest)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                manifests.push((rel, text));
+            }
+        }
+    }
+    Ok(audit_files(&sources, &manifests, panics::ROOTS))
+}
+
+/// Convenience for the harness: audit from the current directory's
+/// workspace root.
+///
+/// # Errors
+/// When no workspace root is found, or on filesystem errors.
+pub fn audit_current_workspace() -> io::Result<AuditReport> {
+    let root = find_workspace_root().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            "no [workspace] Cargo.toml above cwd",
+        )
+    })?;
+    audit_workspace(&root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(path: &str, src: &str) -> AuditReport {
+        audit_files(&[(path.to_string(), src.to_string())], &[], &[])
+    }
+
+    #[test]
+    fn invalid_and_unused_allows_are_meta_findings() {
+        let r = one(
+            "crates/ess/src/x.rs",
+            "// audit: allow(panic)\n// audit: allow(taint) — stale justification\nfn f() {}",
+        );
+        let rules: Vec<_> = r.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec![INVALID_ALLOW, UNUSED_ALLOW]);
+    }
+
+    #[test]
+    fn fn_level_allow_covers_every_site_in_the_fn() {
+        let src = "impl Scheduler {\n    // audit: allow(panic) — indices sanitized by planned_indices\n    pub fn round(&mut self) {\n        let a = self.live[0];\n        let b = self.live[1];\n    }\n}";
+        let r = audit_files(
+            &[(
+                "crates/service/src/scheduler.rs".to_string(),
+                src.to_string(),
+            )],
+            &[],
+            &[RootSpec {
+                krate: "ess_service",
+                owner: Some("Scheduler"),
+                name: "round",
+            }],
+        );
+        let panic_findings: Vec<_> = r.findings.iter().filter(|f| f.rule == PANIC).collect();
+        assert_eq!(panic_findings.len(), 2);
+        assert!(panic_findings.iter().all(|f| f.allowed));
+        assert!(r.unallowed().is_empty());
+    }
+
+    #[test]
+    fn dead_api_flags_uncalled_deprecated_items_only() {
+        let src = "#[deprecated]\npub fn old_shim() {}\n#[deprecated]\npub fn still_used() {}\nfn caller() { crate::still_used(); }";
+        let r = one("crates/ess/src/x.rs", src);
+        let dead: Vec<_> = r.findings.iter().filter(|f| f.rule == DEAD_API).collect();
+        assert_eq!(dead.len(), 1);
+        assert!(dead[0].message.contains("old_shim"));
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let r = one("crates/ess/src/x.rs", "fn f() {}");
+        let j = r.to_json();
+        assert_eq!(j.get("tool").and_then(Json::as_str), Some("harness audit"));
+        assert!(j.get("findings").is_some());
+        assert!(j.get("roots").is_some());
+    }
+}

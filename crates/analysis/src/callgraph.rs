@@ -1,0 +1,533 @@
+//! Workspace call graph by name resolution over `use` paths plus a
+//! method-name heuristic.
+//!
+//! The graph is deliberately **over-approximate** in the safe direction:
+//! a `.name(..)` call resolves to *every* workspace method of that name
+//! the caller's crate is allowed to see (covering trait-object and
+//! generic dispatch without type inference), and a workspace-qualified
+//! path call that fails to resolve is surfaced so the panic prover can
+//! treat it as conservatively panicking. External calls (`std`, vendored
+//! `rand`) are assumed non-panicking — their panic surfaces (`unwrap`,
+//! `expect`, indexing) are seeded at the call site by the parser
+//! instead.
+
+use crate::layering;
+use crate::parse::{CallKind, ParsedFile, Seed, SeedKind, TaintSrc};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One function in the graph.
+#[derive(Debug, Clone)]
+pub struct Sym {
+    /// Owning crate's lib identifier.
+    pub krate: String,
+    /// `impl`/`trait` type, when a method.
+    pub owner: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// First header line (attributes) — fn-level allows start here.
+    pub header_line: usize,
+    /// Body-open line — fn-level allows end here.
+    pub open_line: usize,
+    /// Test-only code.
+    pub is_test: bool,
+    /// Carries `#[deprecated]`.
+    pub deprecated: bool,
+    /// Carries/contains `#[allow(deprecated)]`.
+    pub allows_deprecated: bool,
+    /// Panic seeds in the body.
+    pub seeds: Vec<Seed>,
+    /// Determinism-taint sources in the body.
+    pub taints: Vec<TaintSrc>,
+}
+
+impl Sym {
+    /// `Owner::name` or `name`, for reports.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee symbol index.
+    pub callee: usize,
+    /// Resolved from an explicit path (`Type::name`, `krate::mod::name`)
+    /// rather than the method-name heuristic.
+    pub direct: bool,
+}
+
+/// A workspace-qualified path call that did not resolve.
+#[derive(Debug, Clone)]
+pub struct Unresolved {
+    /// Caller symbol index.
+    pub caller: usize,
+    /// The call as written.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// All functions, in file/definition order.
+    pub syms: Vec<Sym>,
+    /// Outgoing edges per symbol (deduplicated).
+    pub edges: Vec<Vec<Edge>>,
+    /// Workspace-qualified calls that failed to resolve — the panic
+    /// prover treats these as conservatively panicking.
+    pub unresolved: Vec<Unresolved>,
+}
+
+impl Graph {
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Symbol indices matching (crate, owner, name), non-test only.
+    pub fn find(&self, krate: &str, owner: Option<&str>, name: &str) -> Vec<usize> {
+        self.syms
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                !s.is_test && s.krate == krate && s.owner.as_deref() == owner && s.name == name
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Reverse adjacency (callee → callers).
+    pub fn reverse_edges(&self) -> Vec<Vec<usize>> {
+        let mut rev = vec![Vec::new(); self.syms.len()];
+        for (caller, outs) in self.edges.iter().enumerate() {
+            for e in outs {
+                rev[e.callee].push(caller);
+            }
+        }
+        rev
+    }
+}
+
+/// True when crate `from` may resolve calls into crate `to`: itself, or
+/// any crate strictly below it in the layer map. Keeping resolution
+/// inside the legal dependency cone stops common method names from
+/// creating upward edges that cannot exist at link time.
+fn resolvable(from: &str, to: &str) -> bool {
+    from == to || layering::edge_allowed(from, to)
+}
+
+/// Builds the call graph over every parsed file.
+pub fn build(files: &[ParsedFile]) -> Graph {
+    let mut g = Graph::default();
+    // (file index, fn index) per symbol, for the resolution pass.
+    let mut origin: Vec<(usize, usize)> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (ni, item) in f.fns.iter().enumerate() {
+            g.syms.push(Sym {
+                krate: f.krate.clone(),
+                owner: item.owner.clone(),
+                name: item.name.clone(),
+                file: f.path.clone(),
+                line: item.line,
+                header_line: item.header_line,
+                open_line: item.open_line,
+                is_test: item.is_test,
+                deprecated: item.deprecated,
+                allows_deprecated: item.allows_deprecated,
+                seeds: item.seeds.clone(),
+                taints: item.taints.clone(),
+            });
+            origin.push((fi, ni));
+        }
+    }
+
+    // Candidate indexes over non-test symbols.
+    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut free: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut owners: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (i, s) in g.syms.iter().enumerate() {
+        if s.is_test {
+            continue;
+        }
+        match &s.owner {
+            Some(o) => {
+                methods.entry(&s.name).or_default().push(i);
+                owners
+                    .entry((o.as_str(), s.name.as_str()))
+                    .or_default()
+                    .push(i);
+            }
+            None => free
+                .entry((s.krate.as_str(), s.name.as_str()))
+                .or_default()
+                .push(i),
+        }
+    }
+
+    // Crates whose sources were actually parsed — path calls into any
+    // other crate are external by construction.
+    let scanned: BTreeSet<&str> = files.iter().map(|f| f.krate.as_str()).collect();
+
+    // Per-file import maps: local leaf name → root crate, and glob
+    // roots.
+    let mut leaf_maps: Vec<BTreeMap<&str, String>> = Vec::new();
+    let mut glob_roots: Vec<Vec<String>> = Vec::new();
+    for f in files {
+        let mut leaves = BTreeMap::new();
+        let mut globs = Vec::new();
+        for u in &f.uses {
+            let root = normalize_root(&u.root, &f.krate);
+            for leaf in &u.leaves {
+                leaves.insert(leaf.as_str(), root.clone());
+            }
+            if u.glob && layering::rank_of(&root).is_some() {
+                globs.push(root.clone());
+            }
+        }
+        leaf_maps.push(leaves);
+        glob_roots.push(globs);
+    }
+
+    g.edges = vec![Vec::new(); g.syms.len()];
+    // Symbols whose `self.expect(..)` resolved to a workspace method —
+    // their `Expect` seeds are dropped after the borrow of the candidate
+    // maps ends.
+    let mut drop_self_expect: Vec<usize> = Vec::new();
+    for (si, &(fi, ni)) in origin.iter().enumerate() {
+        let f = &files[fi];
+        let item = &f.fns[ni];
+        if item.is_test {
+            continue;
+        }
+        let own = f.krate.as_str();
+        let leaves = &leaf_maps[fi];
+        let globs = &glob_roots[fi];
+        let mut outs: BTreeSet<(usize, bool)> = BTreeSet::new();
+        let mut self_expect_resolved = false;
+        for call in &item.calls {
+            match call.kind {
+                CallKind::Method => {
+                    let mut hit = false;
+                    if let Some(cands) = methods.get(call.name.as_str()) {
+                        for &c in cands {
+                            if c != si && resolvable(own, &g.syms[c].krate) {
+                                outs.insert((c, false));
+                                hit = true;
+                            }
+                        }
+                    }
+                    if hit && call.name == "expect" {
+                        self_expect_resolved = true;
+                    }
+                }
+                CallKind::Free => {
+                    if let Some(cands) = free.get(&(own, call.name.as_str())) {
+                        for &c in cands {
+                            if c != si {
+                                outs.insert((c, true));
+                            }
+                        }
+                    }
+                    let mut roots: Vec<&str> = Vec::new();
+                    if let Some(r) = leaves.get(call.name.as_str()) {
+                        roots.push(r);
+                    }
+                    roots.extend(globs.iter().map(String::as_str));
+                    for r in roots {
+                        if r != own && resolvable(own, r) {
+                            if let Some(cands) = free.get(&(r, call.name.as_str())) {
+                                for &c in cands {
+                                    outs.insert((c, true));
+                                }
+                            }
+                        }
+                    }
+                }
+                CallKind::Path => {
+                    resolve_path_call(
+                        &g.syms,
+                        &free,
+                        &owners,
+                        leaves,
+                        &scanned,
+                        own,
+                        item.owner.as_deref(),
+                        si,
+                        &call.path,
+                        &call.name,
+                        call.line,
+                        &mut outs,
+                        &mut g.unresolved,
+                    );
+                }
+            }
+        }
+        let mut edges: Vec<Edge> = outs
+            .into_iter()
+            .map(|(callee, direct)| Edge { callee, direct })
+            .collect();
+        // A symbol may appear with both direct and heuristic edges;
+        // keep the direct one.
+        edges.dedup_by(|b, a| {
+            if a.callee == b.callee {
+                a.direct |= b.direct;
+                true
+            } else {
+                false
+            }
+        });
+        g.edges[si] = edges;
+
+        // `self.expect(..)` that resolved to a workspace method (the
+        // jsonio parser) is a call, not an `Option::expect` seed.
+        if self_expect_resolved {
+            drop_self_expect.push(si);
+        }
+    }
+    for si in drop_self_expect {
+        g.syms[si]
+            .seeds
+            .retain(|s| !(s.kind == SeedKind::Expect && s.on_self));
+    }
+    g
+}
+
+fn normalize_root(root: &str, own: &str) -> String {
+    match root {
+        "crate" | "self" | "super" => own.to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Trait methods commonly provided by `#[derive(..)]` — an
+/// associated-call miss on one of these is a derive, not a missing
+/// function (derived impls have no source to scan, and none of the
+/// repo's derives panic).
+const DERIVED_METHODS: &[&str] = &[
+    "default",
+    "clone",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "fmt",
+    "from",
+];
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_path_call(
+    syms: &[Sym],
+    free: &BTreeMap<(&str, &str), Vec<usize>>,
+    owners: &BTreeMap<(&str, &str), Vec<usize>>,
+    leaves: &BTreeMap<&str, String>,
+    scanned: &BTreeSet<&str>,
+    own: &str,
+    own_owner: Option<&str>,
+    caller: usize,
+    path: &[String],
+    name: &str,
+    line: usize,
+    outs: &mut BTreeSet<(usize, bool)>,
+    unresolved: &mut Vec<Unresolved>,
+) {
+    let first = path[0].as_str();
+    let last = path.last().map(String::as_str).unwrap_or(first);
+    let type_like = |s: &str| s.starts_with(|c: char| c.is_ascii_uppercase());
+
+    // Where does the path's first segment land?
+    let target_crate: Option<String> = if matches!(first, "crate" | "self" | "super") {
+        Some(own.to_string())
+    } else if layering::rank_of(first).is_some() {
+        Some(first.to_string())
+    } else if let Some(r) = leaves.get(first) {
+        if layering::rank_of(r).is_some() {
+            Some(r.clone())
+        } else {
+            return; // imported from std/external
+        }
+    } else if type_like(first) {
+        None // a bare `Type::name(..)` — resolve by owner below
+    } else {
+        return; // std / external module path
+    };
+    // A crate in the layer map whose sources were not parsed (vendored
+    // `rand`) is external: assumed non-panicking, like std.
+    if let Some(t) = &target_crate {
+        if !scanned.contains(t.as_str()) {
+            return;
+        }
+    }
+
+    if type_like(last) || last == "Self" {
+        // Associated call `…::Type::name(..)`.
+        let ty = if last == "Self" {
+            match own_owner {
+                Some(t) => t,
+                None => return,
+            }
+        } else {
+            last
+        };
+        if let Some(cands) = owners.get(&(ty, name)) {
+            let mut hit = false;
+            for &c in cands {
+                let ok = match &target_crate {
+                    Some(t) => syms[c].krate == *t,
+                    None => resolvable(own, &syms[c].krate),
+                };
+                if ok && c != caller {
+                    outs.insert((c, true));
+                    hit = true;
+                }
+            }
+            if hit {
+                return;
+            }
+        }
+        // A workspace-anchored type with no such method: conservative,
+        // except for derive-provided trait methods.
+        if target_crate.is_some() && !DERIVED_METHODS.contains(&name) {
+            unresolved.push(Unresolved {
+                caller,
+                path: format!("{}::{name}", path.join("::")),
+                line,
+            });
+        }
+        return;
+    }
+
+    // Module-qualified free call `krate::mod::name(..)`.
+    let Some(target) = target_crate else { return };
+    match free.get(&(target.as_str(), name)) {
+        Some(cands) => {
+            for &c in cands {
+                if c != caller {
+                    outs.insert((c, true));
+                }
+            }
+        }
+        None => unresolved.push(Unresolved {
+            caller,
+            path: format!("{}::{name}", path.join("::")),
+            line,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_source;
+
+    fn graph(files: &[(&str, &str, &str)]) -> Graph {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(path, krate, src)| parse_source(path, krate, src))
+            .collect();
+        build(&parsed)
+    }
+
+    fn idx(g: &Graph, name: &str) -> usize {
+        g.syms.iter().position(|s| s.name == name).unwrap()
+    }
+
+    #[test]
+    fn free_and_path_calls_resolve_in_crate() {
+        let g = graph(&[(
+            "crates/ess/src/a.rs",
+            "ess",
+            "fn top() { helper(); crate::other(); }\nfn helper() {}\nfn other() {}",
+        )]);
+        let top = idx(&g, "top");
+        let callees: Vec<_> = g.edges[top].iter().map(|e| e.callee).collect();
+        assert_eq!(callees, vec![idx(&g, "helper"), idx(&g, "other")]);
+        assert!(g.unresolved.is_empty());
+    }
+
+    #[test]
+    fn method_heuristic_respects_the_layer_cone() {
+        let g = graph(&[
+            (
+                "crates/service/src/a.rs",
+                "ess_service",
+                "impl Sched { fn round(&self) { self.x.step(1); } }",
+            ),
+            (
+                "crates/ess/src/b.rs",
+                "ess",
+                "impl Driver { fn step(&self, n: u32) {} }",
+            ),
+            (
+                "crates/bench/src/c.rs",
+                "ess_benches",
+                "impl Bench { fn step(&self) {} }",
+            ),
+        ]);
+        let round = idx(&g, "round");
+        // service resolves downward into ess, never upward into bench.
+        let names: Vec<_> = g.edges[round]
+            .iter()
+            .map(|e| g.syms[e.callee].krate.as_str())
+            .collect();
+        assert_eq!(names, vec!["ess"]);
+    }
+
+    #[test]
+    fn imported_type_assoc_call_resolves_cross_crate() {
+        let g = graph(&[
+            (
+                "crates/analysis/src/a.rs",
+                "ess_analysis",
+                "use ess_service::jsonio::Json;\nfn render() { let j = Json::obj(); }",
+            ),
+            (
+                "crates/service/src/jsonio.rs",
+                "ess_service",
+                "impl Json { pub fn obj() -> Json { Json::Obj(Vec::new()) } }",
+            ),
+        ]);
+        let render = idx(&g, "render");
+        assert_eq!(g.edges[render].len(), 1);
+        assert!(g.edges[render][0].direct);
+    }
+
+    #[test]
+    fn workspace_qualified_miss_is_conservative() {
+        let g = graph(&[(
+            "crates/ess/src/a.rs",
+            "ess",
+            "fn top() { crate::nonexistent_fn(); std::mem::drop(1); }",
+        )]);
+        assert_eq!(g.unresolved.len(), 1);
+        assert!(g.unresolved[0].path.contains("nonexistent_fn"));
+    }
+
+    #[test]
+    fn self_expect_seed_drops_when_a_method_resolves() {
+        let g = graph(&[(
+            "crates/service/src/jsonio.rs",
+            "ess_service",
+            "impl Parser {\n    fn expect(&mut self, b: u8) -> Result<(), E> { Ok(()) }\n    fn array(&mut self) { self.expect(b'['); }\n}",
+        )]);
+        let array = idx(&g, "array");
+        assert!(g.syms[array].seeds.is_empty());
+        // …but a real Option::expect on a non-self receiver stays.
+        let g2 = graph(&[(
+            "crates/service/src/x.rs",
+            "ess_service",
+            "fn f(o: Option<u8>) { o.expect(\"present\"); }",
+        )]);
+        let f = idx(&g2, "f");
+        assert_eq!(g2.syms[f].seeds.len(), 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Machine-checked crate layering: the README layer map as an asserted
+//! DAG.
+//!
+//! The declared order assigns every workspace crate a rank; a dependency
+//! edge (Cargo manifest `[dependencies]`, a cross-crate `use`, or an
+//! inline `other_crate::` qualification) is legal only when it points at
+//! a *strictly lower* rank. Same-rank crates are peers and may not
+//! depend on each other. On top of the DAG, one ownership rule: nothing
+//! outside `parworker` names the `std::thread` APIs that own threads
+//! (`available_parallelism` — sizing, not owning — is exempt).
+
+use crate::parse::ParsedFile;
+
+/// The declared layer map, lowest first. Lib identifiers (underscored),
+/// matching both manifest names (after `-` → `_`) and source paths.
+pub const LAYERS: &[(&str, u32)] = &[
+    ("rand", 0),
+    ("parworker", 1),
+    ("landscape", 1),
+    ("evoalg", 2),
+    ("firelib", 2),
+    ("ess", 3),
+    ("ess_ns", 4),
+    ("ess_service", 5),
+    ("ess_client", 6),
+    ("ess_analysis", 6),
+    ("ess_benches", 7),
+];
+
+/// Rank of a crate in the declared map, by lib identifier.
+pub fn rank_of(name: &str) -> Option<u32> {
+    LAYERS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, rank)| rank)
+}
+
+/// True when `from` may depend on `to`: strictly downward in the map.
+pub fn edge_allowed(from: &str, to: &str) -> bool {
+    match (rank_of(from), rank_of(to)) {
+        (Some(f), Some(t)) => t < f,
+        _ => false,
+    }
+}
+
+/// Maps a workspace-relative source path to its crate's lib identifier.
+pub fn crate_of_path(rel: &str) -> Option<String> {
+    let rest = rel.replace('\\', "/");
+    let rest = rest.strip_prefix("crates/")?;
+    let dir = rest.split('/').next()?;
+    Some(
+        match dir {
+            "core" => "ess_ns",
+            "service" => "ess_service",
+            "client" => "ess_client",
+            "analysis" => "ess_analysis",
+            "bench" => "ess_benches",
+            other => other,
+        }
+        .to_string(),
+    )
+}
+
+/// One crate manifest's `[dependencies]` entries.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Manifest path, workspace-relative.
+    pub file: String,
+    /// Owning crate's lib identifier.
+    pub krate: String,
+    /// Dependency lib identifiers with their manifest lines.
+    pub deps: Vec<(String, usize)>,
+}
+
+/// Parses the `[package] name` and `[dependencies]` entries out of one
+/// crate manifest. `[dev-dependencies]` are test-only and exempt, like
+/// `#[cfg(test)]` code.
+pub fn parse_manifest(file: &str, text: &str) -> Option<Manifest> {
+    let mut krate = None;
+    let mut deps = Vec::new();
+    let mut section = "";
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line;
+            continue;
+        }
+        if section == "[package]" {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start_matches([' ', '=', '"']);
+                let name = rest.trim_end_matches('"');
+                krate = Some(name.replace('-', "_"));
+            }
+        }
+        if section == "[dependencies]" && !line.is_empty() && !line.starts_with('#') {
+            let name: String = line
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_'))
+                .collect();
+            if !name.is_empty() {
+                deps.push((name.replace('-', "_"), idx + 1));
+            }
+        }
+    }
+    Some(Manifest {
+        file: file.to_string(),
+        krate: krate?,
+        deps,
+    })
+}
+
+/// A raw layering violation, before allow resolution.
+#[derive(Debug, Clone)]
+pub struct LayerViolation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+    /// Manifest findings have no comment syntax to carry an allow.
+    pub allowable: bool,
+}
+
+/// Checks every manifest and source edge against the declared DAG plus
+/// the `std::thread` ownership rule.
+pub fn check(files: &[ParsedFile], manifests: &[Manifest]) -> Vec<LayerViolation> {
+    let mut out = Vec::new();
+    for m in manifests {
+        for (dep, line) in &m.deps {
+            if rank_of(dep).is_none() {
+                out.push(LayerViolation {
+                    file: m.file.clone(),
+                    line: *line,
+                    message: format!(
+                        "dependency `{dep}` is not in the declared layer map — add it to \
+                         LAYERS or remove it"
+                    ),
+                    allowable: false,
+                });
+            } else if !edge_allowed(&m.krate, dep) {
+                out.push(LayerViolation {
+                    file: m.file.clone(),
+                    line: *line,
+                    message: format!(
+                        "`{}` depends on `{dep}`, which is not strictly below it in the \
+                         layer map",
+                        m.krate
+                    ),
+                    allowable: false,
+                });
+            }
+        }
+    }
+    for f in files {
+        let mut seen: Vec<(usize, &str)> = Vec::new();
+        for u in &f.uses {
+            if u.in_test {
+                continue;
+            }
+            let root = u.root.as_str();
+            if root != f.krate && rank_of(root).is_some() && !edge_allowed(&f.krate, root) {
+                out.push(LayerViolation {
+                    file: f.path.clone(),
+                    line: u.line,
+                    message: format!(
+                        "`use {root}::…` crosses the layer map upward (`{}` may only depend \
+                         on lower layers)",
+                        f.krate
+                    ),
+                    allowable: true,
+                });
+                seen.push((u.line, root));
+            }
+        }
+        for (line, root) in &f.crate_refs {
+            if seen.iter().any(|(l, r)| l == line && r == root) {
+                continue;
+            }
+            if rank_of(root).is_some() && !edge_allowed(&f.krate, root) {
+                out.push(LayerViolation {
+                    file: f.path.clone(),
+                    line: *line,
+                    message: format!(
+                        "`{root}::…` crosses the layer map upward (`{}` may only depend on \
+                         lower layers)",
+                        f.krate
+                    ),
+                    allowable: true,
+                });
+            }
+        }
+        if f.krate != "parworker" {
+            for (line, api) in &f.thread_refs {
+                out.push(LayerViolation {
+                    file: f.path.clone(),
+                    line: *line,
+                    message: format!(
+                        "names `std::thread::{api}` outside parworker — thread ownership \
+                         flows through the pool"
+                    ),
+                    allowable: true,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_source;
+
+    #[test]
+    fn ranks_are_a_dag_over_the_real_workspace_edges() {
+        // The manifest edges the workspace actually has, spot-checked.
+        for (from, to) in [
+            ("landscape", "rand"),
+            ("firelib", "landscape"),
+            ("ess", "firelib"),
+            ("ess_ns", "ess"),
+            ("ess_service", "ess_ns"),
+            ("ess_client", "ess_service"),
+            ("ess_analysis", "ess_service"),
+            ("ess_benches", "ess_analysis"),
+        ] {
+            assert!(edge_allowed(from, to), "{from} -> {to} should be legal");
+        }
+        for (from, to) in [
+            ("firelib", "ess"),
+            ("parworker", "landscape"), // peers
+            ("ess_client", "ess_analysis"),
+            ("landscape", "firelib"),
+        ] {
+            assert!(!edge_allowed(from, to), "{from} -> {to} should be denied");
+        }
+    }
+
+    #[test]
+    fn manifest_parsing() {
+        let text = "[package]\nname = \"ess-service\"\n\n[dependencies]\ness.workspace = true\nrand = { path = \"../../vendor/rand\" }\n\n[dev-dependencies]\ness-benches.workspace = true\n";
+        let m = parse_manifest("crates/service/Cargo.toml", text).unwrap();
+        assert_eq!(m.krate, "ess_service");
+        assert_eq!(m.deps.len(), 2);
+        assert_eq!(m.deps[0].0, "ess");
+        assert_eq!(m.deps[1].0, "rand");
+    }
+
+    #[test]
+    fn upward_use_is_flagged_and_test_use_is_not() {
+        let src = "use ess_service::jsonio::Json;\n#[cfg(test)]\nmod tests { use ess_service::jsonio::Json; }";
+        let f = parse_source("crates/firelib/src/x.rs", "firelib", src);
+        let v = check(&[f], &[]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn thread_rule_exempts_parworker() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        let inside = parse_source("crates/parworker/src/x.rs", "parworker", src);
+        assert!(check(&[inside], &[]).is_empty());
+        let outside = parse_source("crates/ess/src/x.rs", "ess", src);
+        assert_eq!(check(&[outside], &[]).len(), 1);
+    }
+
+    #[test]
+    fn crate_paths() {
+        assert_eq!(
+            crate_of_path("crates/core/src/algorithm.rs").as_deref(),
+            Some("ess_ns")
+        );
+        assert_eq!(
+            crate_of_path("crates/firelib/src/sim.rs").as_deref(),
+            Some("firelib")
+        );
+        assert_eq!(crate_of_path("vendor/rand/src/lib.rs"), None);
+    }
+}

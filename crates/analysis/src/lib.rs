@@ -22,16 +22,32 @@
 //!   envelopes and the serve loop, and randomized-landscape drivers for
 //!   the fire kernels (finite non-negative rates, in-horizon arrivals,
 //!   heap≡bucket bit-identity under arena reuse).
+//! - [`audit`] (on top of the [`parse`] item parser and the
+//!   [`callgraph`] resolver) — the semantic workspace auditor behind
+//!   `harness audit`: the [`panics`] panic-path prover walks the call
+//!   graph from declared panic-free roots and demands a justified
+//!   `// audit: allow(panic)` for every reachable panic site, the
+//!   [`layering`] pass machine-checks the README layer map as a DAG over
+//!   manifest and `use` edges (plus `std::thread` ownership), and the
+//!   [`taint`] pass proves nondeterminism sources (clocks, seeded
+//!   hashing, thread identity) unreachable from the deterministic
+//!   crates.
 //!
 //! Everything here is deterministic: same seeds, same schedules, same
 //! findings — a CI failure is a local repro by construction.
 
+pub mod audit;
+pub mod callgraph;
 pub mod fuzz;
 pub mod invariants;
+pub mod layering;
 pub mod lex;
 pub mod lint;
+pub mod panics;
+pub mod parse;
 pub mod protocol;
 pub mod schedule;
+pub mod taint;
 
 use ess_service::jsonio::Json;
 

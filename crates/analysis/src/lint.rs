@@ -158,7 +158,7 @@ pub fn scope_for(rel_path: &str) -> Scope {
 /// Directories never scanned: build output, vendored third-party code,
 /// lint fixtures (they violate on purpose), generated reports, and
 /// integration-test trees (test code is exempt like `#[cfg(test)]` mods).
-const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "reports", "tests"];
+pub(crate) const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "reports", "tests"];
 
 /// Climbs from the current directory to the first `Cargo.toml` declaring
 /// `[workspace]`.
@@ -202,7 +202,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     Ok(report)
 }
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
@@ -496,7 +496,7 @@ pub fn lint_source(file: &str, src: &str, scope: Scope) -> Vec<Finding> {
 /// Marks token ranges covered by `#[cfg(test)]` items (the attribute and
 /// the brace-matched item body) so test-only code is exempt from the
 /// production rules.
-fn test_region_mask(sig: &[&Token]) -> Vec<bool> {
+pub(crate) fn test_region_mask(sig: &[&Token]) -> Vec<bool> {
     let mut skip = vec![false; sig.len()];
     let is = |i: usize, want: &Tok| sig.get(i).map(|t| &t.kind) == Some(want);
     let mut i = 0;
@@ -538,7 +538,12 @@ fn test_region_mask(sig: &[&Token]) -> Vec<bool> {
 
 /// Index of the token closing the delimiter opened at `open`, or `None`
 /// if unbalanced.
-fn match_delim(sig: &[&Token], open: usize, open_ch: char, close_ch: char) -> Option<usize> {
+pub(crate) fn match_delim(
+    sig: &[&Token],
+    open: usize,
+    open_ch: char,
+    close_ch: char,
+) -> Option<usize> {
     let mut depth = 0usize;
     for (j, t) in sig.iter().enumerate().skip(open) {
         match t.kind {

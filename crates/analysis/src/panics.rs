@@ -1,0 +1,346 @@
+//! The panic-path prover: seed panic sites, walk the call graph from
+//! the declared panic-free roots, report every reachable unjustified
+//! site with a witness path.
+//!
+//! Seed policy, by crate role:
+//!
+//! - **Unconditional panics** — `unwrap`, `expect`, `panic!`,
+//!   `unreachable!`, `todo!`, `unimplemented!`, and workspace-qualified
+//!   calls that fail to resolve — are seeds *everywhere*.
+//! - **Contract guards** — `assert!`-family and postfix indexing — are
+//!   seeds only in the availability boundary (`service`, `client`,
+//!   `core`), where a panic kills the serve loop. In the numeric kernel
+//!   crates they are the repo's deliberate guard idiom, owned by the
+//!   invariant property suites and in-run oracles (`debug_assert` is
+//!   never a seed anywhere).
+//!
+//! A site is justified by `// audit: allow(panic) — <reason>` on its
+//! line, the line above, or at function level (between the first
+//! attribute and the opening brace).
+
+use crate::callgraph::Graph;
+use crate::parse::SeedKind;
+use std::collections::BTreeSet;
+
+/// One declared panic-free root.
+#[derive(Debug, Clone, Copy)]
+pub struct RootSpec {
+    /// Crate lib identifier.
+    pub krate: &'static str,
+    /// `impl` type, when a method.
+    pub owner: Option<&'static str>,
+    /// Function name.
+    pub name: &'static str,
+}
+
+impl RootSpec {
+    /// `Owner::name` or `name`.
+    pub fn display(&self) -> String {
+        match self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.to_string(),
+        }
+    }
+}
+
+/// The workspace's declared panic-free roots: the serve loop, every
+/// scheduler drive entry point, the session step halves, and the arena
+/// kernel.
+pub const ROOTS: &[RootSpec] = &[
+    RootSpec {
+        krate: "ess_service",
+        owner: None,
+        name: "serve_configured",
+    },
+    RootSpec {
+        krate: "ess_service",
+        owner: Some("Scheduler"),
+        name: "round",
+    },
+    RootSpec {
+        krate: "ess_service",
+        owner: Some("Scheduler"),
+        name: "round_fused",
+    },
+    RootSpec {
+        krate: "ess_service",
+        owner: Some("Scheduler"),
+        name: "drain_controlled",
+    },
+    RootSpec {
+        krate: "ess_service",
+        owner: Some("PredictionSession"),
+        name: "plan_step",
+    },
+    RootSpec {
+        krate: "ess_service",
+        owner: Some("PredictionSession"),
+        name: "complete_step",
+    },
+    RootSpec {
+        krate: "firelib",
+        owner: Some("FireSim"),
+        name: "simulate_arena_kernel",
+    },
+];
+
+/// True for files where the full seed set (asserts + indexing) is
+/// enforced: the serve availability boundary.
+pub fn full_seed_scope(file: &str) -> bool {
+    let p = file.replace('\\', "/");
+    ["crates/service/", "crates/client/", "crates/core/"]
+        .iter()
+        .any(|prefix| p.starts_with(prefix))
+}
+
+/// True when this seed counts in this file.
+pub fn seed_enforced(kind: SeedKind, file: &str) -> bool {
+    match kind {
+        SeedKind::Unwrap | SeedKind::Expect | SeedKind::PanicMacro => true,
+        SeedKind::Assert | SeedKind::Index => full_seed_scope(file),
+    }
+}
+
+/// One panic-pass finding, allow-resolved.
+#[derive(Debug, Clone)]
+pub struct PanicFinding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+    /// Call chain from the first root that reaches the site.
+    pub witness: String,
+    /// Covered by a justified allow.
+    pub allowed: bool,
+    /// The allow's justification.
+    pub reason: Option<String>,
+}
+
+/// Per-root proof outcome.
+#[derive(Debug, Clone)]
+pub struct RootStat {
+    /// Root display name.
+    pub root: String,
+    /// The root resolved to a symbol (a rename would silently drop
+    /// coverage otherwise).
+    pub resolved: bool,
+    /// Functions reachable from the root.
+    pub reachable: usize,
+    /// Reachable panic sites carrying a justified allow.
+    pub allowed_sites: usize,
+    /// Reachable panic sites with no justification — these fail.
+    pub unallowed_sites: usize,
+}
+
+/// Proves the declared roots panic-free (or reports why not).
+///
+/// `seed_cover[sym][seed]` / `unresolved_cover[i]` carry the resolved
+/// allow reason, when any — allow bookkeeping lives with the caller so
+/// used/stale accounting spans all passes.
+pub fn prove(
+    g: &Graph,
+    roots: &[RootSpec],
+    seed_cover: &[Vec<Option<String>>],
+    unresolved_cover: &[Option<String>],
+) -> (Vec<PanicFinding>, Vec<RootStat>) {
+    let mut findings = Vec::new();
+    let mut stats = Vec::new();
+    // (symbol, line) pairs already reported, so multi-root overlap does
+    // not duplicate findings.
+    let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+    for root in roots {
+        let ids = g.find(root.krate, root.owner, root.name);
+        if ids.is_empty() {
+            findings.push(PanicFinding {
+                file: format!("crates ({})", root.krate),
+                line: 0,
+                message: format!(
+                    "panic-free root `{}` not found in `{}` — renamed or removed? update \
+                     the root list",
+                    root.display(),
+                    root.krate
+                ),
+                witness: String::new(),
+                allowed: false,
+                reason: None,
+            });
+            stats.push(RootStat {
+                root: root.display(),
+                resolved: false,
+                reachable: 0,
+                allowed_sites: 0,
+                unallowed_sites: 0,
+            });
+            continue;
+        }
+
+        // BFS with parent chains for witnesses.
+        let mut parent: Vec<Option<usize>> = vec![None; g.syms.len()];
+        let mut seen = vec![false; g.syms.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &id in &ids {
+            seen[id] = true;
+            queue.push(id);
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            for e in &g.edges[cur] {
+                if !seen[e.callee] {
+                    seen[e.callee] = true;
+                    parent[e.callee] = Some(cur);
+                    queue.push(e.callee);
+                }
+            }
+        }
+
+        let witness_to = |sym: usize| -> String {
+            let mut chain = vec![sym];
+            let mut cur = sym;
+            while let Some(p) = parent[cur] {
+                chain.push(p);
+                cur = p;
+            }
+            chain.reverse();
+            chain
+                .iter()
+                .map(|&s| g.syms[s].display())
+                .collect::<Vec<_>>()
+                .join(" → ")
+        };
+
+        let mut allowed_sites = 0usize;
+        let mut unallowed_sites = 0usize;
+        for &sym in &queue {
+            let s = &g.syms[sym];
+            for (si, seed) in s.seeds.iter().enumerate() {
+                if !seed_enforced(seed.kind, &s.file) {
+                    continue;
+                }
+                let cover = seed_cover[sym][si].clone();
+                if cover.is_some() {
+                    allowed_sites += 1;
+                } else {
+                    unallowed_sites += 1;
+                }
+                if !reported.insert((sym, seed.line)) {
+                    continue;
+                }
+                findings.push(PanicFinding {
+                    file: s.file.clone(),
+                    line: seed.line,
+                    message: format!(
+                        "`{}` in `{}` is reachable from panic-free root `{}`",
+                        seed.what,
+                        s.display(),
+                        root.display()
+                    ),
+                    witness: witness_to(sym),
+                    allowed: cover.is_some(),
+                    reason: cover,
+                });
+            }
+            for (ui, u) in g.unresolved.iter().enumerate() {
+                if u.caller != sym {
+                    continue;
+                }
+                let cover = unresolved_cover[ui].clone();
+                if cover.is_some() {
+                    allowed_sites += 1;
+                } else {
+                    unallowed_sites += 1;
+                }
+                if !reported.insert((sym, u.line)) {
+                    continue;
+                }
+                findings.push(PanicFinding {
+                    file: s.file.clone(),
+                    line: u.line,
+                    message: format!(
+                        "call to `{}` in `{}` does not resolve — conservatively treated as \
+                         panicking (reachable from root `{}`)",
+                        u.path,
+                        s.display(),
+                        root.display()
+                    ),
+                    witness: witness_to(sym),
+                    allowed: cover.is_some(),
+                    reason: cover,
+                });
+            }
+        }
+        stats.push(RootStat {
+            root: root.display(),
+            resolved: true,
+            reachable: queue.len(),
+            allowed_sites,
+            unallowed_sites,
+        });
+    }
+    (findings, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::parse::parse_source;
+
+    const ROOT: &[RootSpec] = &[RootSpec {
+        krate: "ess_service",
+        owner: Some("Scheduler"),
+        name: "round",
+    }];
+
+    fn run(src: &str) -> (Vec<PanicFinding>, Vec<RootStat>) {
+        let f = parse_source("crates/service/src/scheduler.rs", "ess_service", src);
+        let g = build(&[f]);
+        let cover: Vec<Vec<Option<String>>> =
+            g.syms.iter().map(|s| vec![None; s.seeds.len()]).collect();
+        let ucover = vec![None; g.unresolved.len()];
+        prove(&g, ROOT, &cover, &ucover)
+    }
+
+    #[test]
+    fn transitive_unwrap_is_found_with_witness() {
+        let src = "impl Scheduler {\n    pub fn round(&mut self) { self.step_all(); }\n    fn step_all(&mut self) { self.next.take().unwrap(); }\n}";
+        let (findings, stats) = run(src);
+        assert_eq!(stats[0].unallowed_sites, 1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].witness,
+            "Scheduler::round → Scheduler::step_all"
+        );
+    }
+
+    #[test]
+    fn unreachable_unwrap_is_not_a_finding() {
+        let src = "impl Scheduler {\n    pub fn round(&mut self) {}\n    fn elsewhere(&mut self) { self.next.take().unwrap(); }\n}";
+        let (findings, stats) = run(src);
+        assert!(findings.is_empty());
+        assert_eq!(stats[0].unallowed_sites, 0);
+    }
+
+    #[test]
+    fn missing_root_is_itself_a_finding() {
+        let src = "impl Scheduler { pub fn spin(&mut self) {} }";
+        let (findings, stats) = run(src);
+        assert!(!stats[0].resolved);
+        assert!(findings[0].message.contains("not found"));
+    }
+
+    #[test]
+    fn index_seeds_enforced_only_on_the_availability_boundary() {
+        assert!(seed_enforced(
+            SeedKind::Index,
+            "crates/service/src/scheduler.rs"
+        ));
+        assert!(seed_enforced(SeedKind::Assert, "crates/client/src/lib.rs"));
+        assert!(!seed_enforced(SeedKind::Index, "crates/firelib/src/sim.rs"));
+        assert!(seed_enforced(SeedKind::Unwrap, "crates/firelib/src/sim.rs"));
+    }
+}

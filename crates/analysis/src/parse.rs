@@ -1,0 +1,940 @@
+//! Item-level parsing on top of the [`crate::lex`] token scanner.
+//!
+//! This is deliberately *not* a Rust grammar: the audit passes only need
+//! item structure (`fn` / `impl` / `trait` / `use`) plus three kinds of
+//! facts extracted from function bodies in one linear token walk —
+//! outgoing calls (for the call graph), panic seeds (for the panic-path
+//! prover) and determinism-taint sources. Bodies stay token streams;
+//! expressions are never built.
+//!
+//! Escape hatch grammar, mirroring the lint pass:
+//! `// audit: allow(<rule>) — <reason>` with a mandatory reason. An
+//! allow on a finding's line (or the line above) covers that site; an
+//! allow between a function's first attribute and its opening brace
+//! covers every site of that rule in the function.
+
+use crate::layering;
+use crate::lex::{lex, Tok, Token};
+use crate::lint::{match_delim, test_region_mask};
+
+/// One `use` declaration (possibly a nested group).
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Line of the `use` keyword.
+    pub line: usize,
+    /// First path segment (`crate`/`self`/`super` left raw; the call
+    /// graph normalizes them to the file's own crate).
+    pub root: String,
+    /// Every path segment, in order (for `std::thread` detection).
+    pub segments: Vec<String>,
+    /// Local binding names this declaration introduces.
+    pub leaves: Vec<String>,
+    /// `use foo::*`.
+    pub glob: bool,
+    /// Declared inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// How a call site names its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(..)` — a bare function call.
+    Free,
+    /// `.name(..)` — method-call syntax, resolved by name heuristic.
+    Method,
+    /// `path::to::name(..)` — qualified call.
+    Path,
+}
+
+/// One outgoing call recorded in a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Call syntax.
+    pub kind: CallKind,
+    /// Qualifier segments for [`CallKind::Path`] (empty otherwise).
+    pub path: Vec<String>,
+    /// Called name.
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// A panic seed class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedKind {
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(..)` — dropped later when the receiver is `self` and a
+    /// workspace method named `expect` resolves (jsonio's parser).
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    PanicMacro,
+    /// `assert!` / `assert_eq!` / `assert_ne!` (never `debug_assert*`).
+    Assert,
+    /// Postfix indexing / range slicing (`xs[i]`, `&b[a..c]`).
+    Index,
+}
+
+/// One panic seed site.
+#[derive(Debug, Clone)]
+pub struct Seed {
+    /// Seed class.
+    pub kind: SeedKind,
+    /// What was matched, for messages (`unwrap`, `assert_eq!`, …).
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+    /// For [`SeedKind::Expect`]: the receiver is literally `self`.
+    pub on_self: bool,
+}
+
+/// A determinism-taint source site (wall clock, seeded hashing,
+/// thread-identity observation).
+#[derive(Debug, Clone)]
+pub struct TaintSrc {
+    /// What was matched (`Instant::now`, `SystemTime`, …).
+    pub what: &'static str,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One `fn` item with the facts the audit passes need.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, when any.
+    pub owner: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// First line of the header (attributes / visibility).
+    pub header_line: usize,
+    /// Line of the body's `{` (or of the `;` for bodiless signatures).
+    pub open_line: usize,
+    /// Inside `#[cfg(test)]` or carrying `#[test]`.
+    pub is_test: bool,
+    /// Carries `#[deprecated]`.
+    pub deprecated: bool,
+    /// Carries or contains `#[allow(deprecated)]` — under `clippy -D
+    /// warnings` every real caller of a deprecated item must.
+    pub allows_deprecated: bool,
+    /// Outgoing calls.
+    pub calls: Vec<Call>,
+    /// Panic seeds.
+    pub seeds: Vec<Seed>,
+    /// Determinism-taint sources.
+    pub taints: Vec<TaintSrc>,
+}
+
+/// A parsed `// audit: allow(..)` annotation.
+#[derive(Debug, Clone)]
+pub struct AuditAllow {
+    /// Line of the comment.
+    pub line: usize,
+    /// First code line at or below the comment — the line a site-level
+    /// allow covers. Skips over other comment-only lines so directive
+    /// comments can stack (`// audit:` above `// lint:` above the code).
+    pub anchor: usize,
+    /// Rule it suppresses.
+    pub rule: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// Everything the audit extracts from one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Owning crate's lib identifier (`ess_service`, `firelib`, …).
+    pub krate: String,
+    /// `use` declarations.
+    pub uses: Vec<UseDecl>,
+    /// Function items.
+    pub fns: Vec<FnItem>,
+    /// Valid `audit: allow` annotations.
+    pub allows: Vec<AuditAllow>,
+    /// Malformed `audit:` directives (line, message).
+    pub invalid: Vec<(usize, String)>,
+    /// `std::thread::<api>` references outside test code (line, api).
+    pub thread_refs: Vec<(usize, String)>,
+    /// Inline foreign-workspace-crate qualifications outside test code
+    /// (line, crate lib name).
+    pub crate_refs: Vec<(usize, String)>,
+}
+
+/// Audit rule names an allow may suppress.
+pub const AUDIT_RULES: &[&str] = &["panic", "layer", "taint", "dead-api"];
+
+/// Parses an `audit:` directive out of a comment. `None` for ordinary
+/// comments, `Some(Err(..))` for malformed directives.
+pub fn parse_audit_directive(comment: &str) -> Option<Result<(String, String), String>> {
+    let mut text = comment.trim();
+    if let Some(stripped) = text.strip_prefix("/*") {
+        text = stripped.strip_suffix("*/").unwrap_or(stripped);
+    }
+    let text = text.trim_start_matches(['/', '!', '*']).trim();
+    let rest = text.strip_prefix("audit:")?.trim();
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return Some(Err(format!("unrecognized audit directive `{rest}`")));
+    };
+    let Some(close) = inner.find(')') else {
+        return Some(Err("allow(… missing `)`".to_string()));
+    };
+    let rule = inner[..close].trim().to_string();
+    let reason = inner[close + 1..]
+        .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '-' | '—' | '–' | ':'))
+        .trim()
+        .to_string();
+    if !AUDIT_RULES.contains(&rule.as_str()) {
+        return Some(Err(format!("allow names unknown audit rule `{rule}`")));
+    }
+    if reason.is_empty() {
+        return Some(Err(format!(
+            "allow({rule}) has no justification — state why the rule does not apply"
+        )));
+    }
+    Some(Ok((rule, reason)))
+}
+
+/// `std::thread` APIs the layering pass denies outside `parworker`.
+/// `available_parallelism` is deliberately absent: sizing worker counts
+/// is allowed everywhere, owning threads is not.
+pub const THREAD_DENY: &[&str] = &[
+    "spawn",
+    "scope",
+    "sleep",
+    "Builder",
+    "current",
+    "park",
+    "yield_now",
+    "JoinHandle",
+];
+
+/// Keywords that look like a call when followed by `(`.
+const FREE_CALL_SKIP: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "break", "continue", "let", "else", "in",
+    "as", "move", "ref", "mut", "box", "unsafe", "where", "impl", "dyn", "fn", "use", "pub", "mod",
+    "crate", "super", "self", "Self", "static", "const", "type", "struct", "enum", "trait",
+    "extern", "await", "yield", "true", "false",
+];
+
+/// Idents that make a following `[` a pattern/type/statement bracket,
+/// not a postfix index.
+const INDEX_PREV_SKIP: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "ref", "mut", "move", "box", "as", "for",
+    "while", "loop", "use", "pub", "where", "unsafe", "dyn", "impl", "fn", "const", "static",
+    "type", "struct", "enum", "trait", "mod", "crate", "break", "continue", "true", "false",
+];
+
+fn ident<'a>(sig: &'a [&Token], i: usize) -> Option<&'a str> {
+    match sig.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(sig: &[&Token], i: usize) -> Option<char> {
+    match sig.get(i).map(|t| &t.kind) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// `::` arrives from the lexer as two `:` puncts; true when the pair
+/// starts at `i`.
+fn path_sep(sig: &[&Token], i: usize) -> bool {
+    punct(sig, i) == Some(':') && punct(sig, i + 1) == Some(':')
+}
+
+/// Skips a balanced `<...>` group starting at `at` (which must be `<`),
+/// returning the index just past the matching `>`. The `>` of `->` and
+/// `=>` does not count as a closer.
+fn skip_angles(sig: &[&Token], at: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut k = at;
+    while k < sig.len() {
+        match punct(sig, k) {
+            Some('<') => depth += 1,
+            Some('>') if !matches!(punct(sig, k.wrapping_sub(1)), Some('-') | Some('=')) => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(k + 1);
+                }
+            }
+            Some(';') | Some('{') => return None, // ran off the item
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Reads a type path (`a::b::Name<T>`), returning its last identifier
+/// and advancing `j` past it.
+fn read_type_path(sig: &[&Token], j: &mut usize) -> Option<String> {
+    let mut last = None;
+    while let Some(seg) = ident(sig, *j) {
+        last = Some(seg.to_string());
+        *j += 1;
+        if punct(sig, *j) == Some('<') {
+            let Some(next) = skip_angles(sig, *j) else {
+                break;
+            };
+            *j = next;
+        }
+        if path_sep(sig, *j) {
+            *j += 2;
+            continue;
+        }
+        break;
+    }
+    last
+}
+
+/// Walks backward from the `fn` keyword over visibility, qualifiers and
+/// attributes to the first token of the item header.
+fn header_start(sig: &[&Token], fn_idx: usize) -> usize {
+    let mut j = fn_idx;
+    while j > 0 {
+        match &sig[j - 1].kind {
+            Tok::Ident(s)
+                if matches!(
+                    s.as_str(),
+                    "pub" | "unsafe" | "const" | "async" | "extern" | "default"
+                ) =>
+            {
+                j -= 1;
+            }
+            Tok::Literal => j -= 1, // extern "C"
+            Tok::Punct(')') => {
+                // pub(crate) / pub(in path)
+                let mut depth = 1usize;
+                let mut k = j - 1;
+                loop {
+                    if k == 0 {
+                        return j;
+                    }
+                    k -= 1;
+                    match punct(sig, k) {
+                        Some(')') => depth += 1,
+                        Some('(') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j = k;
+            }
+            Tok::Punct(']') => {
+                // an attribute `#[...]`
+                let mut depth = 1usize;
+                let mut k = j - 1;
+                loop {
+                    if k == 0 {
+                        return j;
+                    }
+                    k -= 1;
+                    match punct(sig, k) {
+                        Some(']') => depth += 1,
+                        Some('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if k > 0 && punct(sig, k - 1) == Some('#') {
+                    j = k - 1;
+                } else {
+                    return j;
+                }
+            }
+            _ => break,
+        }
+    }
+    j
+}
+
+/// Parses one source file into the audit's item model.
+pub fn parse_source(path: &str, krate: &str, src: &str) -> ParsedFile {
+    let tokens = lex(src);
+    let mut out = ParsedFile {
+        path: path.to_string(),
+        krate: krate.to_string(),
+        ..ParsedFile::default()
+    };
+
+    for t in &tokens {
+        if let Tok::Comment(text) = &t.kind {
+            match parse_audit_directive(text) {
+                Some(Ok((rule, reason))) => out.allows.push(AuditAllow {
+                    line: t.line,
+                    anchor: t.line,
+                    rule,
+                    reason,
+                }),
+                Some(Err(msg)) => out.invalid.push((t.line, msg)),
+                None => {}
+            }
+        }
+    }
+
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, Tok::Comment(_)))
+        .collect();
+    let test = test_region_mask(&sig);
+
+    // Item walk: a stack of open `impl`/`trait` bodies supplies the
+    // owner type for functions defined inside them.
+    let mut owners: Vec<(Option<String>, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < sig.len() {
+        while owners.last().is_some_and(|&(_, close)| close < i) {
+            owners.pop();
+        }
+        match ident(&sig, i) {
+            Some("use") => {
+                i = parse_use(&sig, i, test[i], &mut out);
+                continue;
+            }
+            Some("impl") => {
+                if let Some((owner, open, close)) = parse_impl_header(&sig, i) {
+                    owners.push((owner, close));
+                    i = open + 1;
+                    continue;
+                }
+            }
+            Some("trait") => {
+                if let Some(name) = ident(&sig, i + 1) {
+                    let name = name.to_string();
+                    if let Some(open) =
+                        (i..sig.len()).find(|&k| matches!(punct(&sig, k), Some('{') | Some(';')))
+                    {
+                        if punct(&sig, open) == Some('{') {
+                            let close = match_delim(&sig, open, '{', '}').unwrap_or(sig.len() - 1);
+                            owners.push((Some(name), close));
+                            i = open + 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            Some("fn") => {
+                let owner = owners.last().and_then(|(o, _)| o.clone());
+                if let Some(next) = parse_fn(&sig, &test, i, owner, &mut out) {
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Fold the contiguous block of comment-only lines directly above
+    // each function header into the header span, so stacked directive
+    // comments (`// lint: allow(..)` over `// audit: allow(..)`) all
+    // count as fn-level regardless of order.
+    let code_lines: std::collections::BTreeSet<usize> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, Tok::Comment(_)))
+        .map(|t| t.line)
+        .collect();
+    let comment_only: std::collections::BTreeSet<usize> = tokens
+        .iter()
+        .filter(|t| matches!(t.kind, Tok::Comment(_)))
+        .map(|t| t.line)
+        .filter(|l| !code_lines.contains(l))
+        .collect();
+    for f in &mut out.fns {
+        while f.header_line > 1 && comment_only.contains(&(f.header_line - 1)) {
+            f.header_line -= 1;
+        }
+    }
+    // Same skip, downward, for site allows: the covered line is the
+    // first code line at or below the comment.
+    for a in &mut out.allows {
+        while comment_only.contains(&a.anchor) {
+            a.anchor += 1;
+        }
+    }
+    out
+}
+
+/// Parses a `use` declaration starting at `i`; returns the index past
+/// its `;`.
+fn parse_use(sig: &[&Token], i: usize, in_test: bool, out: &mut ParsedFile) -> usize {
+    let line = sig[i].line;
+    let mut segments: Vec<String> = Vec::new();
+    let mut leaves: Vec<String> = Vec::new();
+    let mut glob = false;
+    let mut prev: Option<String> = None;
+    let mut pending_as = false;
+    let mut j = i + 1;
+    while j < sig.len() {
+        match &sig[j].kind {
+            Tok::Ident(s) if s == "as" => {
+                pending_as = true;
+                prev = None;
+            }
+            Tok::Ident(s) => {
+                if pending_as {
+                    leaves.push(s.clone());
+                    pending_as = false;
+                } else {
+                    segments.push(s.clone());
+                    prev = Some(s.clone());
+                }
+            }
+            Tok::Punct(':') => prev = None,
+            Tok::Punct('{') => prev = None,
+            Tok::Punct('*') => glob = true,
+            Tok::Punct(',') | Tok::Punct('}') => {
+                if let Some(p) = prev.take() {
+                    leaves.push(p);
+                }
+            }
+            Tok::Punct(';') => {
+                if let Some(p) = prev.take() {
+                    leaves.push(p);
+                }
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if let Some(root) = segments.first().cloned() {
+        if !in_test && root == "std" && segments.iter().any(|s| s == "thread") {
+            for deny in THREAD_DENY {
+                if segments.iter().any(|s| s == deny) {
+                    out.thread_refs.push((line, (*deny).to_string()));
+                }
+            }
+        }
+        if !in_test && layering::rank_of(&root).is_some() && root != out.krate && root != "std" {
+            out.crate_refs.push((line, root.clone()));
+        }
+        out.uses.push(UseDecl {
+            line,
+            root,
+            segments,
+            leaves,
+            glob,
+            in_test,
+        });
+    }
+    j + 1
+}
+
+/// Parses an `impl` header starting at `i` into (owner type, body open
+/// index, body close index).
+fn parse_impl_header(sig: &[&Token], i: usize) -> Option<(Option<String>, usize, usize)> {
+    let mut j = i + 1;
+    if punct(sig, j) == Some('<') {
+        j = skip_angles(sig, j)?;
+    }
+    let first = read_type_path(sig, &mut j);
+    let owner = if ident(sig, j) == Some("for") {
+        j += 1;
+        loop {
+            match sig.get(j).map(|t| &t.kind) {
+                Some(Tok::Punct('&')) => j += 1,
+                Some(Tok::Lifetime) => j += 1,
+                Some(Tok::Ident(s)) if s == "mut" || s == "dyn" => j += 1,
+                _ => break,
+            }
+        }
+        read_type_path(sig, &mut j)
+    } else {
+        first
+    };
+    let open = (j..sig.len()).find(|&k| punct(sig, k) == Some('{'))?;
+    let close = match_delim(sig, open, '{', '}')?;
+    Some((owner, open, close))
+}
+
+/// Parses a `fn` item starting at `i` (the `fn` keyword); returns the
+/// index to resume the item walk at, or `None` when this `fn` is a
+/// function-pointer type rather than an item.
+fn parse_fn(
+    sig: &[&Token],
+    test: &[bool],
+    i: usize,
+    owner: Option<String>,
+    out: &mut ParsedFile,
+) -> Option<usize> {
+    let name = ident(sig, i + 1)?.to_string();
+    let kw_line = sig[i].line;
+    // Scan for the body `{` (or the `;` of a bodiless signature),
+    // jumping over parens and brackets — an array type like
+    // `[[f64; 8]; 14]` in the parameter list carries `;`s that are not
+    // the end of the item.
+    let mut k = i + 1;
+    let (open, bodiless) = loop {
+        match sig.get(k).map(|t| &t.kind) {
+            None => return None,
+            Some(Tok::Punct('{')) => break (k, false),
+            Some(Tok::Punct(';')) => break (k, true),
+            Some(Tok::Punct('(')) => k = match_delim(sig, k, '(', ')')? + 1,
+            Some(Tok::Punct('[')) => k = match_delim(sig, k, '[', ']')? + 1,
+            _ => k += 1,
+        }
+    };
+    let close = if bodiless {
+        open
+    } else {
+        match_delim(sig, open, '{', '}').unwrap_or(sig.len() - 1)
+    };
+
+    let hstart = header_start(sig, i);
+    let mut item = FnItem {
+        name,
+        owner,
+        line: kw_line,
+        header_line: sig[hstart].line,
+        open_line: sig[open].line,
+        is_test: test[i],
+        deprecated: false,
+        allows_deprecated: false,
+        calls: Vec::new(),
+        seeds: Vec::new(),
+        taints: Vec::new(),
+    };
+    for k in hstart..i {
+        if ident(sig, k) == Some("test") && punct(sig, k.wrapping_sub(1)) == Some('[') {
+            item.is_test = true;
+        }
+        if ident(sig, k) == Some("deprecated") {
+            if punct(sig, k.wrapping_sub(1)) == Some('[') {
+                item.deprecated = true;
+            } else if punct(sig, k.wrapping_sub(1)) == Some('(')
+                && ident(sig, k.wrapping_sub(2)) == Some("allow")
+            {
+                item.allows_deprecated = true;
+            }
+        }
+    }
+
+    if !bodiless && !item.is_test {
+        scan_body(sig, test, open + 1, close, &mut item, out);
+    }
+    out.fns.push(item);
+    Some(close + 1)
+}
+
+/// The linear body walk: calls, panic seeds, taint sources, and layer
+/// references, in one pass over `open..close`.
+fn scan_body(
+    sig: &[&Token],
+    test: &[bool],
+    from: usize,
+    to: usize,
+    item: &mut FnItem,
+    out: &mut ParsedFile,
+) {
+    for k in from..to {
+        if test[k] {
+            continue;
+        }
+        let line = sig[k].line;
+        match &sig[k].kind {
+            Tok::Punct('[') if k > 0 => {
+                let indexes = match &sig[k - 1].kind {
+                    Tok::Punct(')') | Tok::Punct(']') => true,
+                    Tok::Ident(s) => !INDEX_PREV_SKIP.contains(&s.as_str()),
+                    _ => false,
+                };
+                if indexes {
+                    item.seeds.push(Seed {
+                        kind: SeedKind::Index,
+                        what: "indexing".to_string(),
+                        line,
+                        on_self: false,
+                    });
+                }
+            }
+            Tok::Ident(s) => {
+                let s = s.as_str();
+                // `#[allow(deprecated)]` on an inner item/statement.
+                if s == "deprecated"
+                    && punct(sig, k.wrapping_sub(1)) == Some('(')
+                    && ident(sig, k.wrapping_sub(2)) == Some("allow")
+                {
+                    item.allows_deprecated = true;
+                    continue;
+                }
+                if punct(sig, k + 1) == Some('!') {
+                    match s {
+                        "panic" | "unreachable" | "todo" | "unimplemented" => {
+                            item.seeds.push(Seed {
+                                kind: SeedKind::PanicMacro,
+                                what: format!("{s}!"),
+                                line,
+                                on_self: false,
+                            });
+                        }
+                        "assert" | "assert_eq" | "assert_ne" => {
+                            item.seeds.push(Seed {
+                                kind: SeedKind::Assert,
+                                what: format!("{s}!"),
+                                line,
+                                on_self: false,
+                            });
+                        }
+                        _ => {}
+                    }
+                    continue;
+                }
+                match s {
+                    "Instant" if path_sep(sig, k + 1) && ident(sig, k + 3) == Some("now") => {
+                        item.taints.push(TaintSrc {
+                            what: "Instant::now",
+                            line,
+                        });
+                    }
+                    "SystemTime" => item.taints.push(TaintSrc {
+                        what: "SystemTime",
+                        line,
+                    }),
+                    "RandomState" => item.taints.push(TaintSrc {
+                        what: "RandomState",
+                        line,
+                    }),
+                    "thread" if path_sep(sig, k + 1) => {
+                        if let Some(api) = ident(sig, k + 3) {
+                            if api == "current" {
+                                item.taints.push(TaintSrc {
+                                    what: "thread::current",
+                                    line,
+                                });
+                            }
+                            if THREAD_DENY.contains(&api) {
+                                out.thread_refs.push((line, api.to_string()));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                if path_sep(sig, k + 1)
+                    && s != out.krate
+                    && layering::rank_of(s).is_some()
+                    && s != "std"
+                {
+                    out.crate_refs.push((line, s.to_string()));
+                }
+                if punct(sig, k + 1) != Some('(') {
+                    continue;
+                }
+                if k > 0 && ident(sig, k - 1) == Some("fn") {
+                    continue; // a nested fn's own definition
+                }
+                let lower = s.starts_with(|c: char| c.is_ascii_lowercase() || c == '_');
+                if punct(sig, k.wrapping_sub(1)) == Some('.') {
+                    if s == "unwrap" && punct(sig, k + 2) == Some(')') {
+                        item.seeds.push(Seed {
+                            kind: SeedKind::Unwrap,
+                            what: "unwrap".to_string(),
+                            line,
+                            on_self: false,
+                        });
+                        continue;
+                    }
+                    if s == "expect" {
+                        let on_self = ident(sig, k.wrapping_sub(2)) == Some("self");
+                        if on_self {
+                            // May be a workspace method (jsonio's
+                            // `Parser::expect`); record the call and let
+                            // resolution drop the seed if it lands.
+                            item.calls.push(Call {
+                                kind: CallKind::Method,
+                                path: Vec::new(),
+                                name: "expect".to_string(),
+                                line,
+                            });
+                        }
+                        item.seeds.push(Seed {
+                            kind: SeedKind::Expect,
+                            what: "expect".to_string(),
+                            line,
+                            on_self,
+                        });
+                        continue;
+                    }
+                    if lower {
+                        item.calls.push(Call {
+                            kind: CallKind::Method,
+                            path: Vec::new(),
+                            name: s.to_string(),
+                            line,
+                        });
+                    }
+                } else if k >= 2 && path_sep(sig, k - 2) {
+                    let mut path = Vec::new();
+                    let mut m = k;
+                    while m >= 3 && path_sep(sig, m - 2) {
+                        match ident(sig, m - 3) {
+                            Some(seg) => {
+                                path.push(seg.to_string());
+                                m -= 3;
+                            }
+                            None => {
+                                // turbofish / qualified-path prefix —
+                                // treat as external rather than guess
+                                path.clear();
+                                break;
+                            }
+                        }
+                    }
+                    path.reverse();
+                    if !path.is_empty() && lower {
+                        item.calls.push(Call {
+                            kind: CallKind::Path,
+                            path,
+                            name: s.to_string(),
+                            line,
+                        });
+                    }
+                } else if lower && !FREE_CALL_SKIP.contains(&s) {
+                    item.calls.push(Call {
+                        kind: CallKind::Free,
+                        path: Vec::new(),
+                        name: s.to_string(),
+                        line,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_source("crates/ess/src/x.rs", "ess", src)
+    }
+
+    #[test]
+    fn fn_items_and_owners() {
+        let src = "impl Foo {\n    pub fn go(&self) { helper(); }\n}\nfn helper() {}\ntrait T { fn d(&self) { self.go(); } }";
+        let p = parse(src);
+        let names: Vec<_> = p
+            .fns
+            .iter()
+            .map(|f| (f.owner.clone(), f.name.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                (Some("Foo".to_string()), "go".to_string()),
+                (None, "helper".to_string()),
+                (Some("T".to_string()), "d".to_string()),
+            ]
+        );
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert_eq!(p.fns[0].calls[0].kind, CallKind::Free);
+        assert_eq!(p.fns[2].calls[0].kind, CallKind::Method);
+    }
+
+    #[test]
+    fn trait_impl_owner_is_the_type() {
+        let src = "impl<T: Clone> Backend for Pool<T> where T: Send { fn run(&self) {} }";
+        let p = parse(src);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Pool"));
+    }
+
+    #[test]
+    fn seeds_and_lookalikes() {
+        let src = "fn f(xs: &[f64], o: Option<u8>) -> f64 {\n    let a = o.unwrap();\n    let b = o.unwrap_or(0);\n    let c = xs[0];\n    let d: [f64; 2] = [1.0, 2.0];\n    assert!(a > 0);\n    debug_assert!(b == 0);\n    panic!(\"no\");\n    c\n}";
+        let p = parse(src);
+        let kinds: Vec<_> = p.fns[0].seeds.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SeedKind::Unwrap,
+                SeedKind::Index,
+                SeedKind::Assert,
+                SeedKind::PanicMacro
+            ]
+        );
+    }
+
+    #[test]
+    fn self_expect_records_a_call_not_just_a_seed() {
+        let src = "impl P { fn go(&mut self) { self.expect(1); } }";
+        let p = parse(src);
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert!(p.fns[0].seeds[0].on_self);
+    }
+
+    #[test]
+    fn use_decls_roots_and_leaves() {
+        let src = "use ess_service::jsonio::{Json, JsonError as JE};\nuse std::thread;\nfn f() {}";
+        let p = parse(src);
+        assert_eq!(p.uses[0].root, "ess_service");
+        assert_eq!(p.uses[0].leaves, vec!["Json", "JE"]);
+        assert_eq!(p.crate_refs, vec![(1, "ess_service".to_string())]);
+        assert!(p.thread_refs.is_empty()); // naming the module alone is fine
+    }
+
+    #[test]
+    fn thread_refs_flag_denied_apis_only() {
+        let src =
+            "fn f() { std::thread::scope(|s| {}); let n = std::thread::available_parallelism(); }";
+        let p = parse(src);
+        assert_eq!(p.thread_refs.len(), 1);
+        assert_eq!(p.thread_refs[0].1, "scope");
+    }
+
+    #[test]
+    fn test_code_is_invisible() {
+        let src = "#[cfg(test)]\nmod tests {\n    use ess_benches::x;\n    #[test]\n    fn t() { foo().unwrap(); }\n}";
+        let p = parse(src);
+        assert!(p.crate_refs.is_empty());
+        assert!(p.fns[0].is_test);
+        assert!(p.fns[0].seeds.is_empty());
+    }
+
+    #[test]
+    fn taint_sources() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        let p = parse(src);
+        let whats: Vec<_> = p.fns[0].taints.iter().map(|t| t.what).collect();
+        assert_eq!(whats, vec!["Instant::now", "SystemTime"]);
+    }
+
+    #[test]
+    fn directive_grammar() {
+        assert!(parse_audit_directive("// just a comment").is_none());
+        assert!(matches!(
+            parse_audit_directive("// audit: allow(panic) — bounded by construction"),
+            Some(Ok((r, _))) if r == "panic"
+        ));
+        assert!(matches!(
+            parse_audit_directive("// audit: allow(panic)"),
+            Some(Err(_))
+        ));
+        assert!(matches!(
+            parse_audit_directive("// audit: allow(nope) — x"),
+            Some(Err(_))
+        ));
+    }
+
+    #[test]
+    fn deprecated_flags() {
+        let src = "#[deprecated(note = \"old\")]\npub fn old() {}\n#[allow(deprecated)]\nfn caller() { old(); }";
+        let p = parse(src);
+        assert!(p.fns[0].deprecated);
+        assert!(p.fns[1].allows_deprecated);
+    }
+}

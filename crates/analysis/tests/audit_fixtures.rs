@@ -1,0 +1,377 @@
+//! Golden-fixture pins for the semantic audit passes. Each pass gets a
+//! trio — a violating form, an allowed-escape form, and a lookalike
+//! that must NOT fire — audited through [`audit::audit_files`] with
+//! workspace-style paths so the real scopes (seed enforcement, layer
+//! ranks, deterministic crates) apply. Any drift in a matcher, the call
+//! graph, or the allow resolution fails the suite with the exact
+//! finding that moved. A final pin runs the real workspace audit twice
+//! and requires a green, byte-identical report.
+
+use ess_analysis::audit::{self, AuditReport, DEAD_API, LAYER, PANIC, TAINT, UNUSED_ALLOW};
+use ess_analysis::lint;
+use ess_analysis::panics::RootSpec;
+
+/// One declared root: `Scheduler::round` in the service crate, the same
+/// shape the workspace proof uses.
+const ROOT: &[RootSpec] = &[RootSpec {
+    krate: "ess_service",
+    owner: Some("Scheduler"),
+    name: "round",
+}];
+
+fn audit(sources: &[(&str, &str)], roots: &[RootSpec]) -> AuditReport {
+    let owned: Vec<(String, String)> = sources
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    audit::audit_files(&owned, &[], roots)
+}
+
+/// (rule, line, allowed) triples for every finding in the report.
+fn shape(report: &AuditReport) -> Vec<(&str, usize, bool)> {
+    report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.line, f.allowed))
+        .collect()
+}
+
+// ---------------------------------------------------------------- panic
+
+const PANIC_VIOLATING: &str = "\
+pub struct Scheduler;
+impl Scheduler {
+    pub fn round(&mut self) {
+        helper();
+    }
+}
+fn helper() {
+    let v: Option<u32> = None;
+    let _ = v.unwrap();
+}
+";
+
+const PANIC_ALLOWED: &str = "\
+pub struct Scheduler;
+impl Scheduler {
+    pub fn round(&mut self) {
+        helper();
+    }
+}
+fn helper() {
+    let v: Option<u32> = Some(1);
+    // audit: allow(panic) — fixture: the value is constructed one line up
+    let _ = v.unwrap();
+}
+";
+
+const PANIC_LOOKALIKE: &str = "\
+pub struct Scheduler;
+impl Scheduler {
+    pub fn round(&mut self) {
+        helper();
+    }
+}
+fn helper() {
+    let v: Option<u32> = None;
+    let _ = v.unwrap_or_default();
+    let _ = v.unwrap_or_else(|| 7);
+}
+";
+
+#[test]
+fn panic_prover_flags_reachable_unwrap() {
+    let r = audit(&[("crates/service/src/fx.rs", PANIC_VIOLATING)], ROOT);
+    assert_eq!(shape(&r), vec![(PANIC, 9, false)]);
+    assert_eq!(r.roots.len(), 1);
+    assert!(r.roots[0].resolved, "root must resolve to a symbol");
+    assert_eq!(r.roots[0].unallowed_sites, 1);
+}
+
+#[test]
+fn panic_prover_honours_site_allow() {
+    let r = audit(&[("crates/service/src/fx.rs", PANIC_ALLOWED)], ROOT);
+    assert_eq!(shape(&r), vec![(PANIC, 10, true)]);
+    assert!(r.unallowed().is_empty());
+    assert_eq!(r.roots[0].allowed_sites, 1);
+}
+
+#[test]
+fn panic_prover_ignores_unwrap_or_lookalikes() {
+    let r = audit(&[("crates/service/src/fx.rs", PANIC_LOOKALIKE)], ROOT);
+    assert_eq!(shape(&r), vec![]);
+    assert_eq!(r.roots[0].unallowed_sites, 0);
+}
+
+/// A panic seed in a fn the root never reaches stays silent — the
+/// prover is reachability-driven, not a grep.
+#[test]
+fn panic_prover_is_reachability_scoped() {
+    let src = "\
+pub struct Scheduler;
+impl Scheduler {
+    pub fn round(&mut self) {}
+}
+fn never_called() {
+    let v: Option<u32> = None;
+    let _ = v.unwrap();
+}
+";
+    let r = audit(&[("crates/service/src/fx.rs", src)], ROOT);
+    assert_eq!(shape(&r), vec![]);
+}
+
+// ---------------------------------------------------------------- layer
+
+const LAYER_VIOLATING: &str = "\
+use ess::scenario::Scenario;
+pub fn ignite(_s: Scenario) {}
+";
+
+const LAYER_TEST_GATED: &str = "\
+pub fn ignite() {}
+#[cfg(test)]
+mod tests {
+    use ess::scenario::Scenario;
+    #[test]
+    fn smoke() {
+        let _ = std::mem::size_of::<Scenario>();
+    }
+}
+";
+
+const LAYER_DOWNWARD: &str = "\
+use firelib::sim::FireSim;
+pub fn evolve(_s: FireSim) {}
+";
+
+#[test]
+fn layering_flags_upward_use() {
+    // firelib (layer 2) importing ess (layer 3) crosses the DAG upward.
+    let r = audit(&[("crates/firelib/src/fx.rs", LAYER_VIOLATING)], &[]);
+    assert_eq!(shape(&r), vec![(LAYER, 1, false)]);
+}
+
+#[test]
+fn layering_skips_test_gated_use() {
+    let r = audit(&[("crates/firelib/src/fx.rs", LAYER_TEST_GATED)], &[]);
+    assert_eq!(shape(&r), vec![]);
+}
+
+#[test]
+fn layering_accepts_downward_use() {
+    // ess (layer 3) importing firelib (layer 2) is the declared flow.
+    let r = audit(&[("crates/ess/src/fx.rs", LAYER_DOWNWARD)], &[]);
+    assert_eq!(shape(&r), vec![]);
+}
+
+#[test]
+fn layering_reserves_thread_spawn_to_parworker() {
+    let src = "\
+pub fn run() {
+    std::thread::spawn(|| {}).join().ok();
+}
+";
+    let r = audit(&[("crates/core/src/fx.rs", src)], &[]);
+    assert_eq!(shape(&r), vec![(LAYER, 2, false)]);
+    // The identical source inside parworker is the one sanctioned home.
+    let r = audit(&[("crates/parworker/src/fx.rs", src)], &[]);
+    assert_eq!(shape(&r), vec![]);
+}
+
+// ---------------------------------------------------------------- taint
+
+const TAINT_SOURCE: &str = "\
+use std::time::Instant;
+pub fn clock_probe() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_millis() as u64
+}
+";
+
+const TAINT_SOURCE_ALLOWED: &str = "\
+use std::time::Instant;
+pub fn clock_probe() -> u64 {
+    // audit: allow(taint) — fixture: telemetry reading, never fed back
+    let t = Instant::now();
+    t.elapsed().as_millis() as u64
+}
+";
+
+const TAINT_SINK: &str = "\
+use parworker::clock_probe;
+pub fn fitness_step() -> u64 {
+    clock_probe()
+}
+";
+
+#[test]
+fn taint_flags_clock_reachable_from_deterministic_crate() {
+    let r = audit(
+        &[
+            ("crates/parworker/src/fx.rs", TAINT_SOURCE),
+            ("crates/evoalg/src/fx.rs", TAINT_SINK),
+        ],
+        &[],
+    );
+    assert_eq!(shape(&r), vec![(TAINT, 3, false)]);
+    let f = &r.findings[0];
+    assert!(
+        f.witness.as_deref().unwrap_or("").contains("fitness_step"),
+        "witness must name the deterministic sink: {:?}",
+        f.witness
+    );
+}
+
+#[test]
+fn taint_allow_kills_at_the_source() {
+    let r = audit(
+        &[
+            ("crates/parworker/src/fx.rs", TAINT_SOURCE_ALLOWED),
+            ("crates/evoalg/src/fx.rs", TAINT_SINK),
+        ],
+        &[],
+    );
+    // The allowed source stays on the audit trail but fails nothing.
+    assert_eq!(shape(&r), vec![(TAINT, 4, true)]);
+    assert!(r.unallowed().is_empty());
+}
+
+#[test]
+fn taint_without_deterministic_sink_is_clean() {
+    // A service-layer clock with no deterministic-crate caller: fine.
+    let r = audit(&[("crates/service/src/fx.rs", TAINT_SOURCE)], &[]);
+    assert_eq!(shape(&r), vec![]);
+}
+
+// -------------------------------------------------------------- dead-api
+
+const DEAD_API_UNCALLED: &str = "\
+#[deprecated]
+pub fn old_entry() {}
+";
+
+const DEAD_API_CALLED: &str = "\
+#[deprecated]
+pub fn old_entry() {}
+#[allow(deprecated)]
+pub fn shim() {
+    old_entry();
+}
+";
+
+#[test]
+fn dead_api_flags_uncalled_deprecated_fn() {
+    let r = audit(&[("crates/evoalg/src/fx.rs", DEAD_API_UNCALLED)], &[]);
+    assert_eq!(shape(&r), vec![(DEAD_API, 2, false)]);
+}
+
+#[test]
+fn dead_api_spares_deprecated_fn_with_internal_caller() {
+    let r = audit(&[("crates/evoalg/src/fx.rs", DEAD_API_CALLED)], &[]);
+    assert_eq!(shape(&r), vec![]);
+}
+
+#[test]
+fn dead_api_honours_allow() {
+    let src = "\
+// audit: allow(dead-api) — fixture: kept for downstream callers one release longer
+#[deprecated]
+pub fn old_entry() {}
+";
+    let r = audit(&[("crates/evoalg/src/fx.rs", src)], &[]);
+    assert_eq!(shape(&r), vec![(DEAD_API, 3, true)]);
+    assert!(r.unallowed().is_empty());
+}
+
+// ----------------------------------------------------------------- meta
+
+#[test]
+fn stale_allow_is_a_finding() {
+    let src = "\
+pub fn fine() {
+    // audit: allow(panic) — fixture: nothing here panics any more
+    let x = 1 + 1;
+    let _ = x;
+}
+";
+    let r = audit(&[("crates/service/src/fx.rs", src)], &[]);
+    assert_eq!(shape(&r), vec![(UNUSED_ALLOW, 2, false)]);
+}
+
+#[test]
+fn malformed_allow_is_a_finding() {
+    let src = "\
+pub fn fine() {
+    // audit: allow(panics) — misspelled rule name
+    let x = 1 + 1;
+    let _ = x;
+}
+";
+    let r = audit(&[("crates/service/src/fx.rs", src)], &[]);
+    assert_eq!(r.findings.len(), 1);
+    assert_eq!(r.findings[0].rule, "invalid-allow");
+    assert!(!r.findings[0].allowed);
+}
+
+/// A fn-level allow above the header covers every site of its rule in
+/// the body — including ones added later, which is why site-level is
+/// preferred; this pins that the escape hatch works at all.
+#[test]
+fn fn_level_allow_covers_body_sites() {
+    let src = "\
+pub struct Scheduler;
+impl Scheduler {
+    pub fn round(&mut self) {
+        helper();
+    }
+}
+// audit: allow(panic) — fixture: both unwraps guarded by construction
+fn helper() {
+    let v: Option<u32> = Some(1);
+    let _ = v.unwrap();
+    let w: Option<u32> = Some(2);
+    let _ = w.unwrap();
+}
+";
+    let r = audit(&[("crates/service/src/fx.rs", src)], ROOT);
+    assert_eq!(shape(&r), vec![(PANIC, 10, true), (PANIC, 12, true)]);
+    assert!(r.unallowed().is_empty());
+}
+
+// ------------------------------------------------------------ workspace
+
+/// The real workspace audit ships green: every finding fixed or
+/// carrying a justified allow, and the run is deterministic — two
+/// back-to-back audits serialize byte-identically.
+#[test]
+fn workspace_audit_ships_green() -> Result<(), String> {
+    let root = lint::find_workspace_root().ok_or("workspace root not found")?;
+    let a = audit::audit_workspace(&root).map_err(|e| e.to_string())?;
+    let unallowed: Vec<String> = a
+        .unallowed()
+        .iter()
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        unallowed.is_empty(),
+        "workspace audit must ship green:\n{}",
+        unallowed.join("\n")
+    );
+    assert!(a.files_scanned > 50, "walk collapsed: {}", a.files_scanned);
+    for rs in &a.roots {
+        assert!(
+            rs.resolved,
+            "panic-free root `{}` no longer resolves",
+            rs.root
+        );
+        assert!(rs.reachable > 0, "root `{}` reaches nothing", rs.root);
+    }
+    let b = audit::audit_workspace(&root).map_err(|e| e.to_string())?;
+    assert_eq!(
+        a.to_json().to_pretty(),
+        b.to_json().to_pretty(),
+        "audit report must be deterministic"
+    );
+    Ok(())
+}

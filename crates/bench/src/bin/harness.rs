@@ -29,6 +29,7 @@
 //!   landscape   K         — heap vs bucket vs tiled simulation kernels on the XL corpus (+ BENCH_landscape.json, bench_summary.md)
 //!   serve                 — line-delimited JSON prediction service on stdin/stdout
 //!   lint                  — workspace source lint pass (+ LINT_findings.json)
+//!   audit                 — semantic audit: panic prover, layering DAG, determinism taint (+ AUDIT.json)
 //!   verify-invariants     — model checking + adversarial invariant suite (+ INVARIANTS.json)
 //! ```
 //!
@@ -153,7 +154,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|loadgen|fusion|landscape|serve|lint|verify-invariants|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--kernel heap|bucket|tiled[:TILE[xWORKERS]]] [--policy round-robin|weighted-fair-share|deadline-first] [--quick] [--fused] [--self-test] [--self-test-v2] [--out DIR]".to_string()
+    "usage: harness <table1|fig1-trace|fig2-kign|fig3-trace|e1-quality|e2-diversity|e3-speedup|e4-throughput|e5-deceptive|e6-tuning|e7-hybrid|e8-ablation|e9-inclusion|e10-noise|workloads|service|novelty|loadgen|fusion|landscape|serve|lint|audit|verify-invariants|all> [--seeds N] [--scale F] [--cases a,b] [--workers 2,4] [--backend serial|worker-pool:N|rayon:N] [--kernel heap|bucket|tiled[:TILE[xWORKERS]]] [--policy round-robin|weighted-fair-share|deadline-first] [--quick] [--fused] [--self-test] [--self-test-v2] [--out DIR]".to_string()
 }
 
 fn emit(args: &Args, id: &str, title: &str, table: &TextTable) {
@@ -193,6 +194,9 @@ fn main() -> ExitCode {
     }
     if args.experiment == "lint" {
         return lint_main(&args);
+    }
+    if args.experiment == "audit" {
+        return audit_main(&args);
     }
     if args.experiment == "verify-invariants" {
         return verify_main(&args);
@@ -442,6 +446,65 @@ fn lint_main(args: &Args) -> ExitCode {
     println!(
         "lint: {} files scanned, {allowed} allowed finding(s), {unallowed} unallowed",
         report.files_scanned
+    );
+    if unallowed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `harness audit`: the semantic workspace auditor — panic-path prover
+/// over the call graph, machine-checked layer map, determinism taint,
+/// and the dead-API sweep. Prints every finding (allowed ones as the
+/// audit trail), writes `reports/AUDIT.json`, and fails the process when
+/// any finding lacks a justified `// audit: allow(...)`.
+fn audit_main(args: &Args) -> ExitCode {
+    use ess_analysis::audit;
+    let started = std::time::Instant::now();
+    let report = match audit::audit_current_workspace() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("audit: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+    let allowed = report.findings.iter().filter(|f| f.allowed).count();
+    for f in &report.findings {
+        if f.allowed {
+            let reason = f.reason.as_deref().unwrap_or("");
+            println!("allow  {}:{} [{}] {reason}", f.file, f.line, f.rule);
+        }
+    }
+    for f in report.unallowed() {
+        eprintln!("error  {}:{} [{}] {}", f.file, f.line, f.rule, f.message);
+        if let Some(witness) = &f.witness {
+            eprintln!("       via {witness}");
+        }
+    }
+    for r in &report.roots {
+        println!(
+            "root   {:<32} {} reachable fn(s), {} allowed site(s), {} unallowed",
+            r.root, r.reachable, r.allowed_sites, r.unallowed_sites
+        );
+    }
+    let path = args.out.join("AUDIT.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, report.to_json().to_pretty()) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("[warn] could not write {}: {e}", path.display()),
+    }
+    let unallowed = report.unallowed().len();
+    println!(
+        "audit: {} files, {} symbols, {} call edges, {allowed} allowed finding(s), \
+         {unallowed} unallowed in {} ms",
+        report.files_scanned,
+        report.symbols,
+        report.call_edges,
+        elapsed.as_millis()
     );
     if unallowed > 0 {
         ExitCode::FAILURE

@@ -1693,6 +1693,7 @@ pub fn landscape_sweep(quick: bool, out: &std::path::Path) -> TextTable {
         for _ in 0..reps {
             let mut digests = vec![0u64; scenarios.len()];
             let sw = Stopwatch::start();
+            // audit: allow(layer) — hand-rolled scoped-thread baseline the sweep compares the pool against
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for chunk_scenarios in scenarios.chunks(chunk) {

@@ -111,6 +111,7 @@ fn run_policy(
     let clients = scripts.len();
     let (req_w, req_r) = duplex();
     let (resp_w, resp_r) = duplex();
+    // audit: allow(layer) — bench-only client/server harness threads; no evaluation work runs on them
     // lint: allow(thread-spawn) — the load generator hosts the serve loop on its own thread
     let server = thread::spawn(move || {
         serve_configured(BufReader::new(req_r), resp_w, backend, policy, fused)
@@ -127,6 +128,7 @@ fn run_policy(
         client_ends.push(Some(r));
     }
     type DemuxOut = (usize, Vec<Ev>, HashMap<u64, usize>);
+    // audit: allow(layer) — bench-only client/server harness threads; no evaluation work runs on them
     // lint: allow(thread-spawn) — response demultiplexer thread for the simulated clients
     let demux = thread::spawn(move || -> Result<DemuxOut, String> {
         let mut owner: HashMap<u64, usize> = HashMap::new();
@@ -178,6 +180,7 @@ fn run_policy(
         let script = script.to_vec();
         let reader = client_ends[c].take().expect("one reader per client");
         let req_w = req_w.clone();
+        // audit: allow(layer) — bench-only client/server harness threads; no evaluation work runs on them
         // lint: allow(thread-spawn) — one generator thread per simulated client
         handles.push(thread::spawn(
             move || -> Result<BTreeMap<(usize, usize, usize), Fingerprint>, String> {
@@ -515,6 +518,7 @@ fn smoke_transcript(
     let err = |e: ClientError| format!("smoke client: {e}");
     let (req_w, req_r) = duplex();
     let (resp_w, resp_r) = duplex();
+    // audit: allow(layer) — bench-only client/server harness threads; no evaluation work runs on them
     // lint: allow(thread-spawn) — smoke test hosts the serve loop on its own thread
     let server = thread::spawn(move || {
         serve_with(

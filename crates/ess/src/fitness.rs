@@ -196,6 +196,7 @@ impl ArenaCache {
             Some(i) => &mut self.arenas[i].1,
             None => {
                 self.arenas.push(((rows, cols), SimArena::new(rows, cols)));
+                // audit: allow(panic) — last_mut() on the vec the previous line pushed into
                 &mut self.arenas.last_mut().expect("just pushed").1
             }
         }
@@ -308,6 +309,7 @@ impl SharedScenarioPool {
     /// which loses to inline execution at typical per-step batch sizes.
     /// Both paths run the same pure work function in the same order, so
     /// results are bit-identical.
+    // audit: allow(panic) — pool-lock poisoning only follows a worker panic; amplifying it is the designed failure mode
     pub fn evaluate_matrix(&self, ctx: &Arc<StepContext>, genomes: &GenomeMatrix) -> Vec<f64> {
         if genomes.len() <= self.inline_threshold() {
             let mut cache = self.fallback.lock().expect(POOL_POISONED);
@@ -332,6 +334,7 @@ impl SharedScenarioPool {
     ///
     /// # Panics
     /// Panics when the batches disagree on genome dimension.
+    // audit: allow(panic) — pool-lock poisoning only follows a worker panic; amplifying it is the designed failure mode
     pub fn evaluate_fused(&self, batches: &[(Arc<StepContext>, &GenomeMatrix)]) -> Vec<Vec<f64>> {
         let total: usize = batches.iter().map(|(_, g)| g.len()).sum();
         let flat: Vec<f64> = if total <= self.inline_threshold() {
@@ -370,16 +373,6 @@ impl SharedScenarioPool {
             offset += g.len();
         }
         out
-    }
-
-    /// Evaluates one nested batch of genomes against `ctx`, in submission
-    /// order.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `evaluate_matrix` with a flat `GenomeMatrix` batch"
-    )]
-    pub fn evaluate(&self, ctx: &Arc<StepContext>, genomes: Vec<Vec<f64>>) -> Vec<f64> {
-        self.evaluate_matrix(ctx, &GenomeMatrix::from_rows(&genomes))
     }
 }
 
@@ -689,17 +682,6 @@ mod tests {
         assert_eq!(fused[0], pool.evaluate_matrix(&small_ctx, &a));
         assert_eq!(fused[1], pool.evaluate_matrix(&big_ctx, &b));
         assert!(fused[2].is_empty());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_nested_evaluate_matches_matrix_path() {
-        let (ctx, truth) = known_context();
-        let genes = ScenarioSpace.encode(&truth);
-        let pool = SharedScenarioPool::new(EvalBackend::Serial);
-        let nested = pool.evaluate(&ctx, vec![genes.to_vec()]);
-        let flat = pool.evaluate_matrix(&ctx, &GenomeMatrix::from_rows(&[genes]));
-        assert_eq!(nested, flat);
     }
 
     #[test]

@@ -248,17 +248,6 @@ impl NoveltyArchive {
         self.behaviours.row(index)
     }
 
-    /// The stored behaviour descriptors, cloned into the nested shape the
-    /// novelty computation used to take.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates one Vec per entry per call; use the borrowed \
-                `behaviour_matrix()` view instead"
-    )]
-    pub fn behaviours(&self) -> Vec<Vec<f64>> {
-        self.behaviours.to_rows()
-    }
-
     /// Offers a candidate. Returns `true` when it entered the archive:
     ///
     /// * below the admission threshold (if any) → rejected;
@@ -454,10 +443,6 @@ mod tests {
         assert!(a.offer(&[5.0, 6.0], &[0.9], 3.0, 0.5));
         assert_eq!(a.behaviour_matrix().to_rows(), vec![vec![0.9], vec![0.2]]);
         assert_eq!(a.entries()[0].genes, vec![5.0, 6.0]);
-        // The deprecated nested projection stays consistent with the view.
-        #[allow(deprecated)]
-        let nested = a.behaviours();
-        assert_eq!(nested, a.behaviour_matrix().to_rows());
     }
 
     #[test]

@@ -333,6 +333,7 @@ impl BucketQueue {
         }
         self.len -= 1;
         let top = self.cur[0];
+        // audit: allow(panic) — pop() is only entered with len > 0, and the refill above just moved a bucket into cur
         let last = self.cur.pop().expect("cur is non-empty");
         if !self.cur.is_empty() {
             self.cur[0] = last;
@@ -717,6 +718,7 @@ impl SimArena {
     pub fn map(&self) -> &IgnitionMap {
         self.out
             .as_ref()
+            // audit: allow(panic) — documented `# Panics` contract: reading an arena before any run is caller error, pinned by the arena property suite
             .expect("SimArena::map: no simulation has run in this arena yet")
     }
 
@@ -1558,6 +1560,7 @@ impl FireSim {
             let fuel = self
                 .terrain
                 .fuel_layer()
+                // audit: allow(panic) — fuel_is_only_override() just returned true, which requires a fuel layer
                 .expect("fuel_is_only_override implies a fuel layer")
                 .as_slice();
             Tables::PerFuel(per_fuel, fuel)
@@ -1764,6 +1767,7 @@ impl FireSim {
             let fuel = self
                 .terrain
                 .fuel_layer()
+                // audit: allow(panic) — fuel_is_only_override() just returned true, which requires a fuel layer
                 .expect("fuel_is_only_override implies a fuel layer")
                 .as_slice();
             Tables::PerFuel(per_fuel, fuel)
@@ -1824,6 +1828,7 @@ impl FireSim {
                             r,
                             c,
                             scenario,
+                            // audit: allow(panic) — percell_base is always set by the PerCell branch that selects this closure
                             percell_base.as_ref().expect("per-cell mode keeps the base"),
                         );
                         &fallback
@@ -2028,6 +2033,7 @@ impl FireSim {
             let fuel = self
                 .terrain
                 .fuel_layer()
+                // audit: allow(panic) — fuel_is_only_override() just returned true, which requires a fuel layer
                 .expect("fuel_is_only_override implies a fuel layer")
                 .as_slice();
             Tables::PerFuel(per_fuel, fuel)
@@ -2050,6 +2056,7 @@ impl FireSim {
                             r,
                             c,
                             scenario,
+                            // audit: allow(panic) — percell_base is always set by the PerCell branch that selects this closure
                             percell_base.as_ref().expect("per-cell mode keeps the base"),
                         )
                     }

@@ -32,12 +32,13 @@ impl Json {
         Json::Obj(Vec::new())
     }
 
-    /// Appends `key: value` to an object (panics on non-objects — builder
-    /// misuse, not data).
+    /// Appends `key: value` to an object. Calling it on a non-object is
+    /// builder misuse, not data: debug builds trap it, release builds
+    /// drop the field rather than take down the serve loop.
     pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
         match &mut self {
             Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
-            other => panic!("Json::field on non-object {other}"),
+            other => debug_assert!(false, "Json::field on non-object {other}"),
         }
         self
     }
@@ -312,7 +313,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or_default();
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -410,9 +412,9 @@ impl<'a> Parser<'a> {
                 }
                 self.pos += 1;
             }
+            let run = self.bytes.get(start..self.pos).unwrap_or_default();
             out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                std::str::from_utf8(run).map_err(|_| self.err("invalid UTF-8 in string"))?,
             );
             match self.peek() {
                 Some(b'"') => {
@@ -465,7 +467,11 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|t| std::str::from_utf8(t).ok())
+            .ok_or_else(|| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("invalid number"))

@@ -96,8 +96,10 @@ impl SchedulePolicy for WeightedFairShare {
         let Some(min) = live.iter().map(Self::virtual_time).min_by(f64::total_cmp) else {
             return Vec::new();
         };
-        (0..live.len())
-            .filter(|&i| Self::virtual_time(&live[i]).total_cmp(&min).is_eq())
+        live.iter()
+            .enumerate()
+            .filter(|(_, meta)| Self::virtual_time(meta).total_cmp(&min).is_eq())
+            .map(|(i, _)| i)
             .collect()
     }
 }
@@ -115,9 +117,13 @@ impl SchedulePolicy for DeadlineFirst {
     }
 
     fn plan(&mut self, live: &[SessionMeta]) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..live.len()).collect();
-        order.sort_by_key(|&i| (live[i].deadline.unwrap_or(Duration::MAX), i));
-        order
+        let mut order: Vec<(Duration, usize)> = live
+            .iter()
+            .enumerate()
+            .map(|(i, meta)| (meta.deadline.unwrap_or(Duration::MAX), i))
+            .collect();
+        order.sort();
+        order.into_iter().map(|(_, i)| i).collect()
     }
 }
 

@@ -229,7 +229,10 @@ impl Scheduler {
     fn planned_indices(&mut self) -> Vec<usize> {
         let mut plan = self.policy.plan(&self.metas());
         let mut seen = vec![false; self.live.len()];
-        plan.retain(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true));
+        plan.retain(|&i| match seen.get_mut(i) {
+            Some(slot) => !std::mem::replace(slot, true),
+            None => false,
+        });
         if plan.is_empty() {
             plan.push(0);
         }
@@ -276,8 +279,11 @@ impl Scheduler {
         let plan = self.planned_indices();
         let mut events = Vec::with_capacity(plan.len());
         for i in plan {
-            let id = self.live[i].0;
-            let event = self.live[i].1.advance();
+            let Some(entry) = self.live.get_mut(i) else {
+                continue; // planned_indices already dropped out-of-range entries
+            };
+            let id = entry.0;
+            let event = entry.1.advance();
             self.record_outcome(id, &event);
             events.push((id, event));
         }
@@ -312,8 +318,11 @@ impl Scheduler {
         let mut entries: Vec<(SessionId, Planned)> = Vec::with_capacity(plan.len());
         let mut runnable: Vec<usize> = Vec::new();
         for i in plan {
-            let id = self.live[i].0;
-            match self.live[i].1.plan_step() {
+            let Some(entry) = self.live.get_mut(i) else {
+                continue; // planned_indices already dropped out-of-range entries
+            };
+            let id = entry.0;
+            match entry.1.plan_step() {
                 StepPlan::Settled(event) => entries.push((id, Planned::Settled(event))),
                 StepPlan::Ready => {
                     let slot = runnable.len();
@@ -328,7 +337,9 @@ impl Scheduler {
         if !runnable.is_empty() {
             let mut slot_of: Vec<Option<usize>> = vec![None; self.live.len()];
             for (slot, &i) in runnable.iter().enumerate() {
-                slot_of[i] = Some(slot);
+                if let Some(entry) = slot_of.get_mut(i) {
+                    *entry = Some(slot);
+                }
             }
             // Disjoint mutable borrows of the runnable sessions; the
             // sessions stay in place, only their step halves cross into
@@ -337,11 +348,12 @@ impl Scheduler {
                 .live
                 .iter_mut()
                 .enumerate()
-                .filter_map(|(i, (_, s))| slot_of[i].map(|slot| (slot, s)))
+                .filter_map(|(i, (_, s))| slot_of.get(i).copied().flatten().map(|slot| (slot, s)))
                 .collect();
             let lane_count = lanes.len();
             let (tx, rx) = std::sync::mpsc::channel();
             let (report_tx, report_rx) = std::sync::mpsc::channel();
+            // audit: allow(layer) — fused-round lanes are scoped threads joined before the round returns; evaluation still flows through the shared pool
             std::thread::scope(|scope| {
                 for (slot, session) in lanes {
                     let lane = tx.clone();
@@ -371,7 +383,9 @@ impl Scheduler {
                 run_coordinator(&self.pool, &rx, lane_count);
             });
             for (slot, step, elapsed) in report_rx.try_iter() {
-                stepped[slot] = Some((step, elapsed));
+                if let Some(entry) = stepped.get_mut(slot) {
+                    *entry = Some((step, elapsed));
+                }
             }
         }
 
@@ -380,10 +394,15 @@ impl Scheduler {
             let event = match planned {
                 Planned::Settled(event) => event,
                 Planned::Runnable { live_idx, slot } => {
-                    let (step, elapsed) = stepped[slot]
-                        .take()
+                    let (step, elapsed) = stepped
+                        .get_mut(slot)
+                        .and_then(Option::take)
+                        // audit: allow(panic) — a missing lane report only follows a lane-thread panic mid-step; amplifying it is the designed failure mode
                         .expect("a planned Ready step always produces a report");
-                    self.live[live_idx].1.complete_step(step, elapsed)
+                    match self.live.get_mut(live_idx) {
+                        Some(entry) => entry.1.complete_step(step, elapsed),
+                        None => continue, // live_idx came from planned_indices
+                    }
                 }
             };
             self.record_outcome(id, &event);

@@ -405,7 +405,7 @@ fn run_rounds<W: Write>(
             emit_session_event(out, v2, id, &event)?;
         }
     }
-    for (_, outcome) in &scheduler.outcomes()[before..] {
+    for (_, outcome) in scheduler.outcomes().get(before..).unwrap_or_default() {
         match outcome {
             SessionOutcome::Finished(_) => summary.finished += 1,
             SessionOutcome::Exhausted { .. } => summary.exhausted += 1,

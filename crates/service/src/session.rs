@@ -265,12 +265,16 @@ impl PredictionSession {
             StepPlan::Settled(event) => event,
             StepPlan::Ready => {
                 let sw = Stopwatch::start();
-                let step = self
-                    .driver
-                    .step(self.optimizer.as_mut())
-                    .expect("planned step cannot be finished");
-                let elapsed = sw.elapsed_ms();
-                self.complete_step(step, elapsed)
+                match self.driver.step(self.optimizer.as_mut()) {
+                    Some(step) => {
+                        let elapsed = sw.elapsed_ms();
+                        self.complete_step(step, elapsed)
+                    }
+                    // A `Ready` plan just checked `is_finished`, so the
+                    // driver cannot refuse — but a typed settle keeps
+                    // the serve loop panic-free instead of trusting it.
+                    None => self.settle(sw, None),
+                }
             }
         }
     }
